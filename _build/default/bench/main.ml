@@ -1,0 +1,620 @@
+(* The benchmark harness: regenerates every table of the paper's evaluation
+   (section 4) against this reproduction, prints the paper's numbers next to
+   the measured ones, and checks the qualitative shape.  A Bechamel
+   micro-benchmark backs each table with per-operation costs, and an
+   ablation section sweeps the index block size (the Glimpse design knob).
+
+   Run with:  dune exec bench/main.exe            (full harness)
+              dune exec bench/main.exe -- quick   (smaller corpora)    *)
+
+module Fs = Hac_vfs.Fs
+module Vpath = Hac_vfs.Vpath
+module Index = Hac_index.Index
+module Search = Hac_index.Search
+module Hac = Hac_core.Hac
+module Corpus = Hac_workload.Corpus
+module Andrew = Hac_workload.Andrew
+module Fsops = Hac_workload.Fsops
+module Jade_fs = Hac_workload.Jade_fs
+module Pseudo_fs = Hac_workload.Pseudo_fs
+module Timer = Hac_workload.Timer
+
+let quick = Array.exists (( = ) "quick") Sys.argv
+
+let banner title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let shape name ok =
+  Printf.printf "  shape %-58s %s\n" name (if ok then "[ok]" else "[DIFFERS]")
+
+(* ------------------------------------------------------------------ *)
+(* Tables 1 and 2: the Andrew Benchmark on UNIX / HAC / Jade / Pseudo *)
+(* ------------------------------------------------------------------ *)
+
+let andrew_spec =
+  if quick then Corpus.medium_tree
+  else { Corpus.depth = 3; dirs_per_level = 4; files_per_dir = 8; words_per_file = 300 }
+
+let source = Andrew.make_source ~spec:andrew_spec ~seed:20251999 ()
+
+let andrew_rounds = if quick then 5 else 7
+
+(* Run every system once per round (decorrelating GC and cache state from
+   the system under test), then take per-phase medians. *)
+let run_andrew_all systems =
+  let rounds =
+    List.init andrew_rounds (fun _ ->
+        List.map
+          (fun (label, mk_ops) ->
+            Gc.major ();
+            (label, Andrew.run source (mk_ops ()) ~dest:"/dest"))
+          systems)
+  in
+  List.map
+    (fun (label, _) ->
+      let runs = List.map (fun round -> List.assoc label round) rounds in
+      let med f =
+        let sorted = List.sort compare (List.map f runs) in
+        List.nth sorted (List.length sorted / 2)
+      in
+      ( label,
+        {
+          Andrew.makedir = med (fun t -> t.Andrew.makedir);
+          copy = med (fun t -> t.Andrew.copy);
+          scan = med (fun t -> t.Andrew.scan);
+          read = med (fun t -> t.Andrew.read);
+          make = med (fun t -> t.Andrew.make);
+        } ))
+    systems
+
+let tables_1_and_2 () =
+  banner "Table 1: Andrew Benchmark (seconds per phase)";
+  Printf.printf
+    "  paper: UNIX 2/5/5/8/19 = 38s ; HAC 4/9/8/14/22 = 57s (46%% slower,\n\
+    \  phases 1-2 worst, phase 5 'Make' least affected)\n\n";
+  let systems =
+    [
+      ("UNIX", fun () -> Fsops.of_fs (Fs.create ()));
+      ("HAC", fun () -> Fsops.of_hac (Hac.create ()));
+      ( "Jade",
+        fun () ->
+          let fs = Fs.create () in
+          let j = Jade_fs.create fs in
+          (* A realistic skeleton: the benchmark tree lives on another
+             volume (the benchmark itself creates the mapped directory). *)
+          Fs.mkdir_p fs "/vol0";
+          Jade_fs.add_mapping j ~logical:"/dest" ~physical:"/vol0/bench";
+          Jade_fs.ops j );
+      ("Pseudo", fun () -> Pseudo_fs.ops (Pseudo_fs.create (Fs.create ())));
+    ]
+  in
+  let results = run_andrew_all systems in
+  let unix_t = List.assoc "UNIX" results in
+  let hac_t = List.assoc "HAC" results in
+  let jade_t = List.assoc "Jade" results in
+  let pseudo_t = List.assoc "Pseudo" results in
+  Printf.printf "  %-10s %9s %9s %9s %9s %9s %10s\n" "system" "MakeDir" "Copy" "Scan"
+    "Read" "Make" "Total";
+  List.iter
+    (fun (label, t) -> Format.printf "  %a@." Andrew.pp_times (label, t))
+    [ ("UNIX", unix_t); ("HAC", hac_t) ];
+  let pct = Andrew.slowdown ~base:unix_t in
+  let phase_pct f = Timer.pct_over ~base:(f unix_t) (f hac_t) in
+  Printf.printf "\n  HAC total slowdown: %.1f%%  (paper: 46%%)\n" (pct hac_t);
+  Printf.printf
+    "  per-phase slowdown: MakeDir %.0f%%  Copy %.0f%%  Scan %.0f%%  Read %.0f%%  Make %.0f%%\n"
+    (phase_pct (fun t -> t.Andrew.makedir))
+    (phase_pct (fun t -> t.Andrew.copy))
+    (phase_pct (fun t -> t.Andrew.scan))
+    (phase_pct (fun t -> t.Andrew.read))
+    (phase_pct (fun t -> t.Andrew.make));
+  shape "HAC slower than UNIX overall" (pct hac_t > 0.0);
+  shape "structure phases (MakeDir) hit harder than compute (Make)"
+    (phase_pct (fun t -> t.Andrew.makedir) > phase_pct (fun t -> t.Andrew.make));
+  shape "'Make' phase least affected"
+    (let phases =
+       [
+         phase_pct (fun t -> t.Andrew.makedir);
+         phase_pct (fun t -> t.Andrew.copy);
+         phase_pct (fun t -> t.Andrew.scan);
+         phase_pct (fun t -> t.Andrew.read);
+       ]
+     in
+     List.for_all (fun p -> p >= phase_pct (fun t -> t.Andrew.make)) phases);
+
+  banner "Table 2: slowdown of user-level file systems vs native (percent)";
+  Printf.printf "  paper: Jade FS 36 ; Pseudo FS 33.41 ; HAC FS 46\n\n";
+  Printf.printf "  %-12s %10s\n" "system" "%slowdown";
+  List.iter
+    (fun (label, t) -> Printf.printf "  %-12s %10.1f\n" label (pct t))
+    [ ("Jade FS", jade_t); ("Pseudo FS", pseudo_t); ("HAC FS", hac_t) ];
+  shape "all user-level layers slower than native" (pct jade_t > 0. && pct pseudo_t > 0.);
+  shape "HAC (which also maintains CBA structures) slowest of the three"
+    (pct hac_t > pct jade_t && pct hac_t > pct pseudo_t)
+
+(* ------------------------------------------------------ *)
+(* Table 3: indexing a database directly vs through HAC   *)
+(* ------------------------------------------------------ *)
+
+let corpus_spec =
+  if quick then
+    { Corpus.depth = 3; dirs_per_level = 3; files_per_dir = 8; words_per_file = 300 }
+  else { Corpus.depth = 3; dirs_per_level = 4; files_per_dir = 16; words_per_file = 400 }
+
+let build_corpus_fs () =
+  let corpus = Corpus.make ~seed:17 () in
+  let fs = Fs.create () in
+  let files = Corpus.build_tree corpus fs ~root:"/db" corpus_spec in
+  (fs, files)
+
+let table_3 () =
+  banner "Table 3: indexing time and space, Glimpse-on-UNIX vs through HAC";
+  Printf.printf
+    "  paper: 17000 files / 150 MB; HAC has 27%% time overhead and 15%% space\n\
+    \  overhead over running Glimpse directly\n\n";
+  (* Direct: walk the files and feed the indexer. *)
+  let fs, files = build_corpus_fs () in
+  let mb = float_of_int (Fs.total_bytes fs) /. 1_048_576.0 in
+  Printf.printf "  corpus: %d files, %.1f MB\n\n" (List.length files) mb;
+  let direct_run () =
+    Gc.major ();
+    let direct_index = Index.create () in
+    let time =
+      Timer.time_only (fun () ->
+          List.iter
+            (fun p ->
+              ignore (Index.add_document direct_index ~path:p ~content:(Fs.read_file fs p)))
+            files)
+    in
+    (time, Index.index_bytes direct_index)
+  in
+  (* Through HAC: the same files arrive as intercepted writes; indexing is
+     the data-consistency pass over the dirty set (every file access
+     interposed and through a descriptor), and HAC also maintains its
+     per-directory structures. *)
+  let hac_run () =
+    let corpus = Corpus.make ~seed:17 () in
+    let t = Hac.create () in
+    ignore (Corpus.build_tree corpus (Hac.fs t) ~root:"/db" corpus_spec);
+    Gc.major ();
+    let time = Timer.time_only (fun () -> ignore (Hac.reindex t ())) in
+    let sp = Hac.space t in
+    (time, sp.Hac.index_bytes + Hac.hac_overhead_bytes sp)
+  in
+  (* Interleave the two systems across rounds and take medians. *)
+  let rounds = List.init (if quick then 5 else 9) (fun _ -> (direct_run (), hac_run ())) in
+  let median l = List.nth (List.sort compare l) (List.length l / 2) in
+  let direct_time = median (List.map (fun ((t, _), _) -> t) rounds) in
+  let hac_time = median (List.map (fun (_, (t, _)) -> t) rounds) in
+  let direct_bytes = (fun ((_, b), _) -> b) (List.hd rounds) in
+  let hac_bytes = (fun (_, (_, b)) -> b) (List.hd rounds) in
+  Printf.printf "  %-18s %12s %14s\n" "system" "time (s)" "index (KB)";
+  Printf.printf "  %-18s %12.3f %14.1f\n" "Glimpse on UNIX" direct_time
+    (float_of_int direct_bytes /. 1024.);
+  Printf.printf "  %-18s %12.3f %14.1f\n" "Glimpse via HAC" hac_time
+    (float_of_int hac_bytes /. 1024.);
+  let time_over = Timer.pct_over ~base:direct_time hac_time in
+  let space_over =
+    Timer.pct_over ~base:(float_of_int direct_bytes) (float_of_int hac_bytes)
+  in
+  Printf.printf "\n  time overhead: %.1f%% (paper 27%%)   space overhead: %.1f%% (paper 15%%)\n"
+    time_over space_over;
+  shape "indexing through HAC costs extra time" (time_over > 0.0);
+  shape "space overhead modest (< 60%)" (space_over > 0.0 && space_over < 60.0)
+
+(* --------------------------------------------------------- *)
+(* Table 4: query cost vs selectivity, search vs smkdir      *)
+(* --------------------------------------------------------- *)
+
+let table_4 () =
+  banner "Table 4: query time by selectivity, Glimpse search vs HAC smkdir";
+  Printf.printf
+    "  paper: queries matching few files -> HAC ~4x slower; intermediate ->\n\
+    \  ~15%% overhead; many files -> ~2%% overhead (fixed semantic-directory\n\
+    \  creation cost amortises with result size)\n\n";
+  let corpus = Corpus.make ~seed:23 () in
+  (* Planted markers are unique words, so stemming adds nothing; without it
+     verification is Glimpse's raw byte scan, as in the original.  A
+     document-granular index (block_size 1) isolates the semantic-directory
+     overhead the table is about from block-expansion noise. *)
+  let t = Hac.create ~stem:false ~block_size:1 () in
+  let files = Corpus.build_tree corpus (Hac.fs t) ~root:"/db" corpus_spec in
+  let n = List.length files in
+  (* Plant three marker words at controlled document frequencies. *)
+  let plant word count = ignore (Corpus.plant (Hac.fs t) ~paths:files ~word ~count) in
+  let few = 4 and mid = n * 15 / 100 and many = n * 70 / 100 in
+  plant "zqfew" few;
+  plant "zqmid" mid;
+  plant "zqmany" many;
+  ignore (Hac.reindex t ());
+  (* The direct-Glimpse baseline reads files natively, not through HAC. *)
+  let reader p =
+    try Some (Fs.read_file (Hac.fs t) p) with Hac_vfs.Errno.Error _ -> None
+  in
+  let reps = if quick then 5 else 11 in
+  let glimpse_time word =
+    Gc.major ();
+    Timer.median reps (fun () -> ignore (Search.search_word (Hac.index t) reader word))
+  in
+  let counter = ref 0 in
+  let hac_time word =
+    Gc.major ();
+    Timer.median reps (fun () ->
+        incr counter;
+        let dir = Printf.sprintf "/q%d" !counter in
+        Hac.smkdir t dir word;
+        Hac.srmdir t dir)
+  in
+  Printf.printf "  %-14s %8s %14s %14s %9s\n" "selectivity" "matches" "glimpse (ms)"
+    "smkdir (ms)" "ratio";
+  let results =
+    List.map
+      (fun (label, word, count) ->
+        let g = glimpse_time word and h = hac_time word in
+        Printf.printf "  %-14s %8d %14.3f %14.3f %8.2fx\n" label count (g *. 1000.)
+          (h *. 1000.) (h /. g);
+        (label, g, h))
+      [ ("few", "zqfew", few); ("intermediate", "zqmid", mid); ("many", "zqmany", many) ]
+  in
+  (match results with
+  | [ (_, gf, hf); (_, gm, hm); (_, gl, hl) ] ->
+      let rf = hf /. gf and rm = hm /. gm and rl = hl /. gl in
+      shape "HAC never faster (creating a directory costs something)"
+        (rf >= 1.0 && rm >= 0.9 && rl >= 0.9);
+      (* The mid and large classes sit within measurement noise of each
+         other once the fixed cost has amortised; require strict decrease
+         from the selective class and near-parity beyond. *)
+      shape "overhead ratio decreases as selectivity grows"
+        (rf > rm && rf > rl && rm <= rl *. 1.15 +. 0.05);
+      shape "highly selective queries pay the biggest relative price (paper: 4x)"
+        (rf >= 1.5)
+  | _ -> ());
+  n
+
+(* ----------------------------- *)
+(* In-text space measurements    *)
+(* ----------------------------- *)
+
+let space_section indexed_files =
+  banner "Space overheads (in-text measurements of section 4)";
+  Printf.printf
+    "  paper: HAC metadata 222 KB vs UNIX 210 KB (~5%% more); ~16 KB shared\n\
+    \  memory per process; N/8 bytes of result bitmap per semantic directory\n\n";
+  (* Replay the Andrew tree through HAC and account for everything. *)
+  let t = Hac.create () in
+  let ops = Fsops.of_hac t in
+  ignore (Andrew.run source ops ~dest:"/dest");
+  ignore (Hac.reindex t ());
+  Hac.smkdir t "/sd1" "checksum OR object";
+  Hac.smkdir t "/sd2" "nothing AND here";
+  let sp = Hac.space t in
+  let fs_kb = float_of_int sp.Hac.fs_metadata_bytes /. 1024. in
+  let hac_kb =
+    float_of_int (sp.Hac.fs_metadata_bytes + Hac.hac_overhead_bytes sp) /. 1024.
+  in
+  Printf.printf "  UNIX metadata : %8.1f KB\n" fs_kb;
+  Printf.printf "  + HAC         : %8.1f KB  (+%.1f%%; paper ~5%%)\n" hac_kb
+    (Timer.pct_over ~base:fs_kb hac_kb);
+  (* Per-process shared memory: a descriptor table plus an attribute cache
+     loaded by a scan of the tree. *)
+  let fds = Hac_vfs.Fd_table.create (Hac.fs t) in
+  let cache = Hac_vfs.Attr_cache.create (Hac.fs t) in
+  Fs.walk (Hac.fs t) "/dest" (fun p st ->
+      ignore (Hac_vfs.Attr_cache.stat cache p);
+      if st.Fs.st_kind = Hac_vfs.Event.File then begin
+        let fd = Hac_vfs.Fd_table.openfile fds Hac_vfs.Fd_table.Read_only p in
+        if Hac_vfs.Fd_table.open_count fds > 16 then Hac_vfs.Fd_table.close fds fd
+      end);
+  let per_process =
+    Hac_vfs.Fd_table.approx_bytes fds + Hac_vfs.Attr_cache.approx_bytes cache
+  in
+  Printf.printf "  per-process fd table + attribute cache: %.1f KB (paper ~16 KB)\n"
+    (float_of_int per_process /. 1024.);
+  let bitmap = Hac_bitset.Bitset.paper_byte_size ~universe:indexed_files in
+  Printf.printf "  result bitmap per semantic directory for N=%d files: %d bytes (N/8)\n"
+    indexed_files bitmap;
+  Printf.printf "  (for the paper's N=17000: %d bytes ~ 2 KB)\n"
+    (Hac_bitset.Bitset.paper_byte_size ~universe:17000);
+  shape "HAC metadata overhead small (< 35%)" (Timer.pct_over ~base:fs_kb hac_kb < 35.0)
+
+(* ------------------------------------------ *)
+(* Ablation: Glimpse block size (design knob) *)
+(* ------------------------------------------ *)
+
+let ablation_block_size () =
+  banner "Ablation: index block size (space vs verification cost)";
+  Printf.printf
+    "  Glimpse's design: coarser blocks shrink the index but widen candidate\n\
+    \  sets, so verified queries slow down.  block_size=1 is a precise\n\
+    \  document-level inverted index.\n\n";
+  let fs, files = build_corpus_fs () in
+  let reader p = try Some (Fs.read_file fs p) with Hac_vfs.Errno.Error _ -> None in
+  ignore (Corpus.plant fs ~paths:files ~word:"zqmid" ~count:(List.length files * 15 / 100));
+  Printf.printf "  %-12s %14s %16s\n" "block_size" "index (KB)" "query (ms)";
+  let measure bs =
+    let idx = Index.create ~block_size:bs () in
+    List.iter
+      (fun p -> ignore (Index.add_document idx ~path:p ~content:(Fs.read_file fs p)))
+      files;
+    let q = Timer.median 5 (fun () -> ignore (Search.search_word idx reader "zqmid")) in
+    (Index.index_bytes idx, q)
+  in
+  let rows = List.map (fun bs -> (bs, measure bs)) [ 1; 4; 8; 16; 32 ] in
+  List.iter
+    (fun (bs, (bytes, q)) ->
+      Printf.printf "  %-12d %14.1f %16.3f\n" bs (float_of_int bytes /. 1024.) (q *. 1000.))
+    rows;
+  match (List.hd rows, List.rev rows |> List.hd) with
+  | (_, (b1, q1)), (_, (b32, q32)) ->
+      shape "coarser blocks shrink the index" (b32 < b1);
+      shape "coarser blocks slow verified queries" (q32 > q1)
+
+(* --------------------------------------------------------------- *)
+(* Ablation: lazy materialisation of transient links (our design)  *)
+(* --------------------------------------------------------------- *)
+
+let ablation_lazy_links () =
+  banner "Ablation: bitmap result storage with lazy link materialisation";
+  Printf.printf
+    "  The paper stores each directory's query result as an N/8-byte bitmap;\n\
+    \  physical symbolic links appear on first access.  This splits smkdir\n\
+    \  cost (evaluate + store) from access cost (expand links), which is why\n\
+    \  Table 4's overhead shrinks as results grow.\n\n";
+  let corpus = Corpus.make ~seed:29 () in
+  let t = Hac.create ~stem:false ~block_size:1 () in
+  let files = Corpus.build_tree corpus (Hac.fs t) ~root:"/db" corpus_spec in
+  ignore (Corpus.plant (Hac.fs t) ~paths:files ~word:"zqbig" ~count:(List.length files * 60 / 100));
+  ignore (Hac.reindex t ());
+  let counter = ref 0 in
+  let time_of ~access =
+    Timer.median 5 (fun () ->
+        incr counter;
+        let dir = Printf.sprintf "/lz%d%b" !counter access in
+        Hac.smkdir t dir "zqbig";
+        if access then ignore (Hac.readdir t dir))
+  in
+  let create_only = time_of ~access:false in
+  let create_and_access = time_of ~access:true in
+  Printf.printf "  smkdir only (bitmap stored)       : %8.3f ms\n" (create_only *. 1000.);
+  Printf.printf "  smkdir + first access (links made): %8.3f ms\n"
+    (create_and_access *. 1000.);
+  Printf.printf "  deferred fraction                  : %7.1f%%\n"
+    (Timer.pct_over ~base:create_only create_and_access);
+  shape "materialisation cost is real and deferred" (create_and_access > create_only)
+
+(* ------------------------------------------- *)
+(* Ablation: stemming (index size vs recall)   *)
+(* ------------------------------------------- *)
+
+let ablation_stemming () =
+  banner "Ablation: stemming (vocabulary collapse vs index size)";
+  (* Inflect the synthetic words so suffix stripping has something to do,
+     as English text would. *)
+  let corpus = Corpus.make ~seed:31 () in
+  let g = Hac_workload.Prng.make ~seed:32 in
+  let suffixes = [| ""; "s"; "es"; "ed"; "ing"; "ly" |] in
+  let files =
+    List.init 200 (fun i ->
+        let b = Buffer.create 2048 in
+        for _ = 1 to 250 do
+          Buffer.add_string b (Corpus.word corpus);
+          Buffer.add_string b (Hac_workload.Prng.choice g suffixes);
+          Buffer.add_char b ' '
+        done;
+        (Printf.sprintf "/d%d.txt" i, Buffer.contents b))
+  in
+  let build stem =
+    let idx = Index.create ~stem () in
+    let time =
+      Timer.time_only (fun () ->
+          List.iter (fun (p, c) -> ignore (Index.add_document idx ~path:p ~content:c)) files)
+    in
+    (idx, time)
+  in
+  let on, t_on = build true in
+  let off, t_off = build false in
+  Printf.printf "  %-10s %12s %14s %12s\n" "stemming" "vocab" "index (KB)" "time (s)";
+  Printf.printf "  %-10s %12d %14.1f %12.3f\n" "on" (Index.vocabulary_size on)
+    (float_of_int (Index.index_bytes on) /. 1024.)
+    t_on;
+  Printf.printf "  %-10s %12d %14.1f %12.3f\n" "off" (Index.vocabulary_size off)
+    (float_of_int (Index.index_bytes off) /. 1024.)
+    t_off;
+  shape "stemming collapses the vocabulary"
+    (Index.vocabulary_size on <= Index.vocabulary_size off)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: conjunctive evaluation (planner + restriction pushdown)  *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_conjunctions () =
+  banner "Ablation: selectivity-ordered conjunctions with restriction pushdown";
+  Printf.printf
+    "  'common AND rare': naive evaluation verifies every candidate of both\n\
+    \  terms; the planner orders the rare term first and the evaluator\n\
+    \  restricts the common term's verification to the survivors.\n\n";
+  let corpus = Corpus.make ~seed:37 () in
+  let fs = Fs.create () in
+  let files = Corpus.build_tree corpus fs ~root:"/db" corpus_spec in
+  let n = List.length files in
+  ignore (Corpus.plant fs ~paths:files ~word:"zqcommon" ~count:(n * 80 / 100));
+  ignore (Corpus.plant fs ~paths:files ~word:"zqrare" ~count:3);
+  let idx = Index.create ~stem:false ~block_size:1 () in
+  List.iter
+    (fun p -> ignore (Index.add_document idx ~path:p ~content:(Fs.read_file fs p)))
+    files;
+  let reader p = try Some (Fs.read_file fs p) with Hac_vfs.Errno.Error _ -> None in
+  let naive () =
+    Hac_bitset.Fileset.inter
+      (Search.search_word idx reader "zqcommon")
+      (Search.search_word idx reader "zqrare")
+  in
+  let planned () =
+    let rare = Search.search_word idx reader "zqrare" in
+    Search.search_word ~within:rare idx reader "zqcommon"
+  in
+  (if not (Hac_bitset.Fileset.equal (naive ()) (planned ())) then
+     Printf.printf "  WARNING: results differ!\n");
+  let t_naive = Timer.median 7 (fun () -> ignore (naive ())) in
+  let t_planned = Timer.median 7 (fun () -> ignore (planned ())) in
+  Printf.printf "  naive (verify both fully)     : %8.3f ms\n" (t_naive *. 1000.);
+  Printf.printf "  planned (rare first, pushdown): %8.3f ms  (%.1fx faster)\n"
+    (t_planned *. 1000.)
+    (t_naive /. t_planned);
+  shape "pushdown beats naive conjunction" (t_planned < t_naive)
+
+(* -------------------------------------------------------- *)
+(* Beyond the paper: a mixed read/write trace on all four   *)
+(* -------------------------------------------------------- *)
+
+let trace_replay () =
+  banner "Extra workload: mixed read/write trace (beyond the paper)";
+  Printf.printf
+    "  The Andrew Benchmark is phase-separated; this deterministic trace\n\
+    \  interleaves reads, stats, listings and rewrites (80%% reads), closer\n\
+    \  to an interactive session.\n\n";
+  let trace =
+    Hac_workload.Trace.generate ~seed:41
+      ~profile:
+        {
+          Hac_workload.Trace.dirs = 15;
+          files = (if quick then 80 else 200);
+          ops = (if quick then 1500 else 4000);
+          read_fraction = 0.8;
+          words_per_file = 120;
+        }
+      ()
+  in
+  let systems =
+    [
+      ("UNIX", fun () -> Fsops.of_fs (Fs.create ()));
+      ("HAC", fun () -> Fsops.of_hac (Hac.create ()));
+      ( "Jade",
+        fun () ->
+          let fs = Fs.create () in
+          let j = Jade_fs.create fs in
+          Fs.mkdir_p fs "/vol0";
+          Jade_fs.add_mapping j ~logical:"/trace" ~physical:"/vol0/trace";
+          Jade_fs.ops j );
+      ("Pseudo", fun () -> Pseudo_fs.ops (Pseudo_fs.create (Fs.create ())));
+    ]
+  in
+  let rounds = 5 in
+  let measure mk_ops =
+    let samples =
+      List.init rounds (fun _ ->
+          Gc.major ();
+          let ops = mk_ops () in
+          Timer.time_only (fun () -> ignore (Hac_workload.Trace.replay trace ops)))
+    in
+    List.nth (List.sort compare samples) (rounds / 2)
+  in
+  let base = measure (List.assoc "UNIX" systems) in
+  Printf.printf "  %-10s %12s %12s\n" "system" "time (ms)" "%slowdown";
+  Printf.printf "  %-10s %12.2f %12s\n" "UNIX" (base *. 1000.) "-";
+  let slowdowns =
+    List.filter_map
+      (fun (label, mk) ->
+        if label = "UNIX" then None
+        else begin
+          let t = measure mk in
+          let pct = Timer.pct_over ~base t in
+          Printf.printf "  %-10s %12.2f %12.1f\n" label (t *. 1000.) pct;
+          Some (label, pct)
+        end)
+      systems
+  in
+  shape "every layer costs something on a mixed trace"
+    (List.for_all (fun (_, pct) -> pct > -5.0) slowdowns)
+
+(* ----------------------------- *)
+(* Bechamel micro-benchmarks     *)
+(* ----------------------------- *)
+
+let micro_benchmarks () =
+  banner "Bechamel micro-benchmarks (per-operation costs behind each table)";
+  let open Bechamel in
+  (* Table 1 micro: a directory creation on UNIX vs HAC (phase 1's unit). *)
+  let t1_unix =
+    let fs = Fs.create () in
+    let n = ref 0 in
+    Test.make ~name:"table1/mkdir-unix"
+      (Staged.stage (fun () ->
+           incr n;
+           Fs.mkdir fs (Printf.sprintf "/d%d" !n)))
+  in
+  let t1_hac =
+    let t = Hac.create () in
+    let n = ref 0 in
+    Test.make ~name:"table1/mkdir-hac"
+      (Staged.stage (fun () ->
+           incr n;
+           Hac.mkdir t (Printf.sprintf "/d%d" !n)))
+  in
+  (* Table 2 micro: one marshalled RPC round trip (the Pseudo FS unit). *)
+  let t2_rpc =
+    let fs = Fs.create () in
+    Fs.write_file fs "/f" "payload";
+    let p = Pseudo_fs.create fs in
+    let ops = Pseudo_fs.ops p in
+    Test.make ~name:"table2/pseudo-rpc-stat" (Staged.stage (fun () -> ops.Fsops.stat "/f"))
+  in
+  (* Table 3 micro: indexing one document. *)
+  let t3_add =
+    let corpus = Corpus.make ~seed:3 () in
+    let doc = Corpus.document corpus ~words:200 in
+    let idx = Index.create () in
+    let n = ref 0 in
+    Test.make ~name:"table3/index-add-doc"
+      (Staged.stage (fun () ->
+           incr n;
+           ignore (Index.add_document idx ~path:(Printf.sprintf "/f%d" !n) ~content:doc)))
+  in
+  (* Table 4 micro: one verified word query. *)
+  let t4_query =
+    let corpus = Corpus.make ~seed:4 () in
+    let fs = Fs.create () in
+    let files = Corpus.build_tree corpus fs ~root:"/db" Corpus.small_tree in
+    ignore (Corpus.plant fs ~paths:files ~word:"zq" ~count:3);
+    let idx = Index.create () in
+    List.iter
+      (fun p -> ignore (Index.add_document idx ~path:p ~content:(Fs.read_file fs p)))
+      files;
+    let reader p = try Some (Fs.read_file fs p) with Hac_vfs.Errno.Error _ -> None in
+    Test.make ~name:"table4/verified-query"
+      (Staged.stage (fun () -> ignore (Search.search_word idx reader "zq")))
+  in
+  let tests = [ t1_unix; t1_hac; t2_rpc; t3_add; t4_query ] in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun key raw ->
+          match Analyze.one ols Toolkit.Instance.monotonic_clock raw with
+          | ols_result -> (
+              match Analyze.OLS.estimates ols_result with
+              | Some [ est ] -> Printf.printf "  %-26s %14.1f ns/op\n" key est
+              | Some _ | None -> Printf.printf "  %-26s (no estimate)\n" key)
+          | exception _ -> Printf.printf "  %-26s (analysis failed)\n" key)
+        results)
+    tests
+
+(* ----------------------------- *)
+
+let () =
+  Printf.printf "HAC reproduction benchmark harness%s\n"
+    (if quick then " (quick mode)" else "");
+  tables_1_and_2 ();
+  table_3 ();
+  let indexed = table_4 () in
+  space_section indexed;
+  ablation_block_size ();
+  ablation_lazy_links ();
+  ablation_stemming ();
+  ablation_conjunctions ();
+  trace_replay ();
+  micro_benchmarks ();
+  Printf.printf "\ndone.\n"

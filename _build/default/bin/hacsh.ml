@@ -1,0 +1,51 @@
+(* hacsh — an interactive shell over a HAC file system.
+
+   The file system lives in memory for the session.  Ordinary UNIX-style
+   commands (cd/ls/mkdir/mv/rm/cat/write/chmod) work as everywhere, and the
+   s* family manipulates queries, semantic directories and mounts — type
+   `help` for the list.  All logic lives in the Hac_shell library; this
+   binary is the stdin/stdout loop.
+
+   Scripted use:  echo "ls /" | hacsh      or      hacsh -c "ls /; help" *)
+
+module Shell = Hac_shell.Shell
+
+let repl s ~interactive =
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    if interactive then begin
+      print_string (Shell.cwd s ^ " $ ");
+      flush stdout
+    end;
+    match input_line stdin with
+    | line ->
+        Buffer.clear buf;
+        let continue = Shell.run s buf line in
+        print_string (Buffer.contents buf);
+        if continue then loop ()
+    | exception End_of_file -> ()
+  in
+  loop ()
+
+let main demo command =
+  let s = Shell.make ~demo () in
+  (match command with
+  | Some c -> print_string (Shell.run_string s c)
+  | None -> repl s ~interactive:(Unix.isatty Unix.stdin));
+  0
+
+open Cmdliner
+
+let demo_flag = Arg.(value & flag & info [ "demo" ] ~doc:"Preload a small demo world.")
+
+let command_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "c" ] ~docv:"COMMANDS" ~doc:"Run semicolon-separated commands and exit.")
+
+let cmd =
+  let doc = "interactive shell over a HAC (Hierarchy And Content) file system" in
+  Cmd.v (Cmd.info "hacsh" ~doc) Term.(const main $ demo_flag $ command_opt)
+
+let () = exit (Cmd.eval' cmd)

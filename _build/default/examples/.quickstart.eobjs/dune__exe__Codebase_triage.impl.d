@@ -1,0 +1,1 @@
+examples/codebase_triage.ml: Filename Hac_core Hac_index Hac_vfs List Option Printf Sys

@@ -1,0 +1,1 @@
+examples/codebase_triage.mli:

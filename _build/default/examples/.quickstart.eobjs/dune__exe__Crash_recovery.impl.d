@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Hac_core Hac_index List Option Printf

@@ -1,0 +1,1 @@
+examples/email_triage.ml: Hac_core List Option Printf String

@@ -1,0 +1,1 @@
+examples/fingerprint.ml: Hac_core Hac_remote List Option Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Hac_core List Option Printf String

@@ -1,0 +1,1 @@
+examples/remote_library.ml: Hac_core Hac_remote List Option Printf String

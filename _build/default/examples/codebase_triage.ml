@@ -1,0 +1,73 @@
+(* Triaging a codebase with content-based directories.
+
+   Uses the later-generation query features: regular-expression terms,
+   attribute terms from the file-type transducer, selectivity-planned
+   conjunctions — and finishes by snapshotting the whole file system to a
+   host image and restarting from it.
+
+   Run with:  dune exec examples/codebase_triage.exe *)
+
+module Hac = Hac_core.Hac
+module Recover = Hac_core.Recover
+module Image = Hac_vfs.Image
+module Link = Hac_core.Link
+
+let show t dir =
+  Printf.printf "%s  (query: %s)\n" dir (Option.value (Hac.sreadin t dir) ~default:"-");
+  List.iter
+    (fun l -> Printf.printf "  %-14s -> %s\n" l.Link.name (Link.target_key l.Link.target))
+    (Hac.links t dir);
+  print_newline ()
+
+let () =
+  let t =
+    Hac.create ~auto_sync:true ~stem:false
+      ~transducer:Hac_index.Transducer.file_type ()
+  in
+  Hac.mkdir_p t "/src";
+  Hac.mkdir_p t "/docs";
+  Hac.write_file t "/src/io.ml"
+    "let read_config path =\n  try load path with _ -> failwith \"TODO: handle errors\"\n";
+  Hac.write_file t "/src/net.ml"
+    "let connect host =\n  (* TODO retry logic *)\n  open_socket host\n";
+  Hac.write_file t "/src/tidy.ml" "let add x y = x + y\n";
+  Hac.write_file t "/docs/notes.txt" "TODO: write the manual for error handling\n";
+
+  (* Regex + attribute: sloppy error handling, but only in code. *)
+  Hac.smkdir t "/triage-failwith" "/failwith \"[A-Za-z :]+\"/ AND type:code";
+  Printf.printf "== string-y failwith calls in code ==\n";
+  show t "/triage-failwith";
+
+  (* Word + regex conjunction: the planner runs the rarer side first and the
+     evaluator verifies the regex only on the survivors. *)
+  Hac.smkdir t "/triage-todo" "todo AND /TODO[ :]/";
+  Printf.printf "== TODOs anywhere ==\n";
+  show t "/triage-todo";
+
+  (* Refine to code-only TODOs by referencing the other triage folder. *)
+  Hac.smkdir t "/triage-todo-code" "{/triage-todo} AND type:code";
+  Printf.printf "== TODOs in code only ==\n";
+  show t "/triage-todo-code";
+
+  (* Fixing a file moves it out of every triage folder on the next settle. *)
+  Hac.write_file t "/src/net.ml" "let connect host =\n  retry 3 (open_socket host)\n";
+  Printf.printf "== net.ml fixed ==\n";
+  show t "/triage-todo-code";
+
+  (* Snapshot the world, then restart from the image. *)
+  let image_path = Filename.temp_file "hac_triage" ".img" in
+  Image.save_file (Hac.fs t) image_path;
+  Hac.shutdown t;
+  (match Image.load_file image_path with
+  | Error e -> failwith e
+  | Ok fs ->
+      let t2 =
+        Hac.of_fs ~auto_sync:true ~stem:false
+          ~transducer:Hac_index.Transducer.file_type fs
+      in
+      let n = Recover.reload t2 in
+      Printf.printf "== restarted from %s: %d semantic directories recovered ==\n"
+        (Filename.basename image_path) n;
+      show t2 "/triage-todo");
+  Sys.remove image_path;
+  Printf.printf "codebase_triage: ok\n"

@@ -1,0 +1,66 @@
+(* Quickstart: the smallest useful HAC session.
+
+   Creates a few files, makes a semantic directory with [smkdir], shows how
+   query results appear as symbolic links, and demonstrates the paper's
+   three link classes: transient (query results), permanent (added by the
+   user) and prohibited (deleted by the user — never silently re-added).
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Hac = Hac_core.Hac
+module Link = Hac_core.Link
+
+let show_links t dir =
+  Printf.printf "%s:\n" dir;
+  List.iter
+    (fun l ->
+      Printf.printf "  %-22s -> %-28s [%s]\n" l.Link.name
+        (Link.target_key l.Link.target)
+        (Link.cls_name l.Link.cls))
+    (Hac.links t dir);
+  if Hac.prohibited t dir <> [] then
+    Printf.printf "  prohibited: %s\n" (String.concat ", " (Hac.prohibited t dir))
+
+let () =
+  (* auto_sync keeps index and semantic directories up to date after every
+     operation — right for interactive use, wrong for bulk loads. *)
+  let t = Hac.create ~auto_sync:true () in
+
+  (* A perfectly ordinary hierarchical file system... *)
+  Hac.mkdir_p t "/home/alice/notes";
+  Hac.write_file t "/home/alice/notes/pasta.txt"
+    "Recipe: spaghetti with garlic and olive oil.\nBoil pasta until al dente.\n";
+  Hac.write_file t "/home/alice/notes/curry.txt"
+    "Recipe: chickpea curry with rice.\nSimmer the sauce slowly.\n";
+  Hac.write_file t "/home/alice/notes/standup.txt"
+    "Monday standup notes: discussed the parser bug.\n";
+
+  (* ...extended with content-based access: a semantic directory. *)
+  Hac.smkdir t "/home/alice/recipes" "recipe";
+  Printf.printf "After smkdir /home/alice/recipes with query %S\n\n"
+    (Option.get (Hac.sreadin t "/home/alice/recipes"));
+  show_links t "/home/alice/recipes";
+
+  (* New matching content shows up on its own (auto_sync). *)
+  Hac.write_file t "/home/alice/notes/salad.txt" "Recipe: fennel salad.\n";
+  Printf.printf "\nAfter writing salad.txt (a new recipe):\n\n";
+  show_links t "/home/alice/recipes";
+
+  (* Deleting a query result prohibits it: it will not come back. *)
+  Hac.remove_link t ~dir:"/home/alice/recipes" ~name:"curry.txt";
+  Hac.ssync t "/home/alice/recipes";
+  Printf.printf "\nAfter deleting curry.txt from the semantic directory:\n\n";
+  show_links t "/home/alice/recipes";
+
+  (* Adding an unrelated file by hand makes a permanent link. *)
+  ignore (Hac.add_permanent t ~dir:"/home/alice/recipes" ~target:"/home/alice/notes/standup.txt");
+  Printf.printf "\nAfter hand-adding standup.txt (permanent):\n\n";
+  show_links t "/home/alice/recipes";
+
+  (* sact: what in the linked file matched the query? *)
+  Printf.printf "\nsact pasta.txt:\n";
+  List.iter
+    (fun (n, line) -> Printf.printf "  %d: %s\n" n line)
+    (Hac.sact t "/home/alice/recipes/pasta.txt");
+
+  Printf.printf "\nquickstart: ok\n"

@@ -1,0 +1,107 @@
+(* Remote name spaces (section 3): mount a simulated web search engine and a
+   colleague's HAC file system on the SAME directory (a multiple semantic
+   mount point), build a personal classification of remote information, and
+   share semantic directories through the central database of section 3.2.
+
+   Run with:  dune exec examples/remote_library.exe *)
+
+module Hac = Hac_core.Hac
+module Export = Hac_core.Export
+module Link = Hac_core.Link
+module Namespace = Hac_remote.Namespace
+module Web_search = Hac_remote.Web_search
+module Remote_fs = Hac_remote.Remote_fs
+
+let show t dir =
+  Printf.printf "%s  (query: %s)\n" dir (Option.value (Hac.sreadin t dir) ~default:"-");
+  List.iter
+    (fun l ->
+      Printf.printf "  %-24s -> %-44s [%s]\n" l.Link.name
+        (Link.target_key l.Link.target)
+        (Link.cls_name l.Link.cls))
+    (Hac.links t dir);
+  print_newline ()
+
+(* A colleague's HAC file system, reachable as a remote namespace. *)
+let colleague_namespace () =
+  let colleague = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p colleague "/papers";
+  Hac.write_file colleague "/papers/raid.txt"
+    "RAID levels and disk array reliability, a measurement study.\n";
+  Hac.write_file colleague "/papers/lfs.txt"
+    "The log structured file system: write everything sequentially.\n";
+  Hac.write_file colleague "/papers/consistency.txt"
+    "Crash consistency in journaling file systems.\n";
+  Remote_fs.create ~ns_id:"colleague" (Hac.fs colleague) (Hac.index colleague)
+
+(* A simulated web search engine (query-only: it cannot be enumerated). *)
+let engine () =
+  Web_search.create "websearch"
+    [
+      {
+        Web_search.title = "Disk scheduling algorithms compared";
+        uri = "http://websearch/results/disk-sched";
+        body = "elevator scan and shortest seek disk scheduling for file system throughput";
+      };
+      {
+        Web_search.title = "File system benchmarks considered harmful";
+        uri = "http://websearch/results/fs-bench";
+        body = "benchmark design pitfalls for file system papers";
+      };
+      {
+        Web_search.title = "Cooking with cast iron";
+        uri = "http://websearch/results/cast-iron";
+        body = "seasoning a skillet for the home cook";
+      };
+    ]
+
+let () =
+  let t = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p t "/research/local";
+  Hac.write_file t "/research/local/notes.txt"
+    "My own notes on file system aging and fragmentation.\n";
+
+  (* Multiple semantic mount point: two namespaces on one directory. *)
+  Hac.mkdir_p t "/research/world";
+  Hac.smount t "/research/world" (colleague_namespace ());
+  Hac.smount t "/research/world" (engine ());
+  Printf.printf "mounted at /research/world: %s\n\n"
+    (String.concat ", " (Hac.mounted_at t "/research/world"));
+
+  (* One semantic directory pulls from both remotes AND local files. *)
+  Hac.smkdir t "/research/fs-reading" "file AND system";
+  Printf.printf "== fs-reading: union of local + both remote namespaces ==\n";
+  show t "/research/fs-reading";
+
+  (* Personal classification of remote results: prune and annotate. *)
+  Hac.remove_link t ~dir:"/research/fs-reading" ~name:"fs-bench";
+  Hac.ssync t "/research/fs-reading";
+  ignore
+    (Hac.add_permanent t ~dir:"/research/fs-reading"
+       ~target:"http://websearch/results/cast-iron");
+  Printf.printf "== after pruning fs-bench and pinning cast-iron ==\n";
+  show t "/research/fs-reading";
+
+  (* Read a remote result through the link, like any file. *)
+  (match Hac.resolve_link t "/research/fs-reading/lfs.txt" with
+  | Some content -> Printf.printf "lfs.txt (fetched remotely): %s\n" (String.trim content)
+  | None -> Printf.printf "lfs.txt could not be fetched\n");
+
+  (* Share via the central database (section 3.2): export this user's
+     semantic directories, publish, and search them as another user. *)
+  let db = Export.to_namespace ~ns_id:"semdb" [ ("udi", Export.export_all t) ] in
+  Printf.printf "\n== central database search: who has fs material? ==\n";
+  List.iter
+    (fun e -> Printf.printf "  %s (%s)\n" e.Namespace.name e.Namespace.uri)
+    (db.Namespace.search "file system");
+
+  (* A second user mounts the database and imports the classification. *)
+  let other = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p other "/import";
+  (match Export.import other ~under:"/import" (Export.export_all t) with
+  | Ok n -> Printf.printf "\nimported %d semantic directories into the other user's HAC\n" n
+  | Error e -> Printf.printf "import failed: %s\n" e);
+  Printf.printf "imported dirs: %s\n"
+    (String.concat ", " (Hac.semantic_dirs other));
+
+  Printf.printf "\nremote_library: ok\n"

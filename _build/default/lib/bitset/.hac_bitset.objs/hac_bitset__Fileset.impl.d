@@ -1,0 +1,1 @@
+lib/bitset/fileset.ml: Bitset List Sparse Sys

@@ -1,0 +1,1 @@
+lib/bitset/fileset.mli: Bitset Format

@@ -1,0 +1,1 @@
+lib/bitset/sparse.ml: Array Format List Sys

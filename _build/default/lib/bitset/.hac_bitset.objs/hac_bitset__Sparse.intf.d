@@ -1,0 +1,1 @@
+lib/bitset/sparse.mli: Format

@@ -1,0 +1,175 @@
+(* Bits are packed into an int array; word [w] holds elements
+   [w * bits_per_word .. w * bits_per_word + bits_per_word - 1].  The array
+   only ever grows; [highest] tracks the last word that may be non-zero so
+   iteration does not scan trailing zero words. *)
+
+let bits_per_word = Sys.int_size
+
+type t = {
+  mutable words : int array;
+  mutable highest : int; (* index of the last possibly non-zero word, -1 if empty *)
+}
+
+let words_for capacity =
+  if capacity <= 0 then 1 else (capacity + bits_per_word - 1) / bits_per_word
+
+let create ?(capacity = 64) () =
+  { words = Array.make (words_for capacity) 0; highest = -1 }
+
+let copy s = { words = Array.copy s.words; highest = s.highest }
+
+let ensure s w =
+  let n = Array.length s.words in
+  if w >= n then begin
+    let n' = max (w + 1) (2 * n) in
+    let words = Array.make n' 0 in
+    Array.blit s.words 0 words 0 n;
+    s.words <- words
+  end
+
+let add s i =
+  if i < 0 then invalid_arg "Bitset.add: negative element";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  ensure s w;
+  s.words.(w) <- s.words.(w) lor (1 lsl b);
+  if w > s.highest then s.highest <- w
+
+let remove s i =
+  if i >= 0 then begin
+    let w = i / bits_per_word and b = i mod bits_per_word in
+    if w < Array.length s.words then
+      s.words.(w) <- s.words.(w) land lnot (1 lsl b)
+  end
+
+let mem s i =
+  if i < 0 then false
+  else
+    let w = i / bits_per_word and b = i mod bits_per_word in
+    w < Array.length s.words && s.words.(w) land (1 lsl b) <> 0
+
+let clear s =
+  Array.fill s.words 0 (Array.length s.words) 0;
+  s.highest <- -1
+
+let popcount =
+  (* Kernighan's loop; word population counts are small in practice and this
+     keeps the code portable across OCaml versions without C stubs. *)
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  fun x -> go 0 x
+
+let cardinal s =
+  let total = ref 0 in
+  for w = 0 to min s.highest (Array.length s.words - 1) do
+    total := !total + popcount s.words.(w)
+  done;
+  !total
+
+let is_empty s =
+  let rec go w = w < 0 || (s.words.(w) = 0 && go (w - 1)) in
+  go (min s.highest (Array.length s.words - 1))
+
+let union_into dst src =
+  let hi = min src.highest (Array.length src.words - 1) in
+  if hi >= 0 then begin
+    ensure dst hi;
+    for w = 0 to hi do
+      dst.words.(w) <- dst.words.(w) lor src.words.(w)
+    done;
+    if hi > dst.highest then dst.highest <- hi
+  end
+
+let inter_into dst src =
+  let src_len = Array.length src.words in
+  for w = 0 to min dst.highest (Array.length dst.words - 1) do
+    let sw = if w < src_len then src.words.(w) else 0 in
+    dst.words.(w) <- dst.words.(w) land sw
+  done
+
+let diff_into dst src =
+  let hi = min dst.highest (Array.length dst.words - 1) in
+  let src_len = Array.length src.words in
+  for w = 0 to hi do
+    if w < src_len then dst.words.(w) <- dst.words.(w) land lnot src.words.(w)
+  done
+
+let union a b =
+  let r = copy a in
+  union_into r b;
+  r
+
+let inter a b =
+  let r = copy a in
+  inter_into r b;
+  r
+
+let diff a b =
+  let r = copy a in
+  diff_into r b;
+  r
+
+let equal a b =
+  let la = Array.length a.words and lb = Array.length b.words in
+  let rec go w =
+    if w >= la && w >= lb then true
+    else
+      let wa = if w < la then a.words.(w) else 0
+      and wb = if w < lb then b.words.(w) else 0 in
+      wa = wb && go (w + 1)
+  in
+  go 0
+
+let subset a b =
+  let la = Array.length a.words and lb = Array.length b.words in
+  let rec go w =
+    if w >= la then true
+    else
+      let wb = if w < lb then b.words.(w) else 0 in
+      a.words.(w) land lnot wb = 0 && go (w + 1)
+  in
+  go 0
+
+let iter f s =
+  let hi = min s.highest (Array.length s.words - 1) in
+  for w = 0 to hi do
+    let word = s.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let of_list l =
+  let s = create () in
+  List.iter (add s) l;
+  s
+
+exception Found of int
+
+let choose_opt s =
+  try
+    iter (fun i -> raise (Found i)) s;
+    None
+  with Found i -> Some i
+
+let max_elt_opt s = fold (fun i _ -> Some i) s None
+
+let byte_size s = Array.length s.words * (bits_per_word / 8 + 1)
+
+let paper_byte_size ~universe = (universe + 7) / 8
+
+let pp ppf s =
+  let first = ref true in
+  Format.fprintf ppf "{";
+  iter
+    (fun i ->
+      if !first then first := false else Format.fprintf ppf ", ";
+      Format.fprintf ppf "%d" i)
+    s;
+  Format.fprintf ppf "}"

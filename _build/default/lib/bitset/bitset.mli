@@ -1,0 +1,86 @@
+(** Growable mutable bitmaps over non-negative integers.
+
+    This is the compact query-result representation described in section 4 of
+    the paper: a semantic directory stores the set of matching file
+    identifiers as a bitmap of [ceil (n/8)] bytes where [n] is the number of
+    indexed files.  The implementation packs bits into OCaml [int] words. *)
+
+type t
+(** A mutable set of non-negative integers. *)
+
+val create : ?capacity:int -> unit -> t
+(** [create ?capacity ()] is an empty set.  [capacity] is a hint for the
+    largest element expected; the set grows automatically beyond it. *)
+
+val copy : t -> t
+(** [copy s] is a set equal to [s] sharing no state with it. *)
+
+val add : t -> int -> unit
+(** [add s i] inserts [i].  Raises [Invalid_argument] if [i < 0]. *)
+
+val remove : t -> int -> unit
+(** [remove s i] deletes [i]; no-op when absent. *)
+
+val mem : t -> int -> bool
+(** [mem s i] is [true] iff [i] is in [s].  Never raises for [i >= 0]. *)
+
+val clear : t -> unit
+(** [clear s] removes every element. *)
+
+val cardinal : t -> int
+(** Number of elements. *)
+
+val is_empty : t -> bool
+(** [is_empty s] iff [cardinal s = 0]. *)
+
+val union_into : t -> t -> unit
+(** [union_into dst src] adds every element of [src] to [dst]. *)
+
+val inter_into : t -> t -> unit
+(** [inter_into dst src] removes from [dst] the elements not in [src]. *)
+
+val diff_into : t -> t -> unit
+(** [diff_into dst src] removes from [dst] the elements of [src]. *)
+
+val union : t -> t -> t
+(** Functional union. *)
+
+val inter : t -> t -> t
+(** Functional intersection. *)
+
+val diff : t -> t -> t
+(** Functional difference. *)
+
+val equal : t -> t -> bool
+(** Extensional equality. *)
+
+val subset : t -> t -> bool
+(** [subset a b] iff every element of [a] is in [b]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate over elements in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over elements in increasing order. *)
+
+val elements : t -> int list
+(** Elements in increasing order. *)
+
+val of_list : int list -> t
+(** Set holding exactly the given elements. *)
+
+val choose_opt : t -> int option
+(** Smallest element, or [None] when empty. *)
+
+val max_elt_opt : t -> int option
+(** Largest element, or [None] when empty. *)
+
+val byte_size : t -> int
+(** Bytes of payload currently allocated for the bit words. *)
+
+val paper_byte_size : universe:int -> int
+(** [paper_byte_size ~universe] is the paper's per-directory bitmap cost for
+    [universe] indexed files: [ceil (universe / 8)] bytes. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{1, 5, 9}]. *)

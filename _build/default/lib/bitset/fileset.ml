@@ -1,0 +1,154 @@
+(* Representation choice: a set stays sparse until its cardinality exceeds
+   [dense_threshold] *and* its density (cardinal / (max+1)) makes a bitmap
+   cheaper than one word per element.  The choice is re-made after every
+   operation that can change cardinality, so long-lived sets converge to the
+   cheaper representation. *)
+
+type t = Dense of Bitset.t | Sparse of Sparse.t
+
+let dense_threshold = 128
+
+let normalize = function
+  | Sparse s as v ->
+      let n = Sparse.cardinal s in
+      if n <= dense_threshold then v
+      else begin
+        match Sparse.max_elt_opt s with
+        | None -> v
+        | Some m ->
+            (* One word per element sparse vs one bit per universe slot dense. *)
+            if n * Sys.int_size > m + 1 then begin
+              let b = Bitset.create ~capacity:(m + 1) () in
+              Sparse.iter (Bitset.add b) s;
+              Dense b
+            end
+            else v
+      end
+  | Dense b as v ->
+      let n = Bitset.cardinal b in
+      if n > dense_threshold then v
+      else Sparse (Sparse.of_list (Bitset.elements b))
+
+let empty = Sparse Sparse.empty
+
+let singleton i = Sparse (Sparse.singleton i)
+
+let of_list l = normalize (Sparse (Sparse.of_list l))
+
+let of_bitset b = normalize (Dense (Bitset.copy b))
+
+let range lo hi =
+  if lo > hi then empty
+  else begin
+    let b = Bitset.create ~capacity:(hi + 1) () in
+    for i = max 0 lo to hi do
+      Bitset.add b i
+    done;
+    normalize (Dense b)
+  end
+
+let mem t i =
+  match t with Dense b -> Bitset.mem b i | Sparse s -> Sparse.mem s i
+
+let add t i =
+  match t with
+  | Dense b ->
+      let b = Bitset.copy b in
+      Bitset.add b i;
+      Dense b
+  | Sparse s -> normalize (Sparse (Sparse.add s i))
+
+let remove t i =
+  match t with
+  | Dense b ->
+      let b = Bitset.copy b in
+      Bitset.remove b i;
+      normalize (Dense b)
+  | Sparse s -> Sparse (Sparse.remove s i)
+
+let to_bitset = function
+  | Dense b -> b
+  | Sparse s ->
+      let b =
+        Bitset.create
+          ~capacity:(match Sparse.max_elt_opt s with Some m -> m + 1 | None -> 64)
+          ()
+      in
+      Sparse.iter (Bitset.add b) s;
+      b
+
+let union a b =
+  match (a, b) with
+  | Sparse x, Sparse y -> normalize (Sparse (Sparse.union x y))
+  | _ ->
+      let r = Bitset.copy (to_bitset a) in
+      Bitset.union_into r (to_bitset b);
+      normalize (Dense r)
+
+let inter a b =
+  match (a, b) with
+  | Sparse x, Sparse y -> Sparse (Sparse.inter x y)
+  | _ ->
+      let r = Bitset.copy (to_bitset a) in
+      Bitset.inter_into r (to_bitset b);
+      normalize (Dense r)
+
+let diff a b =
+  match (a, b) with
+  | Sparse x, Sparse y -> Sparse (Sparse.diff x y)
+  | _ ->
+      let r = Bitset.copy (to_bitset a) in
+      Bitset.diff_into r (to_bitset b);
+      normalize (Dense r)
+
+let cardinal = function
+  | Dense b -> Bitset.cardinal b
+  | Sparse s -> Sparse.cardinal s
+
+let is_empty = function
+  | Dense b -> Bitset.is_empty b
+  | Sparse s -> Sparse.is_empty s
+
+let iter f = function
+  | Dense b -> Bitset.iter f b
+  | Sparse s -> Sparse.iter f s
+
+let fold f t init =
+  match t with
+  | Dense b -> Bitset.fold f b init
+  | Sparse s -> Sparse.fold f s init
+
+let elements = function
+  | Dense b -> Bitset.elements b
+  | Sparse s -> Sparse.elements s
+
+let equal a b =
+  match (a, b) with
+  | Dense x, Dense y -> Bitset.equal x y
+  | Sparse x, Sparse y -> Sparse.equal x y
+  | _ -> elements a = elements b
+
+let subset a b =
+  match (a, b) with
+  | Dense x, Dense y -> Bitset.subset x y
+  | Sparse x, Sparse y -> Sparse.subset x y
+  | _ ->
+      let r = ref true in
+      iter (fun i -> if not (mem b i) then r := false) a;
+      !r
+
+let filter p t = of_list (List.filter p (elements t))
+
+let choose_opt = function
+  | Dense b -> Bitset.choose_opt b
+  | Sparse s -> Sparse.choose_opt s
+
+let byte_size = function
+  | Dense b -> Bitset.byte_size b
+  | Sparse s -> Sparse.byte_size s
+
+let is_dense = function Dense _ -> true | Sparse _ -> false
+
+let pp ppf = function
+  | Dense b -> Bitset.pp ppf b
+  | Sparse s -> Sparse.pp ppf s

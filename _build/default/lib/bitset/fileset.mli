@@ -1,0 +1,79 @@
+(** Immutable sets of file identifiers with an adaptive representation.
+
+    Small results are kept sparse (section 4 of the paper calls sparse sets
+    future work); results whose density crosses a threshold switch to the
+    paper's bitmap representation.  All operations are functional, which is
+    what the query evaluator wants: query results flow through AND/OR/NOT
+    combinators without aliasing hazards. *)
+
+type t
+(** An immutable set of non-negative file identifiers. *)
+
+val empty : t
+(** The empty set. *)
+
+val singleton : int -> t
+(** One-element set. *)
+
+val of_list : int list -> t
+(** Set of the listed identifiers. *)
+
+val of_bitset : Bitset.t -> t
+(** Snapshot of a mutable bitmap (the bitmap is copied). *)
+
+val range : int -> int -> t
+(** [range lo hi] is [{lo, ..., hi}]; empty when [lo > hi]. *)
+
+val mem : t -> int -> bool
+(** Membership test. *)
+
+val add : t -> int -> t
+(** Functional insert. *)
+
+val remove : t -> int -> t
+(** Functional delete. *)
+
+val union : t -> t -> t
+(** Set union. *)
+
+val inter : t -> t -> t
+(** Set intersection. *)
+
+val diff : t -> t -> t
+(** Set difference. *)
+
+val cardinal : t -> int
+(** Number of elements. *)
+
+val is_empty : t -> bool
+(** [is_empty s] iff [cardinal s = 0]. *)
+
+val equal : t -> t -> bool
+(** Extensional equality (representation-independent). *)
+
+val subset : t -> t -> bool
+(** [subset a b] iff every element of [a] is in [b]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold in increasing order. *)
+
+val filter : (int -> bool) -> t -> t
+(** Keep the elements satisfying the predicate. *)
+
+val elements : t -> int list
+(** Elements in increasing order. *)
+
+val choose_opt : t -> int option
+(** Smallest element, or [None] when empty. *)
+
+val byte_size : t -> int
+(** Payload bytes of the current representation. *)
+
+val is_dense : t -> bool
+(** [true] when currently stored as a bitmap. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{1, 5, 9}]. *)

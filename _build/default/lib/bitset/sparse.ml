@@ -1,0 +1,140 @@
+(* Invariant: the backing array is strictly increasing, so binary search is
+   valid and merges never produce duplicates. *)
+
+type t = int array
+
+let empty = [||]
+
+let singleton i =
+  if i < 0 then invalid_arg "Sparse.singleton: negative element";
+  [| i |]
+
+let of_list l =
+  match List.sort_uniq compare l with
+  | [] -> empty
+  | (x :: _) as l ->
+      if x < 0 then invalid_arg "Sparse.of_list: negative element";
+      Array.of_list l
+
+let of_sorted_array_unsafe a = a
+
+let mem s i =
+  let rec go lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if s.(mid) = i then true
+      else if s.(mid) < i then go (mid + 1) hi
+      else go lo mid
+  in
+  go 0 (Array.length s)
+
+(* Index of the first element >= i, or length when none. *)
+let lower_bound s i =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if s.(mid) < i then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length s)
+
+let add s i =
+  if i < 0 then invalid_arg "Sparse.add: negative element";
+  let n = Array.length s in
+  let at = lower_bound s i in
+  if at < n && s.(at) = i then s
+  else begin
+    let r = Array.make (n + 1) i in
+    Array.blit s 0 r 0 at;
+    Array.blit s at r (at + 1) (n - at);
+    r
+  end
+
+let remove s i =
+  let n = Array.length s in
+  let at = lower_bound s i in
+  if at >= n || s.(at) <> i then s
+  else begin
+    let r = Array.make (n - 1) 0 in
+    Array.blit s 0 r 0 at;
+    Array.blit s (at + 1) r at (n - at - 1);
+    r
+  end
+
+let merge ~keep_left_only ~keep_right_only ~keep_both a b =
+  let la = Array.length a and lb = Array.length b in
+  let buf = Array.make (la + lb) 0 in
+  let out = ref 0 in
+  let push x =
+    buf.(!out) <- x;
+    incr out
+  in
+  let i = ref 0 and j = ref 0 in
+  while !i < la && !j < lb do
+    let x = a.(!i) and y = b.(!j) in
+    if x < y then begin
+      if keep_left_only then push x;
+      incr i
+    end
+    else if x > y then begin
+      if keep_right_only then push y;
+      incr j
+    end
+    else begin
+      if keep_both then push x;
+      incr i;
+      incr j
+    end
+  done;
+  if keep_left_only then
+    while !i < la do
+      push a.(!i);
+      incr i
+    done;
+  if keep_right_only then
+    while !j < lb do
+      push b.(!j);
+      incr j
+    done;
+  Array.sub buf 0 !out
+
+let union a b =
+  merge ~keep_left_only:true ~keep_right_only:true ~keep_both:true a b
+
+let inter a b =
+  merge ~keep_left_only:false ~keep_right_only:false ~keep_both:true a b
+
+let diff a b =
+  merge ~keep_left_only:true ~keep_right_only:false ~keep_both:false a b
+
+let cardinal = Array.length
+
+let is_empty s = Array.length s = 0
+
+let equal a b = a = b
+
+let subset a b = Array.length (diff a b) = 0
+
+let iter f s = Array.iter f s
+
+let fold f s init = Array.fold_left (fun acc i -> f i acc) init s
+
+let elements s = Array.to_list s
+
+let choose_opt s = if Array.length s = 0 then None else Some s.(0)
+
+let max_elt_opt s =
+  let n = Array.length s in
+  if n = 0 then None else Some s.(n - 1)
+
+let byte_size s = Array.length s * (Sys.int_size / 8 + 1)
+
+let pp ppf s =
+  Format.fprintf ppf "{";
+  Array.iteri
+    (fun k i ->
+      if k > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%d" i)
+    s;
+  Format.fprintf ppf "}"

@@ -1,0 +1,73 @@
+(** Immutable sparse integer sets stored as sorted arrays.
+
+    The paper notes (section 4) that bitmaps cost [n/8] bytes per semantic
+    directory regardless of how many files actually match, and that a better
+    sparse-set representation is future work.  This module is that
+    representation: cost is proportional to the number of elements, lookups
+    are binary searches, and set operations are linear merges. *)
+
+type t
+(** An immutable set of non-negative integers. *)
+
+val empty : t
+(** The empty set. *)
+
+val singleton : int -> t
+(** One-element set.  Raises [Invalid_argument] on a negative element. *)
+
+val of_list : int list -> t
+(** Set of the listed elements (duplicates collapse). *)
+
+val of_sorted_array_unsafe : int array -> t
+(** Adopts the array, which must be strictly increasing; not copied. *)
+
+val mem : t -> int -> bool
+(** Membership by binary search, O(log n). *)
+
+val add : t -> int -> t
+(** Functional insert, O(n). *)
+
+val remove : t -> int -> t
+(** Functional delete, O(n); no-op when absent. *)
+
+val union : t -> t -> t
+(** Linear merge union. *)
+
+val inter : t -> t -> t
+(** Linear merge intersection. *)
+
+val diff : t -> t -> t
+(** Linear merge difference. *)
+
+val cardinal : t -> int
+(** Number of elements, O(1). *)
+
+val is_empty : t -> bool
+(** [is_empty s] iff [cardinal s = 0]. *)
+
+val equal : t -> t -> bool
+(** Extensional equality. *)
+
+val subset : t -> t -> bool
+(** [subset a b] iff every element of [a] is in [b]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold in increasing order. *)
+
+val elements : t -> int list
+(** Elements in increasing order. *)
+
+val choose_opt : t -> int option
+(** Smallest element, or [None] when empty. *)
+
+val max_elt_opt : t -> int option
+(** Largest element, or [None] when empty. *)
+
+val byte_size : t -> int
+(** Bytes of payload: one word per element. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{1, 5, 9}]. *)

@@ -1,0 +1,1 @@
+lib/core/ctx.ml: Hac_depgraph Hac_index Hac_remote Hac_vfs Hashtbl Semdir Uidmap

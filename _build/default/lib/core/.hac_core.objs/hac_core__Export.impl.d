@@ -1,0 +1,1 @@
+lib/core/export.ml: Buffer Hac Hac_query Hac_remote Hac_vfs Link List Printf String

@@ -1,0 +1,1 @@
+lib/core/hac.ml: Buffer Ctx Hac_bitset Hac_depgraph Hac_index Hac_query Hac_remote Hac_vfs Hashtbl Link List Option Printf Semdir String Sync Uidmap

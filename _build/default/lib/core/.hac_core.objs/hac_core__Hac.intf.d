@@ -1,0 +1,1 @@
+lib/core/hac.mli: Hac_index Hac_query Hac_remote Hac_vfs Link

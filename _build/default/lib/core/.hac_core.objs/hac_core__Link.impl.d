@@ -1,0 +1,1 @@
+lib/core/link.ml: Format Hac_vfs String

@@ -1,0 +1,1 @@
+lib/core/qmatch.ml: Hac_index Hac_query String

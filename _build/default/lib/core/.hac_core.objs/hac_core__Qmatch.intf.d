@@ -1,0 +1,1 @@
+lib/core/qmatch.mli: Hac_query

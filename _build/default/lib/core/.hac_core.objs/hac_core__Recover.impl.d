@@ -1,0 +1,1 @@
+lib/core/recover.ml: Hac Hac_vfs Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/core/semdir.ml: Hac_bitset Hac_query Hashtbl Link List Printf String Sys

@@ -1,0 +1,1 @@
+lib/core/semdir.mli: Hac_bitset Hac_query Hashtbl Link

@@ -1,0 +1,1 @@
+lib/core/sync.ml: Buffer Bytes Char Ctx Hac_bitset Hac_depgraph Hac_index Hac_query Hac_remote Hac_vfs Hashtbl Link List Option Printf Qmatch Semdir String Uidmap

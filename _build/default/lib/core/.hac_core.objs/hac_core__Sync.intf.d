@@ -1,0 +1,1 @@
+lib/core/sync.mli: Ctx Hac_bitset Hac_query Hac_remote Link Semdir

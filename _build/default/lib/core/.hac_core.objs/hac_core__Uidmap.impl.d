@@ -1,0 +1,1 @@
+lib/core/uidmap.ml: Hac_vfs Hashtbl List String Sys

@@ -1,0 +1,76 @@
+type t = {
+  fs : Hac_vfs.Fs.t;
+  index : Hac_index.Index.t;
+  uids : Uidmap.t;
+  semdirs : (int, Semdir.t) Hashtbl.t;
+  deps : Hac_depgraph.Depgraph.t;
+  mounts : Hac_remote.Mount_table.t;
+  namespaces : (string, Hac_remote.Namespace.t) Hashtbl.t;
+  syn_mounts : (int, Hac_vfs.Fs.t) Hashtbl.t;
+  file_meta : (string, Hac_vfs.Fs.stat) Hashtbl.t;
+  skeletons : (int, Semdir.t) Hashtbl.t;
+  dirty : (string, unit) Hashtbl.t;
+  mutable alive : bool;
+  mutable maintenance : bool;
+  mutable auto_sync : bool;
+  mutable reindex_every : int option;
+  mutable ops_since_reindex : int;
+  mutable sync_stamp : int;
+}
+
+let create ?(block_size = 8) ?(stem = true) ?transducer ?(auto_sync = false) ?reindex_every fs =
+  let t =
+    {
+      fs;
+      index = Hac_index.Index.create ~block_size ~stem ?transducer ();
+      uids = Uidmap.create ();
+      semdirs = Hashtbl.create 64;
+      deps = Hac_depgraph.Depgraph.create ();
+      mounts = Hac_remote.Mount_table.create ();
+      namespaces = Hashtbl.create 8;
+      syn_mounts = Hashtbl.create 4;
+      file_meta = Hashtbl.create 256;
+      skeletons = Hashtbl.create 64;
+      dirty = Hashtbl.create 64;
+      alive = true;
+      maintenance = false;
+      auto_sync;
+      reindex_every;
+      ops_since_reindex = 0;
+      sync_stamp = 0;
+    }
+  in
+  Hac_depgraph.Depgraph.add_node t.deps Uidmap.root_uid;
+  t
+
+let reader t path =
+  try Some (Hac_vfs.Fs.read_file t.fs path) with Hac_vfs.Errno.Error _ -> None
+
+let semdir_of_uid t uid = Hashtbl.find_opt t.semdirs uid
+
+let semdir_of_path t path =
+  match Uidmap.uid_of_path t.uids path with
+  | None -> None
+  | Some uid -> semdir_of_uid t uid
+
+(* HAC's own bookkeeping runs with events suppressed and as the superuser —
+   the library must maintain its structures regardless of which user's call
+   triggered the work (the metadata area is not user-writable). *)
+let with_maintenance t f =
+  if t.maintenance then f ()
+  else begin
+    t.maintenance <- true;
+    let saved_user = Hac_vfs.Fs.current_user t.fs in
+    Hac_vfs.Fs.set_user t.fs 0;
+    let restore () =
+      Hac_vfs.Fs.set_user t.fs saved_user;
+      t.maintenance <- false
+    in
+    match f () with
+    | v ->
+        restore ();
+        v
+    | exception e ->
+        restore ();
+        raise e
+  end

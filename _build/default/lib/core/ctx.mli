@@ -1,0 +1,63 @@
+(** Shared mutable state of one HAC file system instance.
+
+    Owned by {!Hac}; {!Sync} reads and updates it.  Not part of the stable
+    public API — use {!Hac} unless you are extending the core. *)
+
+type t = {
+  fs : Hac_vfs.Fs.t;  (** The underlying hierarchical file system. *)
+  index : Hac_index.Index.t;  (** The CBA mechanism (Glimpse stand-in). *)
+  uids : Uidmap.t;  (** Global directory-identifier map. *)
+  semdirs : (int, Semdir.t) Hashtbl.t;  (** Semantic state by directory uid. *)
+  deps : Hac_depgraph.Depgraph.t;  (** Dependency DAG over directory uids. *)
+  mounts : Hac_remote.Mount_table.t;  (** Semantic mount points. *)
+  namespaces : (string, Hac_remote.Namespace.t) Hashtbl.t;
+      (** Every namespace ever mounted, by ns_id, for fetching remote links. *)
+  syn_mounts : (int, Hac_vfs.Fs.t) Hashtbl.t;
+      (** Syntactic mount points (section 3): foreign file systems grafted
+          read-only at a local directory, keyed by its uid. *)
+  file_meta : (string, Hac_vfs.Fs.stat) Hashtbl.t;
+      (** Per-file bookkeeping initialised at creation time — the paper's
+          HAC sets up the open file-descriptor slot and attribute-cache
+          entry for every new file (its Andrew phase-2 overhead). *)
+  skeletons : (int, Semdir.t) Hashtbl.t;
+      (** Pre-initialised (empty) semantic state for {e every} directory —
+          the paper's HAC creates and stores query/link-set structures at
+          [mkdir] time, which is the dominant Andrew phase-1 overhead.  A
+          skeleton is promoted into {!semdirs} by [smkdir]/[schquery]. *)
+  dirty : (string, unit) Hashtbl.t;
+      (** Paths whose index entry is stale (data consistency, section 2.4). *)
+  mutable alive : bool;
+      (** False once the instance is shut down; its event subscription (which
+          cannot be physically removed from the bus) goes inert. *)
+  mutable maintenance : bool;
+      (** True while HAC itself mutates the fs; suppresses event handling. *)
+  mutable auto_sync : bool;
+      (** Eagerly reindex and re-evaluate after every mutation. *)
+  mutable reindex_every : int option;
+      (** Periodic data consistency: reindex after this many mutations. *)
+  mutable ops_since_reindex : int;  (** Mutations since the last reindex. *)
+  mutable sync_stamp : int;  (** Logical clock of re-evaluations. *)
+}
+
+val create :
+  ?block_size:int ->
+  ?stem:bool ->
+  ?transducer:Hac_index.Transducer.t ->
+  ?auto_sync:bool ->
+  ?reindex_every:int ->
+  Hac_vfs.Fs.t ->
+  t
+(** Fresh state over the given file system (no subscriptions are set up —
+    {!Hac.of_fs} does that). *)
+
+val reader : t -> string -> string option
+(** Content reader over the local file system (None on any error). *)
+
+val semdir_of_uid : t -> int -> Semdir.t option
+(** Semantic state of a directory, if it has a query. *)
+
+val semdir_of_path : t -> string -> Semdir.t option
+(** Same, by path. *)
+
+val with_maintenance : t -> (unit -> 'a) -> 'a
+(** Run HAC's own fs mutations with event handling suppressed. *)

@@ -1,0 +1,115 @@
+module Vpath = Hac_vfs.Vpath
+
+(* Record format, one field per line:
+     D <path>
+     Q <query>
+     L <permanent|transient> <name> <target>   (zero or more)
+   Records are separated by one blank line.  Names and targets contain no
+   newlines by construction (they are path/uri components). *)
+
+let export_dir t path =
+  match Hac.sreadin t path with
+  | None -> None
+  | Some q ->
+      let b = Buffer.create 256 in
+      Buffer.add_string b ("D " ^ Vpath.normalize path ^ "\n");
+      Buffer.add_string b ("Q " ^ q ^ "\n");
+      List.iter
+        (fun l ->
+          Buffer.add_string b
+            (Printf.sprintf "L %s %s %s\n" (Link.cls_name l.Link.cls) l.Link.name
+               (Link.symlink_value l.Link.target)))
+        (Hac.links t path);
+      Some (Buffer.contents b)
+
+let export_all t =
+  Hac.semantic_dirs t
+  |> List.filter_map (export_dir t)
+  |> String.concat "\n"
+
+type record = { rpath : string; rquery : string; rlinks : (string * string * string) list }
+
+let parse_records text =
+  let finish acc cur =
+    match cur with
+    | Some r -> { r with rlinks = List.rev r.rlinks } :: acc
+    | None -> acc
+  in
+  let step (acc, cur) line =
+    let line = String.trim line in
+    if line = "" then (finish acc cur, None)
+    else
+      match (String.length line >= 2, cur) with
+      | true, _ when String.sub line 0 2 = "D " ->
+          (finish acc cur, Some { rpath = String.sub line 2 (String.length line - 2); rquery = "*"; rlinks = [] })
+      | true, Some r when String.sub line 0 2 = "Q " ->
+          (acc, Some { r with rquery = String.sub line 2 (String.length line - 2) })
+      | true, Some r when String.sub line 0 2 = "L " -> (
+          match String.split_on_char ' ' line with
+          | "L" :: cls :: name :: rest when rest <> [] ->
+              (acc, Some { r with rlinks = (cls, name, String.concat " " rest) :: r.rlinks })
+          | _ -> (acc, Some r))
+      | _ -> (acc, cur)
+  in
+  let acc, cur = List.fold_left step ([], None) (String.split_on_char '\n' text) in
+  List.rev (finish acc cur)
+
+let import t ~under text =
+  let under = Vpath.normalize under in
+  Hac.mkdir_p t under;
+  let records = parse_records text in
+  let import_one count r =
+    match count with
+    | Error _ as e -> e
+    | Ok n -> (
+        (* Record paths are absolute in the exporter's name space; graft
+           them below [under] here. *)
+        let dest = Vpath.normalize (under ^ "/" ^ r.rpath) in
+        Hac.mkdir_p t (Vpath.dirname dest);
+        (* Imported queries may reference directories that don't exist here;
+           fall back to the query's word terms joined conjunctively. *)
+        let try_smkdir q =
+          match Hac.smkdir t dest q with
+          | () -> true
+          | exception Hac.Hac_error _ -> false
+        in
+        let created =
+          try_smkdir r.rquery
+          ||
+          match Hac_query.Parser.parse_result r.rquery with
+          | Ok ast ->
+              let fallback = String.concat " " (Hac_query.Ast.words ast) in
+              fallback <> "" && try_smkdir fallback
+          | Error _ -> false
+        in
+        if not created then Error (Printf.sprintf "could not import %s" r.rpath)
+        else begin
+          List.iter
+            (fun (cls, _name, target) ->
+              if cls = "permanent" then
+                try ignore (Hac.add_permanent t ~dir:dest ~target)
+                with Hac.Hac_error _ | Hac_vfs.Errno.Error _ -> ())
+            r.rlinks;
+          Ok (n + 1)
+        end)
+  in
+  List.fold_left import_one (Ok 0) records
+
+let to_namespace ~ns_id users =
+  let docs =
+    List.concat_map
+      (fun (user, text) ->
+        List.map
+          (fun r ->
+            let name = Vpath.basename r.rpath in
+            let uri = Printf.sprintf "semdb://%s%s" user (Vpath.normalize r.rpath) in
+            let link_names = List.map (fun (_, n, _) -> n) r.rlinks in
+            let content =
+              Printf.sprintf "user %s directory %s query %s links %s" user r.rpath
+                r.rquery (String.concat " " link_names)
+            in
+            ((if name = "" then user else name), uri, content))
+          (parse_records text))
+      users
+  in
+  Hac_remote.Namespace.static ~ns_id docs

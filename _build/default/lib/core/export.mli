@@ -1,0 +1,32 @@
+(** Sharing semantic directories (end of section 3.2).
+
+    The paper suggests collecting the names, queries and query-results of
+    many users' semantic directories into a central database that can itself
+    be indexed and searched, so users can find others with similar tastes.
+    This module serialises a HAC's semantic directories to a plain-text
+    interchange format, re-imports them elsewhere, and builds that
+    searchable central database as a {!Hac_remote.Namespace.t}. *)
+
+val export_dir : Hac.t -> string -> string option
+(** One semantic directory as a text record, or [None] if the path is not
+    semantic.  The record contains the path, the query (with resolved
+    reference paths) and every present link with its class. *)
+
+val export_all : Hac.t -> string
+(** Every semantic directory, one record per blank-line-separated block,
+    sorted by path. *)
+
+val import : Hac.t -> under:string -> string -> (int, string) result
+(** Recreate exported semantic directories below the directory [under]
+    (created if missing): each record [path q links] becomes a semantic
+    directory [under/path] with query [q] and a permanent link per exported
+    link (queries referencing unknown directories fall back to their word
+    terms).  Returns the number of directories created, or the first
+    error. *)
+
+val to_namespace :
+  ns_id:string -> (string * string) list -> Hac_remote.Namespace.t
+(** [to_namespace ~ns_id users] builds the central database from
+    [(user, export_all output)] pairs: each semantic directory becomes one
+    searchable document ([semdb://user/path]) whose text is its query plus
+    its link names — mount it and query it to find like-minded users. *)

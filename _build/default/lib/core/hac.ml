@@ -1,0 +1,690 @@
+module Fs = Hac_vfs.Fs
+module Vpath = Hac_vfs.Vpath
+module Event = Hac_vfs.Event
+module Index = Hac_index.Index
+module Search = Hac_index.Search
+module Ast = Hac_query.Ast
+module Parser = Hac_query.Parser
+module Depgraph = Hac_depgraph.Depgraph
+module Namespace = Hac_remote.Namespace
+module Mount_table = Hac_remote.Mount_table
+module Fileset = Hac_bitset.Fileset
+
+type t = Ctx.t
+
+exception Hac_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Hac_error s)) fmt
+
+let fs (ctx : Ctx.t) = ctx.fs
+
+let index (ctx : Ctx.t) = ctx.index
+
+(* -- event interception ---------------------------------------------------
+
+   Everything HAC knows about user activity arrives here.  [maintenance]
+   suppresses handling of HAC's own link surgery. *)
+
+let semdir_of_parent (ctx : Ctx.t) path = Ctx.semdir_of_path ctx (Vpath.dirname path)
+
+let mark_dirty (ctx : Ctx.t) path = Hashtbl.replace ctx.dirty path ()
+
+(* Settle everything now: data consistency, then scope consistency. *)
+let settle (ctx : Ctx.t) =
+  ignore (Sync.reindex ctx ());
+  Sync.sync_all ctx
+
+let tick (ctx : Ctx.t) =
+  ctx.ops_since_reindex <- ctx.ops_since_reindex + 1;
+  if ctx.auto_sync then settle ctx
+  else
+    match ctx.reindex_every with
+    | Some n when ctx.ops_since_reindex >= n -> settle ctx
+    | Some _ | None -> ()
+
+let record_permanent_link (ctx : Ctx.t) sd path =
+  match
+    try Some (Fs.readlink ctx.fs path) with Hac_vfs.Errno.Error _ -> None
+  with
+  | None -> ()
+  | Some raw ->
+      let target = Link.target_of_symlink raw in
+      let key = Link.target_key target in
+      Semdir.unprohibit sd key;
+      Semdir.add_link sd
+        { Link.name = Vpath.basename path; target; cls = Link.Permanent }
+
+let record_link_removal (ctx : Ctx.t) sd path =
+  let name = Vpath.basename path in
+  match Semdir.remove_link sd name with
+  | Some l ->
+      (* Only prohibit when the target is now fully gone from the
+         directory — deleting one of two aliases is not a rejection. *)
+      if Semdir.link_by_target sd l.Link.target = None then begin
+        let key = Link.target_key l.Link.target in
+        Semdir.prohibit sd key;
+        (* Keep the stored query result in step with the physical links. *)
+        match l.Link.target with
+        | Link.Local p -> (
+            match Index.doc_of_path ctx.index p with
+            | Some id ->
+                sd.Semdir.transient_local <-
+                  Hac_bitset.Fileset.remove sd.Semdir.transient_local id
+            | None -> ())
+        | Link.Remote _ ->
+            sd.Semdir.transient_remote <-
+              List.filter (fun r -> r.Semdir.rr_uri <> key) sd.Semdir.transient_remote
+      end
+  | None -> ()
+
+let index_rename_subtree (ctx : Ctx.t) ~src ~dst =
+  let to_move =
+    Fileset.fold
+      (fun id acc ->
+        match Index.doc_path ctx.index id with
+        | Some p when Vpath.is_prefix ~prefix:src p -> p :: acc
+        | Some _ | None -> acc)
+      (Index.universe ctx.index) []
+  in
+  List.iter
+    (fun old_path ->
+      match Vpath.replace_prefix ~prefix:src ~by:dst old_path with
+      | Some new_path -> Index.rename_path ctx.index ~old_path ~new_path
+      | None -> ())
+    to_move
+
+let rename_dirty (ctx : Ctx.t) ~src ~dst =
+  let moved =
+    Hashtbl.fold
+      (fun p () acc -> if Vpath.is_prefix ~prefix:src p then p :: acc else acc)
+      ctx.dirty []
+  in
+  List.iter
+    (fun p ->
+      Hashtbl.remove ctx.dirty p;
+      match Vpath.replace_prefix ~prefix:src ~by:dst p with
+      | Some p' -> Hashtbl.replace ctx.dirty p' ()
+      | None -> ())
+    moved
+
+let forget_dir (ctx : Ctx.t) path =
+  (* The whole subtree is gone (rmdir fires once per directory, but a
+     directory removal may race bulk [rmtree] events; be idempotent). *)
+  match Uidmap.remove ctx.uids path with
+  | None -> ()
+  | Some uid ->
+      Hashtbl.remove ctx.semdirs uid;
+      Hashtbl.remove ctx.skeletons uid;
+      Depgraph.remove_node ctx.deps uid;
+      Mount_table.unmount_all ctx.mounts ~uid;
+      Sync.unpersist_semdir ctx uid;
+      Ctx.with_maintenance ctx (fun () ->
+          Fs.append_file ctx.fs (Sync.meta_root ^ "/dirs.log") (Printf.sprintf "X %d\n" uid))
+
+let on_event (ctx : Ctx.t) ev =
+  if ctx.alive && not ctx.maintenance then begin
+    (match ev with
+    | Event.Created (Event.File, p) ->
+        (* The paper initialises the open-descriptor slot and attribute
+           cache entry for every new file, in shared memory. *)
+        (match Fs.lstat ctx.fs p with
+        | st -> Hashtbl.replace ctx.file_meta p st
+        | exception Hac_vfs.Errno.Error _ -> ());
+        mark_dirty ctx p
+    | Event.Written p ->
+        (match Hashtbl.find_opt ctx.file_meta p with
+        | Some _ -> (
+            match Fs.lstat ctx.fs p with
+            | st -> Hashtbl.replace ctx.file_meta p st
+            | exception Hac_vfs.Errno.Error _ -> ())
+        | None -> ());
+        mark_dirty ctx p
+    | Event.Removed (Event.File, p) ->
+        Hashtbl.remove ctx.file_meta p;
+        mark_dirty ctx p
+    | Event.Created (Event.Dir, p) ->
+        (* The paper's HAC initialises (empty) query, query-result and
+           permanent/prohibited link structures, a global-map entry and a
+           dependency-graph node for every new directory — and stores them
+           on disk, which is why Andrew phase 1 is its worst phase. *)
+        let uid = Uidmap.register ctx.uids p in
+        Depgraph.add_node ctx.deps uid;
+        Hashtbl.replace ctx.skeletons uid (Semdir.create ~uid Ast.All);
+        Ctx.with_maintenance ctx (fun () ->
+            Fs.append_file ctx.fs
+              (Sync.meta_root ^ "/dirs.log")
+              (Printf.sprintf "D %d %s\n" uid p))
+    | Event.Removed (Event.Dir, p) -> forget_dir ctx p
+    | Event.Created (Event.Link, p) -> (
+        match semdir_of_parent ctx p with
+        | Some sd -> record_permanent_link ctx sd p
+        | None -> ())
+    | Event.Removed (Event.Link, p) -> (
+        match semdir_of_parent ctx p with
+        | Some sd -> record_link_removal ctx sd p
+        | None -> ())
+    | Event.Renamed (src, dst) -> (
+        match Fs.lstat ctx.fs dst with
+        | { Fs.st_kind = Event.Dir; _ } ->
+            Uidmap.rename ctx.uids ~old_path:src ~new_path:dst;
+            index_rename_subtree ctx ~src ~dst;
+            rename_dirty ctx ~src ~dst;
+            (match Uidmap.uid_of_path ctx.uids dst with
+            | Some uid ->
+                Ctx.with_maintenance ctx (fun () ->
+                    Fs.append_file ctx.fs
+                      (Sync.meta_root ^ "/dirs.log")
+                      (Printf.sprintf "M %d %s\n" uid dst))
+            | None -> ());
+            (* The moved directory's parent changed: rewire its dependency
+               edge when it is semantic.  (Descendants kept their parents.) *)
+            (match Ctx.semdir_of_path ctx dst with
+            | Some sd -> (
+                match Sync.recompute_deps ctx sd with
+                | Ok () -> ()
+                | Error _ ->
+                    (* A cycle via the new parent: leave edges as they were;
+                       the next explicit schquery will surface the issue. *)
+                    ())
+            | None -> ())
+        | { Fs.st_kind = Event.File; _ } ->
+            Index.rename_path ctx.index ~old_path:src ~new_path:dst;
+            rename_dirty ctx ~src ~dst
+        | { Fs.st_kind = Event.Link; _ } ->
+            (match semdir_of_parent ctx src with
+            | Some sd -> record_link_removal ctx sd src
+            | None -> ());
+            (match semdir_of_parent ctx dst with
+            | Some sd -> record_permanent_link ctx sd dst
+            | None -> ())
+        | exception Hac_vfs.Errno.Error _ -> ()));
+    tick ctx
+  end
+
+let setup (ctx : Ctx.t) =
+  Event.subscribe (Fs.events ctx.fs) (on_event ctx);
+  Ctx.with_maintenance ctx (fun () -> Fs.mkdir_p ctx.fs Sync.meta_root);
+  ctx
+
+let create ?block_size ?stem ?transducer ?auto_sync ?reindex_every () =
+  setup (Ctx.create ?block_size ?stem ?transducer ?auto_sync ?reindex_every (Fs.create ()))
+
+let of_fs ?block_size ?stem ?transducer ?auto_sync ?reindex_every fs =
+  let ctx = Ctx.create ?block_size ?stem ?transducer ?auto_sync ?reindex_every fs in
+  (* Adopt existing content: register directories, index files.  The
+     metadata area is HAC's own and stays out of the index. *)
+  Fs.walk fs Vpath.root (fun path st ->
+      if not (Vpath.is_prefix ~prefix:Sync.meta_root path) then
+        match st.Fs.st_kind with
+        | Event.Dir -> ignore (Uidmap.register ctx.uids path)
+        | Event.File ->
+            ignore (Index.add_document ctx.index ~path ~content:(Fs.read_file fs path))
+        | Event.Link -> ());
+  setup ctx
+
+let shutdown ?(graceful = true) (ctx : Ctx.t) =
+  if ctx.alive then begin
+    if graceful then settle ctx;
+    ctx.alive <- false
+  end
+
+(* -- plain fs wrappers ----------------------------------------------------- *)
+
+(* The paper's DLL interposes on every call: resolve the user's path in
+   HAC's name space, look the directory up in the global map, and decide
+   whether consistency machinery applies.  For semantic directories this is
+   also where lazily stored query results become visible: the first access
+   materialises the transient links. *)
+let intercept (ctx : Ctx.t) p =
+  let p = Vpath.normalize p in
+  let touch_dir path =
+    match Uidmap.uid_of_path ctx.uids path with
+    | None -> ()
+    | Some uid -> (
+        match Hashtbl.find_opt ctx.semdirs uid with
+        | Some sd -> Sync.materialize ctx sd
+        | None -> ())
+  in
+  touch_dir p;
+  touch_dir (Vpath.dirname p)
+
+(* Syntactic mount resolution: the longest mount-point prefix wins; the
+   local path suffix is re-rooted in the foreign file system. *)
+let foreign (ctx : Ctx.t) p =
+  if Hashtbl.length ctx.syn_mounts = 0 then None
+  else begin
+    let p = Vpath.normalize p in
+    let best =
+      Hashtbl.fold
+        (fun uid ffs acc ->
+          match Uidmap.path_of_uid ctx.uids uid with
+          | Some mp when Vpath.is_prefix ~prefix:mp p -> (
+              match acc with
+              | Some (bmp, _) when String.length bmp >= String.length mp -> acc
+              | Some _ | None -> Some (mp, ffs))
+          | Some _ | None -> acc)
+        ctx.syn_mounts None
+    in
+    match best with
+    | None -> None
+    | Some (mp, ffs) ->
+        Option.map (fun rel -> (ffs, rel)) (Vpath.replace_prefix ~prefix:mp ~by:"/" p)
+  end
+
+let read_only_if_foreign (ctx : Ctx.t) p =
+  if foreign ctx p <> None then
+    Hac_vfs.Errno.raise_error Hac_vfs.Errno.EROFS (Vpath.normalize p)
+
+let mkdir (ctx : Ctx.t) p =
+  intercept ctx p;
+  read_only_if_foreign ctx p;
+  Fs.mkdir ctx.fs p
+
+let mkdir_p (ctx : Ctx.t) p =
+  intercept ctx p;
+  read_only_if_foreign ctx p;
+  Fs.mkdir_p ctx.fs p
+
+let rmdir (ctx : Ctx.t) p =
+  intercept ctx p;
+  read_only_if_foreign ctx p;
+  Fs.rmdir ctx.fs p
+
+let write_file (ctx : Ctx.t) p c =
+  intercept ctx p;
+  read_only_if_foreign ctx p;
+  Fs.write_file ctx.fs p c
+
+let append_file (ctx : Ctx.t) p c =
+  intercept ctx p;
+  read_only_if_foreign ctx p;
+  Fs.append_file ctx.fs p c
+
+let read_file (ctx : Ctx.t) p =
+  intercept ctx p;
+  match foreign ctx p with
+  | Some (ffs, rel) -> Fs.read_file ffs rel
+  | None -> Fs.read_file ctx.fs p
+
+let unlink (ctx : Ctx.t) p =
+  intercept ctx p;
+  read_only_if_foreign ctx p;
+  Fs.unlink ctx.fs p
+
+let rename (ctx : Ctx.t) ~src ~dst =
+  intercept ctx src;
+  intercept ctx dst;
+  read_only_if_foreign ctx src;
+  read_only_if_foreign ctx dst;
+  Fs.rename ctx.fs ~src ~dst
+
+let symlink (ctx : Ctx.t) ~target ~link =
+  intercept ctx link;
+  read_only_if_foreign ctx link;
+  Fs.symlink ctx.fs ~target ~link
+
+let readlink (ctx : Ctx.t) p =
+  intercept ctx p;
+  match foreign ctx p with
+  | Some (ffs, rel) -> Fs.readlink ffs rel
+  | None -> Fs.readlink ctx.fs p
+
+let readdir (ctx : Ctx.t) p =
+  intercept ctx p;
+  match foreign ctx p with
+  | Some (ffs, rel) -> Fs.readdir ffs rel
+  | None -> Fs.readdir ctx.fs p
+
+let exists (ctx : Ctx.t) p =
+  intercept ctx p;
+  match foreign ctx p with
+  | Some (ffs, rel) -> Fs.exists ffs rel
+  | None -> Fs.exists ctx.fs p
+
+let is_dir (ctx : Ctx.t) p =
+  intercept ctx p;
+  match foreign ctx p with
+  | Some (ffs, rel) -> Fs.is_dir ffs rel
+  | None -> Fs.is_dir ctx.fs p
+
+(* -- semantic directories --------------------------------------------------- *)
+
+let parse_query (ctx : Ctx.t) qs =
+  let ast =
+    match Parser.parse_result qs with
+    | Ok ast -> ast
+    | Error msg -> fail "bad query %S: %s" qs msg
+  in
+  (* Install directory references: path -> uid, which survives renames. *)
+  Ast.map_dirrefs
+    (function
+      | Ast.Ref_uid _ as r -> r
+      | Ast.Ref_path p -> (
+          if not (Fs.is_dir ctx.fs p) then
+            fail "query references %s, which is not a directory" p;
+          match Uidmap.uid_of_path ctx.uids p with
+          | Some uid -> Ast.Ref_uid uid
+          | None -> Ast.Ref_uid (Uidmap.register ctx.uids p)))
+    ast
+
+let uid_of_dir (ctx : Ctx.t) path =
+  let path = Vpath.normalize path in
+  if not (Fs.is_dir ctx.fs path) then fail "%s is not a directory" path;
+  match Uidmap.uid_of_path ctx.uids path with
+  | Some uid -> uid
+  | None -> Uidmap.register ctx.uids path
+
+let install_semdir (ctx : Ctx.t) uid query =
+  (* Promote the skeleton created at mkdir time, if any. *)
+  let sd =
+    match Hashtbl.find_opt ctx.skeletons uid with
+    | Some sk ->
+        Hashtbl.remove ctx.skeletons uid;
+        sk.Semdir.query <- query;
+        sk
+    | None -> Semdir.create ~uid query
+  in
+  Hashtbl.replace ctx.semdirs uid sd;
+  match Sync.recompute_deps ctx sd with
+  | Ok () ->
+      Sync.sync_from ctx uid;
+      sd
+  | Error cycle ->
+      Hashtbl.remove ctx.semdirs uid;
+      Depgraph.remove_node ctx.deps uid;
+      fail "query would create a dependency cycle through uids %s"
+        (String.concat " -> " (List.map string_of_int cycle))
+
+let smkdir (ctx : Ctx.t) path query_string =
+  let path = Vpath.normalize path in
+  Fs.mkdir ctx.fs path;
+  match
+    let query = parse_query ctx query_string in
+    let uid = uid_of_dir ctx path in
+    install_semdir ctx uid query
+  with
+  | _ -> ()
+  | exception e ->
+      (* Leave no half-made directory behind. *)
+      (try Fs.rmdir ctx.fs path with Hac_vfs.Errno.Error _ -> ());
+      raise e
+
+let semdir_or_fail (ctx : Ctx.t) path =
+  match Ctx.semdir_of_path ctx path with
+  | Some sd -> sd
+  | None -> fail "%s is not a semantic directory" (Vpath.normalize path)
+
+let srmdir (ctx : Ctx.t) path =
+  let path = Vpath.normalize path in
+  let sd = semdir_or_fail ctx path in
+  Ctx.with_maintenance ctx (fun () ->
+      List.iter
+        (fun l ->
+          let lpath = Vpath.join path l.Link.name in
+          if Fs.is_symlink ctx.fs lpath then Fs.unlink ctx.fs lpath)
+        (Semdir.all_links sd));
+  Fs.rmdir ctx.fs path (* the Removed(Dir) event clears uid/semdir/deps *)
+
+let schquery (ctx : Ctx.t) path query_string =
+  let path = Vpath.normalize path in
+  let query = parse_query ctx query_string in
+  let uid = uid_of_dir ctx path in
+  match Ctx.semdir_of_uid ctx uid with
+  | None -> ignore (install_semdir ctx uid query)
+  | Some sd ->
+      let old_query = sd.Semdir.query in
+      sd.Semdir.query <- query;
+      (match Sync.recompute_deps ctx sd with
+      | Ok () -> ()
+      | Error cycle ->
+          sd.Semdir.query <- old_query;
+          fail "query would create a dependency cycle through uids %s"
+            (String.concat " -> " (List.map string_of_int cycle)));
+      Sync.sync_from ctx uid
+
+let sreadin (ctx : Ctx.t) path =
+  match Ctx.semdir_of_path ctx path with
+  | None -> None
+  | Some sd ->
+      Some (Ast.to_string ~path_of_uid:(Uidmap.path_of_uid ctx.uids) sd.Semdir.query)
+
+let squery_ast (ctx : Ctx.t) path =
+  Option.map (fun sd -> sd.Semdir.query) (Ctx.semdir_of_path ctx path)
+
+let is_semantic (ctx : Ctx.t) path = Ctx.semdir_of_path ctx path <> None
+
+let semantic_dirs (ctx : Ctx.t) =
+  Hashtbl.fold
+    (fun uid _ acc ->
+      match Uidmap.path_of_uid ctx.uids uid with
+      | Some p -> p :: acc
+      | None -> acc)
+    ctx.semdirs []
+  |> List.sort compare
+
+let ssync (ctx : Ctx.t) path = Sync.sync_from ctx (uid_of_dir ctx path)
+
+let sync_all (ctx : Ctx.t) = Sync.sync_all ctx
+
+let reindex (ctx : Ctx.t) ?under () =
+  let n = Sync.reindex ctx ?under () in
+  Sync.sync_all ctx;
+  n
+
+let dirty_count (ctx : Ctx.t) = Hashtbl.length ctx.dirty
+
+(* -- links ------------------------------------------------------------------ *)
+
+let links (ctx : Ctx.t) path =
+  match Ctx.semdir_of_path ctx path with
+  | None -> []
+  | Some sd ->
+      Sync.materialize ctx sd;
+      Semdir.all_links sd
+
+let prohibited (ctx : Ctx.t) path = Semdir.prohibited_keys (semdir_or_fail ctx path)
+
+let add_permanent (ctx : Ctx.t) ~dir ~target =
+  let dir = Vpath.normalize dir in
+  let sd = semdir_or_fail ctx dir in
+  Sync.materialize ctx sd;
+  let target = Link.target_of_symlink target in
+  match Semdir.link_by_target sd target with
+  | Some l ->
+      (* Already present: upgrade to permanent rather than alias it. *)
+      Semdir.unprohibit sd (Link.target_key target);
+      Semdir.add_link sd { l with Link.cls = Link.Permanent };
+      l.Link.name
+  | None ->
+      let taken name = Fs.lexists ctx.fs (Vpath.join dir name) in
+      let name = Semdir.fresh_link_name sd ~taken target in
+      (* Create the physical symlink outside maintenance mode so the
+         ordinary interception records it permanent and lifts any
+         prohibition. *)
+      Fs.symlink ctx.fs ~target:(Link.symlink_value target) ~link:(Vpath.join dir name);
+      name
+
+let remove_link (ctx : Ctx.t) ~dir ~name =
+  let dir = Vpath.normalize dir in
+  Sync.materialize ctx (semdir_or_fail ctx dir);
+  Fs.unlink ctx.fs (Vpath.join dir name)
+
+let unprohibit (ctx : Ctx.t) ~dir ~target =
+  let sd = semdir_or_fail ctx dir in
+  Semdir.unprohibit sd (Link.target_key (Link.target_of_symlink target))
+
+let prohibit_target (ctx : Ctx.t) ~dir ~target =
+  let dir = Vpath.normalize dir in
+  let sd = semdir_or_fail ctx dir in
+  Sync.materialize ctx sd;
+  let t = Link.target_of_symlink target in
+  match Semdir.link_by_target sd t with
+  | Some l ->
+      (* Physically present: removing it prohibits it, like the user's rm. *)
+      Fs.unlink ctx.fs (Vpath.join dir l.Link.name)
+  | None -> Semdir.prohibit sd (Link.target_key t)
+
+(* Reinstall a semantic directory from recovered metadata: the directory and
+   its physical links already exist in the file system; [permanent] names
+   the links the previous life classified permanent, everything else present
+   is adopted as transient, and [prohibited] target keys are restored before
+   the first re-evaluation so nothing sneaks back in. *)
+let restore_semdir (ctx : Ctx.t) path ~query ~permanent ~prohibited =
+  let path = Vpath.normalize path in
+  let q = parse_query ctx query in
+  let uid = uid_of_dir ctx path in
+  if Hashtbl.mem ctx.semdirs uid then fail "%s is already a semantic directory" path;
+  let sd =
+    match Hashtbl.find_opt ctx.skeletons uid with
+    | Some sk ->
+        Hashtbl.remove ctx.skeletons uid;
+        sk.Semdir.query <- q;
+        sk
+    | None -> Semdir.create ~uid q
+  in
+  List.iter (Semdir.prohibit sd) prohibited;
+  let adopted = ref 0 in
+  List.iter
+    (fun name ->
+      let lp = Vpath.join path name in
+      if Fs.is_symlink ctx.fs lp then begin
+        incr adopted;
+        let target = Link.target_of_symlink (Fs.readlink ctx.fs lp) in
+        let cls = if List.mem name permanent then Link.Permanent else Link.Transient in
+        Semdir.add_link sd { Link.name; target; cls };
+        if cls = Link.Transient then begin
+          match target with
+          | Link.Local p -> (
+              match Index.doc_of_path ctx.index p with
+              | Some id ->
+                  sd.Semdir.transient_local <-
+                    Fileset.add sd.Semdir.transient_local id
+              | None -> ())
+          | Link.Remote { ns_id; uri } ->
+              sd.Semdir.transient_remote <-
+                sd.Semdir.transient_remote
+                @ [ { Semdir.rr_ns = ns_id; rr_uri = uri; rr_name = name } ]
+        end
+      end)
+    (Fs.readdir ctx.fs path);
+  sd.Semdir.materialized <- !adopted > 0;
+  Hashtbl.replace ctx.semdirs uid sd;
+  match Sync.recompute_deps ctx sd with
+  | Ok () -> Sync.sync_from ctx uid
+  | Error cycle ->
+      Hashtbl.remove ctx.semdirs uid;
+      fail "restored query would create a dependency cycle through uids %s"
+        (String.concat " -> " (List.map string_of_int cycle))
+
+let resolve_target (ctx : Ctx.t) path =
+  (* A link inside a semantic directory may not be materialised yet. *)
+  (match Ctx.semdir_of_path ctx (Vpath.dirname path) with
+  | Some sd -> Sync.materialize ctx sd
+  | None -> ());
+  if Fs.is_symlink ctx.fs path then Link.target_of_symlink (Fs.readlink ctx.fs path)
+  else Link.Local (Vpath.normalize path)
+
+let resolve_link (ctx : Ctx.t) path =
+  match resolve_target ctx path with
+  | Link.Local p -> Ctx.reader ctx p
+  | Link.Remote { ns_id; uri } -> Sync.fetch_remote ctx ~ns_id ~uri
+
+let sact (ctx : Ctx.t) link_path =
+  let link_path = Vpath.normalize link_path in
+  let dir = Vpath.dirname link_path in
+  let sd = semdir_or_fail ctx dir in
+  Sync.materialize ctx sd;
+  match resolve_link ctx link_path with
+  | None -> []
+  | Some content ->
+      let query_words = Ast.words sd.Semdir.query in
+      let hits = ref [] in
+      let k w = if Index.stemming ctx.index then Hac_index.Stemmer.stem w else w in
+      let keys = List.map k query_words in
+      Hac_index.Tokenizer.iter_lines content (fun lineno line ->
+          let line_has = ref false in
+          Hac_index.Tokenizer.iter_words line (fun x ->
+              if List.mem (k x) keys then line_has := true);
+          if !line_has then hits := (lineno, line) :: !hits);
+      List.rev !hits
+
+(* Rewrite the metadata area from current state: a fresh directory journal
+   keyed by this instance's uids, and one set of structure files per live
+   semantic directory.  Used after recovery, when the old instance's uids no
+   longer mean anything. *)
+let checkpoint_metadata (ctx : Ctx.t) =
+  Ctx.with_maintenance ctx (fun () ->
+      if Fs.is_dir ctx.fs Sync.meta_root then Fs.rmtree ctx.fs Sync.meta_root;
+      Fs.mkdir_p ctx.fs Sync.meta_root;
+      let b = Buffer.create 1024 in
+      Uidmap.fold
+        (fun uid path () ->
+          if path <> Vpath.root && not (Vpath.is_prefix ~prefix:Sync.meta_root path) then
+            Buffer.add_string b (Printf.sprintf "D %d %s\n" uid path))
+        ctx.uids ();
+      Fs.write_file ctx.fs (Sync.meta_root ^ "/dirs.log") (Buffer.contents b));
+  Hashtbl.iter (fun _ sd -> Sync.persist_semdir ctx sd) ctx.semdirs
+
+(* -- mounts ------------------------------------------------------------------ *)
+
+let smount (ctx : Ctx.t) path ns =
+  let uid = uid_of_dir ctx path in
+  Hashtbl.replace ctx.namespaces ns.Namespace.ns_id ns;
+  Mount_table.smount ctx.mounts ~uid ns;
+  Sync.sync_all ctx
+
+let smount_fs (ctx : Ctx.t) path ffs =
+  let uid = uid_of_dir ctx path in
+  if ffs == ctx.fs then fail "cannot syntactically mount a file system on itself";
+  Hashtbl.replace ctx.syn_mounts uid ffs
+
+let sumount_fs (ctx : Ctx.t) path =
+  match Uidmap.uid_of_path ctx.uids (Vpath.normalize path) with
+  | Some uid -> Hashtbl.remove ctx.syn_mounts uid
+  | None -> ()
+
+let syntactic_mount_points (ctx : Ctx.t) =
+  Hashtbl.fold
+    (fun uid _ acc ->
+      match Uidmap.path_of_uid ctx.uids uid with Some p -> p :: acc | None -> acc)
+    ctx.syn_mounts []
+  |> List.sort compare
+
+let sumount (ctx : Ctx.t) path ~ns_id =
+  let uid = uid_of_dir ctx path in
+  Mount_table.sumount ctx.mounts ~uid ~ns_id;
+  Sync.sync_all ctx
+
+let mounted_at (ctx : Ctx.t) path =
+  match Uidmap.uid_of_path ctx.uids path with
+  | None -> []
+  | Some uid ->
+      List.map (fun ns -> ns.Namespace.ns_id) (Mount_table.mounted ctx.mounts ~uid)
+
+let refresh_mounts (ctx : Ctx.t) =
+  if Mount_table.mount_points ctx.mounts <> [] then Sync.sync_all ctx
+
+(* -- accounting --------------------------------------------------------------- *)
+
+type space = {
+  semdir_bytes : int;
+  uidmap_bytes : int;
+  depgraph_bytes : int;
+  index_bytes : int;
+  fs_metadata_bytes : int;
+}
+
+let space (ctx : Ctx.t) =
+  {
+    semdir_bytes =
+      Hashtbl.fold (fun _ sd acc -> acc + Semdir.approx_bytes sd) ctx.semdirs 0
+      + Hashtbl.fold (fun _ sd acc -> acc + Semdir.approx_bytes sd) ctx.skeletons 0;
+    uidmap_bytes = Uidmap.approx_bytes ctx.uids;
+    depgraph_bytes = Depgraph.approx_bytes ctx.deps;
+    index_bytes = Index.index_bytes ctx.index;
+    fs_metadata_bytes = Fs.metadata_bytes ctx.fs;
+  }
+
+let hac_overhead_bytes s = s.semdir_bytes + s.uidmap_bytes + s.depgraph_bytes
+
+let semdir_count (ctx : Ctx.t) = Hashtbl.length ctx.semdirs

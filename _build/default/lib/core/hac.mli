@@ -1,0 +1,238 @@
+(** HAC — the Hierarchy And Content file system.
+
+    The public facade: a hierarchical file system (all of {!Hac_vfs.Fs}'s
+    operations work, through {!fs} or the wrappers here) extended with
+    content-based access.  Semantic directories are created with {!smkdir},
+    kept scope-consistent automatically, and manipulated with the [s*]
+    commands the paper describes ([ssync], [sact], [smount], ...).
+
+    HAC observes {e every} mutation of the underlying file system through
+    its event stream, so applications may also mutate {!fs} directly —
+    deleting a symbolic link from a semantic directory with the plain
+    [unlink] still marks its target prohibited. *)
+
+type t
+(** One HAC file system. *)
+
+exception Hac_error of string
+(** Raised by the [s*] operations on user errors (bad query, unknown
+    directory, dependency cycle, ...). *)
+
+(** {1 Construction} *)
+
+val create :
+  ?block_size:int ->
+  ?stem:bool ->
+  ?transducer:Hac_index.Transducer.t ->
+  ?auto_sync:bool ->
+  ?reindex_every:int ->
+  unit ->
+  t
+(** A fresh HAC over an empty file system.  [auto_sync] (default [false])
+    reindexes and re-evaluates after every mutation — convenient
+    interactively, costly on bulk loads.  [reindex_every] triggers the
+    paper's periodic data-consistency pass after that many mutations.
+    [block_size] and [stem] configure the content index. *)
+
+val of_fs :
+  ?block_size:int ->
+  ?stem:bool ->
+  ?transducer:Hac_index.Transducer.t ->
+  ?auto_sync:bool ->
+  ?reindex_every:int ->
+  Hac_vfs.Fs.t ->
+  t
+(** Adopt an existing file system: registers every directory in the global
+    uid map and indexes every regular file. *)
+
+val shutdown : ?graceful:bool -> t -> unit
+(** Stop this instance: it no longer observes the file system (simulating
+    the user-level library going away).  With [graceful] (default) pending
+    data consistency is settled first, as at a clean exit; pass [false] to
+    simulate a crash.  Either way the persisted metadata in [/.hac] remains
+    for {!Recover.reload} by a future instance. *)
+
+val fs : t -> Hac_vfs.Fs.t
+(** The underlying file system (safe to use directly). *)
+
+val index : t -> Hac_index.Index.t
+(** The content index (the CBA mechanism). *)
+
+val intercept : t -> string -> unit
+(** The per-call interposition work the paper's user-level DLL performs on
+    {e every} file system call before delegating to UNIX: normalize the
+    path, consult the global directory map, and check whether the containing
+    directory is semantic (and hence needs consistency hooks).  The wrappers
+    below call this; external layers driving {!fs} directly can call it to
+    model the same cost. *)
+
+(** {1 Plain file-system operations}
+
+    Thin wrappers over {!Hac_vfs.Fs} on the wrapped instance; each performs
+    the {!intercept} work first, like the paper's interposed calls. *)
+
+val mkdir : t -> string -> unit
+val mkdir_p : t -> string -> unit
+val rmdir : t -> string -> unit
+val write_file : t -> string -> string -> unit
+val append_file : t -> string -> string -> unit
+val read_file : t -> string -> string
+val unlink : t -> string -> unit
+val rename : t -> src:string -> dst:string -> unit
+val symlink : t -> target:string -> link:string -> unit
+val readlink : t -> string -> string
+val readdir : t -> string -> string list
+val exists : t -> string -> bool
+val is_dir : t -> string -> bool
+
+(** {1 Semantic directories} *)
+
+val smkdir : t -> string -> string -> unit
+(** [smkdir t path query] creates a semantic directory: makes the directory,
+    parses and installs the query (directory references become uids), wires
+    dependency edges and evaluates the query.  The result is stored compactly
+    (the paper's N/8-byte bitmap); the transient symbolic links materialise
+    on first access through HAC ({!links}, {!readdir}, {!read_file}, ...).
+    Raises {!Hac_error} on parse errors, unknown referenced directories or
+    dependency cycles (the directory is not created). *)
+
+val srmdir : t -> string -> unit
+(** Remove a semantic directory: deletes its HAC-managed links, then the
+    directory itself (which must otherwise be empty), its semantic state,
+    uid and dependency edges. *)
+
+val schquery : t -> string -> string -> unit
+(** Replace the query of a directory and re-evaluate it and its dependents.
+    On a plain directory this {e makes} it semantic (retro-fit).  Raises
+    {!Hac_error} on parse errors or cycles (state unchanged). *)
+
+val sreadin : t -> string -> string option
+(** The query of a directory, rendered with current referenced-directory
+    paths; [None] for syntactic directories. *)
+
+val squery_ast : t -> string -> Hac_query.Ast.t option
+(** The installed query AST ([Ref_uid] form). *)
+
+val is_semantic : t -> string -> bool
+(** Whether the directory has a query. *)
+
+val semantic_dirs : t -> string list
+(** Paths of every semantic directory, sorted. *)
+
+val ssync : t -> string -> unit
+(** Re-evaluate the directory's query and those of all directories that
+    directly or indirectly depend on it (the paper's [ssync]). *)
+
+val sync_all : t -> unit
+(** Settle scope consistency everywhere (dependencies first). *)
+
+val reindex : t -> ?under:string -> unit -> int
+(** Settle data consistency now (optionally only below [under]) and then
+    re-evaluate all semantic directories.  Returns the number of files
+    whose index entries were refreshed. *)
+
+val dirty_count : t -> int
+(** Files whose index entry is currently stale. *)
+
+(** {1 Links} *)
+
+val links : t -> string -> Link.t list
+(** Present links of a semantic directory (sorted by name); [[]] for
+    syntactic directories. *)
+
+val prohibited : t -> string -> string list
+(** Prohibited target keys of a semantic directory. *)
+
+val add_permanent : t -> dir:string -> target:string -> string
+(** Explicitly add a permanent link in [dir] to [target] (a local path or a
+    remote uri); lifts any prohibition on the target.  Returns the link
+    name created. *)
+
+val remove_link : t -> dir:string -> name:string -> unit
+(** Delete a link by name — the target becomes prohibited, exactly as if
+    the user ran [rm] on it. *)
+
+val unprohibit : t -> dir:string -> target:string -> unit
+(** Forget a prohibition (the paper's special API for sophisticated users);
+    the target may reappear at the next re-evaluation. *)
+
+val prohibit_target : t -> dir:string -> target:string -> unit
+(** Directly prohibit a target (the other half of the paper's special API):
+    any present link to it is removed, and it will never be re-added
+    implicitly. *)
+
+val restore_semdir :
+  t -> string -> query:string -> permanent:string list -> prohibited:string list -> unit
+(** Reinstall a semantic directory from recovered metadata (see
+    {!Recover.reload}): the directory must already exist physically;
+    symlinks named in [permanent] are adopted as permanent, other present
+    symlinks as transient, [prohibited] target keys are restored, then the
+    query is installed and re-evaluated.  Raises {!Hac_error} if the
+    directory is already semantic or the query is bad. *)
+
+val sact : t -> string -> (int * string) list
+(** [sact t link_path] retrieves the information in the linked file that
+    matches the directory's query: (line number, line) pairs containing
+    query words.  Works for local and remote targets. *)
+
+val resolve_link : t -> string -> string option
+(** Contents of the file a link (or plain path) designates, fetching from
+    the remote namespace when the target is remote. *)
+
+val checkpoint_metadata : t -> unit
+(** Rewrite the on-"disk" metadata area ([/.hac]) from current state: a
+    fresh directory journal and one structure-file set per semantic
+    directory.  {!Recover.reload} calls this after restoring so the old
+    instance's identifiers cannot shadow the new ones. *)
+
+(** {1 Mount points} *)
+
+val smount : t -> string -> Hac_remote.Namespace.t -> unit
+(** Attach a namespace as a semantic mount at the directory (several may be
+    attached: multiple semantic mount points, section 3.2).  Re-evaluates
+    affected semantic directories. *)
+
+val sumount : t -> string -> ns_id:string -> unit
+(** Detach one namespace and re-evaluate. *)
+
+val mounted_at : t -> string -> string list
+(** [ns_id]s mounted at the directory. *)
+
+val refresh_mounts : t -> unit
+(** Re-run every semantic directory whose scope includes a mount point —
+    the "saved search" refresh over remote systems. *)
+
+val smount_fs : t -> string -> Hac_vfs.Fs.t -> unit
+(** Graft a foreign file system at the directory — a {e syntactic} mount
+    point (section 3): paths below it resolve in the foreign system,
+    read-only ([EROFS] on mutation), shadowing any local content.  This is
+    how coworkers browse each other's classifications by name; combine with
+    {!smount} of a {!Hac_remote.Remote_fs} namespace over the same file
+    system for content-based access to it. *)
+
+val sumount_fs : t -> string -> unit
+(** Detach a syntactic mount (local content reappears). *)
+
+val syntactic_mount_points : t -> string list
+(** Paths carrying syntactic mounts, sorted. *)
+
+(** {1 Accounting} *)
+
+type space = {
+  semdir_bytes : int;  (** Link sets, queries, prohibitions. *)
+  uidmap_bytes : int;  (** The global identifier map. *)
+  depgraph_bytes : int;  (** Dependency edges. *)
+  index_bytes : int;  (** The content index. *)
+  fs_metadata_bytes : int;  (** The underlying file system's metadata. *)
+}
+(** Byte-level space report (the paper's 222 KB vs 210 KB comparison). *)
+
+val space : t -> space
+(** Measure current space use. *)
+
+val hac_overhead_bytes : space -> int
+(** HAC-only structures: semdirs + uidmap + depgraph (excludes the index,
+    reported separately in the paper's Table 3). *)
+
+val semdir_count : t -> int
+(** Number of semantic directories. *)

@@ -1,0 +1,39 @@
+type cls = Permanent | Transient
+
+type target = Local of string | Remote of { ns_id : string; uri : string }
+
+type t = { name : string; target : target; cls : cls }
+
+let target_key = function Local p -> p | Remote { uri; _ } -> uri
+
+(* A remote uri looks like  scheme://ns_id/rest ; everything else is a local
+   path.  We only need to recognise what [symlink_value] produces. *)
+let target_of_symlink s =
+  match String.index_opt s ':' with
+  | Some i
+    when i + 2 < String.length s
+         && s.[i + 1] = '/'
+         && s.[i + 2] = '/'
+         && i > 0 -> (
+      let rest = String.sub s (i + 3) (String.length s - i - 3) in
+      match String.index_opt rest '/' with
+      | Some j -> Remote { ns_id = String.sub rest 0 j; uri = s }
+      | None -> Remote { ns_id = rest; uri = s })
+  | _ -> Local (Hac_vfs.Vpath.normalize s)
+
+let symlink_value = function Local p -> p | Remote { uri; _ } -> uri
+
+let display_name = function
+  | Local p ->
+      let b = Hac_vfs.Vpath.basename p in
+      if b = "" then "root" else b
+  | Remote { uri; _ } -> (
+      match String.rindex_opt uri '/' with
+      | Some i when i + 1 < String.length uri ->
+          String.sub uri (i + 1) (String.length uri - i - 1)
+      | _ -> uri)
+
+let cls_name = function Permanent -> "permanent" | Transient -> "transient"
+
+let pp ppf l =
+  Format.fprintf ppf "%s -> %s [%s]" l.name (target_key l.target) (cls_name l.cls)

@@ -1,0 +1,43 @@
+(** Symbolic-link classification — the heart of scope consistency.
+
+    Section 2.3 of the paper classifies the links of a semantic directory as
+    {e permanent} (explicitly added by the user), {e transient} (produced by
+    query evaluation) or {e prohibited} (once present, explicitly deleted by
+    the user; never silently re-added).  A link's target is either a local
+    file or an entry of a remotely mounted namespace. *)
+
+type cls = Permanent | Transient
+(** Class of a {e present} link.  Prohibition is a property of targets, not
+    of present links, and is tracked separately by {!Semdir}. *)
+
+type target =
+  | Local of string  (** Normalized absolute path in the local file system. *)
+  | Remote of { ns_id : string; uri : string }  (** Entry of a mounted namespace. *)
+
+type t = {
+  name : string;  (** Directory-entry name of the symbolic link. *)
+  target : target;
+  cls : cls;
+}
+
+val target_key : target -> string
+(** Canonical string used for set membership and prohibition: the path for
+    local targets, the uri for remote ones. *)
+
+val target_of_symlink : string -> target
+(** Classify a raw symlink target string: uris of the form
+    [<scheme>://<ns_id>/...] become [Remote]; anything else is a [Local]
+    path (normalized). *)
+
+val symlink_value : target -> string
+(** The string to store in the physical symbolic link (inverse of
+    {!target_of_symlink}). *)
+
+val display_name : target -> string
+(** Candidate link name for a target: the basename of the path or uri. *)
+
+val cls_name : cls -> string
+(** ["permanent"] or ["transient"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer. *)

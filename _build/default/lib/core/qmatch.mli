@@ -1,0 +1,14 @@
+(** Matching a query against a single document.
+
+    Used for remote entries inherited through a parent's scope: the entry's
+    content is fetched once and the query is decided locally.  Semantics
+    mirror index-backed evaluation for content terms; directory references
+    cannot hold for a remote document and are false. *)
+
+val matches :
+  ?stem:bool -> Hac_query.Ast.t -> name:string -> content:string -> bool
+(** [matches q ~name ~content] decides [q] for one document.  [Attr] terms
+    are checked against [name] ([name:], [ext:]) or always false ([path:] —
+    remote entries have no local path).  [All] is true.  [stem] (default
+    [true]) must match the local index's setting so local and remote results
+    agree. *)

@@ -1,0 +1,108 @@
+module Fs = Hac_vfs.Fs
+module Vpath = Hac_vfs.Vpath
+
+(* dirs.log lines (appended by the event handler):
+     D <uid> <path>     directory created
+     M <uid> <path>     directory (and hence its subtree) moved here
+     X <uid>            directory removed
+   Replaying them yields the uid -> path map as of shutdown. *)
+let replay_journal text =
+  let map = Hashtbl.create 64 in
+  let handle line =
+    match String.split_on_char ' ' (String.trim line) with
+    | [ "D"; uid; path ] -> (
+        match int_of_string_opt uid with
+        | Some uid -> Hashtbl.replace map uid path
+        | None -> ())
+    | "M" :: uid :: rest when rest <> [] -> (
+        match int_of_string_opt uid with
+        | None -> ()
+        | Some uid -> (
+            let new_path = String.concat " " rest in
+            match Hashtbl.find_opt map uid with
+            | None -> Hashtbl.replace map uid new_path
+            | Some old_path ->
+                (* The move carries the whole registered subtree along. *)
+                Hashtbl.iter
+                  (fun u p ->
+                    match Vpath.replace_prefix ~prefix:old_path ~by:new_path p with
+                    | Some p' when Vpath.is_prefix ~prefix:old_path p ->
+                        Hashtbl.replace map u p'
+                    | Some _ | None -> ())
+                  (Hashtbl.copy map)))
+    | [ "X"; uid ] -> (
+        match int_of_string_opt uid with
+        | Some uid -> Hashtbl.remove map uid
+        | None -> ())
+    | _ -> ()
+  in
+  String.split_on_char '\n' text |> List.iter handle;
+  map
+
+let read_opt fs path =
+  try Some (Fs.read_file fs path) with Hac_vfs.Errno.Error _ -> None
+
+let journal_map t =
+  match read_opt (Hac.fs t) "/.hac/dirs.log" with
+  | None -> Hashtbl.create 0
+  | Some text -> replay_journal text
+
+let journal_paths t =
+  Hashtbl.fold (fun uid path acc -> (uid, path) :: acc) (journal_map t) []
+  |> List.sort compare
+
+let non_empty_lines text =
+  String.split_on_char '\n' text
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "")
+
+(* .links lines: "<permanent|transient> <name> <target>" (plus "remote ..."
+   result lines, which the adoption of physical links supersedes). *)
+let permanent_names links_text =
+  non_empty_lines links_text
+  |> List.filter_map (fun line ->
+         match String.split_on_char ' ' line with
+         | "permanent" :: name :: _ -> Some name
+         | _ -> None)
+
+let reload t =
+  let fs = Hac.fs t in
+  (* Snapshot all recoverable state first: restoring writes fresh metadata
+     under this instance's uids, which must not alias the old ones. *)
+  let plan =
+    Hashtbl.fold
+      (fun uid path acc ->
+        match read_opt fs (Printf.sprintf "/.hac/sd-%d.query" uid) with
+        | None -> acc (* never semantic, or metadata gone *)
+        | Some query_text ->
+            let query = String.trim query_text in
+            if query = "" || not (Fs.is_dir fs path) then acc
+            else
+              let permanent =
+                match read_opt fs (Printf.sprintf "/.hac/sd-%d.links" uid) with
+                | Some text -> permanent_names text
+                | None -> []
+              in
+              let prohibited =
+                match read_opt fs (Printf.sprintf "/.hac/sd-%d.proh" uid) with
+                | Some text -> non_empty_lines text
+                | None -> []
+              in
+              (path, query, permanent, prohibited) :: acc)
+      (journal_map t) []
+    |> List.sort compare
+  in
+  let restored = ref 0 in
+  List.iter
+    (fun (path, query, permanent, prohibited) ->
+      if not (Hac.is_semantic t path) then
+        match Hac.restore_semdir t path ~query ~permanent ~prohibited with
+        | () -> incr restored
+        | exception Hac.Hac_error _ ->
+            (* Unparseable or cyclic after the crash: leave it plain. *)
+            ())
+    plan;
+  (* The old instance's identifiers are dead; re-key the metadata area. *)
+  Hac.checkpoint_metadata t;
+  Hac.sync_all t;
+  !restored

@@ -1,0 +1,25 @@
+(** Crash recovery from the on-"disk" metadata area.
+
+    The paper's HAC stores every directory's structures on disk (section 4);
+    the point of paying that I/O is that the system state survives the
+    user-level library going away.  This module rebuilds the semantic state
+    of a file system from the metadata HAC persisted into [/.hac]:
+
+    + replay the directory journal ([dirs.log]: created / moved / removed)
+      to learn which uids named which paths at shutdown;
+    + for every surviving directory with persisted structures, reinstall its
+      query, reclassify its physical links (permanent vs transient) and
+      restore its prohibitions via {!Hac.restore_semdir};
+    + re-evaluate everything.
+
+    Typical use: [let t = Hac.of_fs fs in Recover.reload t]. *)
+
+val reload : Hac.t -> int
+(** Restore every recoverable semantic directory; returns how many were
+    restored.  Directories whose metadata is missing or whose path no longer
+    exists are skipped silently; a directory that is already semantic (e.g.
+    restored twice) is skipped too. *)
+
+val journal_paths : Hac.t -> (int * string) list
+(** The uid → path map recovered from the directory journal (after replaying
+    moves and removals), sorted by uid — exposed for inspection and tests. *)

@@ -1,0 +1,513 @@
+module Fs = Hac_vfs.Fs
+module Vpath = Hac_vfs.Vpath
+module Fileset = Hac_bitset.Fileset
+module Index = Hac_index.Index
+module Search = Hac_index.Search
+module Ast = Hac_query.Ast
+module Depgraph = Hac_depgraph.Depgraph
+module Namespace = Hac_remote.Namespace
+module Mount_table = Hac_remote.Mount_table
+
+type scope = {
+  local : Fileset.t;
+  remote : Link.target list;
+  mount_uids : int list;
+}
+
+let subtree_docs (ctx : Ctx.t) path =
+  let path = Vpath.normalize path in
+  if path = Vpath.root then Index.universe ctx.index
+  else Index.doc_ids_under ctx.index path
+
+let mounts_under (ctx : Ctx.t) path =
+  List.filter
+    (fun uid ->
+      match Uidmap.path_of_uid ctx.uids uid with
+      | Some mpath -> Vpath.is_prefix ~prefix:path mpath
+      | None -> false)
+    (Mount_table.mount_points ctx.mounts)
+
+let provided_scope (ctx : Ctx.t) uid =
+  match Uidmap.path_of_uid ctx.uids uid with
+  | None -> { local = Fileset.empty; remote = []; mount_uids = [] }
+  | Some path -> (
+      let mount_uids = mounts_under ctx path in
+      match Ctx.semdir_of_uid ctx uid with
+      | None -> { local = subtree_docs ctx path; remote = []; mount_uids }
+      | Some sd ->
+          (* The current query result (bitmap + remote entries) plus
+             explicitly present links plus physical files of the subtree. *)
+          let local = ref (Fileset.union sd.Semdir.transient_local (subtree_docs ctx path)) in
+          let remote = ref [] in
+          List.iter
+            (fun r ->
+              remote := Link.Remote { ns_id = r.Semdir.rr_ns; uri = r.Semdir.rr_uri } :: !remote)
+            sd.Semdir.transient_remote;
+          List.iter
+            (fun l ->
+              match l.Link.target with
+              | Link.Local p -> (
+                  match Index.doc_of_path ctx.index p with
+                  | Some id -> local := Fileset.add !local id
+                  | None -> ())
+              | Link.Remote _ as r -> remote := r :: !remote)
+            (Semdir.links_of_cls sd Link.Permanent);
+          { local = !local; remote = List.rev !remote; mount_uids })
+
+let attr_docs (ctx : Ctx.t) key value =
+  match key with
+  | "name" | "ext" | "path" ->
+      (* Built-in attributes derive from the path alone. *)
+      let test path =
+        match key with
+        | "name" -> Vpath.basename path = value
+        | "ext" ->
+            let base = Vpath.basename path in
+            (match String.rindex_opt base '.' with
+            | Some i -> String.sub base (i + 1) (String.length base - i - 1) = value
+            | None -> false)
+        | _ -> Vpath.is_prefix ~prefix:value path
+      in
+      Fileset.filter
+        (fun id ->
+          match Index.doc_path ctx.index id with Some p -> test p | None -> false)
+        (Index.universe ctx.index)
+  | _ -> (
+      (* Transducer-extracted attributes: block-coarse candidates from the
+         index, verified by re-extracting from the candidate's content. *)
+      match Index.transducer ctx.index with
+      | None -> Fileset.empty
+      | Some td ->
+          let key = String.lowercase_ascii key and value = String.lowercase_ascii value in
+          let verify id =
+            match Index.doc_path ctx.index id with
+            | None -> false
+            | Some path -> (
+                match Ctx.reader ctx path with
+                | None -> false
+                | Some content ->
+                    List.exists
+                      (fun (k, v) -> k = key && v = value)
+                      (td.Hac_index.Transducer.extract ~path ~content))
+          in
+          Fileset.filter verify (Index.attr_docs ctx.index key value))
+
+(* Selectivity estimate for the planner: candidate-set sizes from cheap
+   postings lookups.  Verification never widens a candidate set, so these
+   are sound upper bounds for ordering conjunctions. *)
+let term_cost (ctx : Ctx.t) term =
+  let universe_size () = Index.doc_count ctx.index in
+  match term with
+  | Ast.Word w -> Fileset.cardinal (Index.candidate_docs ctx.index w)
+  | Ast.Phrase ws ->
+      List.fold_left
+        (fun acc w -> min acc (Fileset.cardinal (Index.candidate_docs ctx.index w)))
+        max_int ws
+  | Ast.Approx _ -> universe_size () (* vocabulary scan: treat as expensive *)
+  | Ast.Attr (("name" | "ext" | "path"), _) -> universe_size ()
+  | Ast.Attr (k, v) -> Fileset.cardinal (Index.attr_docs ctx.index k v)
+  | Ast.Regex r -> (
+      match Hac_index.Regex.compile_result r with
+      | Ok re when (not (Index.stemming ctx.index)) && Hac_index.Regex.required_word re <> None
+        ->
+          universe_size () / 2 (* literal-narrowed scan: cheaper than full *)
+      | Ok _ | Error _ -> universe_size ())
+  | Ast.Dirref (Ast.Ref_uid u) -> (
+      match Ctx.semdir_of_uid ctx u with
+      | Some sd -> Fileset.cardinal sd.Semdir.transient_local
+      | None -> universe_size ())
+  | Ast.Dirref (Ast.Ref_path _) -> universe_size ()
+
+let eval_query (ctx : Ctx.t) q =
+  let q = Hac_query.Planner.optimize ~cost:(term_cost ctx) q in
+  let reader = Ctx.reader ctx in
+  let dirref = function
+    | Ast.Ref_uid u -> (provided_scope ctx u).local
+    | Ast.Ref_path p -> (
+        match Uidmap.uid_of_path ctx.uids p with
+        | Some u -> (provided_scope ctx u).local
+        | None -> Fileset.empty)
+  in
+  let env =
+    {
+      Hac_query.Eval.universe = lazy (Index.universe ctx.index);
+      word = (fun ?within w -> Search.search_word ?within ctx.index reader w);
+      phrase = (fun ?within ws -> Search.search_phrase ?within ctx.index reader ws);
+      approx =
+        (fun ?within w k -> Search.search_approx ?within ctx.index reader ~word:w ~errors:k);
+      attr = (fun ?within:_ k v -> attr_docs ctx k v);
+      regex =
+        (fun ?within r ->
+          match Search.search_regex ?within ctx.index reader r with
+          | result -> result
+          | exception Hac_index.Regex.Parse_error _ -> Fileset.empty);
+      dirref = (fun ?within:_ r -> dirref r);
+    }
+  in
+  Hac_query.Eval.eval env q
+
+(* -- metadata persistence --------------------------------------------------
+
+   The paper's HAC stores each directory's query, query-result (as an N/8
+   byte bitmap) and link sets on disk; those writes are a real part of its
+   measured overhead.  We persist the same information through the VFS into
+   a hidden metadata area. *)
+
+let meta_root = "/.hac"
+
+(* Each structure lives in its own file, as the paper stores them as
+   separate on-disk objects: the query, the link sets, the prohibitions and
+   the query-result bitmap. *)
+let meta_files uid =
+  List.map
+    (fun suffix -> Printf.sprintf "%s/sd-%d.%s" meta_root uid suffix)
+    [ "query"; "links"; "proh"; "result" ]
+
+let persist_semdir (ctx : Ctx.t) (sd : Semdir.t) =
+  (* Directory references are rendered through the global map: stored
+     queries must survive into a future instance whose uids differ. *)
+  let query_data =
+    Ast.to_string ~path_of_uid:(Uidmap.path_of_uid ctx.uids) sd.Semdir.query ^ "\n"
+  in
+  let links_data =
+    let b = Buffer.create 128 in
+    List.iter
+      (fun l ->
+        Buffer.add_string b
+          (Printf.sprintf "%s %s %s\n" (Link.cls_name l.Link.cls) l.Link.name
+             (Link.symlink_value l.Link.target)))
+      (Semdir.all_links sd);
+    List.iter
+      (fun r -> Buffer.add_string b ("remote " ^ r.Semdir.rr_ns ^ " " ^ r.Semdir.rr_uri ^ "\n"))
+      sd.Semdir.transient_remote;
+    Buffer.contents b
+  in
+  let proh_data = String.concat "\n" (Semdir.prohibited_keys sd) in
+  (* The query-result bitmap, ceil(N/8) bytes for N indexed files. *)
+  let result_data =
+    let bitmap = Bytes.make ((Index.doc_count ctx.index + 7) / 8) '\000' in
+    Hac_bitset.Fileset.iter
+      (fun id ->
+        if id / 8 < Bytes.length bitmap then begin
+          let byte = Char.code (Bytes.get bitmap (id / 8)) in
+          Bytes.set bitmap (id / 8) (Char.chr (byte lor (1 lsl (id mod 8))))
+        end)
+      sd.Semdir.transient_local;
+    Bytes.to_string bitmap
+  in
+  Ctx.with_maintenance ctx (fun () ->
+      if not (Fs.is_dir ctx.fs meta_root) then Fs.mkdir_p ctx.fs meta_root;
+      List.iter2 (Fs.write_file ctx.fs) (meta_files sd.Semdir.uid)
+        [ query_data; links_data; proh_data; result_data ])
+
+let unpersist_semdir (ctx : Ctx.t) uid =
+  Ctx.with_maintenance ctx (fun () ->
+      List.iter
+        (fun f -> if Fs.lexists ctx.fs f then Fs.unlink ctx.fs f)
+        (meta_files uid))
+
+(* -- query rendering for remote namespaces ------------------------------- *)
+
+let rec strip_dirrefs = function
+  | Ast.Term (Ast.Dirref _) ->
+      (* A remote document is never a member of a local directory. *)
+      Ast.Not Ast.All
+  | Ast.Term _ as q -> q
+  | Ast.All -> Ast.All
+  | Ast.Not a -> Ast.Not (strip_dirrefs a)
+  | Ast.And (a, b) -> Ast.And (strip_dirrefs a, strip_dirrefs b)
+  | Ast.Or (a, b) -> Ast.Or (strip_dirrefs a, strip_dirrefs b)
+
+let max_keyword_renders = 16
+
+(* Conjunctive keyword sets, one per OR branch.  Constraints a keyword
+   engine cannot express (NOT, attrs, the match-all star) render as the
+   empty set, which means "enumerate"; local verification then applies the
+   precise query. *)
+let rec keyword_sets = function
+  | Ast.Term (Ast.Word w) -> [ [ w ] ]
+  | Ast.Term (Ast.Phrase ws) -> [ ws ]
+  | Ast.Term (Ast.Approx (w, _)) -> [ [ w ] ]
+  | Ast.Term (Ast.Attr _) | Ast.Term (Ast.Regex _) | Ast.Term (Ast.Dirref _) | Ast.All
+  | Ast.Not _ ->
+      [ [] ]
+  | Ast.Or (a, b) ->
+      let sets = keyword_sets a @ keyword_sets b in
+      if List.length sets > max_keyword_renders then [ [] ] else sets
+  | Ast.And (a, b) ->
+      let sa = keyword_sets a and sb = keyword_sets b in
+      let crossed = List.concat_map (fun x -> List.map (fun y -> x @ y) sb) sa in
+      if List.length crossed > max_keyword_renders then [ [] ] else crossed
+
+let render_for lang q =
+  match lang with
+  | Namespace.Hac_syntax -> [ Ast.to_string (strip_dirrefs q) ]
+  | Namespace.Keywords ->
+      keyword_sets q
+      |> List.map (fun ws -> String.concat " " (List.sort_uniq compare ws))
+      |> List.sort_uniq compare
+
+(* -- remote evaluation ---------------------------------------------------- *)
+
+(* The ns_id parsed out of a uri is a heuristic (uri schemes differ between
+   namespaces); ask the named namespace first, then fall back to every
+   registered one. *)
+let fetch_remote (ctx : Ctx.t) ~ns_id ~uri =
+  let try_ns ns = ns.Namespace.fetch uri in
+  let direct = Option.bind (Hashtbl.find_opt ctx.namespaces ns_id) try_ns in
+  match direct with
+  | Some _ as r -> r
+  | None ->
+      Hashtbl.fold
+        (fun _ ns acc -> match acc with Some _ -> acc | None -> try_ns ns)
+        ctx.namespaces None
+
+let remote_matches (ctx : Ctx.t) q ~name ~ns_id ~uri =
+  match fetch_remote ctx ~ns_id ~uri with
+  | Some content ->
+      Qmatch.matches ~stem:(Index.stemming ctx.index) q ~name ~content
+  | None -> false
+
+(* Entries a semantic directory should import from the mount points visible
+   in its scope: query each namespace in its own language, then verify each
+   answer locally against the full query.  Results carry the entry's display
+   name, used as the symbolic link name. *)
+let mount_results (ctx : Ctx.t) q mount_uids =
+  let results = ref [] in
+  let seen = Hashtbl.create 16 in
+  let consider ns (e : Namespace.entry) =
+    let key = e.uri in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      let keep =
+        match ns.Namespace.fetch e.uri with
+        | Some content ->
+            Qmatch.matches ~stem:(Index.stemming ctx.index) q ~name:e.name ~content
+        | None ->
+            (* Unfetchable entries are kept only when the namespace itself
+               evaluated the full query. *)
+            ns.Namespace.lang = Namespace.Hac_syntax
+      in
+      if keep then
+        results :=
+          (Link.Remote { ns_id = ns.Namespace.ns_id; uri = e.uri }, e.name) :: !results
+    end
+  in
+  List.iter
+    (fun muid ->
+      List.iter
+        (fun ns ->
+          List.iter
+            (fun qs ->
+              let entries =
+                if qs = "" then ns.Namespace.list_all () else ns.Namespace.search qs
+              in
+              List.iter (consider ns) entries)
+            (render_for ns.Namespace.lang q))
+        (Mount_table.mounted ctx.mounts ~uid:muid))
+    mount_uids;
+  List.rev !results
+
+(* -- the scope-consistency algorithm (section 2.3) ------------------------ *)
+
+let parent_uid (ctx : Ctx.t) uid =
+  if uid = Uidmap.root_uid then None
+  else
+    match Uidmap.path_of_uid ctx.uids uid with
+    | None -> None
+    | Some path -> Uidmap.uid_of_path ctx.uids (Vpath.dirname path)
+
+let recompute_deps (ctx : Ctx.t) (sd : Semdir.t) =
+  let parent = Option.to_list (parent_uid ctx sd.Semdir.uid) in
+  Depgraph.set_deps ctx.deps sd.Semdir.uid (parent @ Ast.dir_uids sd.Semdir.query)
+
+(* Expand the stored transient result into physical symbolic links.  Called
+   lazily on first access through HAC, and by [resync_dir] to keep an
+   already-materialised directory consistent. *)
+let create_transient_link (ctx : Ctx.t) (sd : Semdir.t) ~path ~target ~name_hint =
+  let taken name = Fs.lexists ctx.fs (Vpath.join path name) in
+  let name =
+    match name_hint with
+    | Some n when Vpath.valid_name n && not (taken n) -> n
+    | Some _ | None -> Semdir.fresh_link_name sd ~taken target
+  in
+  Fs.symlink ctx.fs ~target:(Link.symlink_value target) ~link:(Vpath.join path name);
+  Semdir.add_link sd { Link.name; target; cls = Link.Transient }
+
+let materialize (ctx : Ctx.t) (sd : Semdir.t) =
+  if not sd.Semdir.materialized then begin
+    match Uidmap.path_of_uid ctx.uids sd.Semdir.uid with
+    | None -> ()
+    | Some path ->
+        Ctx.with_maintenance ctx (fun () ->
+            Fileset.iter
+              (fun id ->
+                match Index.doc_path ctx.index id with
+                | Some p ->
+                    create_transient_link ctx sd ~path ~target:(Link.Local p) ~name_hint:None
+                | None -> ())
+              sd.Semdir.transient_local;
+            List.iter
+              (fun r ->
+                create_transient_link ctx sd ~path
+                  ~target:(Link.Remote { ns_id = r.Semdir.rr_ns; uri = r.Semdir.rr_uri })
+                  ~name_hint:(Some r.Semdir.rr_name))
+              sd.Semdir.transient_remote);
+        sd.Semdir.materialized <- true
+  end
+
+let resync_dir (ctx : Ctx.t) uid =
+  match (Ctx.semdir_of_uid ctx uid, Uidmap.path_of_uid ctx.uids uid) with
+  | None, _ | _, None -> false
+  | Some sd, Some path ->
+      let pscope =
+        match parent_uid ctx uid with
+        | Some p -> provided_scope ctx p
+        | None -> { local = Fileset.empty; remote = []; mount_uids = [] }
+      in
+      let prohibited key = Semdir.is_prohibited sd key in
+      let permanent_key key =
+        List.exists
+          (fun l -> Link.target_key l.Link.target = key)
+          (Semdir.links_of_cls sd Link.Permanent)
+      in
+      (* 1. Evaluate the query over the parent's scope. *)
+      let matched = Fileset.inter (eval_query ctx sd.Semdir.query) pscope.local in
+      (* 2. New local result: matching files, except those physically inside
+            this directory (already "in" it), the prohibited ones, and the
+            permanent ones (section 2.3: HAC never touches those sets).
+            This set is the paper's per-directory result bitmap. *)
+      let new_local =
+        Fileset.filter
+          (fun id ->
+            match Index.doc_path ctx.index id with
+            | Some p ->
+                (not (Vpath.is_prefix ~prefix:path p))
+                && (not (prohibited p))
+                && not (permanent_key p)
+            | None -> false)
+          matched
+      in
+      (* 3. New remote result: inherited parent links that match, plus fresh
+            results from visible mount points; same exclusions. *)
+      let remote_acc = ref [] in
+      let seen_remote = Hashtbl.create 8 in
+      let consider_remote ~ns_id ~uri ~name =
+        if
+          (not (Hashtbl.mem seen_remote uri))
+          && (not (prohibited uri))
+          && not (permanent_key uri)
+        then begin
+          Hashtbl.replace seen_remote uri ();
+          remote_acc :=
+            { Semdir.rr_ns = ns_id; rr_uri = uri; rr_name = name } :: !remote_acc
+        end
+      in
+      List.iter
+        (fun target ->
+          match target with
+          | Link.Remote { ns_id; uri } ->
+              if remote_matches ctx sd.Semdir.query ~name:(Link.display_name target) ~ns_id ~uri
+              then consider_remote ~ns_id ~uri ~name:(Link.display_name target)
+          | Link.Local _ -> ())
+        pscope.remote;
+      List.iter
+        (fun (target, name) ->
+          match target with
+          | Link.Remote { ns_id; uri } -> consider_remote ~ns_id ~uri ~name
+          | Link.Local _ -> ())
+        (mount_results ctx sd.Semdir.query pscope.mount_uids);
+      let new_remote = List.rev !remote_acc in
+      let changed =
+        (not (Fileset.equal new_local sd.Semdir.transient_local))
+        || new_remote <> sd.Semdir.transient_remote
+      in
+      sd.Semdir.transient_local <- new_local;
+      sd.Semdir.transient_remote <- new_remote;
+      (* 4. A directory whose links are already expanded must stay
+            physically consistent: diff and patch its transient symlinks. *)
+      if sd.Semdir.materialized then begin
+        let desired = Hashtbl.create 32 in
+        Fileset.iter
+          (fun id ->
+            match Index.doc_path ctx.index id with
+            | Some p -> Hashtbl.replace desired p (Link.Local p, None)
+            | None -> ())
+          new_local;
+        List.iter
+          (fun r ->
+            Hashtbl.replace desired r.Semdir.rr_uri
+              (Link.Remote { ns_id = r.Semdir.rr_ns; uri = r.Semdir.rr_uri }, Some r.Semdir.rr_name))
+          new_remote;
+        Ctx.with_maintenance ctx (fun () ->
+            List.iter
+              (fun l ->
+                let key = Link.target_key l.Link.target in
+                if Hashtbl.mem desired key then Hashtbl.remove desired key
+                else begin
+                  ignore (Semdir.remove_link sd l.Link.name);
+                  let lpath = Vpath.join path l.Link.name in
+                  if Fs.is_symlink ctx.fs lpath then Fs.unlink ctx.fs lpath
+                end)
+              (Semdir.links_of_cls sd Link.Transient);
+            Hashtbl.iter
+              (fun _key (target, name_hint) ->
+                create_transient_link ctx sd ~path ~target ~name_hint)
+              desired)
+      end;
+      ctx.sync_stamp <- ctx.sync_stamp + 1;
+      sd.Semdir.last_synced <- ctx.sync_stamp;
+      persist_semdir ctx sd;
+      changed
+
+let sync_from (ctx : Ctx.t) uid =
+  ignore (resync_dir ctx uid);
+  List.iter (fun u -> ignore (resync_dir ctx u)) (Depgraph.affected ctx.deps uid)
+
+let sync_all (ctx : Ctx.t) =
+  List.iter (fun u -> ignore (resync_dir ctx u)) (Depgraph.topo_all ctx.deps)
+
+(* -- data consistency (section 2.4) --------------------------------------- *)
+
+let reindex (ctx : Ctx.t) ?under () =
+  let in_scope path =
+    match under with
+    | None -> true
+    | Some prefix -> Vpath.is_prefix ~prefix path
+  in
+  let paths = Hashtbl.fold (fun p () acc -> if in_scope p then p :: acc else acc) ctx.dirty [] in
+  (* The CBA mechanism reads files like any client of the library: each
+     access is interposed (global-map lookup) and goes through an open
+     file descriptor — the paper's Table 3 time overhead. *)
+  let fds = Hac_vfs.Fd_table.create ctx.fs in
+  let read_interposed path =
+    (match Uidmap.uid_of_path ctx.uids (Vpath.dirname path) with
+    | Some uid -> ignore (Ctx.semdir_of_uid ctx uid : Semdir.t option)
+    | None -> ());
+    let fd = Hac_vfs.Fd_table.openfile fds Hac_vfs.Fd_table.Read_only path in
+    let content = Hac_vfs.Fd_table.read_all fds fd in
+    Hac_vfs.Fd_table.close fds fd;
+    content
+  in
+  List.iter
+    (fun path ->
+      Hashtbl.remove ctx.dirty path;
+      if Fs.is_file ctx.fs path then
+        match read_interposed path with
+        | content -> ignore (Index.update_document ctx.index ~path ~content)
+        | exception Hac_vfs.Errno.Error (Hac_vfs.Errno.EACCES, _) ->
+            (* The current user may not read it, so it cannot be indexed
+               under their credentials (security borrowed from the OS). *)
+            Index.remove_path ctx.index path
+      else Index.remove_path ctx.index path)
+    paths;
+  (* Lazy updates leave stale block bits behind (Glimpse-style); once a
+     third of the document slots are dead weight, compact. *)
+  if Index.stale_ratio ctx.index > 0.33 && Index.doc_count ctx.index > 0 then
+    Index.rebuild ctx.index (fun id ->
+        Option.bind (Index.doc_path ctx.index id) (fun p ->
+            match read_interposed p with
+            | content -> Some content
+            | exception Hac_vfs.Errno.Error _ -> None));
+  ctx.ops_since_reindex <- 0;
+  List.length paths

@@ -1,0 +1,84 @@
+(** The scope- and data-consistency engine (sections 2.3–2.5).
+
+    Scope consistency: for every semantic directory [sd] with parent [p],
+    the transient links of [sd] are exactly the files of [p]'s provided
+    scope that satisfy [sd]'s query, minus prohibited and permanent targets.
+    [resync_dir] re-establishes this for one directory; [sync_from]
+    propagates along the dependency DAG in topological order; [sync_all]
+    settles the whole file system.
+
+    Data consistency: [reindex] brings the content index up to date with the
+    dirty-path set accumulated from file system events. *)
+
+type scope = {
+  local : Hac_bitset.Fileset.t;  (** Local indexed documents in scope. *)
+  remote : Link.target list;  (** Remote targets inherited via parent links. *)
+  mount_uids : int list;  (** Semantic mount points visible in the scope. *)
+}
+(** What a directory provides to its semantic children. *)
+
+val provided_scope : Ctx.t -> int -> scope
+(** The scope provided by a directory (section 2.3): for the root, every
+    indexed file; for a syntactic directory, the indexed files of its
+    subtree; for a semantic directory, the targets of its present links plus
+    the indexed physical files of its subtree.  Mount points anywhere in the
+    subtree are visible. *)
+
+val eval_query : Ctx.t -> Hac_query.Ast.t -> Hac_bitset.Fileset.t
+(** Evaluate a query against the local index with directory references
+    resolved through {!provided_scope} (no scope restriction applied). *)
+
+val render_for : Hac_remote.Namespace.lang -> Hac_query.Ast.t -> string list
+(** Query strings to submit to a namespace speaking the given language.  For
+    [Keywords] this is a union of conjunctive keyword queries (one per OR
+    branch); an empty string means "enumerate everything" ([*]). *)
+
+val meta_root : string
+(** ["/.hac"] — the directory where HAC persists its per-directory
+    structures inside the file system, as the paper's implementation writes
+    them to disk.  Everything below it is invisible to indexing and scopes. *)
+
+val persist_semdir : Ctx.t -> Semdir.t -> unit
+(** Write a semantic directory's structures (query, link sets, prohibitions
+    and the paper's N/8-byte result bitmap) to its metadata file.  Performed
+    after every re-evaluation, mirroring the paper's disk I/O. *)
+
+val unpersist_semdir : Ctx.t -> int -> unit
+(** Remove the metadata file of a (removed) directory, by uid. *)
+
+val fetch_remote : Ctx.t -> ns_id:string -> uri:string -> string option
+(** Contents of a remote entry: ask the namespace registered under [ns_id]
+    first, then fall back to every registered namespace (uri schemes don't
+    reliably encode the namespace identifier). *)
+
+val materialize : Ctx.t -> Semdir.t -> unit
+(** Expand a directory's stored transient result (the bitmap) into physical
+    symbolic links.  Idempotent; happens lazily on first access through HAC.
+    Once materialised, {!resync_dir} keeps the physical links consistent. *)
+
+val resync_dir : Ctx.t -> int -> bool
+(** Re-evaluate one semantic directory against its parent's current scope,
+    updating its physical transient links.  Permanent and prohibited sets
+    are never modified.  Returns whether the transient set changed.  No-op
+    ([false]) on syntactic directories. *)
+
+val sync_from : Ctx.t -> int -> unit
+(** [resync_dir] on the directory, then on every directory that directly or
+    indirectly depends on it, in topological order. *)
+
+val sync_all : Ctx.t -> unit
+(** Re-evaluate every semantic directory, dependencies first. *)
+
+val reindex : Ctx.t -> ?under:string -> unit -> int
+(** Settle data consistency for the dirty paths (optionally only those below
+    [under]): update or drop their index entries.  Returns the number of
+    paths processed.  Does {e not} re-evaluate queries — callers typically
+    follow with {!sync_all}. *)
+
+val parent_uid : Ctx.t -> int -> int option
+(** UID of the parent directory ([None] for the root or unknown uids). *)
+
+val recompute_deps : Ctx.t -> Semdir.t -> (unit, int list) result
+(** Reinstall the dependency edges of a semantic directory: its parent plus
+    every directory its query references.  [Error cycle] when the query
+    would create a dependency cycle (graph unchanged). *)

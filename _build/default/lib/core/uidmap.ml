@@ -1,0 +1,71 @@
+module Vpath = Hac_vfs.Vpath
+
+type t = {
+  by_path : (string, int) Hashtbl.t;
+  by_uid : (int, string) Hashtbl.t;
+  mutable next : int;
+}
+
+let root_uid = 0
+
+let create () =
+  let t = { by_path = Hashtbl.create 256; by_uid = Hashtbl.create 256; next = 1 } in
+  Hashtbl.replace t.by_path Vpath.root root_uid;
+  Hashtbl.replace t.by_uid root_uid Vpath.root;
+  t
+
+let register t path =
+  let path = Vpath.normalize path in
+  match Hashtbl.find_opt t.by_path path with
+  | Some uid -> uid
+  | None ->
+      let uid = t.next in
+      t.next <- t.next + 1;
+      Hashtbl.replace t.by_path path uid;
+      Hashtbl.replace t.by_uid uid path;
+      uid
+
+let uid_of_path t path = Hashtbl.find_opt t.by_path (Vpath.normalize path)
+
+let path_of_uid t uid = Hashtbl.find_opt t.by_uid uid
+
+let subtree_entries t prefix =
+  Hashtbl.fold
+    (fun path uid acc -> if Vpath.is_prefix ~prefix path then (path, uid) :: acc else acc)
+    t.by_path []
+
+let rename t ~old_path ~new_path =
+  let old_path = Vpath.normalize old_path and new_path = Vpath.normalize new_path in
+  let moved = subtree_entries t old_path in
+  List.iter
+    (fun (path, uid) ->
+      match Vpath.replace_prefix ~prefix:old_path ~by:new_path path with
+      | None -> ()
+      | Some path' ->
+          Hashtbl.remove t.by_path path;
+          Hashtbl.replace t.by_path path' uid;
+          Hashtbl.replace t.by_uid uid path')
+    moved
+
+let remove t path =
+  let path = Vpath.normalize path in
+  match Hashtbl.find_opt t.by_path path with
+  | None -> None
+  | Some uid ->
+      Hashtbl.remove t.by_path path;
+      Hashtbl.remove t.by_uid uid;
+      Some uid
+
+let remove_subtree t path =
+  let entries = subtree_entries t (Vpath.normalize path) in
+  List.filter_map (fun (p, _) -> remove t p) entries
+
+let fold f t init = Hashtbl.fold (fun path uid acc -> f uid path acc) t.by_path init
+
+let count t = Hashtbl.length t.by_path
+
+let approx_bytes t =
+  let word = Sys.int_size / 8 + 1 in
+  Hashtbl.fold
+    (fun path _ acc -> acc + (2 * (String.length path + (3 * word))))
+    t.by_path 0

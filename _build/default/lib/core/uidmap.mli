@@ -1,0 +1,44 @@
+(** The global map of unique directory identifiers to path names.
+
+    Section 2.5: queries store directory {e identifiers}, not path names, so
+    when a referenced directory is renamed only this map is updated and every
+    query referring to it stays valid.  The map covers every directory in the
+    file system (the paper's HAC tracks all directory names globally). *)
+
+type t
+(** One map instance. *)
+
+val create : unit -> t
+(** A map containing only the root directory. *)
+
+val root_uid : int
+(** UID of ["/"] (0). *)
+
+val register : t -> string -> int
+(** UID for the directory path, allocating a fresh one when unknown. *)
+
+val uid_of_path : t -> string -> int option
+(** Lookup by (normalized) path. *)
+
+val path_of_uid : t -> int -> string option
+(** Current path of a registered directory. *)
+
+val rename : t -> old_path:string -> new_path:string -> unit
+(** Rewrite the entry for [old_path] {e and every registered descendant} to
+    live under [new_path] — the single cheap update that replaces fixing up
+    all dependent queries. *)
+
+val remove : t -> string -> int option
+(** Forget one directory (returns its uid). *)
+
+val remove_subtree : t -> string -> int list
+(** Forget a directory and all registered descendants; returns their uids. *)
+
+val fold : (int -> string -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over (uid, path) pairs in unspecified order. *)
+
+val count : t -> int
+(** Number of registered directories. *)
+
+val approx_bytes : t -> int
+(** Estimated memory footprint, for space accounting. *)

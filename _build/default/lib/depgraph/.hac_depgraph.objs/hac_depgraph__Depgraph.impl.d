@@ -1,0 +1,1 @@
+lib/depgraph/depgraph.ml: Hashtbl Int List Option Set Sys

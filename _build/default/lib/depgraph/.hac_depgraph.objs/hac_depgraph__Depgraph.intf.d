@@ -1,0 +1,1 @@
+lib/depgraph/depgraph.mli:

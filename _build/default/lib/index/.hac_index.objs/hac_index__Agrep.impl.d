@@ -1,0 +1,1 @@
+lib/index/agrep.ml: Array Char String Sys

@@ -1,0 +1,1 @@
+lib/index/agrep.mli:

@@ -1,0 +1,1 @@
+lib/index/index.ml: Agrep Array Hac_bitset Hashtbl List Stemmer String Sys Tokenizer Transducer

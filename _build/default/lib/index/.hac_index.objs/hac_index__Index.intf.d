@@ -1,0 +1,1 @@
+lib/index/index.mli: Hac_bitset Transducer

@@ -1,0 +1,1 @@
+lib/index/regex.ml: Array Buffer Char List Option Printf String

@@ -1,0 +1,1 @@
+lib/index/search.ml: Agrep Hac_bitset Index List Option Regex Stemmer String Tokenizer

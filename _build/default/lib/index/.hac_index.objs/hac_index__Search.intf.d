@@ -1,0 +1,1 @@
+lib/index/search.mli: Hac_bitset Index

@@ -1,0 +1,1 @@
+lib/index/stemmer.ml: String

@@ -1,0 +1,1 @@
+lib/index/tokenizer.mli:

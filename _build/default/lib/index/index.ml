@@ -1,0 +1,260 @@
+module Bitset = Hac_bitset.Bitset
+module Fileset = Hac_bitset.Fileset
+
+type doc_id = int
+
+type doc = { mutable path : string; mutable alive : bool }
+
+type t = {
+  block_size : int;
+  stem : bool;
+  transducer : Transducer.t option;
+  mutable docs : doc array; (* slot = doc_id; grows, never shrinks *)
+  mutable next_id : int;
+  by_path : (string, doc_id) Hashtbl.t;
+  postings : (string, Bitset.t) Hashtbl.t; (* word -> block bitmap *)
+  attr_postings : (string * string, Bitset.t) Hashtbl.t; (* (attr, value) -> block bitmap *)
+  mutable lazy_ops : int; (* removals + in-place updates since the last rebuild *)
+  by_dir : (string, Bitset.t) Hashtbl.t; (* ancestor dir -> live docs beneath it *)
+}
+
+let create ?(block_size = 8) ?(stem = true) ?transducer () =
+  if block_size < 1 then invalid_arg "Index.create: block_size < 1";
+  {
+    block_size;
+    stem;
+    transducer;
+    docs = Array.make 64 { path = ""; alive = false };
+    next_id = 0;
+    by_path = Hashtbl.create 256;
+    postings = Hashtbl.create 4096;
+    attr_postings = Hashtbl.create 64;
+    lazy_ops = 0;
+    by_dir = Hashtbl.create 256;
+  }
+
+let block_size t = t.block_size
+
+let stemming t = t.stem
+
+let transducer t = t.transducer
+
+let key t w = if t.stem then Stemmer.stem w else w
+
+let block_of t id = id / t.block_size
+
+let ensure_docs t id =
+  let n = Array.length t.docs in
+  if id >= n then begin
+    let docs = Array.make (max (id + 1) (2 * n)) { path = ""; alive = false } in
+    Array.blit t.docs 0 docs 0 n;
+    t.docs <- docs
+  end
+
+let post_word t block w =
+  let w = key t w in
+  match Hashtbl.find_opt t.postings w with
+  | Some bm -> Bitset.add bm block
+  | None ->
+      let bm = Bitset.create ~capacity:(block + 1) () in
+      Bitset.add bm block;
+      Hashtbl.replace t.postings w bm
+
+let post_attr t block key value =
+  let k = (String.lowercase_ascii key, String.lowercase_ascii value) in
+  match Hashtbl.find_opt t.attr_postings k with
+  | Some bm -> Bitset.add bm block
+  | None ->
+      let bm = Bitset.create ~capacity:(block + 1) () in
+      Bitset.add bm block;
+      Hashtbl.replace t.attr_postings k bm
+
+(* Every ancestor directory of "/a/b/c.txt": "/", "/a", "/a/b".  Paths are
+   normalized absolute by the callers' convention. *)
+let ancestors path =
+  let rec go acc i =
+    match String.index_from_opt path i '/' with
+    | Some j when j = 0 -> go ("/" :: acc) 1
+    | Some j -> go (String.sub path 0 j :: acc) (j + 1)
+    | None -> acc
+  in
+  go [] 0
+
+let dir_enroll t path id =
+  List.iter
+    (fun dir ->
+      match Hashtbl.find_opt t.by_dir dir with
+      | Some b -> Bitset.add b id
+      | None ->
+          let b = Bitset.create ~capacity:(id + 1) () in
+          Bitset.add b id;
+          Hashtbl.replace t.by_dir dir b)
+    (ancestors path)
+
+let dir_withdraw t path id =
+  List.iter
+    (fun dir ->
+      match Hashtbl.find_opt t.by_dir dir with
+      | Some b -> Bitset.remove b id
+      | None -> ())
+    (ancestors path)
+
+let index_content t id path content =
+  let block = block_of t id in
+  Tokenizer.iter_words content (fun w -> post_word t block w);
+  match t.transducer with
+  | None -> ()
+  | Some td ->
+      List.iter
+        (fun (k, v) -> post_attr t block k v)
+        (td.Transducer.extract ~path ~content)
+
+let update_document t ~path ~content =
+  match Hashtbl.find_opt t.by_path path with
+  | Some id ->
+      (* Lazy update: stale words keep their block bits until [rebuild]. *)
+      t.lazy_ops <- t.lazy_ops + 1;
+      index_content t id path content;
+      id
+  | None ->
+      let id = t.next_id in
+      t.next_id <- t.next_id + 1;
+      ensure_docs t id;
+      t.docs.(id) <- { path; alive = true };
+      Hashtbl.replace t.by_path path id;
+      dir_enroll t path id;
+      index_content t id path content;
+      id
+
+let add_document = update_document
+
+let remove_path t path =
+  match Hashtbl.find_opt t.by_path path with
+  | None -> ()
+  | Some id ->
+      t.docs.(id).alive <- false;
+      t.lazy_ops <- t.lazy_ops + 1;
+      dir_withdraw t path id;
+      Hashtbl.remove t.by_path path
+
+let rename_path t ~old_path ~new_path =
+  match Hashtbl.find_opt t.by_path old_path with
+  | None -> ()
+  | Some id ->
+      Hashtbl.remove t.by_path old_path;
+      dir_withdraw t old_path id;
+      (* A pre-existing doc at the destination is overwritten, as the file
+         it described just got replaced. *)
+      (match Hashtbl.find_opt t.by_path new_path with
+      | Some clobbered ->
+          t.docs.(clobbered).alive <- false;
+          dir_withdraw t new_path clobbered
+      | None -> ());
+      Hashtbl.replace t.by_path new_path id;
+      dir_enroll t new_path id;
+      t.docs.(id).path <- new_path
+
+let doc_count t = Hashtbl.length t.by_path
+
+let universe t =
+  let b = Bitset.create ~capacity:(max 1 t.next_id) () in
+  for id = 0 to t.next_id - 1 do
+    if t.docs.(id).alive then Bitset.add b id
+  done;
+  Fileset.of_bitset b
+
+let doc_path t id =
+  if id < 0 || id >= t.next_id then None
+  else
+    let d = t.docs.(id) in
+    if d.alive then Some d.path else None
+
+let doc_of_path t path = Hashtbl.find_opt t.by_path path
+
+let expand_blocks t blocks =
+  let b = Bitset.create ~capacity:(max 1 t.next_id) () in
+  Bitset.iter
+    (fun block ->
+      let lo = block * t.block_size in
+      let hi = min (((block + 1) * t.block_size) - 1) (t.next_id - 1) in
+      for id = lo to hi do
+        if t.docs.(id).alive then Bitset.add b id
+      done)
+    blocks;
+  Fileset.of_bitset b
+
+let candidate_docs t w =
+  match Hashtbl.find_opt t.postings (key t w) with
+  | None -> Fileset.empty
+  | Some blocks -> expand_blocks t blocks
+
+let candidate_docs_approx t ~word ~errors =
+  let word = key t word in
+  let blocks = Bitset.create () in
+  Hashtbl.iter
+    (fun w bm -> if Agrep.word_matches ~pattern:word ~errors w then Bitset.union_into blocks bm)
+    t.postings;
+  expand_blocks t blocks
+
+let vocabulary t =
+  Hashtbl.fold (fun w _ acc -> w :: acc) t.postings [] |> List.sort compare
+
+let vocabulary_size t = Hashtbl.length t.postings
+
+let doc_ids_under t dir =
+  match Hashtbl.find_opt t.by_dir dir with
+  | Some b -> Fileset.of_bitset b
+  | None -> Fileset.empty
+
+let attr_docs t key value =
+  let k = (String.lowercase_ascii key, String.lowercase_ascii value) in
+  match Hashtbl.find_opt t.attr_postings k with
+  | None -> Fileset.empty
+  | Some blocks -> expand_blocks t blocks
+
+let attributes t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.attr_postings [] |> List.sort compare
+
+let rebuild t reader =
+  t.lazy_ops <- 0;
+  Hashtbl.reset t.postings;
+  Hashtbl.reset t.attr_postings;
+  for id = 0 to t.next_id - 1 do
+    if t.docs.(id).alive then
+      match reader id with
+      | Some content -> index_content t id t.docs.(id).path content
+      | None ->
+          (* The document vanished from under us; treat as removed. *)
+          Hashtbl.remove t.by_path t.docs.(id).path;
+          t.docs.(id).alive <- false
+  done
+
+let index_bytes t =
+  let word = Sys.int_size / 8 + 1 in
+  let postings_bytes =
+    Hashtbl.fold
+      (fun w bm acc -> acc + String.length w + (2 * word) + Bitset.byte_size bm)
+      t.postings 0
+    + Hashtbl.fold
+        (fun (a, v) bm acc ->
+          acc + String.length a + String.length v + (3 * word) + Bitset.byte_size bm)
+        t.attr_postings 0
+  in
+  let dir_bytes =
+    Hashtbl.fold
+      (fun dir b acc -> acc + String.length dir + (2 * word) + Bitset.byte_size b)
+      t.by_dir 0
+  in
+  let docs_bytes =
+    let acc = ref 0 in
+    for id = 0 to t.next_id - 1 do
+      acc := !acc + (2 * word) + String.length t.docs.(id).path
+    done;
+    !acc
+  in
+  postings_bytes + dir_bytes + docs_bytes
+
+let stale_ratio t =
+  let live = doc_count t in
+  if live + t.lazy_ops = 0 then 0.0
+  else float_of_int t.lazy_ops /. float_of_int (live + t.lazy_ops)

@@ -1,0 +1,107 @@
+(** The Glimpse-style two-level content index — HAC's default CBA mechanism.
+
+    Documents (files) are assigned dense integer identifiers and grouped into
+    fixed-size {e blocks}.  The inverted index maps each (stemmed) word to a
+    bitmap of blocks, not of documents: that is Glimpse's space/precision
+    trade-off.  A word lookup expands candidate blocks to their live
+    documents; callers needing exact answers verify candidates against the
+    actual contents ({!Search}).  With [block_size = 1] the index degenerates
+    to a precise document-level inverted index.
+
+    Updates are lazy, like Glimpse's: removing or rewriting a document does
+    not erase its old words from block bitmaps (that would need per-block
+    reference counts); stale bits only cost verification work and disappear
+    on {!rebuild}. *)
+
+type t
+(** One index instance. *)
+
+type doc_id = int
+(** Dense document identifier, stable for the life of the path. *)
+
+val create : ?block_size:int -> ?stem:bool -> ?transducer:Transducer.t -> unit -> t
+(** A fresh empty index.  [block_size] is the number of document slots per
+    block (default 8); [stem] applies {!Stemmer.stem} to indexed and queried
+    words (default [true]); [transducer] extracts attribute/value pairs from
+    every document (default: none), making [attr:value] query terms answer
+    from content metadata. *)
+
+val block_size : t -> int
+(** The block size chosen at creation. *)
+
+val stemming : t -> bool
+(** Whether stemming is on. *)
+
+val transducer : t -> Transducer.t option
+(** The attribute transducer installed at creation, if any. *)
+
+val add_document : t -> path:string -> content:string -> doc_id
+(** Index a new document.  If the path is already present this behaves like
+    {!update_document}. *)
+
+val update_document : t -> path:string -> content:string -> doc_id
+(** Reindex the contents of an existing path (same identifier); adds the
+    document when missing. *)
+
+val remove_path : t -> string -> unit
+(** Forget the document at the path; its identifier is never reused.  No-op
+    when absent. *)
+
+val rename_path : t -> old_path:string -> new_path:string -> unit
+(** Move a document to a new path, keeping its identifier.  No-op when
+    [old_path] is not indexed. *)
+
+val doc_count : t -> int
+(** Number of live documents. *)
+
+val universe : t -> Hac_bitset.Fileset.t
+(** Set of all live document identifiers. *)
+
+val doc_path : t -> doc_id -> string option
+(** Path of a live document. *)
+
+val doc_of_path : t -> string -> doc_id option
+(** Identifier of an indexed path. *)
+
+val candidate_docs : t -> string -> Hac_bitset.Fileset.t
+(** Live documents whose block may contain the word (after stemming).  A
+    superset of the true answer; precise when [block_size = 1] and no stale
+    bits have accumulated. *)
+
+val candidate_docs_approx : t -> word:string -> errors:int -> Hac_bitset.Fileset.t
+(** Union of {!candidate_docs} over every vocabulary word within the given
+    edit distance of [word] — Glimpse's approximate-query expansion. *)
+
+val doc_ids_under : t -> string -> Hac_bitset.Fileset.t
+(** Live documents at or below a (normalized, absolute) directory path —
+    maintained incrementally per document, so subtree scopes cost a lookup
+    rather than a scan over every document.  [doc_ids_under t "/"] equals
+    {!universe}. *)
+
+val attr_docs : t -> string -> string -> Hac_bitset.Fileset.t
+(** Live documents whose block carries the attribute/value pair (extracted
+    by the transducer at indexing time).  Empty when no transducer is
+    installed.  Same block-granular, verification-expected contract as
+    {!candidate_docs}; attribute lookups are exact on the value. *)
+
+val attributes : t -> (string * string) list
+(** All indexed attribute/value pairs, sorted. *)
+
+val vocabulary : t -> string list
+(** All indexed (stemmed) words, sorted. *)
+
+val vocabulary_size : t -> int
+(** Number of distinct indexed words. *)
+
+val rebuild : t -> (doc_id -> string option) -> unit
+(** Drop all postings and reindex every live document from the reader —
+    reclaims stale bits left by removals and updates. *)
+
+val index_bytes : t -> int
+(** Estimated byte size of the index structures (vocabulary + block bitmaps
+    + document table): the paper's Table 3 space column. *)
+
+val stale_ratio : t -> float
+(** Fraction of lazy operations (removals and in-place updates, which leave
+    stale block bits) relative to live documents since the last {!rebuild}
+    — the rebuild-freshness signal used for automatic compaction. *)

@@ -1,0 +1,119 @@
+module Fileset = Hac_bitset.Fileset
+
+type reader = string -> string option
+
+let key idx w = if Index.stemming idx then Stemmer.stem w else w
+
+let contains_word idx ~content ~word =
+  let w = String.lowercase_ascii word in
+  if Index.stemming idx then begin
+    (* Stemmed comparison needs materialised tokens. *)
+    let wk = Stemmer.stem w in
+    let found = ref false in
+    Tokenizer.iter_words content (fun x -> if Stemmer.stem x = wk then found := true);
+    !found
+  end
+  else Tokenizer.contains_word content w
+
+let contains_phrase ~content words =
+  match List.map String.lowercase_ascii words with
+  | [] -> true
+  | first :: rest ->
+      (* Slide over the token stream keeping how much of the phrase each
+         in-flight match has consumed; token lists are short-lived. *)
+      let tokens = Tokenizer.words content in
+      let rec scan = function
+        | [] -> false
+        | t :: tl -> (t = first && tail_matches rest tl) || scan tl
+      and tail_matches need toks =
+        match (need, toks) with
+        | [], _ -> true
+        | _, [] -> false
+        | n :: nrest, t :: trest -> t = n && tail_matches nrest trest
+      in
+      scan tokens
+
+let restrict within candidates =
+  match within with None -> candidates | Some w -> Fileset.inter w candidates
+
+let verify idx reader pred candidates =
+  Fileset.filter
+    (fun id ->
+      match Index.doc_path idx id with
+      | None -> false
+      | Some path -> (
+          match reader path with None -> false | Some content -> pred content))
+    candidates
+
+let search_word ?within idx reader w =
+  let w = String.lowercase_ascii w in
+  verify idx reader
+    (fun content -> contains_word idx ~content ~word:w)
+    (restrict within (Index.candidate_docs idx w))
+
+let search_phrase ?within idx reader words =
+  match words with
+  | [] -> Fileset.empty
+  | [ w ] -> search_word ?within idx reader w
+  | _ ->
+      let candidates =
+        List.fold_left
+          (fun acc w ->
+            let c = Index.candidate_docs idx w in
+            match acc with None -> Some c | Some a -> Some (Fileset.inter a c))
+          None words
+      in
+      let candidates = Option.value candidates ~default:Fileset.empty in
+      verify idx reader
+        (fun content -> contains_phrase ~content words)
+        (restrict within candidates)
+
+let search_approx ?within idx reader ~word ~errors =
+  let word = String.lowercase_ascii word in
+  let pred content =
+    let found = ref false in
+    Tokenizer.iter_words content (fun x ->
+        if Agrep.word_matches ~pattern:(key idx word) ~errors (key idx x) then found := true);
+    !found
+  in
+  verify idx reader pred (restrict within (Index.candidate_docs_approx idx ~word ~errors))
+
+let search_substring idx reader pattern =
+  let pred content = Agrep.find_exact ~pattern content <> None in
+  verify idx reader pred (Index.universe idx)
+
+let contains_substring hay needle =
+  Agrep.find_exact ~pattern:needle hay <> None
+
+let search_regex ?within idx reader pattern =
+  let re = Regex.compile pattern in
+  let candidates =
+    (* A literal run required by every match must appear inside some token
+       of the document; scanning the vocabulary for it is sound as long as
+       the vocabulary holds raw (unstemmed) tokens.  Tokens longer than
+       [max_word_len] were truncated, so they are always candidates. *)
+    match Regex.required_word re with
+    | Some run when (not (Index.stemming idx)) && String.length run <= Tokenizer.max_word_len
+      ->
+        List.fold_left
+          (fun acc w ->
+            if String.length w = Tokenizer.max_word_len || contains_substring w run then
+              Fileset.union acc (Index.candidate_docs idx w)
+            else acc)
+          Fileset.empty (Index.vocabulary idx)
+    | Some _ | None -> Index.universe idx
+  in
+  verify idx reader (fun content -> Regex.matches re content) (restrict within candidates)
+
+let matching_lines idx reader ~path ~query_words =
+  match reader path with
+  | None -> []
+  | Some content ->
+      let keys = List.map (fun w -> key idx (String.lowercase_ascii w)) query_words in
+      let hits = ref [] in
+      Tokenizer.iter_lines content (fun lineno line ->
+          let line_has = ref false in
+          Tokenizer.iter_words line (fun x ->
+              if List.mem (key idx x) keys then line_has := true);
+          if !line_has then hits := (lineno, line) :: !hits);
+      List.rev !hits

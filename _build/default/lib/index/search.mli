@@ -1,0 +1,57 @@
+(** Candidate verification and content retrieval over an {!Index.t}.
+
+    The index answers with block-granular candidate sets; the functions here
+    read the candidate documents and keep only the ones whose contents
+    actually match — Glimpse's second level.  Content access is abstracted
+    as a [reader] so the same code serves the local VFS, remote namespaces
+    and tests. *)
+
+type reader = string -> string option
+(** [reader path] is the document's contents, or [None] when unreadable. *)
+
+val search_word :
+  ?within:Hac_bitset.Fileset.t -> Index.t -> reader -> string -> Hac_bitset.Fileset.t
+(** Documents that contain the word (index candidates, then verified whole-
+    word containment; stemming follows the index's setting).  [?within]
+    restricts the candidates before verification — conjunctive evaluation
+    passes its accumulated result here so ever fewer documents are read. *)
+
+val search_phrase :
+  ?within:Hac_bitset.Fileset.t -> Index.t -> reader -> string list -> Hac_bitset.Fileset.t
+(** Documents containing the words consecutively, in order.  Candidate set is
+    the intersection of the per-word candidates. *)
+
+val search_approx :
+  ?within:Hac_bitset.Fileset.t ->
+  Index.t ->
+  reader ->
+  word:string ->
+  errors:int ->
+  Hac_bitset.Fileset.t
+(** Documents containing some word within the given edit distance — the
+    [~term] query form. *)
+
+val search_substring : Index.t -> reader -> string -> Hac_bitset.Fileset.t
+(** Documents whose raw contents contain the byte string (bitap scan over
+    every live document — no index help; for short or non-word patterns). *)
+
+val search_regex :
+  ?within:Hac_bitset.Fileset.t -> Index.t -> reader -> string -> Hac_bitset.Fileset.t
+(** Documents whose raw contents match the regular expression (the [/re/]
+    query term).  When the pattern syntactically requires a literal word
+    ({!Regex.required_word}) and the index is unstemmed, candidates are
+    narrowed through the vocabulary first, as Glimpse extracts literals from
+    regular expressions; otherwise every live document is scanned.  Raises
+    {!Regex.Parse_error} on a malformed pattern. *)
+
+val matching_lines :
+  Index.t -> reader -> path:string -> query_words:string list -> (int * string) list
+(** Lines (1-based number, text) of the document that contain at least one
+    of the query words — what the paper's [sact] shows the user for a link
+    inside a semantic directory. *)
+
+val contains_word : Index.t -> content:string -> word:string -> bool
+(** Whole-word containment test consistent with the index's stemming. *)
+
+val contains_phrase : content:string -> string list -> bool
+(** Consecutive-words containment test (exact words, no stemming). *)

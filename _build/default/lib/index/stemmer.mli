@@ -1,0 +1,10 @@
+(** A light, deterministic English suffix stripper.
+
+    Much simpler than a full Porter stemmer; the goal is only that common
+    inflections of a query word and of indexed text collide on the same key
+    ("query", "queries", "querying" all stem alike).  Stemming is idempotent:
+    [stem (stem w) = stem w]. *)
+
+val stem : string -> string
+(** Stem of a lowercase word.  Words of 3 characters or fewer are returned
+    unchanged. *)

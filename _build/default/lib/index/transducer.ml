@@ -1,0 +1,77 @@
+type t = {
+  td_name : string;
+  extract : path:string -> content:string -> (string * string) list;
+}
+
+let header_lines ?(limit = 20) content =
+  let lines = ref [] in
+  Tokenizer.iter_lines content (fun n line -> if n <= limit then lines := line :: !lines);
+  List.rev !lines
+
+let split_header line =
+  match String.index_opt line ':' with
+  | Some i when i > 0 ->
+      let key = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+      let value =
+        String.lowercase_ascii
+          (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+      in
+      if key <> "" && value <> "" && String.for_all (fun c -> c >= 'a' && c <= 'z') key
+      then Some (key, value)
+      else None
+  | Some _ | None -> None
+
+let email =
+  {
+    td_name = "email";
+    extract =
+      (fun ~path:_ ~content ->
+        header_lines content
+        |> List.filter_map split_header
+        |> List.concat_map (fun (k, v) ->
+               match k with
+               | "from" | "to" | "cc" -> [ (k, v) ]
+               | "subject" ->
+                   (* The whole subject plus one pair per word, so both
+                      [subject:budget] and exact-phrase lookups work. *)
+                   (k, v) :: List.map (fun w -> (k, w)) (Tokenizer.words v)
+               | _ -> []));
+  }
+
+let key_value =
+  {
+    td_name = "key_value";
+    extract = (fun ~path:_ ~content -> List.filter_map split_header (header_lines content));
+  }
+
+let file_type =
+  let ext_of path =
+    match String.rindex_opt path '.' with
+    | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+    | None -> ""
+  in
+  {
+    td_name = "file_type";
+    extract =
+      (fun ~path ~content ->
+        let ty =
+          match ext_of path with
+          | "ml" | "mli" | "c" | "h" | "py" | "sh" -> "code"
+          | "eml" | "mbox" -> "mail"
+          | _ ->
+              if
+                List.exists
+                  (fun l -> String.length l >= 5 && String.sub l 0 5 = "From:")
+                  (header_lines ~limit:3 content)
+              then "mail"
+              else "text"
+        in
+        [ ("type", ty) ]);
+  }
+
+let combine ts =
+  {
+    td_name = String.concat "+" (List.map (fun t -> t.td_name) ts);
+    extract =
+      (fun ~path ~content -> List.concat_map (fun t -> t.extract ~path ~content) ts);
+  }

@@ -1,0 +1,32 @@
+(** Attribute transducers — SFS-style metadata extraction.
+
+    The Semantic File System (related work, section 5) introduced
+    {e transducers}: programs that extract attribute/value pairs from files
+    so queries can say [author:smith].  HAC's CBA interface is "general
+    enough to integrate any CBA mechanism"; this module provides that
+    attribute dimension for our index.  A transducer maps a document to
+    attribute/value pairs; the index stores them next to the word postings
+    and the query language reaches them through [attr:value] terms. *)
+
+type t = {
+  td_name : string;  (** For diagnostics. *)
+  extract : path:string -> content:string -> (string * string) list;
+      (** Attribute/value pairs of one document.  Both sides are
+          lowercased by the index. *)
+}
+
+val email : t
+(** RFC-822-ish header extraction: leading [From:], [To:], [Cc:] and
+    [Subject:] lines become [from]/[to]/[cc]/[subject] attributes (subjects
+    additionally yield one pair per word). *)
+
+val key_value : t
+(** Generic colon-separated headers: each leading [key: value] line (keys of
+    letters only, at most the first 20 lines) becomes an attribute. *)
+
+val file_type : t
+(** A [type] attribute guessed from the extension and content: [type:text],
+    [type:code], [type:mail]. *)
+
+val combine : t list -> t
+(** Run several transducers, concatenating their output. *)

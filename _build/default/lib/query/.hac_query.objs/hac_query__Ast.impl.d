@@ -1,0 +1,1 @@
+lib/query/ast.ml: Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/query/planner.ml: Ast List

@@ -1,0 +1,104 @@
+type dirref = Ref_path of string | Ref_uid of int
+
+type term =
+  | Word of string
+  | Phrase of string list
+  | Approx of string * int
+  | Attr of string * string
+  | Regex of string
+  | Dirref of dirref
+
+type t = Term of term | And of t * t | Or of t * t | Not of t | All
+
+let equal = ( = )
+
+let rec map_dirrefs f = function
+  | Term (Dirref r) -> Term (Dirref (f r))
+  | Term _ as q -> q
+  | And (a, b) -> And (map_dirrefs f a, map_dirrefs f b)
+  | Or (a, b) -> Or (map_dirrefs f a, map_dirrefs f b)
+  | Not a -> Not (map_dirrefs f a)
+  | All -> All
+
+let rec fold_dirrefs f q acc =
+  match q with
+  | Term (Dirref r) -> f r acc
+  | Term _ | All -> acc
+  | And (a, b) | Or (a, b) -> fold_dirrefs f b (fold_dirrefs f a acc)
+  | Not a -> fold_dirrefs f a acc
+
+let dir_uids q =
+  fold_dirrefs
+    (fun r acc -> match r with Ref_uid u -> u :: acc | Ref_path _ -> acc)
+    q []
+  |> List.sort_uniq compare
+
+let words q =
+  let rec go q acc =
+    match q with
+    | Term (Word w) -> String.lowercase_ascii w :: acc
+    | Term (Phrase ws) -> List.rev_append (List.map String.lowercase_ascii ws) acc
+    | Term (Approx (w, _)) -> String.lowercase_ascii w :: acc
+    | Term (Attr _) | Term (Regex _) | Term (Dirref _) | All -> acc
+    | And (a, b) | Or (a, b) -> go b (go a acc)
+    | Not a -> go a acc
+  in
+  List.sort_uniq compare (go q [])
+
+let rec size = function
+  | Term _ | All -> 1
+  | Not a -> 1 + size a
+  | And (a, b) | Or (a, b) -> 1 + size a + size b
+
+(* Precedence for printing with minimal parentheses:
+   OR (1) < AND (2) < NOT (3) < atoms. *)
+let to_string ?path_of_uid q =
+  let buf = Buffer.create 64 in
+  let dirref_str = function
+    | Ref_path p -> Printf.sprintf "{%s}" p
+    | Ref_uid u -> (
+        match path_of_uid with
+        | Some f -> (
+            match f u with
+            | Some p -> Printf.sprintf "{%s}" p
+            | None -> Printf.sprintf "{#%d}" u)
+        | None -> Printf.sprintf "{#%d}" u)
+  in
+  let term_str = function
+    | Word w -> w
+    | Phrase ws -> Printf.sprintf "\"%s\"" (String.concat " " ws)
+    | Approx (w, 1) -> Printf.sprintf "~%s" w
+    | Approx (w, k) -> Printf.sprintf "~%d~%s" k w
+    | Attr (a, v) -> Printf.sprintf "%s:%s" a v
+    | Regex r -> Printf.sprintf "/%s/" r
+    | Dirref r -> dirref_str r
+  in
+  let rec go prec = function
+    | Term t -> Buffer.add_string buf (term_str t)
+    | All -> Buffer.add_char buf '*'
+    | Not a ->
+        paren (prec > 3) (fun () ->
+            Buffer.add_string buf "NOT ";
+            go 3 a)
+    | And (a, b) ->
+        paren (prec > 2) (fun () ->
+            go 2 a;
+            Buffer.add_string buf " AND ";
+            go 3 b)
+    | Or (a, b) ->
+        paren (prec > 1) (fun () ->
+            go 1 a;
+            Buffer.add_string buf " OR ";
+            go 2 b)
+  and paren need body =
+    if need then begin
+      Buffer.add_char buf '(';
+      body ();
+      Buffer.add_char buf ')'
+    end
+    else body ()
+  in
+  go 0 q;
+  Buffer.contents buf
+
+let pp ppf q = Format.pp_print_string ppf (to_string q)

@@ -1,0 +1,67 @@
+(** Abstract syntax of HAC queries.
+
+    The query language is boolean over content terms, attribute terms and
+    directory references:
+
+    {v
+    query  ::= query OR query
+             | query AND query          (AND may be implicit juxtaposition)
+             | NOT query
+             | ( query )
+             | word                     content word, e.g.  fingerprint
+             | "w1 w2 ..."              phrase
+             | /pattern/                regular expression on raw contents
+             | ~word | ~k~word          approximate word, k errors (default 1)
+             | attr:value               e.g.  name:report  ext:ml  path:/src
+             | { path }                 directory reference (section 2.5)
+             | *                        everything in scope
+    v}
+
+    Directory references are parsed as paths but stored as directory UIDs
+    once installed ({!map_dirrefs}), so renames never invalidate queries —
+    the paper's global identifier map. *)
+
+type dirref =
+  | Ref_path of string  (** As parsed: a path, not yet resolved. *)
+  | Ref_uid of int  (** Installed: a stable directory identifier. *)
+
+type term =
+  | Word of string  (** Whole-word content match. *)
+  | Phrase of string list  (** Consecutive words. *)
+  | Approx of string * int  (** Word within [k] edit errors. *)
+  | Attr of string * string  (** [attr:value] metadata match. *)
+  | Regex of string  (** Raw contents match a regular expression. *)
+  | Dirref of dirref  (** Files in another directory's query result. *)
+
+type t =
+  | Term of term
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | All  (** Everything in scope ([*]). *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val map_dirrefs : (dirref -> dirref) -> t -> t
+(** Rewrite every directory reference (e.g. path -> uid on install). *)
+
+val fold_dirrefs : (dirref -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over every directory reference in the query. *)
+
+val dir_uids : t -> int list
+(** Sorted, de-duplicated UIDs of all installed directory references. *)
+
+val words : t -> string list
+(** All content words mentioned (from [Word], [Phrase] and [Approx] terms),
+    lowercased, de-duplicated — used by [sact] to pick display lines. *)
+
+val size : t -> int
+(** Node count, a complexity measure. *)
+
+val to_string : ?path_of_uid:(int -> string option) -> t -> string
+(** Concrete syntax.  Installed dirrefs print through [path_of_uid] when
+    given (falling back to [{#uid}]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Same as {!to_string} with no uid resolution. *)

@@ -1,0 +1,46 @@
+module Fileset = Hac_bitset.Fileset
+
+type env = {
+  universe : Fileset.t lazy_t;
+  word : ?within:Fileset.t -> string -> Fileset.t;
+  phrase : ?within:Fileset.t -> string list -> Fileset.t;
+  approx : ?within:Fileset.t -> string -> int -> Fileset.t;
+  attr : ?within:Fileset.t -> string -> string -> Fileset.t;
+  regex : ?within:Fileset.t -> string -> Fileset.t;
+  dirref : ?within:Fileset.t -> Ast.dirref -> Fileset.t;
+}
+
+(* Implementations may ignore [within], so term results are re-clipped
+   here; when they honour it, the clip is a cheap no-op intersection. *)
+let clip within set =
+  match within with None -> set | Some w -> Fileset.inter w set
+
+let rec eval ?within env q =
+  match q with
+  | Ast.All -> clip within (Lazy.force env.universe)
+  | Ast.Term (Ast.Word w) -> clip within (env.word ?within w)
+  | Ast.Term (Ast.Phrase ws) -> clip within (env.phrase ?within ws)
+  | Ast.Term (Ast.Approx (w, k)) -> clip within (env.approx ?within w k)
+  | Ast.Term (Ast.Attr (a, v)) -> clip within (env.attr ?within a v)
+  | Ast.Term (Ast.Regex r) -> clip within (env.regex ?within r)
+  | Ast.Term (Ast.Dirref r) -> clip within (env.dirref ?within r)
+  | Ast.Not a ->
+      let scope = match within with Some s -> s | None -> Lazy.force env.universe in
+      Fileset.diff scope (eval ~within:scope env a)
+  | Ast.Or (a, b) -> Fileset.union (eval ?within env a) (eval ?within env b)
+  | Ast.And (a, b) ->
+      (* Thread the left result into the right operand: with the planner's
+         most-selective-first ordering this verifies ever fewer candidates. *)
+      let ra = eval ?within env a in
+      if Fileset.is_empty ra then Fileset.empty else eval ~within:ra env b
+
+let const_env set =
+  {
+    universe = lazy set;
+    word = (fun ?within:_ _ -> set);
+    phrase = (fun ?within:_ _ -> set);
+    approx = (fun ?within:_ _ _ -> set);
+    attr = (fun ?within:_ _ _ -> set);
+    regex = (fun ?within:_ _ -> set);
+    dirref = (fun ?within:_ _ -> set);
+  }

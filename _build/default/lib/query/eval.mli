@@ -1,0 +1,44 @@
+(** Query evaluation over an abstract CBA environment.
+
+    The evaluator is agnostic about where filesets come from: the HAC core
+    wires it to the local index, the uid→directory map and the mount table;
+    tests wire it to synthetic tables.
+
+    {b Restriction pushdown.}  Every term evaluator receives an optional
+    [?within] candidate restriction: the set the result will immediately be
+    intersected with.  Implementations may use it to verify fewer candidates
+    (the expensive part of Glimpse-style search) — or ignore it entirely;
+    the evaluator re-intersects, so pushdown is purely an optimisation.
+    [AND] chains thread their accumulated result into the next operand,
+    which with {!Planner.optimize} (most selective operand first) gives
+    database-style conjunctive evaluation.
+
+    [NOT q] is evaluated as [scope \ q] where scope is the current
+    restriction (or the universe at top level); scope restriction composes
+    correctly: [(U \ q) ∩ S = S \ (q ∩ S)]. *)
+
+type env = {
+  universe : Hac_bitset.Fileset.t lazy_t;
+      (** All files visible to the query (lazy: only NOT and [*] force it). *)
+  word : ?within:Hac_bitset.Fileset.t -> string -> Hac_bitset.Fileset.t;
+      (** Whole-word content match. *)
+  phrase : ?within:Hac_bitset.Fileset.t -> string list -> Hac_bitset.Fileset.t;
+      (** Consecutive words. *)
+  approx : ?within:Hac_bitset.Fileset.t -> string -> int -> Hac_bitset.Fileset.t;
+      (** Word within k errors. *)
+  attr : ?within:Hac_bitset.Fileset.t -> string -> string -> Hac_bitset.Fileset.t;
+      (** Metadata match. *)
+  regex : ?within:Hac_bitset.Fileset.t -> string -> Hac_bitset.Fileset.t;
+      (** Raw-contents regular expression. *)
+  dirref : ?within:Hac_bitset.Fileset.t -> Ast.dirref -> Hac_bitset.Fileset.t;
+      (** Files in a referenced directory's current result (section 2.5). *)
+}
+
+val eval : ?within:Hac_bitset.Fileset.t -> env -> Ast.t -> Hac_bitset.Fileset.t
+(** Evaluate a query, optionally restricted to a candidate set.  [And]
+    short-circuits when its accumulated result is empty and threads it into
+    the remaining operands. *)
+
+val const_env : Hac_bitset.Fileset.t -> env
+(** Environment where every term evaluates to the given set (intersected
+    with any restriction) — useful for tests and algebraic reasoning. *)

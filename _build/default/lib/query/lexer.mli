@@ -1,0 +1,26 @@
+(** Tokenizer for the query language's concrete syntax. *)
+
+type token =
+  | LPAREN
+  | RPAREN
+  | STAR
+  | AND
+  | OR
+  | NOT
+  | WORD of string  (** bare content word, lowercased *)
+  | PHRASE of string list  (** "quoted words", lowercased *)
+  | APPROX of string * int  (** [~word] or [~k~word] *)
+  | ATTR of string * string  (** [key:value] *)
+  | REGEX of string  (** [/pattern/], delimiters stripped *)
+  | DIRREF of string  (** [{/a/path}] *)
+  | EOF
+
+exception Syntax_error of string * int
+(** [(message, byte offset)] of a lexical or syntax error. *)
+
+val tokens : string -> token list
+(** Token list of the input, ending with [EOF].
+    Raises {!Syntax_error} on malformed input. *)
+
+val pp_token : Format.formatter -> token -> unit
+(** Debug printer. *)

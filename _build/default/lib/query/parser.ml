@@ -1,0 +1,98 @@
+exception Parse_error of string
+
+(* The token stream is a mutable cursor over the lexer's list; the grammar is
+   LL(1): each production decides by peeking one token. *)
+type state = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else raise (Parse_error (Printf.sprintf "expected %s" what))
+
+let starts_atom = function
+  | Lexer.LPAREN | Lexer.STAR | Lexer.WORD _ | Lexer.PHRASE _ | Lexer.APPROX _
+  | Lexer.ATTR _ | Lexer.REGEX _ | Lexer.DIRREF _ | Lexer.NOT ->
+      true
+  | Lexer.RPAREN | Lexer.AND | Lexer.OR | Lexer.EOF -> false
+
+let rec parse_query st =
+  let left = parse_conj st in
+  let rec loop acc =
+    if peek st = Lexer.OR then begin
+      advance st;
+      let right = parse_conj st in
+      loop (Ast.Or (acc, right))
+    end
+    else acc
+  in
+  loop left
+
+and parse_conj st =
+  let left = parse_neg st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.AND ->
+        advance st;
+        loop (Ast.And (acc, parse_neg st))
+    | t when starts_atom t -> loop (Ast.And (acc, parse_neg st))
+    | _ -> acc
+  in
+  loop left
+
+and parse_neg st =
+  if peek st = Lexer.NOT then begin
+    advance st;
+    Ast.Not (parse_neg st)
+  end
+  else parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Lexer.LPAREN ->
+      advance st;
+      let q = parse_query st in
+      expect st Lexer.RPAREN "closing parenthesis";
+      q
+  | Lexer.STAR ->
+      advance st;
+      Ast.All
+  | Lexer.WORD w ->
+      advance st;
+      Ast.Term (Ast.Word w)
+  | Lexer.PHRASE ws ->
+      advance st;
+      Ast.Term (Ast.Phrase ws)
+  | Lexer.APPROX (w, k) ->
+      advance st;
+      Ast.Term (Ast.Approx (w, k))
+  | Lexer.ATTR (a, v) ->
+      advance st;
+      Ast.Term (Ast.Attr (a, v))
+  | Lexer.REGEX r ->
+      advance st;
+      Ast.Term (Ast.Regex r)
+  | Lexer.DIRREF p ->
+      advance st;
+      Ast.Term (Ast.Dirref (Ast.Ref_path p))
+  | Lexer.EOF -> raise (Parse_error "unexpected end of query")
+  | Lexer.RPAREN -> raise (Parse_error "unexpected ')'")
+  | Lexer.AND -> raise (Parse_error "unexpected AND")
+  | Lexer.OR -> raise (Parse_error "unexpected OR")
+  | Lexer.NOT -> assert false (* handled by parse_neg *)
+
+let parse input =
+  let toks =
+    try Lexer.tokens input
+    with Lexer.Syntax_error (msg, at) ->
+      raise (Parse_error (Printf.sprintf "%s (at offset %d)" msg at))
+  in
+  let st = { toks } in
+  let q = parse_query st in
+  if peek st <> Lexer.EOF then raise (Parse_error "trailing input after query");
+  q
+
+let parse_result input =
+  match parse input with q -> Ok q | exception Parse_error msg -> Error msg

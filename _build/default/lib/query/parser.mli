@@ -1,0 +1,19 @@
+(** Recursive-descent parser for the query language.
+
+    Grammar (lowest precedence first):
+    {v
+    query ::= conj (OR conj)*
+    conj  ::= neg ((AND)? neg)*        juxtaposition is implicit AND
+    neg   ::= NOT neg | atom
+    atom  ::= '(' query ')' | '*' | word | phrase | ~word | attr:value | {path}
+    v} *)
+
+exception Parse_error of string
+(** Raised (with a human-readable message) on malformed queries. *)
+
+val parse : string -> Ast.t
+(** Parse the concrete syntax.  Raises {!Parse_error} (lexical errors from
+    {!Lexer.Syntax_error} are converted too). *)
+
+val parse_result : string -> (Ast.t, string) result
+(** Non-raising variant. *)

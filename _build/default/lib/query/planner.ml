@@ -1,0 +1,30 @@
+let big = max_int / 2
+
+let rec subtree_cost ~cost = function
+  | Ast.Term t -> cost t
+  | Ast.And (a, b) -> min (subtree_cost ~cost a) (subtree_cost ~cost b)
+  | Ast.Or (a, b) ->
+      let sa = subtree_cost ~cost a and sb = subtree_cost ~cost b in
+      if sa + sb < 0 then big else sa + sb (* overflow guard *)
+  | Ast.Not _ | Ast.All -> big
+
+(* Flatten an AND chain into its operands. *)
+let rec conjuncts = function
+  | Ast.And (a, b) -> conjuncts a @ conjuncts b
+  | q -> [ q ]
+
+let rec optimize ~cost q =
+  match q with
+  | Ast.Term _ | Ast.All -> q
+  | Ast.Not a -> Ast.Not (optimize ~cost a)
+  | Ast.Or (a, b) -> Ast.Or (optimize ~cost a, optimize ~cost b)
+  | Ast.And _ -> (
+      let parts = List.map (optimize ~cost) (conjuncts q) in
+      let ranked =
+        List.stable_sort
+          (fun a b -> compare (subtree_cost ~cost a) (subtree_cost ~cost b))
+          parts
+      in
+      match ranked with
+      | [] -> assert false (* conjuncts never returns [] *)
+      | first :: rest -> List.fold_left (fun acc p -> Ast.And (acc, p)) first rest)

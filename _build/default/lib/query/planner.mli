@@ -1,0 +1,22 @@
+(** Query planning: selectivity-ordered conjunctions.
+
+    [a AND b] evaluates [a] first and short-circuits when it is empty, and
+    intersecting a small set into a large one is cheaper than the reverse —
+    so conjunctions should evaluate their most selective operand first.
+    {!optimize} reorders every [AND] chain by a caller-supplied cost
+    estimate (typically index candidate counts — cheap postings lookups).
+
+    The rewrite is semantics-preserving: [AND]/[OR] are commutative and
+    associative under set evaluation, and operand subtrees are untouched.
+    It is applied at evaluation time only; the stored (and printed) query
+    keeps the user's shape. *)
+
+val optimize : cost:(Ast.term -> int) -> Ast.t -> Ast.t
+(** Reorder [AND] chains cheapest-first, recursing everywhere.  [cost]
+    estimates how large a term's result is (smaller = more selective);
+    it is consulted once per term. *)
+
+val subtree_cost : cost:(Ast.term -> int) -> Ast.t -> int
+(** The estimate used for ordering: a term's own cost; [min] over [AND]
+    operands (one selective operand bounds the chain); sum over [OR];
+    [max_int/2] for [NOT] and [*], which touch the whole universe. *)

@@ -1,0 +1,1 @@
+lib/remote/mount_table.ml: Hashtbl List Namespace Option

@@ -1,0 +1,1 @@
+lib/remote/mount_table.mli: Namespace

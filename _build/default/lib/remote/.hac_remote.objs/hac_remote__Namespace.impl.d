@@ -1,0 +1,1 @@
+lib/remote/namespace.ml: Hac_index Hashtbl List String

@@ -1,0 +1,1 @@
+lib/remote/namespace.mli:

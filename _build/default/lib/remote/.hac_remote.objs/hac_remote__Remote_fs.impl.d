@@ -1,0 +1,1 @@
+lib/remote/remote_fs.ml: Hac_bitset Hac_index Hac_query Hac_vfs List Namespace String

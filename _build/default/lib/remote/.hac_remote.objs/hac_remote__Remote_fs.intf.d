@@ -1,0 +1,1 @@
+lib/remote/remote_fs.mli: Hac_index Hac_vfs Namespace

@@ -1,0 +1,1 @@
+lib/remote/web_search.ml: Hac_index Hashtbl List Namespace Option String

@@ -1,0 +1,1 @@
+lib/remote/web_search.mli: Namespace

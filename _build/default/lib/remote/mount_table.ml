@@ -1,0 +1,36 @@
+type t = (int, Namespace.t list) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let mounted t ~uid = Option.value (Hashtbl.find_opt t uid) ~default:[]
+
+let smount t ~uid ns =
+  let others =
+    List.filter (fun n -> n.Namespace.ns_id <> ns.Namespace.ns_id) (mounted t ~uid)
+  in
+  Hashtbl.replace t uid (others @ [ ns ])
+
+let sumount t ~uid ~ns_id =
+  match List.filter (fun n -> n.Namespace.ns_id <> ns_id) (mounted t ~uid) with
+  | [] -> Hashtbl.remove t uid
+  | rest -> Hashtbl.replace t uid rest
+
+let unmount_all t ~uid = Hashtbl.remove t uid
+
+let is_mount_point t ~uid = mounted t ~uid <> []
+
+let mount_points t =
+  Hashtbl.fold (fun uid _ acc -> uid :: acc) t [] |> List.sort compare
+
+let query t ~uid q =
+  List.concat_map
+    (fun ns -> List.map (fun e -> (ns.Namespace.ns_id, e)) (ns.Namespace.search q))
+    (mounted t ~uid)
+
+let fetch t ~uid ~uri =
+  let rec go = function
+    | [] -> None
+    | ns :: rest -> (
+        match ns.Namespace.fetch uri with Some c -> Some c | None -> go rest)
+  in
+  go (mounted t ~uid)

@@ -1,0 +1,41 @@
+(** Semantic mount points: namespaces attached to directories.
+
+    A semantic mount point (section 3.1) connects queries under a local
+    directory to a remote namespace; a {e multiple} semantic mount point
+    (section 3.2) attaches several namespaces to the same directory, whose
+    query results are treated as disjoint unions.  Mount points are keyed by
+    directory UID so renames don't disturb them. *)
+
+type t
+(** The mount registry of one HAC file system. *)
+
+val create : unit -> t
+(** Empty registry. *)
+
+val smount : t -> uid:int -> Namespace.t -> unit
+(** Attach a namespace at the directory.  Attaching a namespace with the
+    same [ns_id] again replaces it (remount). *)
+
+val sumount : t -> uid:int -> ns_id:string -> unit
+(** Detach one namespace; no-op when absent. *)
+
+val unmount_all : t -> uid:int -> unit
+(** Detach everything at the directory (e.g. when it is removed). *)
+
+val mounted : t -> uid:int -> Namespace.t list
+(** Namespaces attached at the directory, in mount order. *)
+
+val is_mount_point : t -> uid:int -> bool
+(** Whether at least one namespace is attached. *)
+
+val mount_points : t -> int list
+(** UIDs that currently have mounts, sorted. *)
+
+val query : t -> uid:int -> string -> (string * Namespace.entry) list
+(** Evaluate the query in every namespace mounted at the directory and
+    concatenate the answers tagged with their [ns_id] — the disjoint union
+    of section 3.2. *)
+
+val fetch : t -> uid:int -> uri:string -> string option
+(** Fetch an entry's contents from whichever mounted namespace recognises
+    the uri (first match in mount order). *)

@@ -1,0 +1,61 @@
+type entry = { name : string; uri : string; summary : string }
+
+type lang = Keywords | Hac_syntax
+
+type t = {
+  ns_id : string;
+  lang : lang;
+  search : string -> entry list;
+  fetch : string -> string option;
+  list_all : unit -> entry list;
+}
+
+type stats = { queries : int; fetches : int }
+
+let instrument ns =
+  let queries = ref 0 and fetches = ref 0 in
+  let wrapped =
+    {
+      ns with
+      search =
+        (fun q ->
+          incr queries;
+          ns.search q);
+      fetch =
+        (fun uri ->
+          incr fetches;
+          ns.fetch uri);
+    }
+  in
+  (wrapped, fun () -> { queries = !queries; fetches = !fetches })
+
+let first_line s =
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let static ~ns_id docs =
+  let by_uri = Hashtbl.create (List.length docs) in
+  List.iter (fun (_, uri, content) -> Hashtbl.replace by_uri uri content) docs;
+  let entry_of (name, uri, content) = { name; uri; summary = first_line content } in
+  let query_words q =
+    String.split_on_char ' ' (String.lowercase_ascii q)
+    |> List.filter (fun w -> w <> "")
+  in
+  let matches q content =
+    let words = query_words q in
+    words <> []
+    && List.for_all (fun w -> Hac_index.Tokenizer.contains_word content w) words
+  in
+  {
+    ns_id;
+    lang = Keywords;
+    search =
+      (fun q ->
+        List.filter_map
+          (fun ((_, _, content) as doc) ->
+            if matches q content then Some (entry_of doc) else None)
+          docs);
+    fetch = (fun uri -> Hashtbl.find_opt by_uri uri);
+    list_all = (fun () -> List.map entry_of docs);
+  }

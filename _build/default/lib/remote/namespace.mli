@@ -1,0 +1,40 @@
+(** Remote name spaces: anything that can answer a query with results.
+
+    Section 3 of the paper uses "name space" for a traditional file system, a
+    CBA mechanism, or another HAC file system.  A {!t} is the uniform
+    interface semantic mount points talk to: submit a query string in the
+    namespace's own language, get entries back, optionally fetch an entry's
+    contents.  Implementations include simulated remote HAC file systems
+    ({!Remote_fs}) and a simulated web search engine ({!Web_search}). *)
+
+type entry = {
+  name : string;  (** Display name (used as the symbolic link name). *)
+  uri : string;  (** Stable identifier within the namespace. *)
+  summary : string;  (** One-line description shown to users. *)
+}
+
+type lang =
+  | Keywords  (** Space-separated required keywords (web engines). *)
+  | Hac_syntax  (** The full HAC query language (other HAC systems). *)
+
+type t = {
+  ns_id : string;  (** Unique identifier of this namespace. *)
+  lang : lang;  (** Query language this namespace understands. *)
+  search : string -> entry list;  (** Evaluate a query, best first. *)
+  fetch : string -> string option;  (** Contents of an entry by uri. *)
+  list_all : unit -> entry list;
+      (** Enumerate everything, or [[]] when the namespace cannot (e.g. a
+          web search engine). *)
+}
+
+type stats = { queries : int; fetches : int }
+(** Accumulated call counts of an instrumented namespace. *)
+
+val instrument : t -> t * (unit -> stats)
+(** Wrap a namespace so calls are counted; returns the wrapper and a stats
+    reader.  Used by tests and by the benchmarks to show remote traffic. *)
+
+val static : ns_id:string -> (string * string * string) list -> t
+(** [static ~ns_id docs] is an in-memory namespace over [(name, uri,
+    content)] triples whose query language is conjunctive whole-word match
+    (every space-separated query word must occur). *)

@@ -1,0 +1,75 @@
+module Fs = Hac_vfs.Fs
+module Vpath = Hac_vfs.Vpath
+module Index = Hac_index.Index
+module Search = Hac_index.Search
+module Fileset = Hac_bitset.Fileset
+
+let uri_of_path ~ns_id path = "hacfs://" ^ ns_id ^ Vpath.normalize path
+
+let path_of_uri ~ns_id uri =
+  let prefix = "hacfs://" ^ ns_id ^ "/" in
+  let plen = String.length prefix in
+  if String.length uri >= plen && String.sub uri 0 plen = prefix then
+    Some (Vpath.normalize (String.sub uri (plen - 1) (String.length uri - plen + 1)))
+  else None
+
+let create ~ns_id fs index =
+  let reader path = try Some (Fs.read_file fs path) with Hac_vfs.Errno.Error _ -> None in
+  let attr_match key value id =
+    match Index.doc_path index id with
+    | None -> false
+    | Some path -> (
+        match key with
+        | "name" -> Vpath.basename path = value
+        | "ext" ->
+            let base = Vpath.basename path in
+            (match String.rindex_opt base '.' with
+            | Some i -> String.sub base (i + 1) (String.length base - i - 1) = value
+            | None -> false)
+        | "path" -> Vpath.is_prefix ~prefix:value path
+        | _ -> false)
+  in
+  let env =
+    {
+      Hac_query.Eval.universe = lazy (Index.universe index);
+      word = (fun ?within w -> Search.search_word ?within index reader w);
+      phrase = (fun ?within ws -> Search.search_phrase ?within index reader ws);
+      approx =
+        (fun ?within w k -> Search.search_approx ?within index reader ~word:w ~errors:k);
+      attr =
+        (fun ?within:_ key value ->
+          Fileset.filter (attr_match key value) (Index.universe index));
+      regex = (fun ?within r -> Search.search_regex ?within index reader r);
+      dirref = (fun ?within:_ _ -> Fileset.empty);
+    }
+  in
+  let entry_of_id id =
+    match Index.doc_path index id with
+    | None -> None
+    | Some path ->
+        Some
+          {
+            Namespace.name = Vpath.basename path;
+            uri = uri_of_path ~ns_id path;
+            summary = path;
+          }
+  in
+  let search q =
+    match Hac_query.Parser.parse_result q with
+    | Error _ -> []
+    | Ok ast ->
+        Fileset.fold
+          (fun id acc -> match entry_of_id id with Some e -> e :: acc | None -> acc)
+          (Hac_query.Eval.eval env ast) []
+        |> List.rev
+  in
+  let fetch uri =
+    match path_of_uri ~ns_id uri with None -> None | Some path -> reader path
+  in
+  let list_all () =
+    Fileset.fold
+      (fun id acc -> match entry_of_id id with Some e -> e :: acc | None -> acc)
+      (Index.universe index) []
+    |> List.rev
+  in
+  { Namespace.ns_id; lang = Namespace.Hac_syntax; search; fetch; list_all }

@@ -1,0 +1,19 @@
+(** A remote HAC/UNIX file system exposed as a queryable namespace.
+
+    Wraps a {!Hac_vfs.Fs.t} and its content index so a {e local} HAC can
+    semantically mount it (section 3): queries in the HAC query language are
+    evaluated against the remote index, entries identify remote files by a
+    [hacfs://<ns_id><path>] uri, and [fetch] reads the remote file.  This is
+    also how "another user's personal HAC file system" is shared. *)
+
+val uri_of_path : ns_id:string -> string -> string
+(** The uri scheme used for entries: [hacfs://<ns_id><absolute path>]. *)
+
+val path_of_uri : ns_id:string -> string -> string option
+(** Inverse of {!uri_of_path} for uris belonging to this namespace. *)
+
+val create : ns_id:string -> Hac_vfs.Fs.t -> Hac_index.Index.t -> Namespace.t
+(** [create ~ns_id fs index] exposes [fs] through [index].  The query
+    language is the full HAC query syntax except directory references, which
+    evaluate to nothing remotely.  [list_all] enumerates every indexed
+    file. *)

@@ -1,0 +1,55 @@
+type doc = { title : string; uri : string; body : string }
+
+let create ?(max_results = 10) ns_id docs =
+  (* Precompute term frequencies per document; corpora are static. *)
+  let freqs =
+    List.map
+      (fun d ->
+        let tf = Hashtbl.create 64 in
+        Hac_index.Tokenizer.iter_words (d.title ^ " " ^ d.body) (fun w ->
+            Hashtbl.replace tf w (1 + Option.value (Hashtbl.find_opt tf w) ~default:0));
+        (d, tf))
+      docs
+  in
+  let by_uri = Hashtbl.create (List.length docs) in
+  List.iter (fun d -> Hashtbl.replace by_uri d.uri d.body) docs;
+  let search q =
+    let words =
+      String.split_on_char ' ' (String.lowercase_ascii q)
+      |> List.filter (fun w -> w <> "")
+    in
+    if words = [] then []
+    else
+      freqs
+      |> List.filter_map (fun (d, tf) ->
+             let score =
+               List.fold_left
+                 (fun acc w ->
+                   match acc with
+                   | None -> None
+                   | Some s -> (
+                       match Hashtbl.find_opt tf w with
+                       | None | Some 0 -> None
+                       | Some c -> Some (s + c)))
+                 (Some 0) words
+             in
+             Option.map (fun s -> (s, d)) score)
+      |> List.sort (fun (a, da) (b, db) ->
+             match compare b a with 0 -> compare da.uri db.uri | c -> c)
+      |> List.filteri (fun i _ -> i < max_results)
+      |> List.map (fun (_, d) ->
+             let name =
+               match String.rindex_opt d.uri '/' with
+               | Some i when i + 1 < String.length d.uri ->
+                   String.sub d.uri (i + 1) (String.length d.uri - i - 1)
+               | _ -> d.title
+             in
+             { Namespace.name; uri = d.uri; summary = d.title })
+  in
+  {
+    Namespace.ns_id;
+    lang = Namespace.Keywords;
+    search;
+    fetch = (fun uri -> Hashtbl.find_opt by_uri uri);
+    list_all = (fun () -> []);
+  }

@@ -1,0 +1,16 @@
+(** A simulated web search engine namespace.
+
+    Stands in for the paper's "commercial search engines on the web": a
+    corpus of (title, uri, body) documents with ranked conjunctive keyword
+    search.  Results are ordered by a term-frequency score, best first, and
+    truncated to [max_results] — which is why semantic mount points treat
+    such namespaces as query-only (no enumeration). *)
+
+type doc = { title : string; uri : string; body : string }
+(** One indexed "web page". *)
+
+val create : ?max_results:int -> string -> doc list -> Namespace.t
+(** [create ~max_results ns_id docs] builds the engine.  Its query language
+    is space-separated keywords, all required; ranking is by summed term
+    frequency.  [list_all] returns [[]] (engines don't enumerate the web).
+    Default [max_results] is 10. *)

@@ -1,0 +1,1 @@
+lib/shell/shell.ml: Buffer Hac_core Hac_index Hac_query Hac_remote Hac_vfs List Printf String

@@ -1,0 +1,1 @@
+lib/shell/shell.mli: Buffer Hac_core

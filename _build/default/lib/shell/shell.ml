@@ -1,0 +1,273 @@
+module Hac = Hac_core.Hac
+module Export = Hac_core.Export
+module Recover = Hac_core.Recover
+module Link = Hac_core.Link
+module Vpath = Hac_vfs.Vpath
+module Fs = Hac_vfs.Fs
+module Errno = Hac_vfs.Errno
+
+type session = { mutable t : Hac.t; mutable wd : string }
+
+let help_text =
+  {|Commands:
+  pwd | cd DIR | ls [-l] [DIR]        navigate
+  mkdir DIR | rmdir DIR               plain directories
+  write FILE TEXT...                  create/overwrite a file
+  append FILE TEXT...                 append a line
+  cat FILE                            show contents (follows links, local or remote)
+  rm PATH                             remove file or link (link removal prohibits it)
+  mv SRC DST                          rename/move
+  ln TARGET LINK                      symbolic link (permanent inside a semantic dir)
+  chmod MODE PATH | chown UID PATH    permissions (octal MODE, e.g. 600)
+  su UID                              switch current user (0 = superuser)
+  smkdir DIR QUERY...                 create a semantic directory
+  srmdir DIR                          remove a semantic directory
+  schquery DIR QUERY...               change (or retro-fit) a directory's query
+  sreadin DIR                         show a directory's query
+  ssearch QUERY...                    evaluate a query ad hoc (no directory)
+  sgrep REGEX [DIR]                   regex search, with matching lines
+  links [DIR]                         show links with their classes
+  prohibited [DIR]                    show prohibited targets
+  sact LINK                           show the lines that match the query
+  ssync [DIR]                         re-evaluate a directory and its dependents
+  sreindex                            settle data consistency now
+  smount DIR demo-library|demo-web    mount a built-in demo namespace
+  sumount DIR NS                      unmount a namespace
+  sprohibit DIR TARGET                prohibit a target directly
+  sunprohibit DIR TARGET              lift a prohibition
+  sexport [DIR]                       export semantic directories as text
+  srecover                            restore semantic state from /.hac metadata
+  save HOSTFILE | restore HOSTFILE    snapshot the whole fs to the host disk
+  sdirs                               list semantic directories
+  stats                               space and consistency counters
+  help | quit
+
+Query syntax: words, "phrases", ~approx, /regex/, attr:value (from:, subject:,
+type:, name:, ext:, path:), {/dir} references, AND OR NOT ( ) *|}
+
+let transducer = Hac_index.Transducer.(combine [ email; file_type ])
+
+let demo_library () =
+  Hac_remote.Namespace.static ~ns_id:"demo-library"
+    [
+      ("sorting.ps", "dlib://demo/sorting.ps", "A taxonomy of sorting algorithms.\n");
+      ("btrees.ps", "dlib://demo/btrees.ps", "B-tree indexing for databases and file systems.\n");
+      ("raft.ps", "dlib://demo/raft.ps", "Consensus made understandable.\n");
+    ]
+
+let demo_web () =
+  Hac_remote.Web_search.create "demo-web"
+    [
+      {
+        Hac_remote.Web_search.title = "filesystem-tuning";
+        uri = "http://demo-web/fs-tuning";
+        body = "tuning file systems for small files";
+      };
+      {
+        Hac_remote.Web_search.title = "index-compression";
+        uri = "http://demo-web/index-compression";
+        body = "compressing inverted index postings";
+      };
+    ]
+
+let load_demo t =
+  Hac.mkdir_p t "/home/demo/notes";
+  Hac.mkdir_p t "/home/demo/src";
+  Hac.write_file t "/home/demo/notes/fs.txt"
+    "Ideas about file systems and indexing.\nSemantic directories are folders with queries.\n";
+  Hac.write_file t "/home/demo/notes/todo.txt" "Buy coffee.\nFix the parser.\n";
+  Hac.write_file t "/home/demo/src/main.ml" "let () = print_endline \"indexing demo\"\n"
+
+let make ?(demo = false) () =
+  let t = Hac.create ~auto_sync:true ~transducer () in
+  if demo then load_demo t;
+  { t; wd = "/" }
+
+let of_hac t = { t; wd = "/" }
+
+let hac s = s.t
+
+let cwd s = s.wd
+
+let resolve s p = Vpath.normalize_under ~cwd:s.wd p
+
+let out buf fmt = Printf.ksprintf (fun msg -> Buffer.add_string buf msg) fmt
+
+let show_links s buf dir =
+  List.iter
+    (fun l ->
+      out buf "%-24s -> %-40s [%s]\n" l.Link.name
+        (Link.target_key l.Link.target)
+        (Link.cls_name l.Link.cls))
+    (Hac.links s.t dir)
+
+let cmd_ls s buf long args =
+  let dir = match args with [] -> s.wd | d :: _ -> resolve s d in
+  List.iter
+    (fun name ->
+      let p = Vpath.join dir name in
+      if long then begin
+        let st = Fs.lstat (Hac.fs s.t) p in
+        let kind =
+          match st.Fs.st_kind with
+          | Hac_vfs.Event.Dir -> if Hac.is_semantic s.t p then "sdir" else "dir "
+          | Hac_vfs.Event.File -> "file"
+          | Hac_vfs.Event.Link -> "link"
+        in
+        out buf "%s %3o %2d %8d  %s\n" kind st.Fs.st_mode st.Fs.st_uid st.Fs.st_size name
+      end
+      else out buf "%s\n" name)
+    (Hac.readdir s.t dir)
+
+let cmd_ssearch s buf query =
+  match Hac_query.Parser.parse_result query with
+  | Error msg -> out buf "bad query: %s\n" msg
+  | Ok _ -> (
+      (* Evaluate through a throwaway semantic directory, then clean up —
+         the paper's point that queries and directories are the same thing. *)
+      let dir = "/.ssearch-tmp" in
+      match Hac.smkdir s.t dir query with
+      | () ->
+          List.iter
+            (fun l -> out buf "%s\n" (Link.target_key l.Link.target))
+            (Hac.links s.t dir);
+          Hac.srmdir s.t dir
+      | exception Hac.Hac_error msg -> out buf "error: %s\n" msg)
+
+let cmd_sgrep s buf pattern dir =
+  (* Accept the query language's /re/ spelling as well as a bare pattern. *)
+  let pattern =
+    let n = String.length pattern in
+    if n >= 2 && pattern.[0] = '/' && pattern.[n - 1] = '/' then String.sub pattern 1 (n - 2)
+    else pattern
+  in
+  match Hac_index.Regex.compile_result pattern with
+  | Error msg -> out buf "bad regex: %s\n" msg
+  | Ok re ->
+      let fs = Hac.fs s.t in
+      let files =
+        try Fs.find_files fs dir with Errno.Error _ -> []
+      in
+      List.iter
+        (fun p ->
+          if not (Vpath.is_prefix ~prefix:"/.hac" p) then
+            match Fs.read_file fs p with
+            | content ->
+                Hac_index.Tokenizer.iter_lines content (fun lineno line ->
+                    if Hac_index.Regex.matches re line then
+                      out buf "%s:%d: %s\n" p lineno line)
+            | exception Errno.Error _ -> ())
+        files
+
+let space_report s buf =
+  let sp = Hac.space s.t in
+  out buf "semantic dirs        : %d\n" (Hac.semdir_count s.t);
+  out buf "dirty (stale index)  : %d files\n" (Hac.dirty_count s.t);
+  out buf "indexed documents    : %d\n" (Hac_index.Index.doc_count (Hac.index s.t));
+  out buf "index bytes          : %d\n" sp.Hac.index_bytes;
+  out buf "HAC structure bytes  : %d (semdirs %d, uidmap %d, depgraph %d)\n"
+    (Hac.hac_overhead_bytes sp) sp.Hac.semdir_bytes sp.Hac.uidmap_bytes sp.Hac.depgraph_bytes;
+  out buf "fs metadata bytes    : %d\n" sp.Hac.fs_metadata_bytes;
+  out buf "current user         : %d\n" (Fs.current_user (Hac.fs s.t))
+
+let run s buf line =
+  let parts =
+    String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
+  in
+  match parts with
+  | [] -> true
+  | "quit" :: _ | "exit" :: _ -> false
+  | cmd :: args ->
+      (try
+         match (cmd, args) with
+         | "help", _ -> out buf "%s\n" help_text
+         | "pwd", _ -> out buf "%s\n" s.wd
+         | "cd", [ d ] ->
+             let d = resolve s d in
+             if Hac.is_dir s.t d then s.wd <- d else out buf "cd: %s: not a directory\n" d
+         | "ls", "-l" :: rest -> cmd_ls s buf true rest
+         | "ls", rest -> cmd_ls s buf false rest
+         | "mkdir", [ d ] -> Hac.mkdir s.t (resolve s d)
+         | "rmdir", [ d ] -> Hac.rmdir s.t (resolve s d)
+         | "write", f :: text ->
+             Hac.write_file s.t (resolve s f) (String.concat " " text ^ "\n")
+         | "append", f :: text ->
+             Hac.append_file s.t (resolve s f) (String.concat " " text ^ "\n")
+         | "cat", [ f ] -> (
+             match Hac.resolve_link s.t (resolve s f) with
+             | Some c -> Buffer.add_string buf c
+             | None -> out buf "cat: %s: cannot read\n" f)
+         | "rm", [ p ] -> Hac.unlink s.t (resolve s p)
+         | "mv", [ a; b ] -> Hac.rename s.t ~src:(resolve s a) ~dst:(resolve s b)
+         | "ln", [ target; link ] ->
+             Hac.symlink s.t ~target:(resolve s target) ~link:(resolve s link)
+         | "chmod", [ mode; p ] -> (
+             match int_of_string_opt ("0o" ^ mode) with
+             | Some m -> Fs.chmod (Hac.fs s.t) (resolve s p) m
+             | None -> out buf "chmod: bad octal mode %s\n" mode)
+         | "chown", [ uid; p ] -> (
+             match int_of_string_opt uid with
+             | Some u -> Fs.chown (Hac.fs s.t) (resolve s p) u
+             | None -> out buf "chown: bad uid %s\n" uid)
+         | "su", [ uid ] -> (
+             match int_of_string_opt uid with
+             | Some u -> Fs.set_user (Hac.fs s.t) u
+             | None -> out buf "su: bad uid %s\n" uid)
+         | "smkdir", d :: q when q <> [] -> Hac.smkdir s.t (resolve s d) (String.concat " " q)
+         | "srmdir", [ d ] -> Hac.srmdir s.t (resolve s d)
+         | "schquery", d :: q when q <> [] ->
+             Hac.schquery s.t (resolve s d) (String.concat " " q)
+         | "sreadin", [ d ] -> (
+             match Hac.sreadin s.t (resolve s d) with
+             | Some q -> out buf "%s\n" q
+             | None -> out buf "%s is not semantic\n" d)
+         | "ssearch", q when q <> [] -> cmd_ssearch s buf (String.concat " " q)
+         | "sgrep", pattern :: rest ->
+             cmd_sgrep s buf pattern (match rest with [] -> s.wd | d :: _ -> resolve s d)
+         | "links", rest -> show_links s buf (match rest with [] -> s.wd | d :: _ -> resolve s d)
+         | "prohibited", rest ->
+             let dir = match rest with [] -> s.wd | d :: _ -> resolve s d in
+             List.iter (fun k -> out buf "%s\n" k) (Hac.prohibited s.t dir)
+         | "sact", [ l ] ->
+             List.iter
+               (fun (n, line) -> out buf "%d: %s\n" n line)
+               (Hac.sact s.t (resolve s l))
+         | "ssync", rest -> Hac.ssync s.t (match rest with [] -> s.wd | d :: _ -> resolve s d)
+         | "sreindex", _ -> out buf "reindexed %d files\n" (Hac.reindex s.t ())
+         | "smount", [ d; "demo-library" ] -> Hac.smount s.t (resolve s d) (demo_library ())
+         | "smount", [ d; "demo-web" ] -> Hac.smount s.t (resolve s d) (demo_web ())
+         | "sumount", [ d; ns ] -> Hac.sumount s.t (resolve s d) ~ns_id:ns
+         | "sprohibit", [ d; target ] ->
+             Hac.prohibit_target s.t ~dir:(resolve s d) ~target:(resolve s target)
+         | "sunprohibit", [ d; target ] ->
+             Hac.unprohibit s.t ~dir:(resolve s d) ~target:(resolve s target)
+         | "sexport", [] -> Buffer.add_string buf (Export.export_all s.t)
+         | "sexport", [ d ] -> (
+             match Export.export_dir s.t (resolve s d) with
+             | Some text -> Buffer.add_string buf text
+             | None -> out buf "%s is not semantic\n" d)
+         | "srecover", _ -> out buf "restored %d semantic directories\n" (Recover.reload s.t)
+         | "save", [ host ] ->
+             Hac_vfs.Image.save_file (Hac.fs s.t) host;
+             out buf "saved image to %s\n" host
+         | "restore", [ host ] -> (
+             match Hac_vfs.Image.load_file host with
+             | Error msg -> out buf "restore failed: %s\n" msg
+             | Ok fs ->
+                 Hac.shutdown ~graceful:false s.t;
+                 s.t <- Hac.of_fs ~auto_sync:true ~transducer fs;
+                 s.wd <- "/";
+                 out buf "restored image; recovered %d semantic directories\n"
+                   (Recover.reload s.t))
+         | "sdirs", _ -> List.iter (fun d -> out buf "%s\n" d) (Hac.semantic_dirs s.t)
+         | "stats", _ -> space_report s buf
+         | _, _ -> out buf "unknown or malformed command (try: help)\n"
+       with
+      | Errno.Error (code, subject) -> out buf "error: %s: %s\n" subject (Errno.message code)
+      | Hac.Hac_error msg -> out buf "error: %s\n" msg);
+      true
+
+let run_string s input =
+  let buf = Buffer.create 256 in
+  List.iter (fun line -> ignore (run s buf line)) (String.split_on_char ';' input);
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** The hacsh command interpreter, as a library.
+
+    One {!session} wraps a HAC instance with a working directory and a
+    current user; {!run} executes one command line and appends its output to
+    the given buffer.  The [bin/hacsh] executable is a thin stdin/stdout
+    loop over this module, and the test suite drives it directly. *)
+
+type session
+(** Interpreter state: the HAC instance, the working directory, the user. *)
+
+val make : ?demo:bool -> unit -> session
+(** A fresh session over a fresh HAC (auto-sync, email/file-type
+    transducers installed).  [demo] preloads a small world. *)
+
+val of_hac : Hac_core.Hac.t -> session
+(** Wrap an existing instance. *)
+
+val hac : session -> Hac_core.Hac.t
+(** The underlying instance. *)
+
+val cwd : session -> string
+(** Current working directory. *)
+
+val run : session -> Buffer.t -> string -> bool
+(** Execute one command line, appending output (results and error messages)
+    to the buffer.  Returns [false] when the command asks to quit.  Never
+    raises: user errors print. *)
+
+val run_string : session -> string -> string
+(** Convenience: {!run} on each [;]-separated command, collecting output. *)
+
+val help_text : string
+(** The text printed by the [help] command. *)

@@ -1,0 +1,1 @@
+lib/vfs/attr_cache.ml: Event Fs Hashtbl List String Sys Vpath

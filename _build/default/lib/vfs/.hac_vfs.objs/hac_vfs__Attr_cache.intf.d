@@ -1,0 +1,1 @@
+lib/vfs/attr_cache.mli: Fs

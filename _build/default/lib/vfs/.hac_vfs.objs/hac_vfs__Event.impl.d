@@ -1,0 +1,1 @@
+lib/vfs/event.ml: Format List

@@ -1,0 +1,1 @@
+lib/vfs/event.mli: Format

@@ -1,0 +1,1 @@
+lib/vfs/fd_table.ml: Array Errno Fs Inode String Sys Vpath

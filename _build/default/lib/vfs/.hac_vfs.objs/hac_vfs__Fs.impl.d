@@ -1,0 +1,1 @@
+lib/vfs/fs.ml: Bytes Errno Event Hashtbl Inode List String Vpath

@@ -1,0 +1,1 @@
+lib/vfs/image.ml: Buffer Errno Event Fs Printf String Vpath

@@ -1,0 +1,91 @@
+(* Keys distinguish the follow/no-follow variants because a symlink path has
+   two distinct answers.  Invalidation is prefix-based for renames and
+   removals of directories: any cached path at or below the changed one is
+   dropped. *)
+
+type key = { path : string; follow : bool }
+
+type t = {
+  fs : Fs.t;
+  entries : (key, Fs.stat) Hashtbl.t;
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let invalidate_prefix t prefix =
+  let doomed =
+    Hashtbl.fold
+      (fun k _ acc -> if Vpath.is_prefix ~prefix k.path then k :: acc else acc)
+      t.entries []
+  in
+  List.iter (Hashtbl.remove t.entries) doomed
+
+let invalidate_exact t p =
+  Hashtbl.remove t.entries { path = p; follow = true };
+  Hashtbl.remove t.entries { path = p; follow = false }
+
+(* Point events (file writes and creations) need only O(1) invalidation of
+   the object and its parent; only directory removals and renames can strand
+   cached descendants and pay the prefix sweep. *)
+let on_event t = function
+  | Event.Created (_, p) | Event.Written p | Event.Removed ((Event.File | Event.Link), p)
+    ->
+      invalidate_exact t p;
+      invalidate_exact t (Vpath.dirname p)
+  | Event.Removed (Event.Dir, p) ->
+      invalidate_prefix t p;
+      invalidate_exact t (Vpath.dirname p)
+  | Event.Renamed (src, dst) ->
+      invalidate_prefix t src;
+      invalidate_prefix t dst;
+      invalidate_exact t (Vpath.dirname src);
+      invalidate_exact t (Vpath.dirname dst)
+
+let create ?(capacity = 4096) fs =
+  let t = { fs; entries = Hashtbl.create 256; capacity; hits = 0; misses = 0 } in
+  Event.subscribe (Fs.events fs) (on_event t);
+  t
+
+let evict_one t =
+  (* Cheap pseudo-random eviction: drop the first key the hash iterator
+     yields; good enough for a bounded cache. *)
+  match Hashtbl.fold (fun k _ _ -> Some k) t.entries None with
+  | Some k -> Hashtbl.remove t.entries k
+  | None -> ()
+
+let lookup t ~follow path =
+  let key = { path = Vpath.normalize path; follow } in
+  match Hashtbl.find_opt t.entries key with
+  | Some st ->
+      t.hits <- t.hits + 1;
+      st
+  | None ->
+      t.misses <- t.misses + 1;
+      let st = if follow then Fs.stat t.fs key.path else Fs.lstat t.fs key.path in
+      if Hashtbl.length t.entries >= t.capacity then evict_one t;
+      Hashtbl.replace t.entries key st;
+      st
+
+let stat t path = lookup t ~follow:true path
+
+let lstat t path = lookup t ~follow:false path
+
+let invalidate t path =
+  let path = Vpath.normalize path in
+  Hashtbl.remove t.entries { path; follow = true };
+  Hashtbl.remove t.entries { path; follow = false }
+
+let clear t = Hashtbl.reset t.entries
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let entry_count t = Hashtbl.length t.entries
+
+let approx_bytes t =
+  let word = Sys.int_size / 8 + 1 in
+  Hashtbl.fold
+    (fun k _ acc -> acc + String.length k.path + (10 * word))
+    t.entries 0

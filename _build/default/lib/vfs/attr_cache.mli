@@ -1,0 +1,39 @@
+(** Attribute (stat) cache shared between processes.
+
+    The paper keeps an attribute cache in UNIX shared memory so Scan and Read
+    phases of the Andrew Benchmark are served without touching the underlying
+    file system.  Here the cache subscribes to the file system's event bus
+    and invalidates affected entries on every mutation, so hits are always
+    coherent. *)
+
+type t
+(** One cache instance (shareable between any number of {!Fd_table}s). *)
+
+val create : ?capacity:int -> Fs.t -> t
+(** A cache over [fs], automatically invalidated by its events.
+    [capacity] bounds the entry count (default 4096); eviction is random. *)
+
+val stat : t -> string -> Fs.stat
+(** Like {!Fs.stat} but served from the cache when possible. *)
+
+val lstat : t -> string -> Fs.stat
+(** Like {!Fs.lstat} but served from the cache when possible. *)
+
+val invalidate : t -> string -> unit
+(** Drop the entries for one path. *)
+
+val clear : t -> unit
+(** Drop everything. *)
+
+val hits : t -> int
+(** Number of lookups served from the cache. *)
+
+val misses : t -> int
+(** Number of lookups that had to consult the file system. *)
+
+val entry_count : t -> int
+(** Live entries. *)
+
+val approx_bytes : t -> int
+(** Estimated memory held — the other half of the paper's ~16 KB per-process
+    shared-memory figure. *)

@@ -1,0 +1,56 @@
+type t =
+  | ENOENT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | EINVAL
+  | EBADF
+  | ELOOP
+  | EXDEV
+  | EBUSY
+  | EROFS
+  | EACCES
+  | EPERM
+
+exception Error of t * string
+
+let raise_error code subject = raise (Error (code, subject))
+
+let to_string = function
+  | ENOENT -> "ENOENT"
+  | EEXIST -> "EEXIST"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | EINVAL -> "EINVAL"
+  | EBADF -> "EBADF"
+  | ELOOP -> "ELOOP"
+  | EXDEV -> "EXDEV"
+  | EBUSY -> "EBUSY"
+  | EROFS -> "EROFS"
+  | EACCES -> "EACCES"
+  | EPERM -> "EPERM"
+
+let message = function
+  | ENOENT -> "no such file or directory"
+  | EEXIST -> "file exists"
+  | ENOTDIR -> "not a directory"
+  | EISDIR -> "is a directory"
+  | ENOTEMPTY -> "directory not empty"
+  | EINVAL -> "invalid argument"
+  | EBADF -> "bad file descriptor"
+  | ELOOP -> "too many levels of symbolic links"
+  | EXDEV -> "invalid cross-device link"
+  | EBUSY -> "resource busy"
+  | EROFS -> "read-only file system"
+  | EACCES -> "permission denied"
+  | EPERM -> "operation not permitted"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let () =
+  Printexc.register_printer (function
+    | Error (code, subject) ->
+        Some (Printf.sprintf "Vfs error %s (%s): %s" (to_string code) (message code) subject)
+    | _ -> None)

@@ -1,0 +1,31 @@
+(** POSIX-flavoured error codes raised by the virtual file system. *)
+
+type t =
+  | ENOENT  (** No such file or directory. *)
+  | EEXIST  (** Entry already exists. *)
+  | ENOTDIR (** A path component is not a directory. *)
+  | EISDIR  (** Operation needs a non-directory but got a directory. *)
+  | ENOTEMPTY  (** Directory not empty. *)
+  | EINVAL  (** Invalid argument (bad name, bad offset, ...). *)
+  | EBADF   (** Bad file descriptor. *)
+  | ELOOP   (** Too many levels of symbolic links. *)
+  | EXDEV   (** Cross-filesystem rename. *)
+  | EBUSY   (** Object is busy (e.g. a mount point). *)
+  | EROFS   (** Read-only file system. *)
+  | EACCES  (** Permission denied (missing r/w/x bit). *)
+  | EPERM   (** Operation not permitted (not the owner). *)
+
+exception Error of t * string
+(** [Error (code, subject)] carries the failing path or descriptor. *)
+
+val raise_error : t -> string -> 'a
+(** [raise_error code subject] raises {!Error}. *)
+
+val to_string : t -> string
+(** Symbolic name, e.g. ["ENOENT"]. *)
+
+val message : t -> string
+(** Human-readable description. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the symbolic name. *)

@@ -1,0 +1,26 @@
+type kind = File | Dir | Link
+
+type t =
+  | Created of kind * string
+  | Removed of kind * string
+  | Renamed of string * string
+  | Written of string
+
+type bus = { mutable subscribers : (t -> unit) list }
+
+let create_bus () = { subscribers = [] }
+
+let subscribe bus f = bus.subscribers <- bus.subscribers @ [ f ]
+
+let publish bus ev = List.iter (fun f -> f ev) bus.subscribers
+
+let pp_kind ppf = function
+  | File -> Format.pp_print_string ppf "file"
+  | Dir -> Format.pp_print_string ppf "dir"
+  | Link -> Format.pp_print_string ppf "link"
+
+let pp ppf = function
+  | Created (k, p) -> Format.fprintf ppf "created %a %s" pp_kind k p
+  | Removed (k, p) -> Format.fprintf ppf "removed %a %s" pp_kind k p
+  | Renamed (a, b) -> Format.fprintf ppf "renamed %s -> %s" a b
+  | Written p -> Format.fprintf ppf "written %s" p

@@ -1,0 +1,29 @@
+(** Mutation events published by the file system.
+
+    The HAC layer (and the attribute cache) subscribe to this stream to learn
+    about every change made through the VFS — the moral equivalent of the
+    paper's call interposition.  Events carry normalized absolute paths. *)
+
+type kind = File | Dir | Link
+(** What changed: a regular file, a directory, or a symbolic link. *)
+
+type t =
+  | Created of kind * string  (** A new object appeared at the path. *)
+  | Removed of kind * string  (** The object at the path was deleted. *)
+  | Renamed of string * string  (** [Renamed (src, dst)]: moved, subtree included. *)
+  | Written of string  (** A regular file's contents changed. *)
+
+type bus
+(** A synchronous publish/subscribe channel. *)
+
+val create_bus : unit -> bus
+(** A bus with no subscribers. *)
+
+val subscribe : bus -> (t -> unit) -> unit
+(** Register a callback, invoked synchronously on every {!publish}. *)
+
+val publish : bus -> t -> unit
+(** Deliver an event to every subscriber, in subscription order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer. *)

@@ -1,0 +1,116 @@
+(* Record grammar (binary safe: strings are length-prefixed):
+
+     HACIMG1\n
+     ( "D <mode> <owner> <plen>\n" path
+     | "F <mode> <owner> <plen> <clen>\n" path content
+     | "S <mode> <owner> <plen> <tlen>\n" path target )*
+     "E\n"
+*)
+
+let magic = "HACIMG1\n"
+
+let dump fs =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  let add_record kind st path payload =
+    (match payload with
+    | None ->
+        Buffer.add_string b
+          (Printf.sprintf "%c %o %d %d\n" kind st.Fs.st_mode st.Fs.st_uid
+             (String.length path));
+        Buffer.add_string b path
+    | Some data ->
+        Buffer.add_string b
+          (Printf.sprintf "%c %o %d %d %d\n" kind st.Fs.st_mode st.Fs.st_uid
+             (String.length path) (String.length data));
+        Buffer.add_string b path;
+        Buffer.add_string b data)
+  in
+  Fs.walk fs Vpath.root (fun path st ->
+      match st.Fs.st_kind with
+      | Event.Dir -> add_record 'D' st path None
+      | Event.File -> add_record 'F' st path (Some (Fs.read_file fs path))
+      | Event.Link -> add_record 'S' st path (Some (Fs.readlink fs path)));
+  Buffer.add_string b "E\n";
+  Buffer.contents b
+
+type cursor = { src : string; mutable pos : int }
+
+let read_line c =
+  match String.index_from_opt c.src c.pos '\n' with
+  | None -> Error "unterminated header line"
+  | Some nl ->
+      let line = String.sub c.src c.pos (nl - c.pos) in
+      c.pos <- nl + 1;
+      Ok line
+
+let read_bytes c n =
+  if c.pos + n > String.length c.src then Error "truncated payload"
+  else begin
+    let s = String.sub c.src c.pos n in
+    c.pos <- c.pos + n;
+    Ok s
+  end
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let load image =
+  let hl = String.length magic in
+  if String.length image < hl || String.sub image 0 hl <> magic then
+    Error "not a HAC image (bad magic)"
+  else begin
+    let c = { src = image; pos = hl } in
+    let fs = Fs.create () in
+    let apply_meta path mode owner =
+      Fs.chown fs ~follow:false path owner;
+      Fs.chmod fs ~follow:false path mode
+    in
+    let rec go () =
+      let* line = read_line c in
+      match String.split_on_char ' ' line with
+      | [ "E" ] -> Ok fs
+      | [ "D"; mode; owner; plen ] -> (
+          match (int_of_string_opt ("0o" ^ mode), int_of_string_opt owner, int_of_string_opt plen) with
+          | Some mode, Some owner, Some plen ->
+              let* path = read_bytes c plen in
+              Fs.mkdir fs path;
+              apply_meta path mode owner;
+              go ()
+          | _ -> Error ("bad directory record: " ^ line))
+      | [ ("F" | "S") as kind; mode; owner; plen; dlen ] -> (
+          match
+            ( int_of_string_opt ("0o" ^ mode),
+              int_of_string_opt owner,
+              int_of_string_opt plen,
+              int_of_string_opt dlen )
+          with
+          | Some mode, Some owner, Some plen, Some dlen ->
+              let* path = read_bytes c plen in
+              let* data = read_bytes c dlen in
+              if kind = "F" then Fs.write_file fs path data
+              else Fs.symlink fs ~target:data ~link:path;
+              apply_meta path mode owner;
+              go ()
+          | _ -> Error ("bad record: " ^ line))
+      | _ -> Error ("unrecognised record: " ^ line)
+    in
+    match go () with
+    | Ok _ as ok -> ok
+    | Error _ as e -> e
+    | exception Errno.Error (code, subject) ->
+        Error (Printf.sprintf "image replay failed: %s on %s" (Errno.to_string code) subject)
+  end
+
+let save_file fs host_path =
+  let oc = open_out_bin host_path in
+  output_string oc (dump fs);
+  close_out oc
+
+let load_file host_path =
+  match open_in_bin host_path with
+  | ic ->
+      let n = in_channel_length ic in
+      let data = really_input_string ic n in
+      close_in ic;
+      load data
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,24 @@
+(** File-system images: serialise a whole tree, load it back.
+
+    A binary-safe, length-prefixed format (think minimal tar) covering every
+    directory, regular file and symbolic link with its owner and mode.
+    Together with the metadata HAC persists inside the tree, an image is a
+    complete restartable snapshot: [load] + [Hac.of_fs] + [Recover.reload]
+    resurrects a session, including its semantic directories.
+
+    Built purely on {!Fs}'s public API; dumping runs as the superuser view
+    of whoever calls it (no permission checks are bypassed — dump with an
+    appropriate current user). *)
+
+val dump : Fs.t -> string
+(** Serialise the entire tree (parents before children). *)
+
+val load : string -> (Fs.t, string) result
+(** Rebuild a fresh file system from an image; [Error] describes the first
+    malformed record.  Owners and modes are restored exactly. *)
+
+val save_file : Fs.t -> string -> unit
+(** {!dump} to a file on the {e host} file system (for hacsh's [save]). *)
+
+val load_file : string -> (Fs.t, string) result
+(** {!load} from a host file. *)

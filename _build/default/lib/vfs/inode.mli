@@ -1,0 +1,54 @@
+(** Inodes and the inode table of the virtual file system. *)
+
+type ino = int
+(** Inode numbers; stable for the life of an object. *)
+
+type file_data = { mutable bytes : Bytes.t; mutable len : int }
+(** A regular file's growable byte buffer; [len <= Bytes.length bytes]. *)
+
+type body =
+  | Regular of file_data
+  | Directory of (string, ino) Hashtbl.t  (** name -> child inode *)
+  | Symlink of string  (** target path, possibly dangling *)
+
+type t = {
+  ino : ino;
+  mutable body : body;
+  mutable nlink : int;  (** directory entries referencing this inode *)
+  mutable mtime : int;  (** logical modification stamp *)
+  mutable ctime : int;  (** logical status-change stamp *)
+  mutable owner : int;  (** user id of the owner (0 is the superuser) *)
+  mutable mode : int;  (** permission bits, [0oXYZ] (group bits unused) *)
+}
+
+type table
+(** Allocator and store of all inodes of one file system. *)
+
+val create_table : unit -> table
+(** Fresh table containing only inode 0, the root directory. *)
+
+val root_ino : ino
+(** Inode number of the root directory (0). *)
+
+val alloc : table -> ?owner:int -> ?mode:int -> body -> t
+(** Allocate a new inode with the given body, [nlink = 0], stamps at the
+    table's current logical clock.  Defaults: [owner 0], [mode 0o777]. *)
+
+val get : table -> ino -> t
+(** Lookup; raises [Invalid_argument] for a dangling inode number. *)
+
+val free : table -> ino -> unit
+(** Drop an inode from the table (its number is not reused). *)
+
+val tick : table -> int
+(** Advance and return the table's logical clock, used for stamps. *)
+
+val count : table -> int
+(** Number of live inodes. *)
+
+val size : t -> int
+(** Size in bytes: file length, entry count for directories, target length
+    for symlinks. *)
+
+val kind_name : t -> string
+(** ["file"], ["dir"] or ["symlink"]. *)

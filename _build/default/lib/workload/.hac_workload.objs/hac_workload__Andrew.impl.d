@@ -1,0 +1,1 @@
+lib/workload/andrew.ml: Char Corpus Format Fsops Hac_vfs List String Unix

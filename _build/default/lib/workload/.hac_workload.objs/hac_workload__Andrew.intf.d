@@ -1,0 +1,1 @@
+lib/workload/andrew.mli: Corpus Format Fsops

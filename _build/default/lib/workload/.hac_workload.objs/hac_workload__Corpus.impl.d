@@ -1,0 +1,1 @@
+lib/workload/corpus.ml: Array Buffer Hac_vfs Hashtbl List Printf Prng

@@ -1,0 +1,1 @@
+lib/workload/fsops.ml: Hac_core Hac_vfs

@@ -1,0 +1,1 @@
+lib/workload/fsops.mli: Hac_core Hac_vfs

@@ -1,0 +1,1 @@
+lib/workload/jade_fs.ml: Fsops Hac_vfs Hashtbl

@@ -1,0 +1,1 @@
+lib/workload/jade_fs.mli: Fsops Hac_vfs

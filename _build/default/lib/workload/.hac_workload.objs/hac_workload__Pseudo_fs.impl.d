@@ -1,0 +1,1 @@
+lib/workload/pseudo_fs.ml: Bytes Fsops Hac_vfs Marshal

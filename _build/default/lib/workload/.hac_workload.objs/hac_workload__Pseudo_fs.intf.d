@@ -1,0 +1,1 @@
+lib/workload/pseudo_fs.mli: Fsops Hac_vfs

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Corpus Fsops Hac_vfs Hashtbl List Printf Prng String

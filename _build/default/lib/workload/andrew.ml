@@ -1,0 +1,111 @@
+module Vpath = Hac_vfs.Vpath
+
+type times = {
+  makedir : float;
+  copy : float;
+  scan : float;
+  read : float;
+  make : float;
+}
+
+let total t = t.makedir +. t.copy +. t.scan +. t.read +. t.make
+
+let slowdown ~base t = ((total t /. total base) -. 1.0) *. 100.0
+
+type source = { dirs : string list; files : (string * string) list }
+
+let make_source ?(spec = Corpus.medium_tree) ~seed () =
+  let corpus = Corpus.make ~seed () in
+  let fs = Hac_vfs.Fs.create () in
+  let _paths = Corpus.build_tree corpus fs ~root:"/src" spec in
+  let dirs = ref [] and files = ref [] in
+  Hac_vfs.Fs.walk fs "/src" (fun p st ->
+      let rel =
+        match Vpath.replace_prefix ~prefix:"/src" ~by:"/" p with
+        | Some r -> r
+        | None -> p
+      in
+      match st.Hac_vfs.Fs.st_kind with
+      | Hac_vfs.Event.Dir -> dirs := rel :: !dirs
+      | Hac_vfs.Event.File -> files := (rel, Hac_vfs.Fs.read_file fs p) :: !files
+      | Hac_vfs.Event.Link -> ());
+  (* Parents before children: sort by depth then name. *)
+  let by_depth a b =
+    match compare (Vpath.depth a) (Vpath.depth b) with
+    | 0 -> compare a b
+    | c -> c
+  in
+  { dirs = List.sort by_depth !dirs; files = List.sort compare !files }
+
+let now () = Unix.gettimeofday ()
+
+let timed f =
+  let t0 = now () in
+  f ();
+  now () -. t0
+
+(* Relative source paths start with '/'; graft them under [dest]. *)
+let dest_path dest rel = Vpath.normalize (dest ^ "/" ^ rel)
+
+(* Phase 5's "compilation": a few checksum passes over the source plus an
+   object file — compute-dominated, like compiling. *)
+let compile_passes = 4
+
+let checksum content =
+  let h = ref 5381 in
+  for pass = 1 to compile_passes do
+    for i = 0 to String.length content - 1 do
+      h := ((!h lsl 5) + !h + Char.code content.[i] + pass) land max_int
+    done
+  done;
+  !h
+
+let run src (ops : Fsops.t) ~dest =
+  let makedir =
+    timed (fun () ->
+        ops.Fsops.mkdir dest;
+        List.iter (fun d -> if d <> "/" then ops.Fsops.mkdir (dest_path dest d)) src.dirs)
+  in
+  let copy =
+    timed (fun () ->
+        List.iter (fun (f, content) -> ops.Fsops.write (dest_path dest f) content) src.files)
+  in
+  let scan =
+    timed (fun () ->
+        (* Stat every object; recurse into directories (files answer
+           readdir with ENOTDIR, ending the recursion). *)
+        let rec walk p =
+          match ops.Fsops.readdir p with
+          | entries ->
+              List.iter
+                (fun name ->
+                  let child = Vpath.join p name in
+                  ops.Fsops.stat child;
+                  walk child)
+                entries
+          | exception Hac_vfs.Errno.Error _ -> ()
+        in
+        walk dest)
+  in
+  let read =
+    timed (fun () ->
+        List.iter
+          (fun (f, _) ->
+            let data = ops.Fsops.read (dest_path dest f) in
+            ignore (String.length data))
+          src.files)
+  in
+  let make =
+    timed (fun () ->
+        List.iter
+          (fun (f, _) ->
+            let data = ops.Fsops.read (dest_path dest f) in
+            let obj = checksum data in
+            ops.Fsops.write (dest_path dest (f ^ ".o")) (string_of_int obj))
+          src.files)
+  in
+  { makedir; copy; scan; read; make }
+
+let pp_times ppf (label, t) =
+  Format.fprintf ppf "%-10s %8.4fs %8.4fs %8.4fs %8.4fs %8.4fs %9.4fs" label t.makedir
+    t.copy t.scan t.read t.make (total t)

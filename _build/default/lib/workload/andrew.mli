@@ -1,0 +1,41 @@
+(** The Andrew Benchmark (Howard et al.), as used in the paper's Table 1.
+
+    Five phases over a source tree: MakeDir replicates the directory
+    hierarchy, Copy copies every file into it, Scan stats every object
+    without reading data, Read reads every byte, and Make "compiles" the
+    files (checksum passes standing in for compilation — compute-bound, as
+    in the original, so a layered file system hurts it least).
+
+    The benchmark is written against {!Fsops.t}, so the same driver runs on
+    the native VFS, on HAC, and on the Jade-like and Pseudo-like layers. *)
+
+type times = {
+  makedir : float;
+  copy : float;
+  scan : float;
+  read : float;
+  make : float;  (** seconds per phase *)
+}
+
+val total : times -> float
+(** Sum of the five phases. *)
+
+val slowdown : base:times -> times -> float
+(** Percent slowdown of a system against a baseline:
+    [(total t /. total base -. 1) *. 100]. *)
+
+type source = {
+  dirs : string list;  (** Relative directory paths, parents first. *)
+  files : (string * string) list;  (** Relative path, contents. *)
+}
+(** The immutable source tree the benchmark replicates. *)
+
+val make_source : ?spec:Corpus.tree_spec -> seed:int -> unit -> source
+(** Deterministic source tree (default shape {!Corpus.medium_tree}). *)
+
+val run : source -> Fsops.t -> dest:string -> times
+(** Run all five phases, replicating [source] under [dest] (which must not
+    exist yet in the target system). *)
+
+val pp_times : Format.formatter -> string * times -> unit
+(** One Table 1 row: label then per-phase and total seconds. *)

@@ -1,0 +1,100 @@
+module Fs = Hac_vfs.Fs
+module Vpath = Hac_vfs.Vpath
+
+type t = { prng : Prng.t; vocab : string array; skew : float }
+
+let consonants = [| "b"; "c"; "d"; "f"; "g"; "k"; "l"; "m"; "n"; "p"; "r"; "s"; "t"; "v" |]
+
+let vowels = [| "a"; "e"; "i"; "o"; "u" |]
+
+(* Pronounceable word of 2-4 syllables, deterministic in [g]. *)
+let gen_word g =
+  let syllables = 2 + Prng.int g 3 in
+  let b = Buffer.create 12 in
+  for _ = 1 to syllables do
+    Buffer.add_string b (Prng.choice g consonants);
+    Buffer.add_string b (Prng.choice g vowels)
+  done;
+  Buffer.contents b
+
+let make ?(vocab_size = 4000) ?(skew = 1.05) ~seed () =
+  let g = Prng.make ~seed in
+  (* Distinct vocabulary: regenerate on collision. *)
+  let seen = Hashtbl.create vocab_size in
+  let vocab =
+    Array.init vocab_size (fun i ->
+        let rec fresh () =
+          let w = gen_word g in
+          if Hashtbl.mem seen w then fresh ()
+          else begin
+            Hashtbl.replace seen w ();
+            w
+          end
+        in
+        ignore i;
+        fresh ())
+  in
+  { prng = g; vocab; skew }
+
+let word t = t.vocab.(Prng.zipf t.prng ~n:(Array.length t.vocab) ~skew:t.skew)
+
+let vocab_word t rank =
+  if rank < 0 || rank >= Array.length t.vocab then invalid_arg "Corpus.vocab_word";
+  t.vocab.(rank)
+
+let document t ~words =
+  let b = Buffer.create (words * 8) in
+  for i = 1 to words do
+    Buffer.add_string b (word t);
+    if i mod 10 = 0 then Buffer.add_char b '\n' else Buffer.add_char b ' '
+  done;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+type tree_spec = {
+  depth : int;
+  dirs_per_level : int;
+  files_per_dir : int;
+  words_per_file : int;
+}
+
+let small_tree = { depth = 2; dirs_per_level = 3; files_per_dir = 4; words_per_file = 120 }
+
+let medium_tree = { depth = 3; dirs_per_level = 3; files_per_dir = 6; words_per_file = 200 }
+
+let build_tree t fs ~root spec =
+  let root = Vpath.normalize root in
+  Fs.mkdir_p fs root;
+  let files = ref [] in
+  let rec go dir depth =
+    for f = 1 to spec.files_per_dir do
+      let path = Vpath.join dir (Printf.sprintf "file%d.txt" f) in
+      Fs.write_file fs path (document t ~words:spec.words_per_file);
+      files := path :: !files
+    done;
+    if depth < spec.depth then
+      for d = 1 to spec.dirs_per_level do
+        let sub = Vpath.join dir (Printf.sprintf "dir%d" d) in
+        Fs.mkdir fs sub;
+        go sub (depth + 1)
+      done
+  in
+  go root 0;
+  List.sort compare !files
+
+let plant fs ~paths ~word ~count =
+  let n = List.length paths in
+  if count > n then invalid_arg "Corpus.plant: count exceeds available files";
+  if count <= 0 then []
+  else begin
+    let arr = Array.of_list paths in
+    let step = float_of_int n /. float_of_int count in
+    let chosen = ref [] in
+    for i = 0 to count - 1 do
+      let at = int_of_float (float_of_int i *. step) in
+      let path = arr.(min at (n - 1)) in
+      Fs.append_file fs path (Printf.sprintf "marker line %s here\n" word);
+      chosen := path :: !chosen
+    done;
+    List.rev !chosen
+  end

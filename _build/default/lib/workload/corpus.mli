@@ -1,0 +1,49 @@
+(** Deterministic synthetic text corpora.
+
+    Stands in for the paper's 17 000-file / 150 MB Glimpse test database:
+    a fixed vocabulary of pronounceable words sampled with a Zipf
+    distribution, organised into a directory tree.  Everything derives from
+    the seed, so experiments are reproducible bit-for-bit.
+
+    {e Marker words} are planted in a controlled number of files to realise
+    Table 4's selectivity classes ("few", "intermediate", "a lot of"
+    matching files) without depending on the random text. *)
+
+type t
+(** A corpus generator (vocabulary + PRNG). *)
+
+val make : ?vocab_size:int -> ?skew:float -> seed:int -> unit -> t
+(** Generator with a [vocab_size]-word vocabulary (default 4000) and Zipf
+    [skew] (default 1.05). *)
+
+val word : t -> string
+(** One Zipf-sampled vocabulary word. *)
+
+val vocab_word : t -> int -> string
+(** The vocabulary word of a given rank (rank 0 most frequent). *)
+
+val document : t -> words:int -> string
+(** A document of roughly [words] words, broken into lines of ~10 words. *)
+
+type tree_spec = {
+  depth : int;  (** Directory nesting below the root. *)
+  dirs_per_level : int;  (** Subdirectories per directory. *)
+  files_per_dir : int;  (** Regular files per directory. *)
+  words_per_file : int;  (** Approximate words per file. *)
+}
+(** Shape of a generated directory tree. *)
+
+val small_tree : tree_spec
+(** depth 2 / 3 dirs / 4 files / 120 words — quick tests. *)
+
+val medium_tree : tree_spec
+(** depth 3 / 3 dirs / 6 files / 200 words — benchmarks. *)
+
+val build_tree : t -> Hac_vfs.Fs.t -> root:string -> tree_spec -> string list
+(** Create the tree under [root] (created if missing) and return the file
+    paths, sorted. *)
+
+val plant : Hac_vfs.Fs.t -> paths:string list -> word:string -> count:int -> string list
+(** Append a line containing [word] to [count] files evenly spread through
+    [paths]; returns the chosen paths.  Raises [Invalid_argument] when
+    [count > List.length paths]. *)

@@ -1,0 +1,58 @@
+module Fs = Hac_vfs.Fs
+
+type t = {
+  label : string;
+  mkdir : string -> unit;
+  write : string -> string -> unit;
+  stat : string -> unit;
+  read : string -> string;
+  readdir : string -> string list;
+}
+
+let of_fs ?(label = "UNIX") fs =
+  {
+    label;
+    mkdir = Fs.mkdir fs;
+    write = Fs.write_file fs;
+    stat = (fun p -> ignore (Fs.stat fs p));
+    read = Fs.read_file fs;
+    readdir = Fs.readdir fs;
+  }
+
+let of_fs_cached ?(label = "UNIX+cache") fs =
+  let cache = Hac_vfs.Attr_cache.create fs in
+  {
+    label;
+    mkdir = Fs.mkdir fs;
+    write = Fs.write_file fs;
+    stat = (fun p -> ignore (Hac_vfs.Attr_cache.stat cache p));
+    read = Fs.read_file fs;
+    readdir = Fs.readdir fs;
+  }
+
+let of_hac ?(label = "HAC") hac =
+  (* HAC's per-process shared-memory structures: the attribute cache and an
+     open-descriptor table used for the Read phase. *)
+  let fs = Hac_core.Hac.fs hac in
+  let cache = Hac_vfs.Attr_cache.create fs in
+  let fds = Hac_vfs.Fd_table.create fs in
+  let read p =
+    (* Every call is interposed, including opens and reads. *)
+    Hac_core.Hac.intercept hac p;
+    let fd = Hac_vfs.Fd_table.openfile fds Hac_vfs.Fd_table.Read_only p in
+    let data = Hac_vfs.Fd_table.read_all fds fd in
+    Hac_vfs.Fd_table.close fds fd;
+    data
+  in
+  let stat p =
+    Hac_core.Hac.intercept hac p;
+    ignore (Hac_vfs.Attr_cache.stat cache p)
+  in
+  {
+    label;
+    mkdir = Hac_core.Hac.mkdir hac;
+    write = Hac_core.Hac.write_file hac;
+    stat;
+    read;
+    readdir = Hac_core.Hac.readdir hac;
+  }

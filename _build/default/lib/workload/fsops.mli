@@ -1,0 +1,26 @@
+(** The file-system-operations signature the Andrew Benchmark drives.
+
+    Each compared system (native VFS, HAC, the Jade-like and Pseudo-like
+    layered baselines) supplies one {!t}; the benchmark is written once
+    against this record. *)
+
+type t = {
+  label : string;  (** Display name ("UNIX", "HAC", ...). *)
+  mkdir : string -> unit;
+  write : string -> string -> unit;  (** Create-or-truncate with contents. *)
+  stat : string -> unit;  (** Examine status (result unused). *)
+  read : string -> string;  (** Whole-file read. *)
+  readdir : string -> string list;  (** Sorted entry names. *)
+}
+
+val of_fs : ?label:string -> Hac_vfs.Fs.t -> t
+(** The native file system — the benchmark's "UNIX" baseline. *)
+
+val of_fs_cached : ?label:string -> Hac_vfs.Fs.t -> t
+(** Native fs with an {!Hac_vfs.Attr_cache} serving [stat] — how HAC's
+    implementation accelerates Scan, measurable on its own. *)
+
+val of_hac : ?label:string -> Hac_core.Hac.t -> t
+(** Operations through a HAC instance: identical file-system calls, plus
+    HAC's interception costs (uid map, dirty tracking, link bookkeeping,
+    attribute cache). *)

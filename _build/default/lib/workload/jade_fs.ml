@@ -1,0 +1,47 @@
+module Fs = Hac_vfs.Fs
+module Vpath = Hac_vfs.Vpath
+
+type t = {
+  fs : Fs.t;
+  (* Skeleton: logical directory path -> physical directory path.  Longest
+     matching prefix wins; translation walks components so each call pays a
+     lookup per component, like Jade's per-directory skeleton search. *)
+  skeleton : (string, string) Hashtbl.t;
+}
+
+let create fs =
+  let t = { fs; skeleton = Hashtbl.create 16 } in
+  Hashtbl.replace t.skeleton Vpath.root Vpath.root;
+  t
+
+let add_mapping t ~logical ~physical =
+  Hashtbl.replace t.skeleton (Vpath.normalize logical) (Vpath.normalize physical)
+
+let translate t path =
+  let comps = Vpath.split (Vpath.normalize path) in
+  (* Walk down the logical path; at each prefix consult the skeleton and
+     restart physical resolution when a mapping fires.  Prefixes are built
+     incrementally (inputs are already normalized), so each component costs
+     one concatenation and one table lookup — Jade's per-call work. *)
+  let rec go logical physical = function
+    | [] -> physical
+    | c :: rest ->
+        let logical = if logical = Vpath.root then "/" ^ c else logical ^ "/" ^ c in
+        let physical =
+          match Hashtbl.find_opt t.skeleton logical with
+          | Some mapped -> mapped
+          | None -> if physical = Vpath.root then "/" ^ c else physical ^ "/" ^ c
+        in
+        go logical physical rest
+  in
+  go Vpath.root (Hashtbl.find t.skeleton Vpath.root) comps
+
+let ops t =
+  {
+    Fsops.label = "Jade FS";
+    mkdir = (fun p -> Fs.mkdir t.fs (translate t p));
+    write = (fun p c -> Fs.write_file t.fs (translate t p) c);
+    stat = (fun p -> ignore (Fs.stat t.fs (translate t p)));
+    read = (fun p -> Fs.read_file t.fs (translate t p));
+    readdir = (fun p -> Fs.readdir t.fs (translate t p));
+  }

@@ -1,0 +1,26 @@
+(** A Jade-like user-level layered file system (Table 2 baseline).
+
+    Jade (Rao & Peterson, 1993) gives each user a logical name space built
+    from per-directory {e skeleton} mappings onto underlying physical file
+    systems; every call translates the logical path component-by-component
+    through the skeleton before reaching the physical system.  We model that
+    mechanism — per-component logical→physical translation with a skeleton
+    table — over our VFS, carrying no content-based machinery, so its
+    slowdown is the "plain user-level layering" cost the paper compares HAC
+    against. *)
+
+type t
+(** One Jade-like layer over a physical file system. *)
+
+val create : Hac_vfs.Fs.t -> t
+(** A layer whose logical root maps to the physical root. *)
+
+val add_mapping : t -> logical:string -> physical:string -> unit
+(** Graft a physical subtree at a logical prefix (skeleton entry). *)
+
+val translate : t -> string -> string
+(** Logical path to physical path, one component at a time (the per-call
+    work Jade performs). *)
+
+val ops : t -> Fsops.t
+(** Andrew-benchmark operations through the layer. *)

@@ -1,0 +1,62 @@
+type t = { mutable state : int64 }
+
+let make ~seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.shift_right_logical z 2)
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  next t mod n
+
+(* [next] yields 62-bit values; 2^62 itself overflows a 63-bit int, so use
+   the float constant directly. *)
+let two_pow_62 = ldexp 1.0 62
+
+let float t = float_of_int (next t) /. two_pow_62
+
+let choice t a =
+  if Array.length a = 0 then invalid_arg "Prng.choice: empty array";
+  a.(int t (Array.length a))
+
+(* Inverse-cdf sampling over precomputed harmonic weights would need a table
+   per (n, skew); instead use the rejection-free approximation: draw u and
+   find the rank whose cumulative weight covers it, with the cumulative sums
+   cached per call site via a memo table. *)
+let zipf_tables : (int * int, float array) Hashtbl.t = Hashtbl.create 8
+
+let zipf t ~n ~skew =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  let key = (n, int_of_float (skew *. 1000.)) in
+  let cum =
+    match Hashtbl.find_opt zipf_tables key with
+    | Some c -> c
+    | None ->
+        let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** skew)) in
+        let cum = Array.make n 0.0 in
+        let total = Array.fold_left ( +. ) 0.0 weights in
+        let acc = ref 0.0 in
+        Array.iteri
+          (fun i w ->
+            acc := !acc +. w;
+            cum.(i) <- !acc /. total)
+          weights;
+        Hashtbl.replace zipf_tables key cum;
+        cum
+  in
+  let u = float t in
+  (* Binary search for the first index with cum >= u. *)
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cum.(mid) >= u then go lo mid else go (mid + 1) hi
+  in
+  go 0 (n - 1)

@@ -1,0 +1,27 @@
+(** Small deterministic pseudo-random generator (splitmix64).
+
+    All workloads are seeded so every run, test and benchmark sees the same
+    corpus — determinism matters more here than statistical quality. *)
+
+type t
+(** Mutable generator state. *)
+
+val make : seed:int -> t
+(** Generator from a seed. *)
+
+val next : t -> int
+(** Next non-negative integer (62 bits). *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n)].  Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val zipf : t -> n:int -> skew:float -> int
+(** Zipf-distributed rank in [0, n)] with the given skew (typically ~1.0):
+    rank 0 is most likely — word frequencies in text follow this shape. *)

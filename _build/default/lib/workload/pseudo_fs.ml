@@ -1,0 +1,61 @@
+module Fs = Hac_vfs.Fs
+
+type request =
+  | Mkdir of string
+  | Write of string * string
+  | Stat of string
+  | Read of string
+  | Readdir of string
+
+type reply = Unit | Data of string | Names of string list
+
+type t = { fs : Fs.t; mutable served : int; mutable wire_bytes : int }
+
+type counters = { requests : int; bytes_on_wire : int }
+
+let create fs = { fs; served = 0; wire_bytes = 0 }
+
+let counters t = { requests = t.served; bytes_on_wire = t.wire_bytes }
+
+(* One round trip: marshal the request, copy it across the user/kernel and
+   kernel/server boundaries (two copies each way, as for a real pseudo-fs
+   agent), decode it "server side", perform the operation, and do the same
+   for the reply.  [Marshal] gives an honest serialisation cost without
+   inventing a codec. *)
+let boundary_copy b = Bytes.copy (Bytes.copy b)
+
+let rpc t req =
+  let wire_req = boundary_copy (Marshal.to_bytes (req : request) []) in
+  t.served <- t.served + 1;
+  t.wire_bytes <- t.wire_bytes + Bytes.length wire_req;
+  let (decoded : request) = Marshal.from_bytes wire_req 0 in
+  let reply =
+    match decoded with
+    | Mkdir p ->
+        Fs.mkdir t.fs p;
+        Unit
+    | Write (p, c) ->
+        Fs.write_file t.fs p c;
+        Unit
+    | Stat p ->
+        ignore (Fs.stat t.fs p);
+        Unit
+    | Read p -> Data (Fs.read_file t.fs p)
+    | Readdir p -> Names (Fs.readdir t.fs p)
+  in
+  let wire_reply = boundary_copy (Marshal.to_bytes (reply : reply) []) in
+  t.wire_bytes <- t.wire_bytes + Bytes.length wire_reply;
+  (Marshal.from_bytes wire_reply 0 : reply)
+
+let ops t =
+  let unit_reply = function Unit -> () | Data _ | Names _ -> assert false in
+  let data_reply = function Data d -> d | Unit | Names _ -> assert false in
+  let names_reply = function Names ns -> ns | Unit | Data _ -> assert false in
+  {
+    Fsops.label = "Pseudo FS";
+    mkdir = (fun p -> unit_reply (rpc t (Mkdir p)));
+    write = (fun p c -> unit_reply (rpc t (Write (p, c))));
+    stat = (fun p -> unit_reply (rpc t (Stat p)));
+    read = (fun p -> data_reply (rpc t (Read p)));
+    readdir = (fun p -> names_reply (rpc t (Readdir p)));
+  }

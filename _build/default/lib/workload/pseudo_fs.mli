@@ -1,0 +1,23 @@
+(** A Pseudo-File-System-like user-level server (Table 2 baseline).
+
+    The Pseudo FS mechanism (Welch & Ousterhout's pseudo-file-systems, as in
+    Sprite / AFS agents) routes every file system call through a user-level
+    server: the kernel marshals the request, the server decodes it, performs
+    the operation, and marshals the reply.  We model exactly that per-call
+    marshalling boundary over our VFS — request and reply cross a byte-buffer
+    "wire" — with no content-based machinery. *)
+
+type t
+(** One pseudo-fs "server" over a physical file system. *)
+
+type counters = { requests : int; bytes_on_wire : int }
+(** Wire-traffic accounting. *)
+
+val create : Hac_vfs.Fs.t -> t
+(** Make the server. *)
+
+val counters : t -> counters
+(** Requests served and bytes marshalled so far. *)
+
+val ops : t -> Fsops.t
+(** Andrew-benchmark operations through the marshalling boundary. *)

@@ -1,0 +1,16 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let v = f () in
+  (now () -. t0, v)
+
+let time_only f = fst (time f)
+
+let median n f =
+  if n < 1 then invalid_arg "Timer.median";
+  let samples = List.init n (fun _ -> time_only f) in
+  let sorted = List.sort compare samples in
+  List.nth sorted (n / 2)
+
+let pct_over ~base x = if base = 0.0 then 0.0 else ((x /. base) -. 1.0) *. 100.0

@@ -1,0 +1,13 @@
+(** Wall-clock timing helpers for the benchmark harness. *)
+
+val time : (unit -> 'a) -> float * 'a
+(** Seconds elapsed and the result. *)
+
+val time_only : (unit -> 'a) -> float
+(** Seconds elapsed, result discarded. *)
+
+val median : int -> (unit -> 'a) -> float
+(** Median of [n] runs of the thunk (n >= 1). *)
+
+val pct_over : base:float -> float -> float
+(** [(x /. base -. 1) *. 100] — percent overhead over a baseline. *)

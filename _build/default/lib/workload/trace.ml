@@ -1,0 +1,109 @@
+type op =
+  | Mkdir of string
+  | Write of string * int
+  | Read of string
+  | Stat of string
+  | Readdir of string
+  | Rewrite of string * int
+
+type t = op list
+
+type profile = {
+  dirs : int;
+  files : int;
+  ops : int;
+  read_fraction : float;
+  words_per_file : int;
+}
+
+let default_profile =
+  { dirs = 20; files = 120; ops = 2000; read_fraction = 0.8; words_per_file = 150 }
+
+let generate ?(seed = 7) ?(profile = default_profile) () =
+  let g = Prng.make ~seed in
+  let dir i = Printf.sprintf "/trace/d%d" i in
+  let file i = Printf.sprintf "%s/f%d.txt" (dir (i mod profile.dirs)) i in
+  let setup =
+    (Mkdir "/trace" :: List.init profile.dirs (fun i -> Mkdir (dir i)))
+    @ List.init profile.files (fun i -> Write (file i, profile.words_per_file))
+  in
+  let random_op () =
+    let f = file (Prng.int g profile.files) in
+    if Prng.float g < profile.read_fraction then
+      match Prng.int g 3 with
+      | 0 -> Read f
+      | 1 -> Stat f
+      | _ -> Readdir (dir (Prng.int g profile.dirs))
+    else Rewrite (f, profile.words_per_file)
+  in
+  setup @ List.init profile.ops (fun _ -> random_op ())
+
+type stats = { ops_replayed : int; bytes_read : int; errors : int }
+
+let replay trace (ops : Fsops.t) =
+  (* Content is generated deterministically per (path, words) so every
+     backend writes identical bytes; memoised so the replay measures the
+     backend, not text generation. *)
+  let memo = Hashtbl.create 256 in
+  let content path words =
+    match Hashtbl.find_opt memo (path, words) with
+    | Some c -> c
+    | None ->
+        let g = Corpus.make ~vocab_size:200 ~seed:(Hashtbl.hash path land 0xFFFF) () in
+        let c = Corpus.document g ~words in
+        Hashtbl.replace memo (path, words) c;
+        c
+  in
+  let replayed = ref 0 and bytes = ref 0 and errors = ref 0 in
+  List.iter
+    (fun op ->
+      incr replayed;
+      try
+        match op with
+        | Mkdir p -> ops.Fsops.mkdir p
+        | Write (p, w) | Rewrite (p, w) -> ops.Fsops.write p (content p w)
+        | Read p -> bytes := !bytes + String.length (ops.Fsops.read p)
+        | Stat p -> ops.Fsops.stat p
+        | Readdir p -> ignore (ops.Fsops.readdir p : string list)
+      with Hac_vfs.Errno.Error _ -> incr errors)
+    trace;
+  { ops_replayed = !replayed; bytes_read = !bytes; errors = !errors }
+
+let op_to_string = function
+  | Mkdir p -> Printf.sprintf "mkdir %s" p
+  | Write (p, w) -> Printf.sprintf "write %s %d" p w
+  | Read p -> Printf.sprintf "read %s" p
+  | Stat p -> Printf.sprintf "stat %s" p
+  | Readdir p -> Printf.sprintf "readdir %s" p
+  | Rewrite (p, w) -> Printf.sprintf "rewrite %s %d" p w
+
+let to_string trace = String.concat "\n" (List.map op_to_string trace) ^ "\n"
+
+let of_string text =
+  let parse_line lineno line =
+    match String.split_on_char ' ' (String.trim line) with
+    | [ "mkdir"; p ] -> Ok (Some (Mkdir p))
+    | [ "write"; p; w ] -> (
+        match int_of_string_opt w with
+        | Some w -> Ok (Some (Write (p, w)))
+        | None -> Error (Printf.sprintf "line %d: bad word count" lineno))
+    | [ "rewrite"; p; w ] -> (
+        match int_of_string_opt w with
+        | Some w -> Ok (Some (Rewrite (p, w)))
+        | None -> Error (Printf.sprintf "line %d: bad word count" lineno))
+    | [ "read"; p ] -> Ok (Some (Read p))
+    | [ "stat"; p ] -> Ok (Some (Stat p))
+    | [ "readdir"; p ] -> Ok (Some (Readdir p))
+    | [ "" ] | [] -> Ok None
+    | _ -> Error (Printf.sprintf "line %d: unrecognised op" lineno)
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line lineno line with
+        | Ok (Some op) -> go (op :: acc) (lineno + 1) rest
+        | Ok None -> go acc (lineno + 1) rest
+        | Error _ as e -> e)
+  in
+  go [] 1 lines

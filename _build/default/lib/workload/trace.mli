@@ -1,0 +1,47 @@
+(** Synthetic file-system traces: generate, serialise, replay.
+
+    The Andrew Benchmark exercises distinct phases; real workloads mix
+    operations.  A trace is a deterministic operation sequence over a
+    working set of paths, replayable against any {!Fsops.t} backend, so the
+    same mixed workload can compare UNIX, HAC and the layered baselines —
+    and be saved and reloaded as text for regression comparisons. *)
+
+type op =
+  | Mkdir of string
+  | Write of string * int  (** path, approximate word count *)
+  | Read of string
+  | Stat of string
+  | Readdir of string
+  | Rewrite of string * int  (** overwrite an existing file *)
+
+type t = op list
+(** A trace; replay order is list order. *)
+
+type profile = {
+  dirs : int;  (** Directories in the working set. *)
+  files : int;  (** Files in the working set. *)
+  ops : int;  (** Operations after the working set is built. *)
+  read_fraction : float;  (** Probability an op is a read/stat/readdir. *)
+  words_per_file : int;  (** Content size for writes. *)
+}
+(** Workload shape. *)
+
+val default_profile : profile
+(** 20 dirs, 120 files, 2000 ops, 80% reads, 150 words. *)
+
+val generate : ?seed:int -> ?profile:profile -> unit -> t
+(** A deterministic trace: first creates the working set (mkdirs + writes),
+    then mixes reads, stats, directory listings and rewrites over it. *)
+
+type stats = { ops_replayed : int; bytes_read : int; errors : int }
+(** Replay outcome; [errors] counts operations refused by the backend. *)
+
+val replay : t -> Fsops.t -> stats
+(** Run every operation against the backend, under a root that the trace's
+    paths already include ([/trace]). *)
+
+val to_string : t -> string
+(** One line per op; inverse of {!of_string}. *)
+
+val of_string : string -> (t, string) result
+(** Parse a serialised trace; reports the first malformed line. *)

@@ -1,0 +1,1 @@
+test/test_agrep.ml: Alcotest Array Bytes Hac_index List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Hac_bitset Int List QCheck QCheck_alcotest Set

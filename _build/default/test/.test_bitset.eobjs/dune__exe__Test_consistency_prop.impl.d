@@ -1,0 +1,1 @@
+test/test_consistency_prop.ml: Alcotest Array Hac_bitset Hac_core Hac_index Hac_vfs List Printf QCheck QCheck_alcotest Set String

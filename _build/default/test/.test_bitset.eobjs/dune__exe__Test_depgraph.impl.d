@@ -1,0 +1,1 @@
+test/test_depgraph.ml: Alcotest Hac_depgraph Hashtbl List Option Printf QCheck QCheck_alcotest String

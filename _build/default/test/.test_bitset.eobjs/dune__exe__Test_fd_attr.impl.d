@@ -1,0 +1,1 @@
+test/test_fd_attr.ml: Alcotest Hac_vfs List Printf

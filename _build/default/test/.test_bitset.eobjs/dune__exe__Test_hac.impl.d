@@ -1,0 +1,1 @@
+test/test_hac.ml: Alcotest Hac_core Hac_vfs List Printf

@@ -1,0 +1,1 @@
+test/test_image.ml: Alcotest Filename Hac_core Hac_index Hac_shell Hac_vfs List Printf String Sys

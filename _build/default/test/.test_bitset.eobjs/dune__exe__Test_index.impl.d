@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Hac_bitset Hac_index Hac_vfs List Option Printf QCheck QCheck_alcotest String

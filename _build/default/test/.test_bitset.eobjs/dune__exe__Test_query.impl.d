@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Format Fun Hac_bitset Hac_query Hashtbl List Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_recover.ml: Alcotest Hac_core Hac_index Hac_remote Hac_vfs List String

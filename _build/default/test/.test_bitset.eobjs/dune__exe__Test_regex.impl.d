@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Hac_core Hac_index List Printf QCheck QCheck_alcotest Str String

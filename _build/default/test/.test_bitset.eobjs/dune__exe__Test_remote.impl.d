@@ -1,0 +1,1 @@
+test/test_remote.ml: Alcotest Hac_core Hac_index Hac_remote Hac_vfs List

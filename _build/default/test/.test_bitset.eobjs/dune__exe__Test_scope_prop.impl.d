@@ -1,0 +1,1 @@
+test/test_scope_prop.ml: Alcotest Hac_core Hac_index Hac_vfs List Printf QCheck QCheck_alcotest Set String

@@ -1,0 +1,1 @@
+test/test_scope_prop.mli:

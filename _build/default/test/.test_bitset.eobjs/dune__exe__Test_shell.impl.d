@@ -1,0 +1,1 @@
+test/test_shell.ml: Alcotest Buffer Hac_core Hac_index Hac_shell List QCheck QCheck_alcotest String

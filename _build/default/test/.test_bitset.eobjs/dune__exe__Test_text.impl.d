@@ -1,0 +1,1 @@
+test/test_text.ml: Alcotest Hac_index List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_transducer.ml: Alcotest Hac_bitset Hac_core Hac_index List Option

@@ -1,0 +1,1 @@
+test/test_uidmap.ml: Alcotest Hac_core Hac_vfs List Printf QCheck QCheck_alcotest String

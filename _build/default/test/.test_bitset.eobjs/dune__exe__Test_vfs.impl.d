@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Format Hac_vfs List String

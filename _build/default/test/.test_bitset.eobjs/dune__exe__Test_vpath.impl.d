@@ -1,0 +1,1 @@
+test/test_vpath.ml: Alcotest Hac_vfs List QCheck QCheck_alcotest String

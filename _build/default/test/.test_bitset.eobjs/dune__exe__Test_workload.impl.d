@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Hac_core Hac_index Hac_vfs Hac_workload List String

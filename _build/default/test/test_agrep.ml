@@ -1,0 +1,177 @@
+(* Tests for the bitap/agrep engine: exact matching, approximate matching
+   with k errors (validated against a reference Levenshtein implementation)
+   and the edit-distance helper itself. *)
+
+module Agrep = Hac_index.Agrep
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_opt = Alcotest.(check (option int))
+
+(* -- exact -------------------------------------------------------------------- *)
+
+let test_find_exact () =
+  check_opt "at start" (Some 0) (Agrep.find_exact ~pattern:"abc" "abcdef");
+  check_opt "in middle" (Some 3) (Agrep.find_exact ~pattern:"def" "abcdefgh");
+  check_opt "at end" (Some 5) (Agrep.find_exact ~pattern:"fgh" "abcdefgh");
+  check_opt "absent" None (Agrep.find_exact ~pattern:"zzz" "abcdefgh");
+  check_opt "empty pattern" (Some 0) (Agrep.find_exact ~pattern:"" "abc");
+  check_opt "pattern longer than text" None (Agrep.find_exact ~pattern:"abcd" "abc")
+
+let test_count_exact () =
+  check_int "overlapping" 3 (Agrep.count_exact ~pattern:"aa" "aaaa");
+  check_int "disjoint" 2 (Agrep.count_exact ~pattern:"ab" "abab");
+  check_int "none" 0 (Agrep.count_exact ~pattern:"x" "abab");
+  check_int "empty pattern" 0 (Agrep.count_exact ~pattern:"" "abab")
+
+let test_pattern_too_long () =
+  let long = String.make (Agrep.max_pattern_len + 1) 'a' in
+  Alcotest.check_raises "too long"
+    (Invalid_argument "Agrep: pattern longer than a machine word")
+    (fun () -> ignore (Agrep.find_exact ~pattern:long "text"))
+
+(* -- approximate ---------------------------------------------------------------- *)
+
+let test_find_approx_basic () =
+  check_bool "exact counts as 0 errors" true
+    (Agrep.matches_approx ~pattern:"hello" ~errors:0 "say hello there");
+  check_bool "one substitution" true
+    (Agrep.matches_approx ~pattern:"hello" ~errors:1 "say hallo there");
+  check_bool "one deletion in text" true
+    (Agrep.matches_approx ~pattern:"hello" ~errors:1 "say hllo there");
+  check_bool "one insertion in text" true
+    (Agrep.matches_approx ~pattern:"hello" ~errors:1 "say heXllo there");
+  check_bool "two errors refused at k=1" false
+    (Agrep.matches_approx ~pattern:"hello" ~errors:1 "say hXlXo there");
+  check_bool "two errors accepted at k=2" true
+    (Agrep.matches_approx ~pattern:"hello" ~errors:2 "say hXlXo there")
+
+let test_find_approx_degenerate () =
+  check_opt "empty pattern" (Some 0) (Agrep.find_approx ~pattern:"" ~errors:1 "abc");
+  check_bool "k >= pattern length matches anything" true
+    (Agrep.matches_approx ~pattern:"ab" ~errors:2 "zzz");
+  Alcotest.check_raises "negative errors"
+    (Invalid_argument "Agrep.find_approx: negative errors") (fun () ->
+      ignore (Agrep.find_approx ~pattern:"a" ~errors:(-1) "a"))
+
+(* -- edit distance ---------------------------------------------------------------- *)
+
+(* Reference implementation: full DP matrix. *)
+let reference_edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let d = Array.make_matrix (la + 1) (lb + 1) 0 in
+  for i = 0 to la do
+    d.(i).(0) <- i
+  done;
+  for j = 0 to lb do
+    d.(0).(j) <- j
+  done;
+  for i = 1 to la do
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      d.(i).(j) <-
+        min (min (d.(i - 1).(j) + 1) (d.(i).(j - 1) + 1)) (d.(i - 1).(j - 1) + cost)
+    done
+  done;
+  d.(la).(lb)
+
+let test_edit_distance_units () =
+  check_int "identical" 0 (Agrep.edit_distance "same" "same");
+  check_int "empty vs word" 4 (Agrep.edit_distance "" "word");
+  check_int "substitution" 1 (Agrep.edit_distance "cat" "cut");
+  check_int "kitten/sitting" 3 (Agrep.edit_distance "kitten" "sitting");
+  check_int "cutoff exceeded" 2 (Agrep.edit_distance ~cutoff:1 "abcdef" "uvwxyz")
+
+let test_word_matches () =
+  check_bool "within budget" true (Agrep.word_matches ~pattern:"color" ~errors:1 "colour");
+  check_bool "exact" true (Agrep.word_matches ~pattern:"color" ~errors:0 "color");
+  check_bool "too far" false (Agrep.word_matches ~pattern:"color" ~errors:1 "colours")
+
+(* -- properties --------------------------------------------------------------------- *)
+
+let word_gen =
+  QCheck.Gen.(
+    map
+      (fun cs -> String.concat "" (List.map (String.make 1) cs))
+      (list_size (int_range 0 10) (char_range 'a' 'd')))
+  |> QCheck.make ~print:(fun s -> s)
+
+let prop_edit_distance_matches_reference =
+  QCheck.Test.make ~name:"edit_distance matches reference DP" ~count:1000
+    (QCheck.pair word_gen word_gen)
+    (fun (a, b) -> Agrep.edit_distance a b = reference_edit_distance a b)
+
+let prop_edit_distance_symmetric =
+  QCheck.Test.make ~name:"edit_distance symmetric" ~count:500
+    (QCheck.pair word_gen word_gen)
+    (fun (a, b) -> Agrep.edit_distance a b = Agrep.edit_distance b a)
+
+let prop_find_exact_matches_substring =
+  QCheck.Test.make ~name:"find_exact agrees with a naive scan" ~count:1000
+    (QCheck.pair word_gen word_gen)
+    (fun (pat, text) ->
+      QCheck.assume (String.length pat > 0);
+      let naive () =
+        let m = String.length pat and n = String.length text in
+        let rec go i =
+          if i + m > n then None
+          else if String.sub text i m = pat then Some i
+          else go (i + 1)
+        in
+        go 0
+      in
+      Agrep.find_exact ~pattern:pat text = naive ())
+
+(* Whole-word approx must agree with edit distance by definition. *)
+let prop_word_matches_is_edit_distance =
+  QCheck.Test.make ~name:"word_matches consistent with edit_distance" ~count:1000
+    (QCheck.triple word_gen word_gen (QCheck.int_bound 3))
+    (fun (a, b, k) -> Agrep.word_matches ~pattern:a ~errors:k b = (reference_edit_distance a b <= k))
+
+(* If pattern occurs within distance k as a whole word of the text, the
+   sliding approx search must find something too. *)
+let prop_approx_finds_planted =
+  QCheck.Test.make ~name:"approx search finds planted near-match" ~count:500
+    (QCheck.pair word_gen (QCheck.int_bound 2))
+    (fun (w, k) ->
+      QCheck.assume (String.length w > k);
+      (* Mutate w with exactly <= k substitutions. *)
+      let b = Bytes.of_string w in
+      for i = 0 to k - 1 do
+        if i < Bytes.length b then Bytes.set b i 'z'
+      done;
+      let mutated = Bytes.to_string b in
+      let text = "prefix " ^ mutated ^ " suffix" in
+      Agrep.matches_approx ~pattern:w ~errors:k text)
+
+let () =
+  Alcotest.run "agrep"
+    [
+      ( "exact",
+        [
+          Alcotest.test_case "find_exact" `Quick test_find_exact;
+          Alcotest.test_case "count_exact" `Quick test_count_exact;
+          Alcotest.test_case "pattern too long" `Quick test_pattern_too_long;
+        ] );
+      ( "approximate",
+        [
+          Alcotest.test_case "basic edits" `Quick test_find_approx_basic;
+          Alcotest.test_case "degenerate cases" `Quick test_find_approx_degenerate;
+        ] );
+      ( "edit distance",
+        [
+          Alcotest.test_case "units" `Quick test_edit_distance_units;
+          Alcotest.test_case "word_matches" `Quick test_word_matches;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_edit_distance_matches_reference;
+            prop_edit_distance_symmetric;
+            prop_find_exact_matches_substring;
+            prop_word_matches_is_edit_distance;
+            prop_approx_finds_planted;
+          ] );
+    ]

@@ -1,0 +1,247 @@
+(* Unit and property tests for Hac_bitset: Bitset, Sparse and the adaptive
+   Fileset.  Property tests check every operation against Stdlib's Set as a
+   reference model. *)
+
+module Bitset = Hac_bitset.Bitset
+module Sparse = Hac_bitset.Sparse
+module Fileset = Hac_bitset.Fileset
+module IntSet = Set.Make (Int)
+
+let check_list = Alcotest.(check (list int))
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* -- Bitset units -------------------------------------------------------- *)
+
+let test_bitset_empty () =
+  let s = Bitset.create () in
+  check_int "cardinal" 0 (Bitset.cardinal s);
+  check_bool "is_empty" true (Bitset.is_empty s);
+  check_bool "mem" false (Bitset.mem s 3);
+  check_list "elements" [] (Bitset.elements s)
+
+let test_bitset_add_remove () =
+  let s = Bitset.create () in
+  Bitset.add s 5;
+  Bitset.add s 0;
+  Bitset.add s 200;
+  check_list "elements sorted" [ 0; 5; 200 ] (Bitset.elements s);
+  Bitset.add s 5;
+  check_int "idempotent add" 3 (Bitset.cardinal s);
+  Bitset.remove s 5;
+  check_bool "removed" false (Bitset.mem s 5);
+  Bitset.remove s 5;
+  check_int "idempotent remove" 2 (Bitset.cardinal s);
+  Bitset.remove s 9999 (* beyond allocation: no-op, no exception *)
+
+let test_bitset_growth () =
+  let s = Bitset.create ~capacity:1 () in
+  Bitset.add s 100_000;
+  check_bool "grown mem" true (Bitset.mem s 100_000);
+  check_int "cardinal" 1 (Bitset.cardinal s)
+
+let test_bitset_negative () =
+  let s = Bitset.create () in
+  Alcotest.check_raises "negative add" (Invalid_argument "Bitset.add: negative element")
+    (fun () -> Bitset.add s (-1));
+  check_bool "negative mem" false (Bitset.mem s (-1))
+
+let test_bitset_ops () =
+  let a = Bitset.of_list [ 1; 2; 3; 64; 65 ] in
+  let b = Bitset.of_list [ 2; 64; 999 ] in
+  check_list "union" [ 1; 2; 3; 64; 65; 999 ] (Bitset.elements (Bitset.union a b));
+  check_list "inter" [ 2; 64 ] (Bitset.elements (Bitset.inter a b));
+  check_list "diff" [ 1; 3; 65 ] (Bitset.elements (Bitset.diff a b));
+  check_bool "subset yes" true (Bitset.subset (Bitset.of_list [ 2; 64 ]) a);
+  check_bool "subset no" false (Bitset.subset b a);
+  check_bool "equal self" true (Bitset.equal a (Bitset.copy a));
+  check_bool "equal across sizes" true
+    (Bitset.equal (Bitset.of_list [ 1 ]) (Bitset.of_list [ 1 ]))
+
+let test_bitset_inplace () =
+  let a = Bitset.of_list [ 1; 70 ] in
+  Bitset.union_into a (Bitset.of_list [ 2; 300 ]);
+  check_list "union_into" [ 1; 2; 70; 300 ] (Bitset.elements a);
+  Bitset.inter_into a (Bitset.of_list [ 2; 300; 5 ]);
+  check_list "inter_into" [ 2; 300 ] (Bitset.elements a);
+  Bitset.diff_into a (Bitset.of_list [ 300 ]);
+  check_list "diff_into" [ 2 ] (Bitset.elements a)
+
+let test_bitset_copy_isolated () =
+  let a = Bitset.of_list [ 1 ] in
+  let b = Bitset.copy a in
+  Bitset.add b 2;
+  check_bool "original untouched" false (Bitset.mem a 2)
+
+let test_bitset_choose_max () =
+  let s = Bitset.of_list [ 42; 7; 100 ] in
+  Alcotest.(check (option int)) "choose" (Some 7) (Bitset.choose_opt s);
+  Alcotest.(check (option int)) "max" (Some 100) (Bitset.max_elt_opt s);
+  Alcotest.(check (option int)) "choose empty" None (Bitset.choose_opt (Bitset.create ()));
+  Alcotest.(check (option int)) "max empty" None (Bitset.max_elt_opt (Bitset.create ()))
+
+let test_bitset_clear () =
+  let s = Bitset.of_list [ 1; 2; 3 ] in
+  Bitset.clear s;
+  check_bool "cleared" true (Bitset.is_empty s)
+
+let test_paper_byte_size () =
+  (* The paper: 17000 indexed files -> about 2 KB per semantic directory. *)
+  check_int "17000 files" 2125 (Bitset.paper_byte_size ~universe:17000);
+  check_int "8 files" 1 (Bitset.paper_byte_size ~universe:8);
+  check_int "9 files" 2 (Bitset.paper_byte_size ~universe:9)
+
+(* -- Sparse units --------------------------------------------------------- *)
+
+let test_sparse_basic () =
+  let s = Sparse.of_list [ 5; 1; 5; 3 ] in
+  check_list "dedup sorted" [ 1; 3; 5 ] (Sparse.elements s);
+  check_bool "mem" true (Sparse.mem s 3);
+  check_bool "not mem" false (Sparse.mem s 4);
+  check_int "cardinal" 3 (Sparse.cardinal s);
+  check_bool "empty" true (Sparse.is_empty Sparse.empty)
+
+let test_sparse_add_remove () =
+  let s = Sparse.of_list [ 1; 5 ] in
+  let s2 = Sparse.add s 3 in
+  check_list "insert middle" [ 1; 3; 5 ] (Sparse.elements s2);
+  check_list "original immutable" [ 1; 5 ] (Sparse.elements s);
+  let s3 = Sparse.remove s2 1 in
+  check_list "remove head" [ 3; 5 ] (Sparse.elements s3);
+  check_bool "remove absent is same" true (Sparse.equal s (Sparse.remove s 42))
+
+let test_sparse_setops () =
+  let a = Sparse.of_list [ 1; 3; 5 ] and b = Sparse.of_list [ 2; 3; 6 ] in
+  check_list "union" [ 1; 2; 3; 5; 6 ] (Sparse.elements (Sparse.union a b));
+  check_list "inter" [ 3 ] (Sparse.elements (Sparse.inter a b));
+  check_list "diff" [ 1; 5 ] (Sparse.elements (Sparse.diff a b));
+  check_bool "subset" true (Sparse.subset (Sparse.of_list [ 3 ]) a)
+
+(* -- Fileset units --------------------------------------------------------- *)
+
+let test_fileset_adaptive () =
+  let small = Fileset.of_list [ 1; 2; 3 ] in
+  check_bool "small stays sparse" false (Fileset.is_dense small);
+  let big = Fileset.range 0 1000 in
+  check_bool "dense range" true (Fileset.is_dense big);
+  check_int "range cardinal" 1001 (Fileset.cardinal big);
+  (* A huge-universe tiny set must not densify. *)
+  let scattered = Fileset.of_list [ 1; 1_000_000 ] in
+  check_bool "scattered sparse" false (Fileset.is_dense scattered)
+
+let test_fileset_ops_mixed_repr () =
+  let dense = Fileset.range 0 500 in
+  let sparse = Fileset.of_list [ 100; 501 ] in
+  check_int "union" 502 (Fileset.cardinal (Fileset.union dense sparse));
+  check_list "inter" [ 100 ] (Fileset.elements (Fileset.inter dense sparse));
+  check_bool "diff" false (Fileset.mem (Fileset.diff dense sparse) 100);
+  check_bool "equal across reprs" true
+    (Fileset.equal (Fileset.of_list [ 1; 2 ]) (Fileset.of_list [ 2; 1 ]))
+
+let test_fileset_filter () =
+  let s = Fileset.range 0 20 in
+  let even = Fileset.filter (fun i -> i mod 2 = 0) s in
+  check_int "filtered" 11 (Fileset.cardinal even);
+  check_bool "no odd" false (Fileset.mem even 3)
+
+let test_fileset_empty_range () =
+  check_bool "inverted range empty" true (Fileset.is_empty (Fileset.range 5 2))
+
+(* -- properties ------------------------------------------------------------ *)
+
+let small_int_list = QCheck.(small_list (int_bound 400))
+
+let model_of l = IntSet.of_list l
+
+let prop_bitset_matches_model =
+  QCheck.Test.make ~name:"bitset setops match Set model" ~count:300
+    QCheck.(pair small_int_list small_int_list)
+    (fun (la, lb) ->
+      let a = Bitset.of_list la and b = Bitset.of_list lb in
+      let ma = model_of la and mb = model_of lb in
+      Bitset.elements (Bitset.union a b) = IntSet.elements (IntSet.union ma mb)
+      && Bitset.elements (Bitset.inter a b) = IntSet.elements (IntSet.inter ma mb)
+      && Bitset.elements (Bitset.diff a b) = IntSet.elements (IntSet.diff ma mb)
+      && Bitset.cardinal a = IntSet.cardinal ma
+      && Bitset.subset a b = IntSet.subset ma mb)
+
+let prop_sparse_matches_model =
+  QCheck.Test.make ~name:"sparse setops match Set model" ~count:300
+    QCheck.(pair small_int_list small_int_list)
+    (fun (la, lb) ->
+      let a = Sparse.of_list la and b = Sparse.of_list lb in
+      let ma = model_of la and mb = model_of lb in
+      Sparse.elements (Sparse.union a b) = IntSet.elements (IntSet.union ma mb)
+      && Sparse.elements (Sparse.inter a b) = IntSet.elements (IntSet.inter ma mb)
+      && Sparse.elements (Sparse.diff a b) = IntSet.elements (IntSet.diff ma mb)
+      && Sparse.subset a b = IntSet.subset ma mb)
+
+let prop_fileset_matches_model =
+  QCheck.Test.make ~name:"fileset setops match Set model" ~count:300
+    QCheck.(pair small_int_list small_int_list)
+    (fun (la, lb) ->
+      let a = Fileset.of_list la and b = Fileset.of_list lb in
+      let ma = model_of la and mb = model_of lb in
+      Fileset.elements (Fileset.union a b) = IntSet.elements (IntSet.union ma mb)
+      && Fileset.elements (Fileset.inter a b) = IntSet.elements (IntSet.inter ma mb)
+      && Fileset.elements (Fileset.diff a b) = IntSet.elements (IntSet.diff ma mb))
+
+let prop_fileset_add_remove =
+  QCheck.Test.make ~name:"fileset add/remove roundtrip" ~count:300
+    QCheck.(pair small_int_list (int_bound 400))
+    (fun (l, x) ->
+      let s = Fileset.of_list l in
+      Fileset.mem (Fileset.add s x) x
+      && (not (Fileset.mem (Fileset.remove s x) x))
+      && Fileset.cardinal (Fileset.add s x)
+         = Fileset.cardinal s + if Fileset.mem s x then 0 else 1)
+
+let prop_bitset_iter_sorted =
+  QCheck.Test.make ~name:"bitset iterates in increasing order" ~count:200
+    small_int_list
+    (fun l ->
+      let s = Bitset.of_list l in
+      let elems = Bitset.elements s in
+      elems = List.sort_uniq compare l)
+
+let () =
+  Alcotest.run "bitset"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "empty" `Quick test_bitset_empty;
+          Alcotest.test_case "add/remove" `Quick test_bitset_add_remove;
+          Alcotest.test_case "growth" `Quick test_bitset_growth;
+          Alcotest.test_case "negative elements" `Quick test_bitset_negative;
+          Alcotest.test_case "set operations" `Quick test_bitset_ops;
+          Alcotest.test_case "in-place operations" `Quick test_bitset_inplace;
+          Alcotest.test_case "copy isolation" `Quick test_bitset_copy_isolated;
+          Alcotest.test_case "choose/max" `Quick test_bitset_choose_max;
+          Alcotest.test_case "clear" `Quick test_bitset_clear;
+          Alcotest.test_case "paper byte size" `Quick test_paper_byte_size;
+        ] );
+      ( "sparse",
+        [
+          Alcotest.test_case "basic" `Quick test_sparse_basic;
+          Alcotest.test_case "add/remove" `Quick test_sparse_add_remove;
+          Alcotest.test_case "set operations" `Quick test_sparse_setops;
+        ] );
+      ( "fileset",
+        [
+          Alcotest.test_case "adaptive representation" `Quick test_fileset_adaptive;
+          Alcotest.test_case "mixed-repr operations" `Quick test_fileset_ops_mixed_repr;
+          Alcotest.test_case "filter" `Quick test_fileset_filter;
+          Alcotest.test_case "empty range" `Quick test_fileset_empty_range;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_bitset_matches_model;
+            prop_sparse_matches_model;
+            prop_fileset_matches_model;
+            prop_fileset_add_remove;
+            prop_bitset_iter_sorted;
+          ] );
+    ]

@@ -1,0 +1,174 @@
+(* Tests for the per-process descriptor tables and the shared attribute
+   cache — the paper's per-process shared-memory structures. *)
+
+module Fs = Hac_vfs.Fs
+module Fd = Hac_vfs.Fd_table
+module Cache = Hac_vfs.Attr_cache
+module Errno = Hac_vfs.Errno
+module Event = Hac_vfs.Event
+
+let check_str = Alcotest.(check string)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let expect_errno code f =
+  match f () with
+  | _ -> Alcotest.failf "expected %s" (Errno.to_string code)
+  | exception Errno.Error (got, _) ->
+      Alcotest.check
+        (Alcotest.testable Errno.pp ( = ))
+        ("raises " ^ Errno.to_string code)
+        code got
+
+(* -- fd table ---------------------------------------------------------------- *)
+
+let test_open_read_close () =
+  let fs = Fs.create () in
+  Fs.write_file fs "/f" "hello world";
+  let t = Fd.create fs in
+  let fd = Fd.openfile t Fd.Read_only "/f" in
+  check_str "first read" "hello" (Fd.read t fd 5);
+  check_int "position" 5 (Fd.position t fd);
+  check_str "rest" " world" (Fd.read_all t fd);
+  check_str "eof" "" (Fd.read t fd 10);
+  Fd.close t fd;
+  expect_errno Errno.EBADF (fun () -> Fd.read t fd 1)
+
+let test_write_modes () =
+  let fs = Fs.create () in
+  let t = Fd.create fs in
+  let fd = Fd.openfile t ~create:true Fd.Read_write "/new" in
+  check_int "written" 3 (Fd.write t fd "abc");
+  ignore (Fd.seek t fd 0);
+  check_str "readback" "abc" (Fd.read t fd 3);
+  Fd.close t fd;
+  let ro = Fd.openfile t Fd.Read_only "/new" in
+  expect_errno Errno.EBADF (fun () -> Fd.write t ro "x");
+  Fd.close t ro;
+  let wo = Fd.openfile t Fd.Write_only "/new" in
+  expect_errno Errno.EBADF (fun () -> Fd.read t wo 1);
+  Fd.close t wo
+
+let test_open_errors () =
+  let fs = Fs.create () in
+  let t = Fd.create fs in
+  expect_errno Errno.ENOENT (fun () -> Fd.openfile t Fd.Read_only "/missing");
+  Fs.mkdir fs "/d";
+  expect_errno Errno.EISDIR (fun () -> Fd.openfile t Fd.Read_only "/d")
+
+let test_fd_survives_rename () =
+  let fs = Fs.create () in
+  Fs.write_file fs "/f" "stable";
+  let t = Fd.create fs in
+  let fd = Fd.openfile t Fd.Read_only "/f" in
+  Fs.rename fs ~src:"/f" ~dst:"/g";
+  check_str "reads after rename" "stable" (Fd.read_all t fd);
+  Fd.close t fd
+
+let test_fd_table_growth () =
+  let fs = Fs.create () in
+  Fs.write_file fs "/f" "x";
+  let t = Fd.create fs in
+  let fds = List.init 200 (fun _ -> Fd.openfile t Fd.Read_only "/f") in
+  check_int "all open" 200 (Fd.open_count t);
+  List.iter (Fd.close t) fds;
+  check_int "all closed" 0 (Fd.open_count t);
+  check_bool "bytes positive" true (Fd.approx_bytes t > 0)
+
+let test_seek_and_sparse_write () =
+  let fs = Fs.create () in
+  let t = Fd.create fs in
+  let fd = Fd.openfile t ~create:true Fd.Read_write "/s" in
+  ignore (Fd.seek t fd 4);
+  ignore (Fd.write t fd "X");
+  check_int "size includes gap" 5 (Fd.size t fd);
+  expect_errno Errno.EINVAL (fun () -> Fd.seek t fd (-1));
+  Fd.close t fd
+
+(* -- attribute cache ----------------------------------------------------------- *)
+
+let test_cache_hits () =
+  let fs = Fs.create () in
+  Fs.write_file fs "/f" "abc";
+  let c = Cache.create fs in
+  let s1 = Cache.stat c "/f" in
+  let s2 = Cache.stat c "/f" in
+  check_bool "same answer" true (s1 = s2);
+  check_int "one miss" 1 (Cache.misses c);
+  check_int "one hit" 1 (Cache.hits c)
+
+let test_cache_invalidation_on_write () =
+  let fs = Fs.create () in
+  Fs.write_file fs "/f" "abc";
+  let c = Cache.create fs in
+  let before = Cache.stat c "/f" in
+  Fs.write_file fs "/f" "abcdef";
+  let after = Cache.stat c "/f" in
+  check_int "size tracked" 6 after.Fs.st_size;
+  check_bool "stat changed" true (before.Fs.st_size <> after.Fs.st_size)
+
+let test_cache_invalidation_on_rename () =
+  let fs = Fs.create () in
+  Fs.mkdir fs "/d";
+  Fs.write_file fs "/d/f" "abc";
+  let c = Cache.create fs in
+  ignore (Cache.stat c "/d/f");
+  Fs.rename fs ~src:"/d" ~dst:"/e";
+  expect_errno Errno.ENOENT (fun () -> Cache.stat c "/d/f");
+  check_int "new path" 3 (Cache.stat c "/e/f").Fs.st_size
+
+let test_cache_lstat_vs_stat () =
+  let fs = Fs.create () in
+  Fs.write_file fs "/t" "x";
+  Fs.symlink fs ~target:"/t" ~link:"/ln";
+  let c = Cache.create fs in
+  check_bool "stat follows" true ((Cache.stat c "/ln").Fs.st_kind = Event.File);
+  check_bool "lstat does not" true ((Cache.lstat c "/ln").Fs.st_kind = Event.Link)
+
+let test_cache_capacity () =
+  let fs = Fs.create () in
+  for i = 0 to 49 do
+    Fs.write_file fs (Printf.sprintf "/f%d" i) "x"
+  done;
+  let c = Cache.create ~capacity:10 fs in
+  for i = 0 to 49 do
+    ignore (Cache.stat c (Printf.sprintf "/f%d" i))
+  done;
+  check_bool "bounded" true (Cache.entry_count c <= 10)
+
+let test_cache_manual_control () =
+  let fs = Fs.create () in
+  Fs.write_file fs "/f" "x";
+  let c = Cache.create fs in
+  ignore (Cache.stat c "/f");
+  Cache.invalidate c "/f";
+  ignore (Cache.stat c "/f");
+  check_int "two misses after invalidate" 2 (Cache.misses c);
+  Cache.clear c;
+  check_int "cleared" 0 (Cache.entry_count c);
+  check_bool "bytes nonneg" true (Cache.approx_bytes c >= 0)
+
+let () =
+  Alcotest.run "fd_attr"
+    [
+      ( "fd_table",
+        [
+          Alcotest.test_case "open/read/close" `Quick test_open_read_close;
+          Alcotest.test_case "write modes" `Quick test_write_modes;
+          Alcotest.test_case "open errors" `Quick test_open_errors;
+          Alcotest.test_case "survives rename" `Quick test_fd_survives_rename;
+          Alcotest.test_case "table growth" `Quick test_fd_table_growth;
+          Alcotest.test_case "seek and sparse write" `Quick test_seek_and_sparse_write;
+        ] );
+      ( "attr_cache",
+        [
+          Alcotest.test_case "hits" `Quick test_cache_hits;
+          Alcotest.test_case "invalidation on write" `Quick test_cache_invalidation_on_write;
+          Alcotest.test_case "invalidation on rename" `Quick test_cache_invalidation_on_rename;
+          Alcotest.test_case "lstat vs stat" `Quick test_cache_lstat_vs_stat;
+          Alcotest.test_case "capacity bound" `Quick test_cache_capacity;
+          Alcotest.test_case "manual control" `Quick test_cache_manual_control;
+        ] );
+    ]

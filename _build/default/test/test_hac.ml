@@ -1,0 +1,474 @@
+(* End-to-end tests for the HAC core: semantic directories, the three link
+   classes, scope consistency under user edits, query changes, moves and
+   renames, data consistency, and the s* API surface. *)
+
+module Hac = Hac_core.Hac
+module Link = Hac_core.Link
+module Fs = Hac_vfs.Fs
+module Errno = Hac_vfs.Errno
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_list = Alcotest.(check (list string))
+
+let link_names t dir = List.map (fun l -> l.Link.name) (Hac.links t dir)
+
+let transient_targets t dir =
+  Hac.links t dir
+  |> List.filter_map (fun l ->
+         if l.Link.cls = Link.Transient then Some (Link.target_key l.Link.target) else None)
+  |> List.sort compare
+
+let permanent_targets t dir =
+  Hac.links t dir
+  |> List.filter_map (fun l ->
+         if l.Link.cls = Link.Permanent then Some (Link.target_key l.Link.target) else None)
+  |> List.sort compare
+
+(* A small world: three fruit files and one unrelated file. *)
+let world () =
+  let t = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p t "/docs";
+  Hac.write_file t "/docs/apple.txt" "apple pie recipe with cinnamon\n";
+  Hac.write_file t "/docs/banana.txt" "banana bread and apple chutney\n";
+  Hac.write_file t "/docs/cherry.txt" "cherry clafoutis for dessert\n";
+  Hac.write_file t "/docs/readme.txt" "no fruit here at all\n";
+  t
+
+(* -- smkdir basics --------------------------------------------------------------- *)
+
+let test_smkdir_populates () =
+  let t = world () in
+  Hac.smkdir t "/apples" "apple";
+  check_list "matching transient links"
+    [ "/docs/apple.txt"; "/docs/banana.txt" ]
+    (transient_targets t "/apples");
+  check_bool "is semantic" true (Hac.is_semantic t "/apples");
+  check_bool "plain dir is not" false (Hac.is_semantic t "/docs");
+  Alcotest.(check (option string)) "sreadin" (Some "apple") (Hac.sreadin t "/apples")
+
+let test_smkdir_physical_links () =
+  let t = world () in
+  Hac.smkdir t "/apples" "apple";
+  (* The result is stored compactly (the paper's bitmap): no physical links
+     exist until the directory is accessed through HAC... *)
+  check_bool "lazy before access" false
+    (List.mem "apple.txt" (Fs.readdir (Hac.fs t) "/apples"));
+  (* ...and the first access materialises real symlinks in the file system. *)
+  ignore (Hac.readdir t "/apples");
+  check_bool "symlink exists" true (Fs.is_symlink (Hac.fs t) "/apples/apple.txt");
+  Alcotest.(check string)
+    "readable through link" "apple pie recipe with cinnamon\n"
+    (Hac.read_file t "/apples/apple.txt")
+
+let test_smkdir_boolean_query () =
+  let t = world () in
+  Hac.smkdir t "/only-pie" "apple AND NOT banana";
+  check_list "boolean" [ "/docs/apple.txt" ] (transient_targets t "/only-pie")
+
+let test_smkdir_errors_rollback () =
+  let t = world () in
+  (match Hac.smkdir t "/bad" "((broken" with
+  | () -> Alcotest.fail "expected parse failure"
+  | exception Hac.Hac_error _ -> ());
+  check_bool "no debris" false (Hac.exists t "/bad");
+  (match Hac.smkdir t "/bad2" "{/nonexistent}" with
+  | () -> Alcotest.fail "expected dirref failure"
+  | exception Hac.Hac_error _ -> ());
+  check_bool "no debris 2" false (Hac.exists t "/bad2");
+  (* Existing directory: smkdir must fail like mkdir. *)
+  match Hac.smkdir t "/docs" "apple" with
+  | () -> Alcotest.fail "expected EEXIST"
+  | exception Errno.Error (Errno.EEXIST, _) -> ()
+
+let test_semantic_dirs_listing () =
+  let t = world () in
+  Hac.smkdir t "/a1" "apple";
+  Hac.smkdir t "/a2" "banana";
+  check_list "listed" [ "/a1"; "/a2" ] (Hac.semantic_dirs t);
+  check_int "count" 2 (Hac.semdir_count t)
+
+(* -- the three link classes -------------------------------------------------------- *)
+
+let test_prohibited_never_returns () =
+  let t = world () in
+  Hac.smkdir t "/apples" "apple";
+  Hac.remove_link t ~dir:"/apples" ~name:"banana.txt";
+  check_list "prohibited recorded" [ "/docs/banana.txt" ] (Hac.prohibited t "/apples");
+  (* Re-evaluate every way we can: it must not come back. *)
+  Hac.ssync t "/apples";
+  ignore (Hac.reindex t ());
+  Hac.sync_all t;
+  check_list "still only apple" [ "/docs/apple.txt" ] (transient_targets t "/apples")
+
+let test_plain_unlink_also_prohibits () =
+  let t = world () in
+  Hac.smkdir t "/apples" "apple";
+  ignore (Hac.readdir t "/apples") (* materialise the links *);
+  (* Bypass the wrapper: raw fs unlink is intercepted via events. *)
+  Fs.unlink (Hac.fs t) "/apples/banana.txt";
+  check_list "prohibited via raw op" [ "/docs/banana.txt" ] (Hac.prohibited t "/apples");
+  (* The stored result shrank with the physical link. *)
+  Hac.ssync t "/apples";
+  check_list "result stays pruned" [ "/docs/apple.txt" ] (transient_targets t "/apples")
+
+let test_permanent_survives () =
+  let t = world () in
+  Hac.smkdir t "/apples" "apple";
+  ignore (Hac.add_permanent t ~dir:"/apples" ~target:"/docs/cherry.txt");
+  Hac.ssync t "/apples";
+  check_list "permanent kept" [ "/docs/cherry.txt" ] (permanent_targets t "/apples");
+  (* Permanent links survive even a query change that matches nothing. *)
+  Hac.schquery t "/apples" "zzznothing";
+  check_list "transient gone" [] (transient_targets t "/apples");
+  check_list "permanent still there" [ "/docs/cherry.txt" ] (permanent_targets t "/apples")
+
+let test_matching_permanent_not_duplicated () =
+  let t = world () in
+  Hac.smkdir t "/apples" "apple";
+  (* apple.txt matches the query; make it permanent by replacing the link. *)
+  Hac.remove_link t ~dir:"/apples" ~name:"apple.txt";
+  ignore (Hac.add_permanent t ~dir:"/apples" ~target:"/docs/apple.txt");
+  Hac.ssync t "/apples";
+  let targets = List.map (fun l -> Link.target_key l.Link.target) (Hac.links t "/apples") in
+  check_int "no duplicate"
+    (List.length (List.sort_uniq compare targets))
+    (List.length targets);
+  check_list "apple permanent now" [ "/docs/apple.txt" ] (permanent_targets t "/apples")
+
+let test_manual_readd_lifts_prohibition () =
+  let t = world () in
+  Hac.smkdir t "/apples" "apple";
+  Hac.remove_link t ~dir:"/apples" ~name:"banana.txt";
+  check_list "prohibited" [ "/docs/banana.txt" ] (Hac.prohibited t "/apples");
+  ignore (Hac.add_permanent t ~dir:"/apples" ~target:"/docs/banana.txt");
+  check_list "prohibition lifted" [] (Hac.prohibited t "/apples");
+  check_list "now permanent" [ "/docs/banana.txt" ] (permanent_targets t "/apples")
+
+let test_unprohibit_api () =
+  let t = world () in
+  Hac.smkdir t "/apples" "apple";
+  Hac.remove_link t ~dir:"/apples" ~name:"banana.txt";
+  Hac.unprohibit t ~dir:"/apples" ~target:"/docs/banana.txt";
+  Hac.ssync t "/apples";
+  check_list "transient returns"
+    [ "/docs/apple.txt"; "/docs/banana.txt" ]
+    (transient_targets t "/apples")
+
+let test_fresh_name_collision () =
+  let t = world () in
+  Hac.mkdir_p t "/other";
+  Hac.write_file t "/other/apple.txt" "a different apple text\n";
+  Hac.smkdir t "/apples" "apple";
+  (* Two distinct targets share a basename: one gets the ~2 suffix. *)
+  check_list "dedup names" [ "apple.txt"; "apple.txt~2"; "banana.txt" ]
+    (link_names t "/apples")
+
+(* -- hierarchy and scope -------------------------------------------------------------- *)
+
+let test_child_scope_refinement () =
+  let t = world () in
+  Hac.smkdir t "/apples" "apple";
+  Hac.smkdir t "/apples/with-banana" "banana";
+  (* banana.txt is in the parent's scope; cherry.txt is not. *)
+  check_list "refined" [ "/docs/banana.txt" ] (transient_targets t "/apples/with-banana");
+  (* The child's transient set is a subset of the parent's scope. *)
+  Hac.remove_link t ~dir:"/apples" ~name:"banana.txt";
+  Hac.ssync t "/apples";
+  check_list "shrinks with parent" [] (transient_targets t "/apples/with-banana")
+
+let test_three_level_propagation () =
+  let t = world () in
+  Hac.smkdir t "/l1" "apple OR cherry";
+  Hac.smkdir t "/l1/l2" "apple OR cherry";
+  Hac.smkdir t "/l1/l2/l3" "cherry";
+  check_list "l3 sees cherry" [ "/docs/cherry.txt" ] (transient_targets t "/l1/l2/l3");
+  Hac.remove_link t ~dir:"/l1" ~name:"cherry.txt";
+  Hac.ssync t "/l1";
+  check_list "prohibition cascades two levels" [] (transient_targets t "/l1/l2/l3")
+
+let test_dirref_dependency () =
+  let t = world () in
+  Hac.smkdir t "/apples" "apple";
+  Hac.smkdir t "/combo" "{/apples} AND banana";
+  check_list "combo" [ "/docs/banana.txt" ] (transient_targets t "/combo");
+  (* Not in the subtree, still updated via the dependency DAG. *)
+  Hac.remove_link t ~dir:"/apples" ~name:"banana.txt";
+  Hac.ssync t "/apples";
+  check_list "propagated across tree" [] (transient_targets t "/combo")
+
+let test_dirref_cycle_rejected () =
+  let t = world () in
+  Hac.smkdir t "/a" "apple";
+  Hac.smkdir t "/b" "{/a}";
+  (match Hac.schquery t "/a" "{/b}" with
+  | () -> Alcotest.fail "expected cycle error"
+  | exception Hac.Hac_error _ -> ());
+  (* Query unchanged after the refused change. *)
+  Alcotest.(check (option string)) "query kept" (Some "apple") (Hac.sreadin t "/a")
+
+let test_self_reference_rejected () =
+  let t = world () in
+  match Hac.smkdir t "/self" "{/self}" with
+  | () -> Alcotest.fail "expected failure"
+  | exception Hac.Hac_error _ -> check_bool "rolled back" false (Hac.exists t "/self")
+
+let test_rename_referenced_dir () =
+  let t = world () in
+  Hac.smkdir t "/apples" "apple";
+  Hac.smkdir t "/combo" "{/apples}";
+  Hac.rename t ~src:"/apples" ~dst:"/fruit";
+  Alcotest.(check (option string))
+    "query follows rename" (Some "{/fruit}") (Hac.sreadin t "/combo");
+  Hac.ssync t "/combo";
+  check_list "still evaluates"
+    [ "/docs/apple.txt"; "/docs/banana.txt" ]
+    (transient_targets t "/combo")
+
+let test_move_semdir_changes_scope () =
+  let t = world () in
+  Hac.smkdir t "/narrow" "apple AND cherry AND banana AND zzznothing" (* empty *);
+  Hac.schquery t "/narrow" "apple" (* now matches *);
+  Hac.smkdir t "/narrow/sub" "banana";
+  check_list "sub under narrow" [ "/docs/banana.txt" ] (transient_targets t "/narrow/sub");
+  (* Move sub directly under the root: scope becomes the whole fs. *)
+  Hac.rename t ~src:"/narrow/sub" ~dst:"/sub";
+  Hac.ssync t "/sub";
+  check_list "wider scope after move" [ "/docs/banana.txt" ] (transient_targets t "/sub");
+  check_bool "still semantic" true (Hac.is_semantic t "/sub")
+
+let test_srmdir_cleans_up () =
+  let t = world () in
+  Hac.smkdir t "/apples" "apple";
+  Hac.smkdir t "/combo" "{/apples} OR cherry";
+  Hac.srmdir t "/apples";
+  check_bool "gone" false (Hac.exists t "/apples");
+  check_list "one semantic dir left" [ "/combo" ] (Hac.semantic_dirs t);
+  (* The dangling reference degrades to empty rather than erroring. *)
+  Hac.ssync t "/combo";
+  check_list "dangling dirref empty side" [ "/docs/cherry.txt" ] (transient_targets t "/combo")
+
+let test_srmdir_keeps_user_files () =
+  let t = world () in
+  Hac.smkdir t "/apples" "apple";
+  Hac.write_file t "/apples/note.txt" "my own file\n";
+  (match Hac.srmdir t "/apples" with
+  | () -> Alcotest.fail "expected ENOTEMPTY"
+  | exception Errno.Error (Errno.ENOTEMPTY, _) -> ());
+  check_bool "user file safe" true (Hac.exists t "/apples/note.txt")
+
+(* -- schquery ---------------------------------------------------------------------------- *)
+
+let test_schquery_replaces_results () =
+  let t = world () in
+  Hac.smkdir t "/q" "apple";
+  Hac.schquery t "/q" "cherry";
+  check_list "new results" [ "/docs/cherry.txt" ] (transient_targets t "/q")
+
+let test_schquery_retrofits_plain_dir () =
+  let t = world () in
+  Hac.mkdir t "/plain";
+  check_bool "before" false (Hac.is_semantic t "/plain");
+  Hac.schquery t "/plain" "cherry";
+  check_bool "after" true (Hac.is_semantic t "/plain");
+  check_list "populated" [ "/docs/cherry.txt" ] (transient_targets t "/plain")
+
+(* -- data consistency ---------------------------------------------------------------------- *)
+
+let lazy_world () =
+  (* No auto_sync: data consistency is periodic, as in the paper. *)
+  let t = Hac.create () in
+  Hac.mkdir_p t "/docs";
+  Hac.write_file t "/docs/apple.txt" "apple pie\n";
+  ignore (Hac.reindex t ());
+  t
+
+let test_lazy_new_file_needs_reindex () =
+  let t = lazy_world () in
+  Hac.smkdir t "/apples" "apple";
+  check_list "initial" [ "/docs/apple.txt" ] (transient_targets t "/apples");
+  Hac.write_file t "/docs/apple2.txt" "another apple\n";
+  check_int "dirty" 1 (Hac.dirty_count t);
+  (* Not visible yet: the semantic directory is stale, by design. *)
+  check_list "stale until reindex" [ "/docs/apple.txt" ] (transient_targets t "/apples");
+  ignore (Hac.reindex t ());
+  check_int "clean" 0 (Hac.dirty_count t);
+  check_list "visible after reindex"
+    [ "/docs/apple.txt"; "/docs/apple2.txt" ]
+    (transient_targets t "/apples")
+
+let test_lazy_removed_file_cleared () =
+  let t = lazy_world () in
+  Hac.smkdir t "/apples" "apple";
+  Hac.unlink t "/docs/apple.txt";
+  ignore (Hac.reindex t ());
+  check_list "link dropped" [] (transient_targets t "/apples")
+
+let test_content_change_moves_links () =
+  let t = lazy_world () in
+  Hac.smkdir t "/apples" "apple";
+  Hac.write_file t "/docs/apple.txt" "now all about pears\n";
+  ignore (Hac.reindex t ());
+  check_list "no longer matches" [] (transient_targets t "/apples")
+
+let test_reindex_every_period () =
+  let t = Hac.create ~reindex_every:5 () in
+  Hac.mkdir_p t "/d";
+  Hac.smkdir t "/hits" "target";
+  (* Burn mutations; somewhere within the next period the new file gets
+     indexed and the directory refreshed without an explicit reindex. *)
+  for i = 1 to 12 do
+    Hac.write_file t (Printf.sprintf "/d/f%d.txt" i) "target practice\n"
+  done;
+  check_bool "periodic settle happened" true (List.length (transient_targets t "/hits") >= 1)
+
+let test_partial_reindex_under () =
+  let t = Hac.create () in
+  Hac.mkdir_p t "/a";
+  Hac.mkdir_p t "/b";
+  Hac.write_file t "/a/f.txt" "alpha text\n";
+  Hac.write_file t "/b/g.txt" "alpha text\n";
+  ignore (Hac.reindex t ~under:"/a" ());
+  check_int "only /b dirty" 1 (Hac.dirty_count t)
+
+(* -- sact and reading ------------------------------------------------------------------------- *)
+
+let test_sact () =
+  let t = world () in
+  Hac.smkdir t "/apples" "apple";
+  let lines = Hac.sact t "/apples/banana.txt" in
+  Alcotest.(check (list (pair int string)))
+    "matching lines"
+    [ (1, "banana bread and apple chutney") ]
+    lines;
+  match Hac.sact t "/docs/apple.txt" with
+  | _ -> Alcotest.fail "sact outside a semantic dir must fail"
+  | exception Hac.Hac_error _ -> ()
+
+let test_resolve_link () =
+  let t = world () in
+  Hac.smkdir t "/apples" "apple";
+  Alcotest.(check (option string))
+    "through link" (Some "apple pie recipe with cinnamon\n")
+    (Hac.resolve_link t "/apples/apple.txt");
+  Alcotest.(check (option string))
+    "plain path too" (Some "cherry clafoutis for dessert\n")
+    (Hac.resolve_link t "/docs/cherry.txt")
+
+(* -- moving links between semantic directories -------------------------------------------------- *)
+
+let test_move_link_between_semdirs () =
+  let t = world () in
+  Hac.smkdir t "/apples" "apple";
+  Hac.smkdir t "/cherries" "cherry";
+  (* Drag a query result from one folder to another. *)
+  Hac.rename t ~src:"/apples/banana.txt" ~dst:"/cherries/banana.txt";
+  check_list "prohibited at source" [ "/docs/banana.txt" ] (Hac.prohibited t "/apples");
+  check_list "permanent at destination" [ "/docs/banana.txt" ]
+    (permanent_targets t "/cherries");
+  Hac.sync_all t;
+  check_list "source stays pruned" [ "/docs/apple.txt" ] (transient_targets t "/apples")
+
+(* -- attribute queries --------------------------------------------------------------------------- *)
+
+let test_attr_queries () =
+  let t = world () in
+  Hac.write_file t "/docs/notes.md" "apple sauce\n";
+  Hac.smkdir t "/md" "ext:md";
+  check_list "ext" [ "/docs/notes.md" ] (transient_targets t "/md");
+  Hac.smkdir t "/named" "name:readme.txt";
+  check_list "name" [ "/docs/readme.txt" ] (transient_targets t "/named");
+  Hac.smkdir t "/under" "path:/docs AND apple";
+  check_list "path+word"
+    [ "/docs/apple.txt"; "/docs/banana.txt"; "/docs/notes.md" ]
+    (transient_targets t "/under")
+
+(* -- accounting ------------------------------------------------------------------------------------ *)
+
+let test_space_accounting () =
+  let t = world () in
+  Hac.smkdir t "/apples" "apple";
+  let sp = Hac.space t in
+  check_bool "semdir bytes" true (sp.Hac.semdir_bytes > 0);
+  check_bool "uidmap bytes" true (sp.Hac.uidmap_bytes > 0);
+  check_bool "index bytes" true (sp.Hac.index_bytes > 0);
+  check_bool "fs metadata" true (sp.Hac.fs_metadata_bytes > 0);
+  check_bool "overhead sums" true
+    (Hac.hac_overhead_bytes sp
+    = sp.Hac.semdir_bytes + sp.Hac.uidmap_bytes + sp.Hac.depgraph_bytes)
+
+let test_of_fs_adoption () =
+  let fs = Fs.create () in
+  Fs.mkdir_p fs "/pre/existing";
+  Fs.write_file fs "/pre/existing/doc.txt" "adopted apple content\n";
+  let t = Hac.of_fs ~auto_sync:true fs in
+  Hac.smkdir t "/found" "apple";
+  check_list "adopted files searchable" [ "/pre/existing/doc.txt" ]
+    (transient_targets t "/found")
+
+let () =
+  Alcotest.run "hac"
+    [
+      ( "smkdir",
+        [
+          Alcotest.test_case "populates" `Quick test_smkdir_populates;
+          Alcotest.test_case "physical links" `Quick test_smkdir_physical_links;
+          Alcotest.test_case "boolean query" `Quick test_smkdir_boolean_query;
+          Alcotest.test_case "errors roll back" `Quick test_smkdir_errors_rollback;
+          Alcotest.test_case "listing" `Quick test_semantic_dirs_listing;
+        ] );
+      ( "link classes",
+        [
+          Alcotest.test_case "prohibited never returns" `Quick test_prohibited_never_returns;
+          Alcotest.test_case "raw unlink prohibits" `Quick test_plain_unlink_also_prohibits;
+          Alcotest.test_case "permanent survives" `Quick test_permanent_survives;
+          Alcotest.test_case "no permanent/transient duplicate" `Quick
+            test_matching_permanent_not_duplicated;
+          Alcotest.test_case "re-add lifts prohibition" `Quick
+            test_manual_readd_lifts_prohibition;
+          Alcotest.test_case "unprohibit api" `Quick test_unprohibit_api;
+          Alcotest.test_case "name collision" `Quick test_fresh_name_collision;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "child scope refinement" `Quick test_child_scope_refinement;
+          Alcotest.test_case "three-level propagation" `Quick test_three_level_propagation;
+          Alcotest.test_case "dirref dependency" `Quick test_dirref_dependency;
+          Alcotest.test_case "dirref cycle rejected" `Quick test_dirref_cycle_rejected;
+          Alcotest.test_case "self reference rejected" `Quick test_self_reference_rejected;
+          Alcotest.test_case "rename referenced dir" `Quick test_rename_referenced_dir;
+          Alcotest.test_case "move semdir changes scope" `Quick test_move_semdir_changes_scope;
+          Alcotest.test_case "srmdir cleans up" `Quick test_srmdir_cleans_up;
+          Alcotest.test_case "srmdir keeps user files" `Quick test_srmdir_keeps_user_files;
+        ] );
+      ( "schquery",
+        [
+          Alcotest.test_case "replaces results" `Quick test_schquery_replaces_results;
+          Alcotest.test_case "retrofits plain dir" `Quick test_schquery_retrofits_plain_dir;
+        ] );
+      ( "data consistency",
+        [
+          Alcotest.test_case "new file needs reindex" `Quick test_lazy_new_file_needs_reindex;
+          Alcotest.test_case "removed file cleared" `Quick test_lazy_removed_file_cleared;
+          Alcotest.test_case "content change moves links" `Quick
+            test_content_change_moves_links;
+          Alcotest.test_case "periodic reindex" `Quick test_reindex_every_period;
+          Alcotest.test_case "partial reindex" `Quick test_partial_reindex_under;
+        ] );
+      ( "retrieval",
+        [
+          Alcotest.test_case "sact" `Quick test_sact;
+          Alcotest.test_case "resolve_link" `Quick test_resolve_link;
+        ] );
+      ( "user edits",
+        [ Alcotest.test_case "move link between semdirs" `Quick test_move_link_between_semdirs ]
+      );
+      ("attributes", [ Alcotest.test_case "attr queries" `Quick test_attr_queries ]);
+      ( "accounting",
+        [
+          Alcotest.test_case "space" `Quick test_space_accounting;
+          Alcotest.test_case "of_fs adoption" `Quick test_of_fs_adoption;
+        ] );
+    ]

@@ -1,0 +1,143 @@
+(* Tests for file-system images (dump/load) and the full snapshot-restart
+   story: image + persisted HAC metadata -> recovered semantics. *)
+
+module Fs = Hac_vfs.Fs
+module Image = Hac_vfs.Image
+module Hac = Hac_core.Hac
+module Recover = Hac_core.Recover
+module Link = Hac_core.Link
+
+let check_bool = Alcotest.(check bool)
+
+let check_str = Alcotest.(check string)
+
+let check_int = Alcotest.(check int)
+
+let sample_fs () =
+  let fs = Fs.create () in
+  Fs.set_user fs 3;
+  Fs.mkdir_p fs "/a/b";
+  Fs.write_file fs "/a/b/file.txt" "hello image\n";
+  Fs.write_file fs "/a/binary" "nul\000inside\nand \xffmore";
+  Fs.symlink fs ~target:"/a/b/file.txt" ~link:"/a/ln";
+  Fs.symlink fs ~target:"remote://x/with space" ~link:"/a/weird";
+  Fs.set_user fs 0;
+  Fs.chmod fs "/a/b/file.txt" 0o640;
+  fs
+
+let roundtrip fs =
+  match Image.load (Image.dump fs) with
+  | Ok fs' -> fs'
+  | Error e -> Alcotest.failf "load failed: %s" e
+
+let test_roundtrip_content () =
+  let fs = sample_fs () in
+  let fs' = roundtrip fs in
+  check_str "text file" "hello image\n" (Fs.read_file fs' "/a/b/file.txt");
+  check_str "binary file" "nul\000inside\nand \xffmore" (Fs.read_file fs' "/a/binary");
+  check_str "symlink" "/a/b/file.txt" (Fs.readlink fs' "/a/ln");
+  check_str "weird target survives" "remote://x/with space" (Fs.readlink fs' "/a/weird");
+  Alcotest.(check (list string)) "structure" [ "b"; "binary"; "ln"; "weird" ]
+    (Fs.readdir fs' "/a")
+
+let test_roundtrip_metadata () =
+  let fs = sample_fs () in
+  let fs' = roundtrip fs in
+  check_int "owner restored" 3 (Fs.stat fs' "/a/b/file.txt").Fs.st_uid;
+  check_int "mode restored" 0o640 (Fs.stat fs' "/a/b/file.txt").Fs.st_mode;
+  check_int "dir owner" 3 (Fs.stat fs' "/a").Fs.st_uid
+
+let test_roundtrip_stability () =
+  let fs = sample_fs () in
+  let img = Image.dump fs in
+  let img2 = Image.dump (roundtrip fs) in
+  check_str "dump of load of dump" img img2
+
+let test_empty_fs () =
+  let fs' = roundtrip (Fs.create ()) in
+  Alcotest.(check (list string)) "empty" [] (Fs.readdir fs' "/")
+
+let test_malformed () =
+  let expect_error data =
+    match Image.load data with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected error for %S" data
+  in
+  expect_error "";
+  expect_error "NOTANIMAGE\n";
+  expect_error "HACIMG1\nD 777 0 2\n/a" (* missing E *);
+  expect_error "HACIMG1\nF 666 0 5 999\n/a/fxx" (* truncated payload *);
+  expect_error "HACIMG1\nX nonsense\nE\n"
+
+let test_host_file_roundtrip () =
+  let fs = sample_fs () in
+  let path = Filename.temp_file "hacimg" ".img" in
+  Image.save_file fs path;
+  (match Image.load_file path with
+  | Ok fs' -> check_str "via host file" "hello image\n" (Fs.read_file fs' "/a/b/file.txt")
+  | Error e -> Alcotest.failf "load_file: %s" e);
+  Sys.remove path;
+  match Image.load_file "/nonexistent/path.img" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected missing-file error"
+
+(* The whole restart story: snapshot a live HAC, load the image elsewhere,
+   recover the semantics. *)
+let test_snapshot_restart () =
+  let t = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p t "/docs";
+  Hac.write_file t "/docs/a.txt" "alpha\n";
+  Hac.write_file t "/docs/b.txt" "alpha beta\n";
+  Hac.smkdir t "/alpha" "alpha";
+  Hac.remove_link t ~dir:"/alpha" ~name:"b.txt";
+  Hac.ssync t "/alpha";
+  let image = Image.dump (Hac.fs t) in
+  match Image.load image with
+  | Error e -> Alcotest.fail e
+  | Ok fs' ->
+      let t' = Hac.of_fs ~auto_sync:true fs' in
+      check_int "recovered" 1 (Recover.reload t');
+      Alcotest.(check (option string)) "query" (Some "alpha") (Hac.sreadin t' "/alpha");
+      Alcotest.(check (list string)) "prohibition survived the snapshot"
+        [ "/docs/b.txt" ] (Hac.prohibited t' "/alpha");
+      check_bool "results live" true
+        (List.exists
+           (fun l -> Link.target_key l.Link.target = "/docs/a.txt")
+           (Hac.links t' "/alpha"))
+
+(* Shell-level save/restore. *)
+let test_shell_save_restore () =
+  let module Shell = Hac_shell.Shell in
+  let s = Shell.make () in
+  ignore (Shell.run_string s "mkdir /d; write /d/f.txt apple pie; smkdir /q apple");
+  let path = Filename.temp_file "hacsh" ".img" in
+  let out = Shell.run_string s (Printf.sprintf "save %s" path) in
+  check_bool "saved" true (String.length out > 0);
+  let s2 = Shell.make () in
+  let out2 = Shell.run_string s2 (Printf.sprintf "restore %s" path) in
+  Sys.remove path;
+  check_bool "recovered one" true
+    (Hac_index.Agrep.find_exact ~pattern:"recovered 1" out2 <> None);
+  check_str "contents back" "apple pie\n" (Shell.run_string s2 "cat /d/f.txt");
+  check_bool "semantics back" true
+    (Hac_index.Agrep.find_exact ~pattern:"f.txt" (Shell.run_string s2 "links /q") <> None)
+
+let () =
+  Alcotest.run "image"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "content" `Quick test_roundtrip_content;
+          Alcotest.test_case "owners and modes" `Quick test_roundtrip_metadata;
+          Alcotest.test_case "stable" `Quick test_roundtrip_stability;
+          Alcotest.test_case "empty" `Quick test_empty_fs;
+        ] );
+      ("errors", [ Alcotest.test_case "malformed images" `Quick test_malformed ]);
+      ( "host files",
+        [ Alcotest.test_case "save/load file" `Quick test_host_file_roundtrip ] );
+      ( "restart",
+        [
+          Alcotest.test_case "snapshot + recover" `Quick test_snapshot_restart;
+          Alcotest.test_case "shell save/restore" `Quick test_shell_save_restore;
+        ] );
+    ]

@@ -1,0 +1,346 @@
+(* Tests for remote name spaces: the namespace abstraction, the simulated
+   web search engine, remote HAC file systems, semantic mount points
+   (including multiple mounts) and the export/import/central-database
+   machinery of section 3.2. *)
+
+module Hac = Hac_core.Hac
+module Link = Hac_core.Link
+module Export = Hac_core.Export
+module Namespace = Hac_remote.Namespace
+module Web_search = Hac_remote.Web_search
+module Remote_fs = Hac_remote.Remote_fs
+module Mount_table = Hac_remote.Mount_table
+module Fs = Hac_vfs.Fs
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_list = Alcotest.(check (list string))
+
+let entry_names es = List.map (fun e -> e.Namespace.name) es |> List.sort compare
+
+let transient_targets t dir =
+  Hac.links t dir
+  |> List.filter_map (fun l ->
+         if l.Link.cls = Link.Transient then Some (Link.target_key l.Link.target) else None)
+  |> List.sort compare
+
+(* -- static namespace ------------------------------------------------------------ *)
+
+let fruit_ns () =
+  Namespace.static ~ns_id:"fruit"
+    [
+      ("apples.txt", "fruit://apples", "apple orchard notes\nrows of trees\n");
+      ("pears.txt", "fruit://pears", "pear and apple tasting\n");
+      ("grapes.txt", "fruit://grapes", "grape vine cultivation\n");
+    ]
+
+let test_static_search () =
+  let ns = fruit_ns () in
+  check_list "single word" [ "apples.txt"; "pears.txt" ] (entry_names (ns.Namespace.search "apple"));
+  check_list "conjunctive" [ "pears.txt" ] (entry_names (ns.Namespace.search "apple pear"));
+  check_list "no match" [] (entry_names (ns.Namespace.search "mango"));
+  check_list "empty query" [] (entry_names (ns.Namespace.search "  "))
+
+let test_static_fetch_and_list () =
+  let ns = fruit_ns () in
+  Alcotest.(check (option string))
+    "fetch" (Some "pear and apple tasting\n")
+    (ns.Namespace.fetch "fruit://pears");
+  Alcotest.(check (option string)) "fetch miss" None (ns.Namespace.fetch "fruit://kiwi");
+  check_int "list_all" 3 (List.length (ns.Namespace.list_all ()))
+
+let test_instrument () =
+  let ns, stats = Namespace.instrument (fruit_ns ()) in
+  ignore (ns.Namespace.search "apple");
+  ignore (ns.Namespace.search "pear");
+  ignore (ns.Namespace.fetch "fruit://apples");
+  let s = stats () in
+  check_int "queries" 2 s.Namespace.queries;
+  check_int "fetches" 1 s.Namespace.fetches
+
+(* -- web search ---------------------------------------------------------------------- *)
+
+let engine () =
+  Web_search.create ~max_results:2 "web"
+    [
+      { Web_search.title = "a"; uri = "http://w/a"; body = "storage storage storage disk" };
+      { Web_search.title = "b"; uri = "http://w/b"; body = "storage disk" };
+      { Web_search.title = "c"; uri = "http://w/c"; body = "storage systems and disk arrays" };
+      { Web_search.title = "d"; uri = "http://w/d"; body = "cooking" };
+    ]
+
+let test_web_ranking_and_cap () =
+  let ns = engine () in
+  let results = ns.Namespace.search "storage" in
+  check_int "capped at max_results" 2 (List.length results);
+  (* "a" has the highest term frequency. *)
+  Alcotest.(check string) "best first" "a" (List.hd results).Namespace.name
+
+let test_web_conjunctive () =
+  let ns = engine () in
+  check_bool "all words required" true
+    (List.for_all (fun e -> e.Namespace.uri <> "http://w/d") (ns.Namespace.search "storage disk"))
+
+let test_web_no_enumeration () =
+  let ns = engine () in
+  check_int "list_all empty" 0 (List.length (ns.Namespace.list_all ()))
+
+(* -- remote fs ------------------------------------------------------------------------- *)
+
+let remote_world () =
+  let remote = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p remote "/pub";
+  Hac.write_file remote "/pub/one.txt" "shared document about indexing\n";
+  Hac.write_file remote "/pub/two.txt" "another shared document\n";
+  Remote_fs.create ~ns_id:"peer" (Hac.fs remote) (Hac.index remote)
+
+let test_remote_fs_search_hac_syntax () =
+  let ns = remote_world () in
+  check_list "full syntax works" [ "one.txt" ]
+    (entry_names (ns.Namespace.search "document AND indexing"));
+  check_list "negation" [ "two.txt" ]
+    (entry_names (ns.Namespace.search "document AND NOT indexing"));
+  check_list "bad query is empty" [] (entry_names (ns.Namespace.search "((("))
+
+let test_remote_fs_uris () =
+  Alcotest.(check string)
+    "uri" "hacfs://peer/pub/one.txt"
+    (Remote_fs.uri_of_path ~ns_id:"peer" "/pub/one.txt");
+  Alcotest.(check (option string))
+    "roundtrip" (Some "/pub/one.txt")
+    (Remote_fs.path_of_uri ~ns_id:"peer" "hacfs://peer/pub/one.txt");
+  Alcotest.(check (option string))
+    "foreign uri" None
+    (Remote_fs.path_of_uri ~ns_id:"peer" "hacfs://other/pub/one.txt")
+
+let test_remote_fs_fetch () =
+  let ns = remote_world () in
+  Alcotest.(check (option string))
+    "fetch through uri" (Some "shared document about indexing\n")
+    (ns.Namespace.fetch "hacfs://peer/pub/one.txt")
+
+(* -- mount table (unit level) ------------------------------------------------------------ *)
+
+let test_mount_table () =
+  let mt = Mount_table.create () in
+  check_bool "empty" false (Mount_table.is_mount_point mt ~uid:1);
+  Mount_table.smount mt ~uid:1 (fruit_ns ());
+  Mount_table.smount mt ~uid:1 (engine ());
+  check_int "two mounted" 2 (List.length (Mount_table.mounted mt ~uid:1));
+  Alcotest.(check (list int)) "mount points" [ 1 ] (Mount_table.mount_points mt);
+  (* Remount same ns_id replaces, preserving count. *)
+  Mount_table.smount mt ~uid:1 (fruit_ns ());
+  check_int "remount replaces" 2 (List.length (Mount_table.mounted mt ~uid:1));
+  let results = Mount_table.query mt ~uid:1 "apple" in
+  check_bool "disjoint union tags ns" true
+    (List.for_all (fun (ns_id, _) -> ns_id = "fruit" || ns_id = "web") results);
+  Mount_table.sumount mt ~uid:1 ~ns_id:"fruit";
+  check_int "one left" 1 (List.length (Mount_table.mounted mt ~uid:1));
+  Mount_table.unmount_all mt ~uid:1;
+  check_bool "all gone" false (Mount_table.is_mount_point mt ~uid:1)
+
+(* -- semantic mount points end to end ------------------------------------------------------ *)
+
+let test_mount_populates_semdir () =
+  let t = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p t "/lib";
+  Hac.smount t "/lib" (fruit_ns ());
+  Hac.smkdir t "/lib/apples" "apple";
+  check_list "remote results linked" [ "fruit://apples"; "fruit://pears" ]
+    (transient_targets t "/lib/apples");
+  check_list "mounted_at" [ "fruit" ] (Hac.mounted_at t "/lib")
+
+let test_multiple_mounts_union () =
+  let t = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p t "/world";
+  Hac.smount t "/world" (fruit_ns ());
+  Hac.smount t "/world" (remote_world ());
+  Hac.smkdir t "/world/stuff" "apple OR document";
+  let targets = transient_targets t "/world/stuff" in
+  check_bool "has fruit result" true (List.mem "fruit://apples" targets);
+  check_bool "has peer result" true (List.mem "hacfs://peer/pub/one.txt" targets)
+
+let test_remote_prohibition () =
+  let t = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p t "/lib";
+  Hac.smount t "/lib" (fruit_ns ());
+  Hac.smkdir t "/lib/apples" "apple";
+  Hac.remove_link t ~dir:"/lib/apples" ~name:"pears.txt";
+  Hac.ssync t "/lib/apples";
+  check_list "remote target prohibited" [ "fruit://apples" ]
+    (transient_targets t "/lib/apples");
+  check_list "prohibition key is uri" [ "fruit://pears" ] (Hac.prohibited t "/lib/apples")
+
+let test_sumount_removes_results () =
+  let t = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p t "/lib";
+  Hac.smount t "/lib" (fruit_ns ());
+  Hac.smkdir t "/lib/apples" "apple";
+  Hac.sumount t "/lib" ~ns_id:"fruit";
+  check_list "results withdrawn" [] (transient_targets t "/lib/apples")
+
+let test_mount_inherited_scope () =
+  (* A child of a semdir inherits remote links through the parent's scope
+     and re-verifies them against its own query by fetching. *)
+  let t = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p t "/lib";
+  Hac.smount t "/lib" (fruit_ns ());
+  Hac.smkdir t "/lib/apples" "apple";
+  Hac.smkdir t "/lib/apples/tasting" "tasting";
+  check_list "inherited and filtered" [ "fruit://pears" ]
+    (transient_targets t "/lib/apples/tasting")
+
+let test_sact_on_remote_link () =
+  let t = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p t "/lib";
+  Hac.smount t "/lib" (fruit_ns ());
+  Hac.smkdir t "/lib/apples" "apple";
+  Alcotest.(check (list (pair int string)))
+    "remote sact"
+    [ (1, "apple orchard notes") ]
+    (Hac.sact t "/lib/apples/apples.txt")
+
+let test_local_files_under_mount_point () =
+  (* Physical files inside a semantic mount point are indexed locally and
+     match queries from outside, as the paper requires (section 3.1). *)
+  let t = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p t "/lib";
+  Hac.smount t "/lib" (fruit_ns ());
+  Hac.write_file t "/lib/mine.txt" "my own apple file\n";
+  Hac.smkdir t "/apples-everywhere" "apple";
+  let targets = transient_targets t "/apples-everywhere" in
+  check_bool "local file under mount found" true (List.mem "/lib/mine.txt" targets);
+  check_bool "remote found too" true (List.mem "fruit://apples" targets)
+
+let test_keyword_rendering_with_or () =
+  (* OR queries against keyword engines are sent branch by branch. *)
+  let t = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p t "/lib";
+  Hac.smount t "/lib" (fruit_ns ());
+  Hac.smkdir t "/lib/either" "grape OR pear";
+  check_list "both branches" [ "fruit://grapes"; "fruit://pears" ]
+    (transient_targets t "/lib/either")
+
+let test_star_query_enumerates_mount () =
+  let t = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p t "/lib";
+  Hac.smount t "/lib" (fruit_ns ());
+  Hac.smkdir t "/lib/all" "*";
+  check_int "everything imported" 3 (List.length (transient_targets t "/lib/all"))
+
+(* -- export / import / central database ------------------------------------------------------ *)
+
+let contains_substring text sub =
+  Hac_index.Agrep.find_exact ~pattern:sub text <> None
+
+let exporting_world () =
+  let t = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p t "/docs";
+  Hac.write_file t "/docs/a.txt" "alpha content\n";
+  Hac.write_file t "/docs/b.txt" "beta content\n";
+  Hac.smkdir t "/alpha" "alpha";
+  ignore (Hac.add_permanent t ~dir:"/alpha" ~target:"/docs/b.txt");
+  t
+
+let test_export_format () =
+  let t = exporting_world () in
+  let text = Export.export_all t in
+  check_bool "directory line" true (contains_substring text "D /alpha");
+  check_bool "query line" true (contains_substring text "Q alpha");
+  check_bool "permanent link line" true
+    (contains_substring text "L permanent b.txt /docs/b.txt");
+  check_bool "transient link line" true
+    (contains_substring text "L transient a.txt /docs/a.txt");
+  Alcotest.(check (option string)) "non-semantic" None (Export.export_dir t "/docs")
+
+let test_import () =
+  let src = exporting_world () in
+  let dst = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p dst "/docs";
+  Hac.write_file dst "/docs/local.txt" "alpha here too\n";
+  (* Importing at the root grafts directories at their original paths, so
+     their scope is the whole file system, as in the exporter. *)
+  match Export.import dst ~under:"/" (Export.export_all src) with
+  | Error e -> Alcotest.fail e
+  | Ok n ->
+      check_int "one dir" 1 n;
+      check_bool "created" true (Hac.is_semantic dst "/alpha");
+      (* The imported query runs against the importer's own files. *)
+      check_bool "query live" true
+        (List.mem "/docs/local.txt" (transient_targets dst "/alpha"));
+      (* The exported permanent link came along (dangling here, but kept). *)
+      check_bool "permanent imported" true
+        (List.exists (fun l -> l.Link.cls = Link.Permanent) (Hac.links dst "/alpha"));
+      (* A scoped import under a subdirectory refines to that subtree. *)
+      let dst2 = Hac.create ~auto_sync:true () in
+      (match Export.import dst2 ~under:"/import" (Export.export_all src) with
+      | Error e -> Alcotest.fail e
+      | Ok _ ->
+          check_bool "grafted" true (Hac.is_semantic dst2 "/import/alpha");
+          check_int "narrow scope has no matches" 0
+            (List.length (transient_targets dst2 "/import/alpha")))
+
+let test_central_database () =
+  let t1 = exporting_world () in
+  let t2 = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p t2 "/notes";
+  Hac.write_file t2 "/notes/g.txt" "gamma rays\n";
+  Hac.smkdir t2 "/gamma" "gamma";
+  let db =
+    Export.to_namespace ~ns_id:"semdb"
+      [ ("udi", Export.export_all t1); ("gopal", Export.export_all t2) ]
+  in
+  check_list "find by query word" [ "alpha" ] (entry_names (db.Namespace.search "alpha"));
+  check_list "find by user" [ "alpha" ] (entry_names (db.Namespace.search "udi"));
+  check_list "other user's dir" [ "gamma" ] (entry_names (db.Namespace.search "gamma"));
+  (* The database is itself a namespace: mount and search it from a HAC. *)
+  let t3 = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p t3 "/people";
+  Hac.smount t3 "/people" db;
+  Hac.smkdir t3 "/people/alpha-fans" "alpha";
+  check_int "mounted db results" 1 (List.length (transient_targets t3 "/people/alpha-fans"))
+
+let () =
+  Alcotest.run "remote"
+    [
+      ( "static namespace",
+        [
+          Alcotest.test_case "search" `Quick test_static_search;
+          Alcotest.test_case "fetch and list" `Quick test_static_fetch_and_list;
+          Alcotest.test_case "instrumentation" `Quick test_instrument;
+        ] );
+      ( "web search",
+        [
+          Alcotest.test_case "ranking and cap" `Quick test_web_ranking_and_cap;
+          Alcotest.test_case "conjunctive" `Quick test_web_conjunctive;
+          Alcotest.test_case "no enumeration" `Quick test_web_no_enumeration;
+        ] );
+      ( "remote fs",
+        [
+          Alcotest.test_case "hac syntax" `Quick test_remote_fs_search_hac_syntax;
+          Alcotest.test_case "uris" `Quick test_remote_fs_uris;
+          Alcotest.test_case "fetch" `Quick test_remote_fs_fetch;
+        ] );
+      ("mount table", [ Alcotest.test_case "unit behaviour" `Quick test_mount_table ]);
+      ( "semantic mounts",
+        [
+          Alcotest.test_case "populates semdir" `Quick test_mount_populates_semdir;
+          Alcotest.test_case "multiple mounts union" `Quick test_multiple_mounts_union;
+          Alcotest.test_case "remote prohibition" `Quick test_remote_prohibition;
+          Alcotest.test_case "sumount removes results" `Quick test_sumount_removes_results;
+          Alcotest.test_case "inherited scope" `Quick test_mount_inherited_scope;
+          Alcotest.test_case "sact on remote link" `Quick test_sact_on_remote_link;
+          Alcotest.test_case "local files under mount" `Quick
+            test_local_files_under_mount_point;
+          Alcotest.test_case "OR keyword rendering" `Quick test_keyword_rendering_with_or;
+          Alcotest.test_case "star enumerates" `Quick test_star_query_enumerates_mount;
+        ] );
+      ( "sharing",
+        [
+          Alcotest.test_case "export format" `Quick test_export_format;
+          Alcotest.test_case "import" `Quick test_import;
+          Alcotest.test_case "central database" `Quick test_central_database;
+        ] );
+    ]

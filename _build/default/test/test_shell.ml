@@ -1,0 +1,217 @@
+(* Tests for the hacsh command interpreter: every command family exercised
+   through the same entry point the binary uses. *)
+
+module Shell = Hac_shell.Shell
+module Hac = Hac_core.Hac
+
+let check_str = Alcotest.(check string)
+
+let check_bool = Alcotest.(check bool)
+
+let contains hay needle = Hac_index.Agrep.find_exact ~pattern:needle hay <> None
+
+let run = Shell.run_string
+
+(* -- navigation and plain fs ---------------------------------------------------------- *)
+
+let test_pwd_cd () =
+  let s = Shell.make () in
+  check_str "initial" "/\n" (run s "pwd");
+  check_str "cd and pwd" "/home/demo\n" (run s "mkdir /home; mkdir /home/demo; cd /home/demo; pwd");
+  check_bool "bad cd reports" true (contains (run s "cd /nope") "not a directory")
+
+let test_write_cat_ls () =
+  let s = Shell.make () in
+  let out = run s "write /f.txt hello shell; cat /f.txt" in
+  check_str "roundtrip" "hello shell\n" out;
+  check_bool "ls shows it" true (contains (run s "ls /") "f.txt");
+  check_bool "ls -l shows kind" true (contains (run s "ls -l /") "file");
+  check_str "append" "a\nb\n" (run s "write /g a; append /g b; cat /g")
+
+let test_mv_rm () =
+  let s = Shell.make () in
+  ignore (run s "write /a data; mv /a /b");
+  check_str "moved" "data\n" (run s "cat /b");
+  ignore (run s "rm /b");
+  check_bool "gone" true (contains (run s "cat /b") "cannot read")
+
+let test_error_reporting () =
+  let s = Shell.make () in
+  check_bool "ENOENT surfaced" true (contains (run s "rm /missing") "no such file");
+  check_bool "unknown command" true (contains (run s "frobnicate") "unknown");
+  check_bool "help prints" true (contains (run s "help") "smkdir")
+
+(* -- semantic commands ------------------------------------------------------------------ *)
+
+let seeded () =
+  let s = Shell.make () in
+  ignore
+    (run s
+       "mkdir /docs; write /docs/apple.txt apple pie recipe; write /docs/cherry.txt cherry \
+        tart; smkdir /apples apple");
+  s
+
+let test_smkdir_links_sreadin () =
+  let s = seeded () in
+  check_bool "links listed" true (contains (run s "links /apples") "apple.txt");
+  check_str "query" "apple\n" (run s "sreadin /apples");
+  check_bool "sdirs" true (contains (run s "sdirs") "/apples")
+
+let test_rm_link_prohibits () =
+  let s = seeded () in
+  ignore (run s "rm /apples/apple.txt; ssync /apples");
+  check_bool "prohibited listed" true
+    (contains (run s "prohibited /apples") "/docs/apple.txt");
+  check_bool "does not return" false (contains (run s "links /apples") "apple.txt");
+  ignore (run s "sunprohibit /apples /docs/apple.txt; ssync /apples");
+  check_bool "back after sunprohibit" true (contains (run s "links /apples") "apple.txt")
+
+let test_sprohibit () =
+  let s = seeded () in
+  ignore (run s "sprohibit /apples /docs/apple.txt; ssync /apples");
+  check_bool "gone" false (contains (run s "links /apples") "apple.txt")
+
+let test_schquery_srmdir () =
+  let s = seeded () in
+  ignore (run s "schquery /apples cherry");
+  check_bool "requeried" true (contains (run s "links /apples") "cherry.txt");
+  ignore (run s "srmdir /apples");
+  check_str "no sdirs left" "" (run s "sdirs")
+
+let test_sact () =
+  let s = seeded () in
+  check_bool "matching line" true
+    (contains (run s "sact /apples/apple.txt") "apple pie recipe")
+
+let test_ssearch () =
+  let s = seeded () in
+  let out = run s "ssearch apple AND NOT cherry" in
+  check_bool "finds apple" true (contains out "/docs/apple.txt");
+  check_bool "excludes cherry" false (contains out "/docs/cherry.txt");
+  check_str "no temp dir left behind" "/apples\n" (run s "sdirs");
+  check_bool "bad query reported" true (contains (run s "ssearch ((x") "bad query")
+
+let test_sgrep () =
+  let s = seeded () in
+  let out = run s "sgrep /p[ie]+/ /docs" in
+  check_bool "regex hits with location" true (contains out "/docs/apple.txt:1:");
+  check_bool "bad regex reported" true (contains (run s "sgrep /((/ /docs") "bad regex")
+
+let test_attr_query_via_shell () =
+  let s = Shell.make () in
+  ignore (run s "mkdir /mail; write /mail/m.eml From: ana; smkdir /ana from:ana");
+  check_bool "transducer works in shell" true (contains (run s "links /ana") "m.eml")
+
+(* -- mounts ------------------------------------------------------------------------------ *)
+
+let test_demo_mounts () =
+  let s = Shell.make () in
+  ignore (run s "mkdir /lib; smount /lib demo-library; smkdir /lib/idx indexing");
+  check_bool "remote result" true (contains (run s "links /lib/idx") "btrees.ps");
+  ignore (run s "sumount /lib demo-library; ssync /lib/idx");
+  check_bool "withdrawn" false (contains (run s "links /lib/idx") "btrees.ps")
+
+(* -- permissions --------------------------------------------------------------------------- *)
+
+let test_su_chmod () =
+  let s = Shell.make () in
+  ignore (run s "su 1; write /mine.txt private; chmod 600 /mine.txt; su 2");
+  check_bool "denied" true (contains (run s "cat /mine.txt") "cannot read");
+  ignore (run s "su 1");
+  check_str "owner ok" "private\n" (run s "cat /mine.txt");
+  check_bool "chmod error surfaces" true (contains (run s "su 2; chmod 777 /mine.txt") "not permitted")
+
+(* -- export / recover ------------------------------------------------------------------------ *)
+
+let test_sexport () =
+  let s = seeded () in
+  let out = run s "sexport" in
+  check_bool "record" true (contains out "D /apples");
+  check_bool "single dir variant" true (contains (run s "sexport /apples") "Q apple");
+  check_bool "non semantic" true (contains (run s "sexport /docs") "not semantic")
+
+let test_srecover_roundtrip () =
+  let s = seeded () in
+  Hac.shutdown ~graceful:false (Shell.hac s);
+  let s2 = Shell.of_hac (Hac.of_fs ~auto_sync:true (Hac.fs (Shell.hac s))) in
+  check_bool "recovered" true (contains (run s2 "srecover") "restored 1");
+  check_bool "alive again" true (contains (run s2 "links /apples") "apple.txt")
+
+let test_stats () =
+  let s = seeded () in
+  let out = run s "stats" in
+  check_bool "semantic count" true (contains out "semantic dirs        : 1");
+  check_bool "indexed docs" true (contains out "indexed documents    : 2")
+
+let test_quit () =
+  let s = Shell.make () in
+  let buf = Buffer.create 16 in
+  check_bool "quit returns false" false (Shell.run s buf "quit");
+  check_bool "normal returns true" true (Shell.run s buf "pwd")
+
+(* -- fuzz safety ---------------------------------------------------------------------- *)
+
+(* No command line, however mangled, may escape the interpreter as an
+   exception — user errors must print. *)
+let prop_no_escaping_exceptions =
+  let gen_token =
+    QCheck.Gen.(
+      oneof
+        [
+          oneofl
+            [
+              "ls"; "-l"; "cd"; "pwd"; "mkdir"; "rmdir"; "write"; "append"; "cat"; "rm";
+              "mv"; "ln"; "chmod"; "chown"; "su"; "smkdir"; "srmdir"; "schquery";
+              "sreadin"; "ssearch"; "sgrep"; "links"; "prohibited"; "sact"; "ssync";
+              "sreindex"; "smount"; "sumount"; "sprohibit"; "sunprohibit"; "sexport";
+              "srecover"; "sdirs"; "stats"; "help";
+            ];
+          oneofl [ "/"; "/a"; "/a/b"; ".."; "."; "x"; "600"; "1"; "*"; "("; "{/a}"; "/re/" ];
+          map
+            (fun cs -> String.concat "" (List.map (String.make 1) cs))
+            (list_size (int_range 1 6) (oneof [ char_range 'a' 'z'; oneofl [ '/'; ':'; '~' ] ]));
+        ])
+  in
+  let gen_line = QCheck.Gen.(map (String.concat " ") (list_size (int_range 0 5) gen_token)) in
+  QCheck.Test.make ~name:"random command lines never raise" ~count:400
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 12) gen_line)
+       ~print:(fun ls -> String.concat " ; " ls))
+    (fun lines ->
+      let s = Shell.make ~demo:true () in
+      let buf = Buffer.create 64 in
+      List.iter (fun line -> ignore (Shell.run s buf line)) lines;
+      true)
+
+let () =
+  Alcotest.run "shell"
+    [
+      ( "plain fs",
+        [
+          Alcotest.test_case "pwd/cd" `Quick test_pwd_cd;
+          Alcotest.test_case "write/cat/ls" `Quick test_write_cat_ls;
+          Alcotest.test_case "mv/rm" `Quick test_mv_rm;
+          Alcotest.test_case "errors" `Quick test_error_reporting;
+        ] );
+      ( "semantic",
+        [
+          Alcotest.test_case "smkdir/links/sreadin" `Quick test_smkdir_links_sreadin;
+          Alcotest.test_case "rm prohibits" `Quick test_rm_link_prohibits;
+          Alcotest.test_case "sprohibit" `Quick test_sprohibit;
+          Alcotest.test_case "schquery/srmdir" `Quick test_schquery_srmdir;
+          Alcotest.test_case "sact" `Quick test_sact;
+          Alcotest.test_case "ssearch" `Quick test_ssearch;
+          Alcotest.test_case "sgrep" `Quick test_sgrep;
+          Alcotest.test_case "attribute queries" `Quick test_attr_query_via_shell;
+        ] );
+      ("mounts", [ Alcotest.test_case "demo mounts" `Quick test_demo_mounts ]);
+      ("permissions", [ Alcotest.test_case "su/chmod" `Quick test_su_chmod ]);
+      ( "export/recover",
+        [
+          Alcotest.test_case "sexport" `Quick test_sexport;
+          Alcotest.test_case "srecover" `Quick test_srecover_roundtrip;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "quit" `Quick test_quit;
+        ] );
+      ("fuzz", List.map QCheck_alcotest.to_alcotest [ prop_no_escaping_exceptions ]);
+    ]

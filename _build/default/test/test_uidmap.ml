@@ -1,0 +1,123 @@
+(* Tests for the global directory-identifier map — the structure that makes
+   queries rename-proof (section 2.5). *)
+
+module Uidmap = Hac_core.Uidmap
+
+let check_int = Alcotest.(check int)
+
+let check_opt_int = Alcotest.(check (option int))
+
+let check_opt_str = Alcotest.(check (option string))
+
+let test_root () =
+  let m = Uidmap.create () in
+  check_opt_int "root registered" (Some Uidmap.root_uid) (Uidmap.uid_of_path m "/");
+  check_opt_str "root path" (Some "/") (Uidmap.path_of_uid m Uidmap.root_uid);
+  check_int "count" 1 (Uidmap.count m)
+
+let test_register_stable () =
+  let m = Uidmap.create () in
+  let a = Uidmap.register m "/a" in
+  let a' = Uidmap.register m "/a" in
+  check_int "same uid" a a';
+  let b = Uidmap.register m "/b" in
+  Alcotest.(check bool) "distinct" true (a <> b);
+  check_opt_str "lookup back" (Some "/a") (Uidmap.path_of_uid m a)
+
+let test_register_normalizes () =
+  let m = Uidmap.create () in
+  let a = Uidmap.register m "/a/b/../b/" in
+  check_opt_int "normalized key" (Some a) (Uidmap.uid_of_path m "/a/b")
+
+let test_rename_single () =
+  let m = Uidmap.create () in
+  let a = Uidmap.register m "/old" in
+  Uidmap.rename m ~old_path:"/old" ~new_path:"/new";
+  check_opt_str "uid follows" (Some "/new") (Uidmap.path_of_uid m a);
+  check_opt_int "new path maps" (Some a) (Uidmap.uid_of_path m "/new");
+  check_opt_int "old path gone" None (Uidmap.uid_of_path m "/old")
+
+let test_rename_subtree () =
+  let m = Uidmap.create () in
+  let d = Uidmap.register m "/d" in
+  let s = Uidmap.register m "/d/sub" in
+  let deep = Uidmap.register m "/d/sub/deep" in
+  let other = Uidmap.register m "/dx" in
+  Uidmap.rename m ~old_path:"/d" ~new_path:"/e";
+  check_opt_str "top" (Some "/e") (Uidmap.path_of_uid m d);
+  check_opt_str "mid" (Some "/e/sub") (Uidmap.path_of_uid m s);
+  check_opt_str "deep" (Some "/e/sub/deep") (Uidmap.path_of_uid m deep);
+  (* Similar-looking sibling is untouched (component-wise prefix). *)
+  check_opt_str "sibling untouched" (Some "/dx") (Uidmap.path_of_uid m other)
+
+let test_remove () =
+  let m = Uidmap.create () in
+  let a = Uidmap.register m "/a" in
+  check_opt_int "removed uid returned" (Some a) (Uidmap.remove m "/a");
+  check_opt_int "gone" None (Uidmap.uid_of_path m "/a");
+  check_opt_str "uid gone" None (Uidmap.path_of_uid m a);
+  check_opt_int "double remove" None (Uidmap.remove m "/a")
+
+let test_remove_subtree () =
+  let m = Uidmap.create () in
+  let d = Uidmap.register m "/d" in
+  let s = Uidmap.register m "/d/s" in
+  let keep = Uidmap.register m "/k" in
+  let removed = List.sort compare (Uidmap.remove_subtree m "/d") in
+  Alcotest.(check (list int)) "both removed" (List.sort compare [ d; s ]) removed;
+  check_opt_str "outsider kept" (Some "/k") (Uidmap.path_of_uid m keep)
+
+let test_fold_and_bytes () =
+  let m = Uidmap.create () in
+  ignore (Uidmap.register m "/a");
+  ignore (Uidmap.register m "/b");
+  let n = Uidmap.fold (fun _ _ acc -> acc + 1) m 0 in
+  check_int "fold visits all" 3 n;
+  Alcotest.(check bool) "bytes positive" true (Uidmap.approx_bytes m > 0)
+
+let prop_uid_stable_under_renames =
+  (* Rename chains never change a directory's uid, and lookups stay
+     consistent in both directions. *)
+  let gen =
+    QCheck.Gen.(list_size (int_range 1 10) (pair (char_range 'a' 'e') (char_range 'a' 'e')))
+  in
+  QCheck.Test.make ~name:"uids survive rename chains" ~count:300
+    (QCheck.make gen ~print:(fun l ->
+         String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%c->%c" a b) l)))
+    (fun renames ->
+      let m = Uidmap.create () in
+      let top = Uidmap.register m "/a" in
+      let sub = Uidmap.register m "/a/x" in
+      List.iter
+        (fun (f, t) ->
+          let from_p = Printf.sprintf "/%c" f and to_p = Printf.sprintf "/%c" t in
+          if
+            from_p <> to_p
+            && Uidmap.uid_of_path m from_p <> None
+            && Uidmap.uid_of_path m to_p = None
+          then Uidmap.rename m ~old_path:from_p ~new_path:to_p)
+        renames;
+      match (Uidmap.path_of_uid m top, Uidmap.path_of_uid m sub) with
+      | Some tp, Some sp ->
+          Uidmap.uid_of_path m tp = Some top
+          && Uidmap.uid_of_path m sp = Some sub
+          && Hac_vfs.Vpath.is_prefix ~prefix:tp sp
+      | _ -> false)
+
+let () =
+  Alcotest.run "uidmap"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "root" `Quick test_root;
+          Alcotest.test_case "register stable" `Quick test_register_stable;
+          Alcotest.test_case "register normalizes" `Quick test_register_normalizes;
+          Alcotest.test_case "rename single" `Quick test_rename_single;
+          Alcotest.test_case "rename subtree" `Quick test_rename_subtree;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "remove subtree" `Quick test_remove_subtree;
+          Alcotest.test_case "fold and bytes" `Quick test_fold_and_bytes;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_uid_stable_under_renames ] );
+    ]

@@ -1,0 +1,346 @@
+(* Tests for the virtual file system: operations, error codes, symbolic
+   links, rename semantics, events, traversal and accounting. *)
+
+module Fs = Hac_vfs.Fs
+module Errno = Hac_vfs.Errno
+module Event = Hac_vfs.Event
+
+let check_str = Alcotest.(check string)
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_list = Alcotest.(check (list string))
+
+let expect_errno code f =
+  match f () with
+  | _ -> Alcotest.failf "expected %s" (Errno.to_string code)
+  | exception Errno.Error (got, _) ->
+      Alcotest.check
+        (Alcotest.testable Errno.pp ( = ))
+        ("raises " ^ Errno.to_string code)
+        code got
+
+(* -- directories ------------------------------------------------------------ *)
+
+let test_mkdir_readdir () =
+  let fs = Fs.create () in
+  Fs.mkdir fs "/a";
+  Fs.mkdir fs "/a/b";
+  check_list "root" [ "a" ] (Fs.readdir fs "/");
+  check_list "nested" [ "b" ] (Fs.readdir fs "/a");
+  check_bool "is_dir" true (Fs.is_dir fs "/a/b")
+
+let test_mkdir_errors () =
+  let fs = Fs.create () in
+  Fs.mkdir fs "/a";
+  expect_errno Errno.EEXIST (fun () -> Fs.mkdir fs "/a");
+  expect_errno Errno.ENOENT (fun () -> Fs.mkdir fs "/missing/child");
+  Fs.write_file fs "/f" "x";
+  expect_errno Errno.ENOTDIR (fun () -> Fs.mkdir fs "/f/sub");
+  expect_errno Errno.EINVAL (fun () -> Fs.mkdir fs "/")
+
+let test_mkdir_p () =
+  let fs = Fs.create () in
+  Fs.mkdir_p fs "/x/y/z";
+  check_bool "deep exists" true (Fs.is_dir fs "/x/y/z");
+  Fs.mkdir_p fs "/x/y/z" (* idempotent *);
+  Fs.write_file fs "/x/f" "data";
+  expect_errno Errno.ENOTDIR (fun () -> Fs.mkdir_p fs "/x/f/deeper")
+
+let test_rmdir () =
+  let fs = Fs.create () in
+  Fs.mkdir fs "/a";
+  Fs.mkdir fs "/a/b";
+  expect_errno Errno.ENOTEMPTY (fun () -> Fs.rmdir fs "/a");
+  Fs.rmdir fs "/a/b";
+  Fs.rmdir fs "/a";
+  check_list "gone" [] (Fs.readdir fs "/");
+  expect_errno Errno.EBUSY (fun () -> Fs.rmdir fs "/");
+  Fs.write_file fs "/f" "x";
+  expect_errno Errno.ENOTDIR (fun () -> Fs.rmdir fs "/f")
+
+(* -- files ------------------------------------------------------------------ *)
+
+let test_write_read () =
+  let fs = Fs.create () in
+  Fs.write_file fs "/f.txt" "hello";
+  check_str "roundtrip" "hello" (Fs.read_file fs "/f.txt");
+  Fs.write_file fs "/f.txt" "shorter";
+  check_str "overwrite" "shorter" (Fs.read_file fs "/f.txt");
+  Fs.write_file fs "/f.txt" "";
+  check_str "truncate to empty" "" (Fs.read_file fs "/f.txt");
+  check_int "size" 0 (Fs.file_size fs "/f.txt")
+
+let test_append () =
+  let fs = Fs.create () in
+  Fs.append_file fs "/log" "a";
+  Fs.append_file fs "/log" "b";
+  check_str "appended" "ab" (Fs.read_file fs "/log")
+
+let test_create_file_errors () =
+  let fs = Fs.create () in
+  Fs.create_file fs "/f";
+  expect_errno Errno.EEXIST (fun () -> Fs.create_file fs "/f");
+  Fs.mkdir fs "/d";
+  expect_errno Errno.EISDIR (fun () -> Fs.read_file fs "/d");
+  expect_errno Errno.ENOENT (fun () -> Fs.read_file fs "/missing")
+
+let test_unlink () =
+  let fs = Fs.create () in
+  Fs.write_file fs "/f" "x";
+  Fs.unlink fs "/f";
+  check_bool "gone" false (Fs.exists fs "/f");
+  Fs.mkdir fs "/d";
+  expect_errno Errno.EISDIR (fun () -> Fs.unlink fs "/d");
+  expect_errno Errno.ENOENT (fun () -> Fs.unlink fs "/f")
+
+let test_large_file () =
+  let fs = Fs.create () in
+  let big = String.make 100_000 'z' in
+  Fs.write_file fs "/big" big;
+  check_int "big size" 100_000 (Fs.file_size fs "/big");
+  check_str "big content" big (Fs.read_file fs "/big")
+
+(* -- symlinks ---------------------------------------------------------------- *)
+
+let test_symlink_follow () =
+  let fs = Fs.create () in
+  Fs.write_file fs "/target" "payload";
+  Fs.symlink fs ~target:"/target" ~link:"/ln";
+  check_str "read through link" "payload" (Fs.read_file fs "/ln");
+  check_str "readlink" "/target" (Fs.readlink fs "/ln");
+  check_bool "lexists" true (Fs.lexists fs "/ln");
+  check_bool "is_symlink" true (Fs.is_symlink fs "/ln");
+  check_bool "stat follows" true ((Fs.stat fs "/ln").Fs.st_kind = Event.File);
+  check_bool "lstat does not" true ((Fs.lstat fs "/ln").Fs.st_kind = Event.Link)
+
+let test_symlink_dangling () =
+  let fs = Fs.create () in
+  Fs.symlink fs ~target:"/nowhere" ~link:"/dangling";
+  check_bool "lexists" true (Fs.lexists fs "/dangling");
+  check_bool "exists follows and fails" false (Fs.exists fs "/dangling");
+  expect_errno Errno.ENOENT (fun () -> Fs.read_file fs "/dangling")
+
+let test_symlink_dir_traversal () =
+  let fs = Fs.create () in
+  Fs.mkdir_p fs "/real/sub";
+  Fs.write_file fs "/real/sub/f" "deep";
+  Fs.symlink fs ~target:"/real" ~link:"/alias";
+  check_str "through dir link" "deep" (Fs.read_file fs "/alias/sub/f");
+  check_str "resolve" "/real/sub/f" (Fs.resolve fs "/alias/sub/f")
+
+let test_symlink_relative_target () =
+  let fs = Fs.create () in
+  Fs.mkdir fs "/d";
+  Fs.write_file fs "/d/file" "rel";
+  Fs.symlink fs ~target:"file" ~link:"/d/ln";
+  check_str "relative target" "rel" (Fs.read_file fs "/d/ln");
+  Fs.symlink fs ~target:"../d/file" ~link:"/d/up";
+  check_str "dotdot target" "rel" (Fs.read_file fs "/d/up")
+
+let test_symlink_loop () =
+  let fs = Fs.create () in
+  Fs.symlink fs ~target:"/b" ~link:"/a";
+  Fs.symlink fs ~target:"/a" ~link:"/b";
+  expect_errno Errno.ELOOP (fun () -> Fs.read_file fs "/a")
+
+let test_readlink_not_symlink () =
+  let fs = Fs.create () in
+  Fs.write_file fs "/f" "x";
+  expect_errno Errno.EINVAL (fun () -> Fs.readlink fs "/f")
+
+(* -- rename ------------------------------------------------------------------- *)
+
+let test_rename_file () =
+  let fs = Fs.create () in
+  Fs.write_file fs "/a" "data";
+  Fs.rename fs ~src:"/a" ~dst:"/b";
+  check_bool "src gone" false (Fs.exists fs "/a");
+  check_str "dst has data" "data" (Fs.read_file fs "/b")
+
+let test_rename_replaces_file () =
+  let fs = Fs.create () in
+  Fs.write_file fs "/a" "new";
+  Fs.write_file fs "/b" "old";
+  Fs.rename fs ~src:"/a" ~dst:"/b";
+  check_str "replaced" "new" (Fs.read_file fs "/b")
+
+let test_rename_dir_subtree () =
+  let fs = Fs.create () in
+  Fs.mkdir_p fs "/d/sub";
+  Fs.write_file fs "/d/sub/f" "x";
+  Fs.rename fs ~src:"/d" ~dst:"/e";
+  check_str "subtree moved" "x" (Fs.read_file fs "/e/sub/f");
+  check_bool "old gone" false (Fs.exists fs "/d")
+
+let test_rename_into_self () =
+  let fs = Fs.create () in
+  Fs.mkdir_p fs "/d/sub";
+  expect_errno Errno.EINVAL (fun () -> Fs.rename fs ~src:"/d" ~dst:"/d/sub/d2")
+
+let test_rename_dir_over_nonempty () =
+  let fs = Fs.create () in
+  Fs.mkdir fs "/a";
+  Fs.mkdir fs "/b";
+  Fs.write_file fs "/b/f" "x";
+  expect_errno Errno.ENOTEMPTY (fun () -> Fs.rename fs ~src:"/a" ~dst:"/b");
+  Fs.unlink fs "/b/f";
+  Fs.rename fs ~src:"/a" ~dst:"/b" (* empty dir is replaced *);
+  check_bool "a gone" false (Fs.exists fs "/a")
+
+let test_rename_file_over_dir () =
+  let fs = Fs.create () in
+  Fs.write_file fs "/f" "x";
+  Fs.mkdir fs "/d";
+  expect_errno Errno.EISDIR (fun () -> Fs.rename fs ~src:"/f" ~dst:"/d");
+  expect_errno Errno.ENOTDIR (fun () -> Fs.rename fs ~src:"/d" ~dst:"/f")
+
+let test_rename_noop () =
+  let fs = Fs.create () in
+  Fs.write_file fs "/f" "x";
+  Fs.rename fs ~src:"/f" ~dst:"/f";
+  check_str "still there" "x" (Fs.read_file fs "/f")
+
+(* -- events -------------------------------------------------------------------- *)
+
+let record_events fs =
+  let log = ref [] in
+  Event.subscribe (Fs.events fs) (fun ev -> log := ev :: !log);
+  fun () -> List.rev !log
+
+let test_events_basic () =
+  let fs = Fs.create () in
+  let events = record_events fs in
+  Fs.mkdir fs "/d";
+  Fs.write_file fs "/d/f" "x";
+  Fs.symlink fs ~target:"/d/f" ~link:"/ln";
+  Fs.unlink fs "/ln";
+  Fs.rename fs ~src:"/d/f" ~dst:"/d/g";
+  Fs.unlink fs "/d/g";
+  Fs.rmdir fs "/d";
+  Alcotest.(check (list string))
+    "event trace"
+    [
+      "created dir /d";
+      "created file /d/f";
+      "written /d/f";
+      "created link /ln";
+      "removed link /ln";
+      "renamed /d/f -> /d/g";
+      "removed file /d/g";
+      "removed dir /d";
+    ]
+    (List.map (Format.asprintf "%a" Event.pp) (events ()))
+
+let test_event_write_on_create_empty () =
+  let fs = Fs.create () in
+  let events = record_events fs in
+  Fs.write_file fs "/empty" "";
+  (* Creating an empty file should not also claim a write happened. *)
+  Alcotest.(check (list string))
+    "only created" [ "created file /empty" ]
+    (List.map (Format.asprintf "%a" Event.pp) (events ()))
+
+(* -- traversal and accounting ---------------------------------------------------- *)
+
+let build_sample fs =
+  Fs.mkdir_p fs "/p/q";
+  Fs.write_file fs "/p/a.txt" "aa";
+  Fs.write_file fs "/p/q/b.txt" "bbb";
+  Fs.symlink fs ~target:"/p/a.txt" ~link:"/p/q/ln"
+
+let test_walk () =
+  let fs = Fs.create () in
+  build_sample fs;
+  let visited = ref [] in
+  Fs.walk fs "/" (fun p _ -> visited := p :: !visited);
+  check_list "all objects"
+    [ "/p"; "/p/a.txt"; "/p/q"; "/p/q/b.txt"; "/p/q/ln" ]
+    (List.sort compare !visited)
+
+let test_find_files () =
+  let fs = Fs.create () in
+  build_sample fs;
+  check_list "files only" [ "/p/a.txt"; "/p/q/b.txt" ] (Fs.find_files fs "/");
+  check_list "scoped" [ "/p/q/b.txt" ] (Fs.find_files fs "/p/q")
+
+let test_rmtree () =
+  let fs = Fs.create () in
+  build_sample fs;
+  Fs.rmtree fs "/p";
+  check_bool "gone" false (Fs.exists fs "/p");
+  check_list "root empty" [] (Fs.readdir fs "/")
+
+let test_counts () =
+  let fs = Fs.create () in
+  build_sample fs;
+  check_int "files" 2 (Fs.file_count fs);
+  check_int "dirs (incl root)" 3 (Fs.dir_count fs);
+  check_int "bytes" 5 (Fs.total_bytes fs);
+  check_bool "metadata positive" true (Fs.metadata_bytes fs > 0)
+
+let test_pread_pwrite () =
+  let fs = Fs.create () in
+  Fs.write_file fs "/f" "0123456789";
+  let ino = Fs.ino_of_path fs "/f" in
+  check_str "pread middle" "345" (Fs.pread_ino fs ino ~pos:3 ~len:3);
+  check_str "pread past end" "" (Fs.pread_ino fs ino ~pos:100 ~len:5);
+  check_str "pread short at end" "89" (Fs.pread_ino fs ino ~pos:8 ~len:10);
+  ignore (Fs.pwrite_ino fs ino ~path:"/f" ~pos:10 "AB");
+  check_str "extended" "0123456789AB" (Fs.read_file fs "/f");
+  ignore (Fs.pwrite_ino fs ino ~path:"/f" ~pos:15 "Z");
+  check_int "gap zero-filled" 16 (Fs.file_size fs "/f")
+
+let () =
+  Alcotest.run "vfs"
+    [
+      ( "directories",
+        [
+          Alcotest.test_case "mkdir/readdir" `Quick test_mkdir_readdir;
+          Alcotest.test_case "mkdir errors" `Quick test_mkdir_errors;
+          Alcotest.test_case "mkdir_p" `Quick test_mkdir_p;
+          Alcotest.test_case "rmdir" `Quick test_rmdir;
+        ] );
+      ( "files",
+        [
+          Alcotest.test_case "write/read" `Quick test_write_read;
+          Alcotest.test_case "append" `Quick test_append;
+          Alcotest.test_case "create errors" `Quick test_create_file_errors;
+          Alcotest.test_case "unlink" `Quick test_unlink;
+          Alcotest.test_case "large file" `Quick test_large_file;
+          Alcotest.test_case "pread/pwrite" `Quick test_pread_pwrite;
+        ] );
+      ( "symlinks",
+        [
+          Alcotest.test_case "follow" `Quick test_symlink_follow;
+          Alcotest.test_case "dangling" `Quick test_symlink_dangling;
+          Alcotest.test_case "directory traversal" `Quick test_symlink_dir_traversal;
+          Alcotest.test_case "relative target" `Quick test_symlink_relative_target;
+          Alcotest.test_case "loop detection" `Quick test_symlink_loop;
+          Alcotest.test_case "readlink non-link" `Quick test_readlink_not_symlink;
+        ] );
+      ( "rename",
+        [
+          Alcotest.test_case "file" `Quick test_rename_file;
+          Alcotest.test_case "replaces file" `Quick test_rename_replaces_file;
+          Alcotest.test_case "directory subtree" `Quick test_rename_dir_subtree;
+          Alcotest.test_case "into own subtree" `Quick test_rename_into_self;
+          Alcotest.test_case "over non-empty dir" `Quick test_rename_dir_over_nonempty;
+          Alcotest.test_case "file/dir mismatch" `Quick test_rename_file_over_dir;
+          Alcotest.test_case "no-op" `Quick test_rename_noop;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "basic trace" `Quick test_events_basic;
+          Alcotest.test_case "no write on empty create" `Quick test_event_write_on_create_empty;
+        ] );
+      ( "traversal",
+        [
+          Alcotest.test_case "walk" `Quick test_walk;
+          Alcotest.test_case "find_files" `Quick test_find_files;
+          Alcotest.test_case "rmtree" `Quick test_rmtree;
+          Alcotest.test_case "counts" `Quick test_counts;
+        ] );
+    ]

@@ -1,0 +1,145 @@
+(* Unit and property tests for Hac_vfs.Vpath — the lexical path rules every
+   other layer relies on. *)
+
+module Vpath = Hac_vfs.Vpath
+
+let check_str = Alcotest.(check string)
+
+let check_bool = Alcotest.(check bool)
+
+let test_normalize () =
+  check_str "identity" "/a/b" (Vpath.normalize "/a/b");
+  check_str "trailing slash" "/a" (Vpath.normalize "/a/");
+  check_str "duplicate slashes" "/a/b" (Vpath.normalize "//a///b");
+  check_str "dot" "/a/b" (Vpath.normalize "/a/./b");
+  check_str "dotdot" "/b" (Vpath.normalize "/a/../b");
+  check_str "dotdot above root" "/a" (Vpath.normalize "/../../a");
+  check_str "root" "/" (Vpath.normalize "/");
+  check_str "empty" "/" (Vpath.normalize "");
+  check_str "relative becomes absolute" "/x/y" (Vpath.normalize "x/y")
+
+let test_normalize_under () =
+  check_str "relative under cwd" "/home/a/f" (Vpath.normalize_under ~cwd:"/home/a" "f");
+  check_str "dotdot under cwd" "/home/f" (Vpath.normalize_under ~cwd:"/home/a" "../f");
+  check_str "absolute ignores cwd" "/etc" (Vpath.normalize_under ~cwd:"/home/a" "/etc")
+
+let test_split_join () =
+  Alcotest.(check (list string)) "split" [ "a"; "b" ] (Vpath.split "/a/b");
+  Alcotest.(check (list string)) "split root" [] (Vpath.split "/");
+  check_str "join" "/a/b/c" (Vpath.join "/a/b" "c");
+  check_str "join relative path" "/a/b/c/d" (Vpath.join "/a/b" "c/d");
+  check_str "join absolute replaces" "/z" (Vpath.join "/a/b" "/z");
+  check_str "join dotdot" "/a" (Vpath.join "/a/b" "..")
+
+let test_basename_dirname () =
+  check_str "basename" "c" (Vpath.basename "/a/b/c");
+  check_str "basename root" "" (Vpath.basename "/");
+  check_str "dirname" "/a/b" (Vpath.dirname "/a/b/c");
+  check_str "dirname one level" "/" (Vpath.dirname "/a");
+  check_str "dirname root" "/" (Vpath.dirname "/")
+
+let test_prefix () =
+  check_bool "self prefix" true (Vpath.is_prefix ~prefix:"/a/b" "/a/b");
+  check_bool "strict prefix" true (Vpath.is_prefix ~prefix:"/a/b" "/a/b/c");
+  check_bool "not component prefix" false (Vpath.is_prefix ~prefix:"/a/b" "/a/bc");
+  check_bool "root prefixes all" true (Vpath.is_prefix ~prefix:"/" "/x");
+  check_bool "deeper not prefix" false (Vpath.is_prefix ~prefix:"/a/b/c" "/a/b")
+
+let test_replace_prefix () =
+  Alcotest.(check (option string))
+    "basic" (Some "/b/x")
+    (Vpath.replace_prefix ~prefix:"/a" ~by:"/b" "/a/x");
+  Alcotest.(check (option string))
+    "exact" (Some "/b")
+    (Vpath.replace_prefix ~prefix:"/a" ~by:"/b" "/a");
+  Alcotest.(check (option string))
+    "not prefix" None
+    (Vpath.replace_prefix ~prefix:"/a" ~by:"/b" "/ax");
+  Alcotest.(check (option string))
+    "root prefix" (Some "/b/a/x")
+    (Vpath.replace_prefix ~prefix:"/" ~by:"/b" "/a/x");
+  Alcotest.(check (option string))
+    "deeper destination" (Some "/p/q/x")
+    (Vpath.replace_prefix ~prefix:"/a" ~by:"/p/q" "/a/x")
+
+let test_valid_name () =
+  check_bool "plain" true (Vpath.valid_name "file.txt");
+  check_bool "empty" false (Vpath.valid_name "");
+  check_bool "dot" false (Vpath.valid_name ".");
+  check_bool "dotdot" false (Vpath.valid_name "..");
+  check_bool "slash" false (Vpath.valid_name "a/b");
+  check_bool "tilde ok" true (Vpath.valid_name "name~2")
+
+let test_depth () =
+  Alcotest.(check int) "root" 0 (Vpath.depth "/");
+  Alcotest.(check int) "two" 2 (Vpath.depth "/a/b")
+
+(* -- properties ------------------------------------------------------------ *)
+
+let name_gen =
+  QCheck.Gen.(
+    map
+      (fun cs -> String.concat "" (List.map (String.make 1) cs))
+      (list_size (int_range 1 8) (oneof [ char_range 'a' 'z'; return '.' ])))
+  |> QCheck.make ~print:(fun s -> s)
+
+let path_gen =
+  QCheck.Gen.(
+    map
+      (fun parts -> "/" ^ String.concat "/" parts)
+      (list_size (int_range 0 6)
+         (map
+            (fun cs -> String.concat "" (List.map (String.make 1) cs))
+            (list_size (int_range 1 6) (char_range 'a' 'z')))))
+  |> QCheck.make ~print:(fun s -> s)
+
+let prop_normalize_idempotent =
+  QCheck.Test.make ~name:"normalize idempotent" ~count:500 path_gen (fun p ->
+      Vpath.normalize (Vpath.normalize p) = Vpath.normalize p)
+
+let prop_join_normalized =
+  QCheck.Test.make ~name:"join yields normalized" ~count:500
+    (QCheck.pair path_gen name_gen)
+    (fun (d, n) ->
+      let j = Vpath.join d n in
+      Vpath.normalize j = j && Vpath.is_absolute j)
+
+let prop_dirname_basename =
+  QCheck.Test.make ~name:"join (dirname p) (basename p) = p" ~count:500 path_gen
+    (fun p ->
+      let p = Vpath.normalize p in
+      p = "/" || Vpath.join (Vpath.dirname p) (Vpath.basename p) = p)
+
+let prop_replace_prefix_preserves_suffix =
+  QCheck.Test.make ~name:"replace_prefix round trip" ~count:500
+    (QCheck.pair path_gen name_gen)
+    (fun (d, n) ->
+      QCheck.assume (Vpath.valid_name n);
+      let p = Vpath.join d n in
+      match Vpath.replace_prefix ~prefix:d ~by:"/elsewhere" p with
+      | Some r -> r = Vpath.join "/elsewhere" n
+      | None -> false)
+
+let () =
+  Alcotest.run "vpath"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "normalize" `Quick test_normalize;
+          Alcotest.test_case "normalize_under" `Quick test_normalize_under;
+          Alcotest.test_case "split/join" `Quick test_split_join;
+          Alcotest.test_case "basename/dirname" `Quick test_basename_dirname;
+          Alcotest.test_case "is_prefix" `Quick test_prefix;
+          Alcotest.test_case "replace_prefix" `Quick test_replace_prefix;
+          Alcotest.test_case "valid_name" `Quick test_valid_name;
+          Alcotest.test_case "depth" `Quick test_depth;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_normalize_idempotent;
+            prop_join_normalized;
+            prop_dirname_basename;
+            prop_replace_prefix_preserves_suffix;
+          ] );
+    ]

@@ -1,0 +1,300 @@
+(* Tests for the workload layer: PRNG determinism, corpus generation,
+   marker planting, the Andrew benchmark on all four systems, and the
+   layered baselines themselves. *)
+
+module Fs = Hac_vfs.Fs
+module Prng = Hac_workload.Prng
+module Corpus = Hac_workload.Corpus
+module Andrew = Hac_workload.Andrew
+module Fsops = Hac_workload.Fsops
+module Jade_fs = Hac_workload.Jade_fs
+module Pseudo_fs = Hac_workload.Pseudo_fs
+module Timer = Hac_workload.Timer
+module Hac = Hac_core.Hac
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_str = Alcotest.(check string)
+
+(* -- prng -------------------------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.make ~seed:42 and b = Prng.make ~seed:42 in
+  let sa = List.init 20 (fun _ -> Prng.next a) in
+  let sb = List.init 20 (fun _ -> Prng.next b) in
+  Alcotest.(check (list int)) "same stream" sa sb;
+  let c = Prng.make ~seed:43 in
+  check_bool "different seed differs" true (List.init 20 (fun _ -> Prng.next c) <> sa)
+
+let test_prng_bounds () =
+  let g = Prng.make ~seed:1 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "out of bounds"
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_prng_float_range () =
+  let g = Prng.make ~seed:99 in
+  for _ = 1 to 10_000 do
+    let u = Prng.float g in
+    if u < 0.0 || u >= 1.0 then Alcotest.failf "float out of range: %f" u
+  done
+
+let test_prng_zipf_shape () =
+  let g = Prng.make ~seed:7 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let r = Prng.zipf g ~n:100 ~skew:1.05 in
+    counts.(r) <- counts.(r) + 1
+  done;
+  (* Zipf: heavy head AND a populated tail (a degenerate sampler returning
+     only rank 0 must fail here). *)
+  check_bool "rank 0 beats rank 50" true (counts.(0) > 5 * max 1 counts.(50));
+  check_bool "rank 0 drawn a lot" true (counts.(0) > 1000);
+  check_bool "tail populated" true (counts.(50) > 0 && counts.(99) > 0);
+  let distinct = Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 counts in
+  check_bool "most ranks drawn" true (distinct > 80)
+
+(* -- corpus ------------------------------------------------------------------------- *)
+
+let test_corpus_deterministic () =
+  let mk () =
+    let c = Corpus.make ~seed:11 () in
+    Corpus.document c ~words:50
+  in
+  check_str "same seed same text" (mk ()) (mk ())
+
+let test_corpus_vocab () =
+  let c = Corpus.make ~vocab_size:100 ~seed:3 () in
+  let w0 = Corpus.vocab_word c 0 in
+  check_bool "vocab word nonempty" true (String.length w0 >= 2);
+  Alcotest.check_raises "bad rank" (Invalid_argument "Corpus.vocab_word") (fun () ->
+      ignore (Corpus.vocab_word c 100))
+
+let test_build_tree_shape () =
+  let c = Corpus.make ~seed:5 () in
+  let fs = Fs.create () in
+  let spec = { Corpus.depth = 2; dirs_per_level = 2; files_per_dir = 3; words_per_file = 30 } in
+  let files = Corpus.build_tree c fs ~root:"/corpus" spec in
+  (* Dirs per level: 1 + 2 + 4 = 7 nodes, 3 files each. *)
+  check_int "file count" 21 (List.length files);
+  check_int "fs agrees" 21 (Fs.file_count fs);
+  List.iter (fun p -> check_bool p true (Fs.is_file fs p)) files
+
+let test_plant_controls_selectivity () =
+  let c = Corpus.make ~seed:9 () in
+  let fs = Fs.create () in
+  let files = Corpus.build_tree c fs ~root:"/corpus" Corpus.small_tree in
+  let chosen = Corpus.plant fs ~paths:files ~word:"xylophone" ~count:5 in
+  check_int "planted" 5 (List.length chosen);
+  let matching =
+    List.filter
+      (fun p -> Hac_index.Tokenizer.contains_word (Fs.read_file fs p) "xylophone")
+      files
+  in
+  check_int "exactly the planted files" 5 (List.length matching);
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Corpus.plant: count exceeds available files") (fun () ->
+      ignore (Corpus.plant fs ~paths:files ~word:"x" ~count:10_000))
+
+(* -- jade layer ---------------------------------------------------------------------- *)
+
+let test_jade_translate () =
+  let fs = Fs.create () in
+  let j = Jade_fs.create fs in
+  check_str "identity by default" "/a/b" (Jade_fs.translate j "/a/b");
+  Jade_fs.add_mapping j ~logical:"/home" ~physical:"/vol0/users";
+  check_str "mapped" "/vol0/users/alice" (Jade_fs.translate j "/home/alice");
+  check_str "unmapped untouched" "/etc/conf" (Jade_fs.translate j "/etc/conf");
+  (* Deeper mapping wins over the shallow one. *)
+  Jade_fs.add_mapping j ~logical:"/home/bob" ~physical:"/vol1/bob";
+  check_str "deep mapping" "/vol1/bob/f" (Jade_fs.translate j "/home/bob/f")
+
+let test_jade_ops_work () =
+  let fs = Fs.create () in
+  let j = Jade_fs.create fs in
+  Jade_fs.add_mapping j ~logical:"/logical" ~physical:"/physical";
+  Fs.mkdir fs "/physical";
+  let ops = Jade_fs.ops j in
+  ops.Fsops.mkdir "/logical/d";
+  ops.Fsops.write "/logical/d/f" "via jade";
+  check_str "read back" "via jade" (ops.Fsops.read "/logical/d/f");
+  check_bool "physically placed" true (Fs.is_file fs "/physical/d/f")
+
+(* -- pseudo layer ---------------------------------------------------------------------- *)
+
+let test_pseudo_ops_work () =
+  let fs = Fs.create () in
+  let p = Pseudo_fs.create fs in
+  let ops = Pseudo_fs.ops p in
+  ops.Fsops.mkdir "/d";
+  ops.Fsops.write "/d/f" "via rpc";
+  check_str "read back" "via rpc" (ops.Fsops.read "/d/f");
+  Alcotest.(check (list string)) "readdir" [ "f" ] (ops.Fsops.readdir "/d");
+  let c = Pseudo_fs.counters p in
+  check_int "requests counted" 4 c.Pseudo_fs.requests;
+  check_bool "wire traffic" true (c.Pseudo_fs.bytes_on_wire > 0)
+
+(* -- andrew benchmark -------------------------------------------------------------------- *)
+
+let source = Andrew.make_source ~spec:Corpus.small_tree ~seed:21 ()
+
+let test_source_deterministic () =
+  let s2 = Andrew.make_source ~spec:Corpus.small_tree ~seed:21 () in
+  check_bool "same dirs" true (source.Andrew.dirs = s2.Andrew.dirs);
+  check_bool "same files" true (source.Andrew.files = s2.Andrew.files);
+  check_bool "has files" true (List.length source.Andrew.files > 0)
+
+let verify_replication ops fs =
+  (* After a run, the destination holds every source file plus one .o per
+     file from the Make phase. *)
+  ignore ops;
+  let dest_files = Fs.find_files fs "/dest" in
+  check_int "copies + objects"
+    (2 * List.length source.Andrew.files)
+    (List.length dest_files)
+
+let test_andrew_on_vfs () =
+  let fs = Fs.create () in
+  let times = Andrew.run source (Fsops.of_fs fs) ~dest:"/dest" in
+  check_bool "all phases nonnegative" true
+    (times.Andrew.makedir >= 0. && times.Andrew.copy >= 0. && times.Andrew.scan >= 0.
+   && times.Andrew.read >= 0. && times.Andrew.make >= 0.);
+  verify_replication () fs
+
+let test_andrew_on_hac () =
+  let hac = Hac.create () in
+  let times = Andrew.run source (Fsops.of_hac hac) ~dest:"/dest" in
+  check_bool "total positive" true (Andrew.total times > 0.);
+  verify_replication () (Hac.fs hac);
+  (* HAC observed the whole load: reindex must pick all the files up. *)
+  check_bool "dirty tracked" true (Hac.dirty_count hac > 0);
+  ignore (Hac.reindex hac ());
+  check_int "indexed everything"
+    (2 * List.length source.Andrew.files)
+    (Hac_index.Index.doc_count (Hac.index hac))
+
+let test_andrew_on_jade () =
+  let fs = Fs.create () in
+  let times = Andrew.run source (Jade_fs.ops (Jade_fs.create fs)) ~dest:"/dest" in
+  check_bool "ran" true (Andrew.total times > 0.);
+  verify_replication () fs
+
+let test_andrew_on_pseudo () =
+  let fs = Fs.create () in
+  let times = Andrew.run source (Pseudo_fs.ops (Pseudo_fs.create fs)) ~dest:"/dest" in
+  check_bool "ran" true (Andrew.total times > 0.);
+  verify_replication () fs
+
+let test_slowdown_math () =
+  let base =
+    { Andrew.makedir = 1.; copy = 1.; scan = 1.; read = 1.; make = 1. }
+  in
+  let slower =
+    { Andrew.makedir = 1.5; copy = 1.5; scan = 1.5; read = 1.5; make = 1.5 }
+  in
+  Alcotest.(check (float 0.001)) "50%" 50.0 (Andrew.slowdown ~base slower);
+  Alcotest.(check (float 0.001)) "total" 5.0 (Andrew.total base)
+
+(* -- trace -------------------------------------------------------------------- *)
+
+module Trace = Hac_workload.Trace
+
+let small_profile =
+  { Trace.dirs = 3; files = 10; ops = 60; read_fraction = 0.7; words_per_file = 20 }
+
+let test_trace_deterministic () =
+  let a = Trace.generate ~seed:5 ~profile:small_profile () in
+  let b = Trace.generate ~seed:5 ~profile:small_profile () in
+  check_bool "same trace" true (a = b);
+  check_bool "different seed differs" true (Trace.generate ~seed:6 ~profile:small_profile () <> a);
+  check_int "setup + ops" (1 + 3 + 10 + 60) (List.length a)
+
+let test_trace_replay_on_vfs () =
+  let trace = Trace.generate ~seed:5 ~profile:small_profile () in
+  let fs = Fs.create () in
+  let st = Trace.replay trace (Fsops.of_fs fs) in
+  check_int "all ops ran" (List.length trace) st.Trace.ops_replayed;
+  check_int "no errors" 0 st.Trace.errors;
+  check_bool "reads happened" true (st.Trace.bytes_read > 0);
+  check_int "files created" 10 (Fs.file_count fs)
+
+let test_trace_replay_identical_content () =
+  let trace = Trace.generate ~seed:5 ~profile:small_profile () in
+  let run () =
+    let fs = Fs.create () in
+    ignore (Trace.replay trace (Fsops.of_fs fs));
+    List.map (fun p -> (p, Fs.read_file fs p)) (Fs.find_files fs "/")
+  in
+  check_bool "byte-identical across backends" true (run () = run ())
+
+let test_trace_serialisation () =
+  let trace = Trace.generate ~seed:5 ~profile:small_profile () in
+  (match Trace.of_string (Trace.to_string trace) with
+  | Ok parsed -> check_bool "roundtrip" true (parsed = trace)
+  | Error e -> Alcotest.fail e);
+  match Trace.of_string "mkdir /a\nbogus line here extra\n" with
+  | Error msg -> check_bool "reports line" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let test_trace_replay_on_hac () =
+  let trace = Trace.generate ~seed:5 ~profile:small_profile () in
+  let hac = Hac.create () in
+  let st = Trace.replay trace (Fsops.of_hac hac) in
+  check_int "no errors" 0 st.Trace.errors;
+  ignore (Hac.reindex hac ());
+  check_int "all files indexed" 10 (Hac_index.Index.doc_count (Hac.index hac))
+
+let test_timer () =
+  let d, v = Timer.time (fun () -> 41 + 1) in
+  check_int "result" 42 v;
+  check_bool "nonneg" true (d >= 0.0);
+  Alcotest.(check (float 0.001)) "pct" 100.0 (Timer.pct_over ~base:1.0 2.0);
+  check_bool "median runs" true (Timer.median 3 (fun () -> ()) >= 0.0)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "zipf shape" `Quick test_prng_zipf_shape;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "deterministic" `Quick test_corpus_deterministic;
+          Alcotest.test_case "vocab" `Quick test_corpus_vocab;
+          Alcotest.test_case "tree shape" `Quick test_build_tree_shape;
+          Alcotest.test_case "plant selectivity" `Quick test_plant_controls_selectivity;
+        ] );
+      ( "jade",
+        [
+          Alcotest.test_case "translate" `Quick test_jade_translate;
+          Alcotest.test_case "ops" `Quick test_jade_ops_work;
+        ] );
+      ("pseudo", [ Alcotest.test_case "ops and counters" `Quick test_pseudo_ops_work ]);
+      ( "trace",
+        [
+          Alcotest.test_case "deterministic" `Quick test_trace_deterministic;
+          Alcotest.test_case "replay on vfs" `Quick test_trace_replay_on_vfs;
+          Alcotest.test_case "identical content" `Quick test_trace_replay_identical_content;
+          Alcotest.test_case "serialisation" `Quick test_trace_serialisation;
+          Alcotest.test_case "replay on hac" `Quick test_trace_replay_on_hac;
+        ] );
+      ( "andrew",
+        [
+          Alcotest.test_case "source deterministic" `Quick test_source_deterministic;
+          Alcotest.test_case "on vfs" `Quick test_andrew_on_vfs;
+          Alcotest.test_case "on hac" `Quick test_andrew_on_hac;
+          Alcotest.test_case "on jade" `Quick test_andrew_on_jade;
+          Alcotest.test_case "on pseudo" `Quick test_andrew_on_pseudo;
+          Alcotest.test_case "slowdown math" `Quick test_slowdown_math;
+          Alcotest.test_case "timer" `Quick test_timer;
+        ] );
+    ]
