@@ -527,6 +527,71 @@ let trace_replay () =
   shape "every layer costs something on a mixed trace"
     (List.for_all (fun (_, pct) -> pct > -5.0) slowdowns)
 
+(* ------------------------------------------------------------- *)
+(* Beyond the paper: fault tolerance of remote namespaces        *)
+(* ------------------------------------------------------------- *)
+
+let fault_tolerance () =
+  banner "Beyond the paper: fault-tolerant remote namespaces";
+  Printf.printf
+    "  A semantic directory mounted over a flaky remote: retries and the\n\
+    \  circuit breaker bound the cost of failure, stale entries keep the\n\
+    \  directory usable.  (Delays are virtual; times below are real work.)\n\n";
+  let module Namespace = Hac_remote.Namespace in
+  let module Fault = Hac_fault.Fault in
+  let setup () =
+    let t = Hac.create () in
+    Hac.smkdir t "/docs" "sorting OR indexing";
+    let ns =
+      Namespace.static ~ns_id:"bench-lib"
+        (List.init 50 (fun i ->
+             ( Printf.sprintf "doc%02d.ps" i,
+               Printf.sprintf "dlib://bench/doc%02d.ps" i,
+               if i mod 2 = 0 then "A survey of sorting networks.\n"
+               else "Notes on inverted indexing.\n" )))
+    in
+    let clock = Hac.clock t in
+    let inj = Fault.create ~seed:7 ~clock () in
+    Hac.smount t "/docs" (Namespace.with_policy ~clock (Namespace.with_faults inj ns));
+    (t, inj)
+  in
+  let rounds = if quick then 20 else 100 in
+  let measure_resyncs t =
+    Gc.major ();
+    Timer.time_only (fun () ->
+        for _ = 1 to rounds do
+          Hac.ssync t "/docs"
+        done)
+  in
+  let t, inj = setup () in
+  let healthy = measure_resyncs t in
+  let entries_before = List.length (Hac.links t "/docs") in
+  Fault.set_plans inj [ Fault.Outage ];
+  let failing = measure_resyncs t in
+  let entries_during = List.length (Hac.links t "/docs") in
+  let stale = List.length (Hac.stale_remotes t "/docs") in
+  let status_open =
+    List.exists
+      (fun { Hac.mh_health; _ } ->
+        match mh_health with
+        | Some h -> h.Namespace.breaker = Hac_fault.Breaker.Open
+        | None -> false)
+      (Hac.mount_status t)
+  in
+  Fault.clear inj;
+  Hac_fault.Clock.advance (Hac.clock t) 60.0;
+  Hac.ssync t "/docs";
+  let stale_after = List.length (Hac.stale_remotes t "/docs") in
+  Printf.printf "  %-34s %12s\n" "condition" "ms/resync";
+  Printf.printf "  %-34s %12.3f\n" "healthy namespace" (healthy *. 1000. /. float rounds);
+  Printf.printf "  %-34s %12.3f\n" "total outage (breaker engaged)"
+    (failing *. 1000. /. float rounds);
+  Printf.printf "  entries: %d healthy, %d during outage (%d stale), %d stale after recovery\n"
+    entries_before entries_during stale stale_after;
+  shape "outage never breaks re-evaluation" (entries_during = entries_before);
+  shape "breaker opens under persistent failure" status_open;
+  shape "recovery drops the stale markers" (stale_after = 0)
+
 (* ----------------------------- *)
 (* Bechamel micro-benchmarks     *)
 (* ----------------------------- *)
@@ -616,5 +681,6 @@ let () =
   ablation_stemming ();
   ablation_conjunctions ();
   trace_replay ();
+  fault_tolerance ();
   micro_benchmarks ();
   Printf.printf "\ndone.\n"

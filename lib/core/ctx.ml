@@ -16,6 +16,9 @@ type t = {
   mutable reindex_every : int option;
   mutable ops_since_reindex : int;
   mutable sync_stamp : int;
+  clock : Hac_fault.Clock.t;
+  mutable remote_failures : int;
+  mutable stale_serves : int;
 }
 
 let create ?(block_size = 8) ?(stem = true) ?transducer ?(auto_sync = false) ?reindex_every fs =
@@ -38,6 +41,9 @@ let create ?(block_size = 8) ?(stem = true) ?transducer ?(auto_sync = false) ?re
       reindex_every;
       ops_since_reindex = 0;
       sync_stamp = 0;
+      clock = Hac_fault.Clock.create ();
+      remote_failures = 0;
+      stale_serves = 0;
     }
   in
   Hac_depgraph.Depgraph.add_node t.deps Uidmap.root_uid;

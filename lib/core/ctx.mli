@@ -37,6 +37,14 @@ type t = {
       (** Periodic data consistency: reindex after this many mutations. *)
   mutable ops_since_reindex : int;  (** Mutations since the last reindex. *)
   mutable sync_stamp : int;  (** Logical clock of re-evaluations. *)
+  clock : Hac_fault.Clock.t;
+      (** Virtual wall clock shared with resilience policies: backoff delays
+          and breaker probe intervals advance/read it, never real time. *)
+  mutable remote_failures : int;
+      (** Failed namespace calls observed during re-evaluations. *)
+  mutable stale_serves : int;
+      (** Last-good remote entries re-served because their namespace was
+          unavailable (graceful degradation). *)
 }
 
 val create :

@@ -119,7 +119,8 @@ let forget_dir (ctx : Ctx.t) path =
       Mount_table.unmount_all ctx.mounts ~uid;
       Sync.unpersist_semdir ctx uid;
       Ctx.with_maintenance ctx (fun () ->
-          Fs.append_file ctx.fs (Sync.meta_root ^ "/dirs.log") (Printf.sprintf "X %d\n" uid))
+          Fs.append_file ctx.fs (Sync.meta_root ^ "/dirs.log")
+            (Journal.seal (Printf.sprintf "X %d" uid) ^ "\n"))
 
 let on_event (ctx : Ctx.t) ev =
   if ctx.alive && not ctx.maintenance then begin
@@ -153,7 +154,7 @@ let on_event (ctx : Ctx.t) ev =
         Ctx.with_maintenance ctx (fun () ->
             Fs.append_file ctx.fs
               (Sync.meta_root ^ "/dirs.log")
-              (Printf.sprintf "D %d %s\n" uid p))
+              (Journal.seal (Printf.sprintf "D %d %s" uid p) ^ "\n"))
     | Event.Removed (Event.Dir, p) -> forget_dir ctx p
     | Event.Created (Event.Link, p) -> (
         match semdir_of_parent ctx p with
@@ -174,7 +175,7 @@ let on_event (ctx : Ctx.t) ev =
                 Ctx.with_maintenance ctx (fun () ->
                     Fs.append_file ctx.fs
                       (Sync.meta_root ^ "/dirs.log")
-                      (Printf.sprintf "M %d %s\n" uid dst))
+                      (Journal.seal (Printf.sprintf "M %d %s" uid dst) ^ "\n"))
             | None -> ());
             (* The moved directory's parent changed: rewire its dependency
                edge when it is semantic.  (Descendants kept their parents.) *)
@@ -563,7 +564,7 @@ let restore_semdir (ctx : Ctx.t) path ~query ~permanent ~prohibited =
           | Link.Remote { ns_id; uri } ->
               sd.Semdir.transient_remote <-
                 sd.Semdir.transient_remote
-                @ [ { Semdir.rr_ns = ns_id; rr_uri = uri; rr_name = name } ]
+                @ [ { Semdir.rr_ns = ns_id; rr_uri = uri; rr_name = name; rr_stale = false } ]
         end
       end)
     (Fs.readdir ctx.fs path);
@@ -620,7 +621,7 @@ let checkpoint_metadata (ctx : Ctx.t) =
       Uidmap.fold
         (fun uid path () ->
           if path <> Vpath.root && not (Vpath.is_prefix ~prefix:Sync.meta_root path) then
-            Buffer.add_string b (Printf.sprintf "D %d %s\n" uid path))
+            Buffer.add_string b (Journal.seal (Printf.sprintf "D %d %s" uid path) ^ "\n"))
         ctx.uids ();
       Fs.write_file ctx.fs (Sync.meta_root ^ "/dirs.log") (Buffer.contents b));
   Hashtbl.iter (fun _ sd -> Sync.persist_semdir ctx sd) ctx.semdirs
@@ -663,6 +664,36 @@ let mounted_at (ctx : Ctx.t) path =
 
 let refresh_mounts (ctx : Ctx.t) =
   if Mount_table.mount_points ctx.mounts <> [] then Sync.sync_all ctx
+
+(* -- fault tolerance ---------------------------------------------------------- *)
+
+let clock (ctx : Ctx.t) = ctx.clock
+
+let remote_failures (ctx : Ctx.t) = ctx.remote_failures
+
+let stale_serves (ctx : Ctx.t) = ctx.stale_serves
+
+type mount_health = {
+  mh_path : string;
+  mh_ns : string;
+  mh_health : Namespace.health option;
+}
+
+let mount_status (ctx : Ctx.t) =
+  List.concat_map
+    (fun uid ->
+      match Uidmap.path_of_uid ctx.uids uid with
+      | None -> []
+      | Some path ->
+          List.map
+            (fun (ns_id, h) -> { mh_path = path; mh_ns = ns_id; mh_health = h })
+            (Mount_table.health ctx.mounts ~uid))
+    (Mount_table.mount_points ctx.mounts)
+
+let stale_remotes (ctx : Ctx.t) path =
+  match Ctx.semdir_of_path ctx path with
+  | None -> []
+  | Some sd -> List.filter (fun r -> r.Semdir.rr_stale) sd.Semdir.transient_remote
 
 (* -- accounting --------------------------------------------------------------- *)
 

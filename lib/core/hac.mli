@@ -216,6 +216,41 @@ val sumount_fs : t -> string -> unit
 val syntactic_mount_points : t -> string list
 (** Paths carrying syntactic mounts, sorted. *)
 
+(** {1 Fault tolerance}
+
+    Remote namespaces fail; HAC degrades rather than breaks.  Wrap a
+    namespace with {!Hac_remote.Namespace.with_policy} over this instance's
+    {!clock} before mounting it and re-evaluations get bounded retries, a
+    per-call deadline and a circuit breaker; when a namespace is unavailable
+    anyway, its last-good entries are re-served marked stale (see
+    {!Semdir.remote_result}).  See [docs/fault-model.md]. *)
+
+val clock : t -> Hac_fault.Clock.t
+(** The instance's virtual wall clock.  Advance it to make time pass for
+    backoff delays and breaker probe intervals (nothing ever sleeps). *)
+
+type mount_health = {
+  mh_path : string;  (** Mount-point directory. *)
+  mh_ns : string;  (** Namespace id. *)
+  mh_health : Hac_remote.Namespace.health option;
+      (** Live resilience counters; [None] when the namespace was mounted
+          without {!Hac_remote.Namespace.with_policy}. *)
+}
+(** One row of {!mount_status}. *)
+
+val mount_status : t -> mount_health list
+(** Health of every mounted namespace, grouped by mount point (sorted). *)
+
+val stale_remotes : t -> string -> Semdir.remote_result list
+(** The entries of a semantic directory currently served stale — present
+    only because their namespace failed during the last re-evaluation. *)
+
+val remote_failures : t -> int
+(** Total failed namespace calls observed during re-evaluations. *)
+
+val stale_serves : t -> int
+(** Total last-good entries re-served in place of a failing namespace. *)
+
 (** {1 Accounting} *)
 
 type space = {

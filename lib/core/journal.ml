@@ -1,0 +1,38 @@
+(* Crash-safe journal records: each line carries a checksum of its body so
+   replay can tell a real record from a torn or corrupted one. *)
+
+let checksum body =
+  (* FNV-1a over the body, truncated to 32 bits — cheap, dependency-free and
+     more than enough to catch torn writes and bit rot in a line-oriented
+     log.  Not a defence against an adversary. *)
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xFFFFFFFF)
+    body;
+  !h
+
+let hex_len = 8
+
+(* "body #hhhhhhhh": the suffix is fixed-width so bodies may contain '#'. *)
+let suffix_len = hex_len + 2
+
+let seal body = Printf.sprintf "%s #%08x" body (checksum body)
+
+type line = Valid of string | Corrupt of string | Blank
+
+let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+
+let parse line =
+  let n = String.length line in
+  if String.trim line = "" then Blank
+  else if n > suffix_len && line.[n - suffix_len] = ' ' && line.[n - suffix_len + 1] = '#'
+  then begin
+    let body = String.sub line 0 (n - suffix_len) in
+    let hex = String.sub line (n - hex_len) hex_len in
+    if
+      String.for_all is_hex hex
+      && int_of_string_opt ("0x" ^ hex) = Some (checksum body)
+    then Valid body
+    else Corrupt line
+  end
+  else Corrupt line

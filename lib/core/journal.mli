@@ -1,0 +1,23 @@
+(** Checksummed journal records for the [dirs.log] metadata journal.
+
+    A crash can tear the last record of an append-only log, and bit rot can
+    corrupt any of them; replay must restore every intact record and skip
+    the rest rather than fail or silently mis-parse.  Each record is one
+    line of the form [body #hhhhhhhh] — the body followed by a fixed-width
+    hex checksum of it — so the reader can verify integrity line by line. *)
+
+val checksum : string -> int
+(** 32-bit FNV-1a checksum of a record body. *)
+
+val seal : string -> string
+(** [seal body] is the on-disk form of the record (no trailing newline):
+    the body plus its checksum suffix. *)
+
+type line =
+  | Valid of string  (** Intact record; carries the body. *)
+  | Corrupt of string  (** Checksum missing or wrong; carries the raw line. *)
+  | Blank  (** Empty/whitespace line (e.g. after a trailing newline). *)
+
+val parse : string -> line
+(** Classify one journal line.  A line written by {!seal} parses back to
+    [Valid body]; anything torn, truncated or scribbled over is [Corrupt]. *)

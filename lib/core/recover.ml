@@ -1,43 +1,66 @@
 module Fs = Hac_vfs.Fs
 module Vpath = Hac_vfs.Vpath
 
-(* dirs.log lines (appended by the event handler):
+type journal_report = { applied : int; corrupt : int; malformed : int }
+
+(* dirs.log records (appended by the event handler, one {!Journal.seal}ed
+   line each):
      D <uid> <path>     directory created
      M <uid> <path>     directory (and hence its subtree) moved here
      X <uid>            directory removed
-   Replaying them yields the uid -> path map as of shutdown. *)
-let replay_journal text =
+   Replaying them yields the uid -> path map as of shutdown.  A crash can
+   tear the trailing record and anything can corrupt earlier ones; such
+   lines fail their checksum, are counted and skipped — every intact record
+   still applies. *)
+let replay_journal_report text =
   let map = Hashtbl.create 64 in
-  let handle line =
-    match String.split_on_char ' ' (String.trim line) with
-    | [ "D"; uid; path ] -> (
+  let applied = ref 0 and corrupt = ref 0 and malformed = ref 0 in
+  let apply_move uid new_path =
+    match Hashtbl.find_opt map uid with
+    | None -> Hashtbl.replace map uid new_path
+    | Some old_path ->
+        (* The move carries the whole registered subtree along. *)
+        Hashtbl.iter
+          (fun u p ->
+            match Vpath.replace_prefix ~prefix:old_path ~by:new_path p with
+            | Some p' when Vpath.is_prefix ~prefix:old_path p ->
+                Hashtbl.replace map u p'
+            | Some _ | None -> ())
+          (Hashtbl.copy map)
+  in
+  (* Paths may contain spaces: D and M both take everything after the uid
+     as the path (rest-concat), never a fixed arity. *)
+  let handle_body body =
+    match String.split_on_char ' ' (String.trim body) with
+    | "D" :: uid :: rest when rest <> [] -> (
         match int_of_string_opt uid with
-        | Some uid -> Hashtbl.replace map uid path
-        | None -> ())
+        | Some uid ->
+            incr applied;
+            Hashtbl.replace map uid (String.concat " " rest)
+        | None -> incr malformed)
     | "M" :: uid :: rest when rest <> [] -> (
         match int_of_string_opt uid with
-        | None -> ()
-        | Some uid -> (
-            let new_path = String.concat " " rest in
-            match Hashtbl.find_opt map uid with
-            | None -> Hashtbl.replace map uid new_path
-            | Some old_path ->
-                (* The move carries the whole registered subtree along. *)
-                Hashtbl.iter
-                  (fun u p ->
-                    match Vpath.replace_prefix ~prefix:old_path ~by:new_path p with
-                    | Some p' when Vpath.is_prefix ~prefix:old_path p ->
-                        Hashtbl.replace map u p'
-                    | Some _ | None -> ())
-                  (Hashtbl.copy map)))
+        | Some uid ->
+            incr applied;
+            apply_move uid (String.concat " " rest)
+        | None -> incr malformed)
     | [ "X"; uid ] -> (
         match int_of_string_opt uid with
-        | Some uid -> Hashtbl.remove map uid
-        | None -> ())
-    | _ -> ()
+        | Some uid ->
+            incr applied;
+            Hashtbl.remove map uid
+        | None -> incr malformed)
+    | _ -> incr malformed
   in
-  String.split_on_char '\n' text |> List.iter handle;
-  map
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         match Journal.parse line with
+         | Journal.Valid body -> handle_body body
+         | Journal.Corrupt _ -> incr corrupt
+         | Journal.Blank -> ());
+  (map, { applied = !applied; corrupt = !corrupt; malformed = !malformed })
+
+let replay_journal text = fst (replay_journal_report text)
 
 let read_opt fs path =
   try Some (Fs.read_file fs path) with Hac_vfs.Errno.Error _ -> None
@@ -46,6 +69,11 @@ let journal_map t =
   match read_opt (Hac.fs t) "/.hac/dirs.log" with
   | None -> Hashtbl.create 0
   | Some text -> replay_journal text
+
+let journal_report t =
+  match read_opt (Hac.fs t) "/.hac/dirs.log" with
+  | None -> { applied = 0; corrupt = 0; malformed = 0 }
+  | Some text -> snd (replay_journal_report text)
 
 let journal_paths t =
   Hashtbl.fold (fun uid path acc -> (uid, path) :: acc) (journal_map t) []
@@ -65,7 +93,14 @@ let permanent_names links_text =
          | "permanent" :: name :: _ -> Some name
          | _ -> None)
 
-let reload t =
+type reload_report = {
+  restored : int;
+  skipped : int;
+  journal : journal_report;
+}
+
+let reload_report t =
+  let journal = journal_report t in
   let fs = Hac.fs t in
   (* Snapshot all recoverable state first: restoring writes fresh metadata
      under this instance's uids, which must not alias the old ones. *)
@@ -92,17 +127,20 @@ let reload t =
       (journal_map t) []
     |> List.sort compare
   in
-  let restored = ref 0 in
+  let restored = ref 0 and skipped = ref 0 in
   List.iter
     (fun (path, query, permanent, prohibited) ->
-      if not (Hac.is_semantic t path) then
+      if Hac.is_semantic t path then incr skipped
+      else
         match Hac.restore_semdir t path ~query ~permanent ~prohibited with
         | () -> incr restored
         | exception Hac.Hac_error _ ->
             (* Unparseable or cyclic after the crash: leave it plain. *)
-            ())
+            incr skipped)
     plan;
   (* The old instance's identifiers are dead; re-key the metadata area. *)
   Hac.checkpoint_metadata t;
   Hac.sync_all t;
-  !restored
+  { restored = !restored; skipped = !skipped; journal }
+
+let reload t = (reload_report t).restored

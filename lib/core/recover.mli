@@ -20,6 +20,34 @@ val reload : Hac.t -> int
     exists are skipped silently; a directory that is already semantic (e.g.
     restored twice) is skipped too. *)
 
+type journal_report = {
+  applied : int;  (** Intact records replayed. *)
+  corrupt : int;  (** Lines dropped: checksum missing or wrong (torn write,
+                      truncation, bit rot). *)
+  malformed : int;  (** Checksum fine but the body didn't parse. *)
+}
+(** Integrity accounting of one journal replay.  Journal records are sealed
+    with a per-line checksum ({!Journal.seal}); replay restores every intact
+    record and never raises, whatever the file contains. *)
+
+type reload_report = {
+  restored : int;  (** Semantic directories reinstalled. *)
+  skipped : int;  (** Recovery-plan entries not restored (already semantic,
+                      or unparseable/cyclic after the crash). *)
+  journal : journal_report;  (** Journal integrity during this reload. *)
+}
+
+val reload_report : Hac.t -> reload_report
+(** Like {!reload} but returns the full accounting — what the shell's
+    [srecover -v] prints. *)
+
+val journal_report : Hac.t -> journal_report
+(** Verify the directory journal without restoring anything. *)
+
+val replay_journal : string -> (int, string) Hashtbl.t
+(** Replay raw journal text to the uid → path map it describes, skipping
+    corrupt lines — exposed for tests. *)
+
 val journal_paths : Hac.t -> (int * string) list
 (** The uid → path map recovered from the directory journal (after replaying
     moves and removals), sorted by uid — exposed for inspection and tests. *)

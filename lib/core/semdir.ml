@@ -1,4 +1,9 @@
-type remote_result = { rr_ns : string; rr_uri : string; rr_name : string }
+type remote_result = {
+  rr_ns : string;
+  rr_uri : string;
+  rr_name : string;
+  rr_stale : bool;
+}
 
 type t = {
   uid : int;

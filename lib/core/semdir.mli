@@ -11,6 +11,10 @@ type remote_result = {
   rr_ns : string;  (** Namespace the entry came from. *)
   rr_uri : string;  (** Entry identifier (the link's target key). *)
   rr_name : string;  (** Display name, used as the link name. *)
+  rr_stale : bool;
+      (** True when the entry was {e not} confirmed by the namespace during
+          the last re-evaluation but re-served from the previous result
+          because the namespace was unavailable (graceful degradation). *)
 }
 (** One remote entry in the current query result. *)
 

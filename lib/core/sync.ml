@@ -58,19 +58,11 @@ let attr_docs (ctx : Ctx.t) key value =
   match key with
   | "name" | "ext" | "path" ->
       (* Built-in attributes derive from the path alone. *)
-      let test path =
-        match key with
-        | "name" -> Vpath.basename path = value
-        | "ext" ->
-            let base = Vpath.basename path in
-            (match String.rindex_opt base '.' with
-            | Some i -> String.sub base (i + 1) (String.length base - i - 1) = value
-            | None -> false)
-        | _ -> Vpath.is_prefix ~prefix:value path
-      in
       Fileset.filter
         (fun id ->
-          match Index.doc_path ctx.index id with Some p -> test p | None -> false)
+          match Index.doc_path ctx.index id with
+          | Some p -> Vpath.matches_builtin_attr ~key ~value p
+          | None -> false)
         (Index.universe ctx.index)
   | _ -> (
       (* Transducer-extracted attributes: block-coarse candidates from the
@@ -249,11 +241,23 @@ let render_for lang q =
 
 (* -- remote evaluation ---------------------------------------------------- *)
 
+let failure_reason = function
+  | Namespace.Unavailable { reason; _ } -> reason
+  | e -> Printexc.to_string e
+
 (* The ns_id parsed out of a uri is a heuristic (uri schemes differ between
    namespaces); ask the named namespace first, then fall back to every
-   registered one. *)
-let fetch_remote (ctx : Ctx.t) ~ns_id ~uri =
-  let try_ns ns = ns.Namespace.fetch uri in
+   registered one.  Namespaces are remote and may fail: any exception from a
+   provider is reported through [on_failure] and treated as "no content" —
+   callers decide whether that means a miss or a degraded re-serve. *)
+let fetch_remote ?(on_failure = fun _ _ -> ()) (ctx : Ctx.t) ~ns_id ~uri =
+  let try_ns ns =
+    match ns.Namespace.fetch uri with
+    | r -> r
+    | exception e ->
+        on_failure ns.Namespace.ns_id (failure_reason e);
+        None
+  in
   let direct = Option.bind (Hashtbl.find_opt ctx.namespaces ns_id) try_ns in
   match direct with
   | Some _ as r -> r
@@ -262,8 +266,8 @@ let fetch_remote (ctx : Ctx.t) ~ns_id ~uri =
         (fun _ ns acc -> match acc with Some _ -> acc | None -> try_ns ns)
         ctx.namespaces None
 
-let remote_matches (ctx : Ctx.t) q ~name ~ns_id ~uri =
-  match fetch_remote ctx ~ns_id ~uri with
+let remote_matches ?on_failure (ctx : Ctx.t) q ~name ~ns_id ~uri =
+  match fetch_remote ?on_failure ctx ~ns_id ~uri with
   | Some content ->
       Qmatch.matches ~stem:(Index.stemming ctx.index) q ~name ~content
   | None -> false
@@ -272,7 +276,7 @@ let remote_matches (ctx : Ctx.t) q ~name ~ns_id ~uri =
    in its scope: query each namespace in its own language, then verify each
    answer locally against the full query.  Results carry the entry's display
    name, used as the symbolic link name. *)
-let mount_results (ctx : Ctx.t) q mount_uids =
+let mount_results ?(on_failure = fun _ _ -> ()) (ctx : Ctx.t) q mount_uids =
   let results = ref [] in
   let seen = Hashtbl.create 16 in
   let consider ns (e : Namespace.entry) =
@@ -297,13 +301,20 @@ let mount_results (ctx : Ctx.t) q mount_uids =
     (fun muid ->
       List.iter
         (fun ns ->
-          List.iter
-            (fun qs ->
-              let entries =
-                if qs = "" then ns.Namespace.list_all () else ns.Namespace.search qs
-              in
-              List.iter (consider ns) entries)
-            (render_for ns.Namespace.lang q))
+          (* One failing namespace must not poison the others at this (or
+             any later) mount point: report it and move on.  Whatever it
+             answered before failing is kept. *)
+          match
+            List.iter
+              (fun qs ->
+                let entries =
+                  if qs = "" then ns.Namespace.list_all () else ns.Namespace.search qs
+                in
+                List.iter (consider ns) entries)
+              (render_for ns.Namespace.lang q)
+          with
+          | () -> ()
+          | exception e -> on_failure ns.Namespace.ns_id (failure_reason e))
         (Mount_table.mounted ctx.mounts ~uid:muid))
     mount_uids;
   List.rev !results
@@ -389,34 +400,56 @@ let resync_dir (ctx : Ctx.t) uid =
           matched
       in
       (* 3. New remote result: inherited parent links that match, plus fresh
-            results from visible mount points; same exclusions. *)
+            results from visible mount points; same exclusions.  Namespace
+            failures are collected rather than propagated — a re-evaluation
+            must never be broken by a flaky remote. *)
+      let failed = Hashtbl.create 4 in
+      let note_failure ns_id reason =
+        ctx.remote_failures <- ctx.remote_failures + 1;
+        if not (Hashtbl.mem failed ns_id) then Hashtbl.replace failed ns_id reason
+      in
       let remote_acc = ref [] in
       let seen_remote = Hashtbl.create 8 in
-      let consider_remote ~ns_id ~uri ~name =
+      let consider_remote ~stale ~ns_id ~uri ~name =
         if
           (not (Hashtbl.mem seen_remote uri))
           && (not (prohibited uri))
           && not (permanent_key uri)
         then begin
           Hashtbl.replace seen_remote uri ();
+          if stale then ctx.stale_serves <- ctx.stale_serves + 1;
           remote_acc :=
-            { Semdir.rr_ns = ns_id; rr_uri = uri; rr_name = name } :: !remote_acc
+            { Semdir.rr_ns = ns_id; rr_uri = uri; rr_name = name; rr_stale = stale }
+            :: !remote_acc
         end
       in
       List.iter
         (fun target ->
           match target with
           | Link.Remote { ns_id; uri } ->
-              if remote_matches ctx sd.Semdir.query ~name:(Link.display_name target) ~ns_id ~uri
-              then consider_remote ~ns_id ~uri ~name:(Link.display_name target)
+              if
+                remote_matches ~on_failure:note_failure ctx sd.Semdir.query
+                  ~name:(Link.display_name target) ~ns_id ~uri
+              then consider_remote ~stale:false ~ns_id ~uri ~name:(Link.display_name target)
           | Link.Local _ -> ())
         pscope.remote;
       List.iter
         (fun (target, name) ->
           match target with
-          | Link.Remote { ns_id; uri } -> consider_remote ~ns_id ~uri ~name
+          | Link.Remote { ns_id; uri } -> consider_remote ~stale:false ~ns_id ~uri ~name
           | Link.Local _ -> ())
-        (mount_results ctx sd.Semdir.query pscope.mount_uids);
+        (mount_results ~on_failure:note_failure ctx sd.Semdir.query pscope.mount_uids);
+      (* Graceful degradation: a namespace that failed this round keeps its
+         last-good entries — re-served from the previous result and marked
+         stale — instead of silently vanishing from the directory.  Fresh
+         answers (e.g. inherited through the parent) win the dedup. *)
+      if Hashtbl.length failed > 0 then
+        List.iter
+          (fun r ->
+            if Hashtbl.mem failed r.Semdir.rr_ns then
+              consider_remote ~stale:true ~ns_id:r.Semdir.rr_ns ~uri:r.Semdir.rr_uri
+                ~name:r.Semdir.rr_name)
+          sd.Semdir.transient_remote;
       let new_remote = List.rev !remote_acc in
       let changed =
         (not (Fileset.equal new_local sd.Semdir.transient_local))

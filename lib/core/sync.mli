@@ -46,10 +46,18 @@ val persist_semdir : Ctx.t -> Semdir.t -> unit
 val unpersist_semdir : Ctx.t -> int -> unit
 (** Remove the metadata file of a (removed) directory, by uid. *)
 
-val fetch_remote : Ctx.t -> ns_id:string -> uri:string -> string option
+val fetch_remote :
+  ?on_failure:(string -> string -> unit) ->
+  Ctx.t ->
+  ns_id:string ->
+  uri:string ->
+  string option
 (** Contents of a remote entry: ask the namespace registered under [ns_id]
     first, then fall back to every registered namespace (uri schemes don't
-    reliably encode the namespace identifier). *)
+    reliably encode the namespace identifier).  A namespace raising —
+    typically {!Hac_remote.Namespace.Unavailable} — is reported as
+    [on_failure ns_id reason] (default: ignored) and treated as having no
+    content; the exception never escapes. *)
 
 val materialize : Ctx.t -> Semdir.t -> unit
 (** Expand a directory's stored transient result (the bitmap) into physical

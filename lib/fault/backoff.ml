@@ -1,0 +1,30 @@
+type t = { base : float; factor : float; max_delay : float; jitter : float }
+
+let default = { base = 0.05; factor = 2.0; max_delay = 5.0; jitter = 0.1 }
+
+(* SplitMix-style integer mixer: a cheap, well-distributed hash that keeps
+   the jitter deterministic in (seed, attempt). *)
+let mix seed attempt =
+  let z = ref (seed * 0x9e3779b9 + attempt + 0x85ebca6b) in
+  z := (!z lxor (!z lsr 16)) * 0x21f0aaad;
+  z := (!z lxor (!z lsr 15)) * 0x735a2d97;
+  z := !z lxor (!z lsr 15);
+  !z land max_int
+
+(* A unit float in [0, 1) from the mixed bits. *)
+let unit_float seed attempt =
+  float_of_int (mix seed attempt land 0xFFFFFF) /. float_of_int 0x1000000
+
+let delay ?(seed = 0) t ~attempt =
+  let attempt = max 0 attempt in
+  let raw = t.base *. (t.factor ** float_of_int attempt) in
+  let capped = Float.min raw t.max_delay in
+  let spread = (2.0 *. unit_float seed attempt) -. 1.0 in
+  Float.max 0.0 (capped *. (1.0 +. (t.jitter *. spread)))
+
+let total_budget ?seed t ~retries =
+  let acc = ref 0.0 in
+  for attempt = 0 to retries - 1 do
+    acc := !acc +. delay ?seed t ~attempt
+  done;
+  !acc

@@ -1,0 +1,26 @@
+(** Exponential retry backoff with deterministic jitter.
+
+    The delay before retry attempt [n] (0-based) is
+    [base * factor^n], capped at [max_delay], then spread by a jitter
+    factor derived from a hash of [(seed, attempt)] — deterministic for a
+    given seed, so tests replay exactly, yet decorrelated across callers
+    the way real jitter must be to avoid thundering herds. *)
+
+type t = {
+  base : float;  (** First-retry delay in (virtual) seconds. *)
+  factor : float;  (** Multiplier per attempt ([>= 1.0]). *)
+  max_delay : float;  (** Upper bound on the un-jittered delay. *)
+  jitter : float;  (** Relative spread in [[0, 1]]: a delay [d] becomes
+                       [d * (1 ± jitter)]. *)
+}
+
+val default : t
+(** 50 ms base, doubling, capped at 5 s, ±10% jitter. *)
+
+val delay : ?seed:int -> t -> attempt:int -> float
+(** Delay in seconds before retry [attempt] (0-based).  Always
+    non-negative; deterministic in [(seed, attempt)]. *)
+
+val total_budget : ?seed:int -> t -> retries:int -> float
+(** Sum of {!delay} over attempts [0 .. retries-1] — how much virtual time
+    a full retry cycle consumes. *)

@@ -1,0 +1,73 @@
+type state = Closed | Open | Half_open
+
+type config = {
+  failure_threshold : int;
+  probe_interval : float;
+  success_to_close : int;
+}
+
+let default_config = { failure_threshold = 3; probe_interval = 30.0; success_to_close = 1 }
+
+type t = {
+  config : config;
+  mutable state : state;
+  mutable consecutive_failures : int;
+  mutable opened_at : float;
+  mutable probe_successes : int;
+  mutable trips : int;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    state = Closed;
+    consecutive_failures = 0;
+    opened_at = 0.0;
+    probe_successes = 0;
+    trips = 0;
+  }
+
+let config t = t.config
+
+let state t = t.state
+
+let trip t ~now =
+  t.state <- Open;
+  t.opened_at <- now;
+  t.probe_successes <- 0;
+  t.trips <- t.trips + 1
+
+let allow t ~now =
+  match t.state with
+  | Closed | Half_open -> true
+  | Open ->
+      if now -. t.opened_at >= t.config.probe_interval then begin
+        t.state <- Half_open;
+        t.probe_successes <- 0;
+        true
+      end
+      else false
+
+let record_success t =
+  match t.state with
+  | Closed -> t.consecutive_failures <- 0
+  | Half_open ->
+      t.probe_successes <- t.probe_successes + 1;
+      if t.probe_successes >= t.config.success_to_close then begin
+        t.state <- Closed;
+        t.consecutive_failures <- 0
+      end
+  | Open -> () (* success report for a call admitted before the trip *)
+
+let record_failure t ~now =
+  t.consecutive_failures <- t.consecutive_failures + 1;
+  match t.state with
+  | Half_open -> trip t ~now
+  | Closed -> if t.consecutive_failures >= t.config.failure_threshold then trip t ~now
+  | Open -> ()
+
+let consecutive_failures t = t.consecutive_failures
+
+let trips t = t.trips
+
+let state_name = function Closed -> "closed" | Open -> "open" | Half_open -> "half-open"

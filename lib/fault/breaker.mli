@@ -1,0 +1,54 @@
+(** A three-state circuit breaker.
+
+    Guards calls to an unreliable dependency: after [failure_threshold]
+    consecutive failures the breaker {e opens} and rejects calls outright
+    (callers degrade instead of hammering a dead remote).  Once
+    [probe_interval] virtual seconds have passed, the next call is let
+    through as a {e half-open} probe; [success_to_close] consecutive probe
+    successes close the breaker again, while any probe failure re-opens it
+    and restarts the interval. *)
+
+type state = Closed | Open | Half_open
+
+type config = {
+  failure_threshold : int;  (** Consecutive failures that trip the breaker. *)
+  probe_interval : float;  (** Seconds an open breaker waits before probing. *)
+  success_to_close : int;  (** Probe successes required to close again. *)
+}
+
+val default_config : config
+(** 3 failures to trip, 30 s probe interval, 1 success to close. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** A closed breaker. *)
+
+val config : t -> config
+
+val state : t -> state
+(** Current state (does not consult the clock; an [Open] breaker stays
+    [Open] until a call is actually allowed through as a probe). *)
+
+val allow : t -> now:float -> bool
+(** Whether a call may proceed at virtual time [now].  [Closed] and
+    [Half_open] always allow; [Open] allows (and transitions to
+    [Half_open]) once the probe interval has elapsed. *)
+
+val record_success : t -> unit
+(** Report a successful call: resets the failure streak; in [Half_open],
+    counts toward closing. *)
+
+val record_failure : t -> now:float -> unit
+(** Report a failed call at time [now]: extends the failure streak and
+    trips to [Open] at the threshold; a [Half_open] probe failure re-opens
+    immediately. *)
+
+val consecutive_failures : t -> int
+(** Length of the current failure streak. *)
+
+val trips : t -> int
+(** How many times the breaker has transitioned to [Open]. *)
+
+val state_name : state -> string
+(** ["closed"], ["open"] or ["half-open"]. *)

@@ -1,0 +1,7 @@
+type t = { mutable now : float }
+
+let create ?(start = 0.0) () = { now = start }
+
+let now t = t.now
+
+let advance t dt = if dt > 0.0 then t.now <- t.now +. dt

@@ -1,0 +1,20 @@
+(** A virtual clock.
+
+    Everything in this reproduction is simulated, so time is too: remote
+    latency, retry backoff and circuit-breaker probe intervals all advance a
+    shared mutable clock instead of sleeping.  Tests (and the shell's
+    [fault tick] command) move time forward explicitly, which keeps every
+    failure scenario deterministic and instant to run. *)
+
+type t
+(** One clock; typically one per {!Hac_core.Hac} instance. *)
+
+val create : ?start:float -> unit -> t
+(** A clock reading [start] (default [0.0]) seconds. *)
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val advance : t -> float -> unit
+(** Move time forward by a non-negative number of seconds (negative
+    amounts are ignored — time never runs backwards). *)

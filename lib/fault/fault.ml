@@ -1,0 +1,89 @@
+exception Injected of string
+
+type plan =
+  | Fail_times of int
+  | Outage
+  | Latency of float
+  | Corrupt
+  | Flaky of float
+
+type t = {
+  clock : Clock.t;
+  mutable plans : plan list;
+  mutable rng : int;
+  mutable calls : int;
+  mutable injected : int;
+}
+
+let create ?(seed = 1) ~clock () =
+  { clock; plans = []; rng = (seed lor 1) land max_int; calls = 0; injected = 0 }
+
+let set_plans t plans = t.plans <- plans
+
+let add_plan t plan = t.plans <- t.plans @ [ plan ]
+
+let clear t = t.plans <- []
+
+let plans t = t.plans
+
+(* One SplitMix step; returns a unit float in [0, 1). *)
+let next_unit t =
+  let z = ref ((t.rng + 0x9e3779b9) land max_int) in
+  z := (!z lxor (!z lsr 16)) * 0x21f0aaad;
+  z := (!z lxor (!z lsr 15)) * 0x735a2d97;
+  z := !z lxor (!z lsr 15);
+  t.rng <- !z land max_int;
+  float_of_int (!z land 0xFFFFFF) /. float_of_int 0x1000000
+
+let guard t ~op f =
+  t.calls <- t.calls + 1;
+  let failing = ref false in
+  t.plans <-
+    List.filter_map
+      (fun plan ->
+        match plan with
+        | Fail_times n when n > 0 ->
+            failing := true;
+            if n = 1 then None else Some (Fail_times (n - 1))
+        | Fail_times _ -> None
+        | Outage ->
+            failing := true;
+            Some plan
+        | Latency d ->
+            (* Not a failure by itself: the call merely takes this long.
+               Resilience policies turn it into a timeout when the charged
+               time blows their per-call deadline. *)
+            Clock.advance t.clock d;
+            Some plan
+        | Corrupt -> Some plan
+        | Flaky p ->
+            if next_unit t < p then failing := true;
+            Some plan)
+      t.plans;
+  if !failing then begin
+    t.injected <- t.injected + 1;
+    raise (Injected op)
+  end
+  else f ()
+
+let mangle t payload =
+  if not (List.exists (fun p -> p = Corrupt) t.plans) then payload
+  else
+    (* Deterministic length-preserving scramble: xor each byte with a
+       keystream drawn from the seeded PRNG, keeping the result printable
+       enough to flow through tokenizers without meaning anything. *)
+    String.init (String.length payload) (fun i ->
+        let k = int_of_float (next_unit t *. 256.0) land 0xFF in
+        let c = (Char.code payload.[i] + k) land 0x7F in
+        if c < 0x20 then ' ' else Char.chr c)
+
+let calls t = t.calls
+
+let injected t = t.injected
+
+let plan_to_string = function
+  | Fail_times n -> Printf.sprintf "fail %d" n
+  | Outage -> "outage"
+  | Latency d -> Printf.sprintf "latency %.2fs" d
+  | Corrupt -> "corrupt"
+  | Flaky p -> Printf.sprintf "flaky %.2f" p

@@ -1,0 +1,59 @@
+(** A deterministic, seedable fault injector.
+
+    Wraps any provider-style call site so tests, the shell and the bench
+    can simulate the failure modes the paper attributes to remote CBA
+    servers (slow, intermittently unavailable, occasionally returning
+    garbage) without any real network.  Faults are described by {!plan}s;
+    the injector is consulted through {!guard} (may delay on the virtual
+    clock and raise {!Injected}) and {!mangle} (may corrupt a payload).
+
+    Determinism: probabilistic plans draw from a SplitMix-style PRNG
+    seeded at {!create}, so a given seed replays the exact same failure
+    sequence. *)
+
+exception Injected of string
+(** Raised by {!guard} when the active plans fail the call; the payload
+    is the operation name (e.g. ["search"]).  Latency plans never raise —
+    they only charge the clock, and it is the resilience policy's per-call
+    deadline that turns a slow call into a timeout failure. *)
+
+type plan =
+  | Fail_times of int  (** The next [n] guarded calls fail, then health returns. *)
+  | Outage  (** Every call fails until the plan is cleared. *)
+  | Latency of float  (** Every call costs this many virtual seconds. *)
+  | Corrupt  (** Payloads passed through {!mangle} come back as garbage. *)
+  | Flaky of float  (** Each call fails with this probability (seeded). *)
+
+type t
+
+val create : ?seed:int -> clock:Clock.t -> unit -> t
+(** A healthy injector (no plans active). *)
+
+val set_plans : t -> plan list -> unit
+(** Replace the active plans. *)
+
+val add_plan : t -> plan -> unit
+(** Add one plan on top of the active ones. *)
+
+val clear : t -> unit
+(** Drop every plan: the injector becomes a no-op. *)
+
+val plans : t -> plan list
+(** Currently active plans ([Fail_times] reflects the remaining count). *)
+
+val guard : t -> op:string -> (unit -> 'a) -> 'a
+(** Run the call under the active plans: charge latency to the clock,
+    then either raise {!Injected} or run the wrapped call. *)
+
+val mangle : t -> string -> string
+(** The payload, corrupted when a [Corrupt] plan is active (deterministic
+    byte scrambling that preserves length), unchanged otherwise. *)
+
+val calls : t -> int
+(** Guarded calls seen so far. *)
+
+val injected : t -> int
+(** Failures injected so far. *)
+
+val plan_to_string : plan -> string
+(** Human-readable form, e.g. ["fail 3"], ["outage"], ["latency 0.50s"]. *)

@@ -27,6 +27,9 @@ let query t ~uid q =
     (fun ns -> List.map (fun e -> (ns.Namespace.ns_id, e)) (ns.Namespace.search q))
     (mounted t ~uid)
 
+let health t ~uid =
+  List.map (fun ns -> (ns.Namespace.ns_id, Namespace.health ns)) (mounted t ~uid)
+
 let fetch t ~uid ~uri =
   let rec go = function
     | [] -> None

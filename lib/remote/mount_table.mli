@@ -36,6 +36,10 @@ val query : t -> uid:int -> string -> (string * Namespace.entry) list
     concatenate the answers tagged with their [ns_id] — the disjoint union
     of section 3.2. *)
 
+val health : t -> uid:int -> (string * Namespace.health option) list
+(** Per-namespace resilience state at the directory, in mount order;
+    [None] for namespaces not wrapped with {!Namespace.with_policy}. *)
+
 val fetch : t -> uid:int -> uri:string -> string option
 (** Fetch an entry's contents from whichever mounted namespace recognises
     the uri (first match in mount order). *)

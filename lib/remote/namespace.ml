@@ -2,13 +2,37 @@ type entry = { name : string; uri : string; summary : string }
 
 type lang = Keywords | Hac_syntax
 
+type health = {
+  breaker : Hac_fault.Breaker.state;
+  consecutive_failures : int;
+  total_failures : int;
+  total_retries : int;
+  total_calls : int;
+  breaker_trips : int;
+  last_error : string option;
+}
+
 type t = {
   ns_id : string;
   lang : lang;
   search : string -> entry list;
   fetch : string -> string option;
   list_all : unit -> entry list;
+  health : (unit -> health) option;
 }
+
+exception Unavailable of { ns_id : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Unavailable { ns_id; reason } ->
+        Some (Printf.sprintf "Namespace.Unavailable(%s: %s)" ns_id reason)
+    | _ -> None)
+
+let make ~ns_id ~lang ~search ~fetch ~list_all () =
+  { ns_id; lang; search; fetch; list_all; health = None }
+
+let health ns = Option.map (fun f -> f ()) ns.health
 
 type stats = { queries : int; fetches : int }
 
@@ -29,6 +53,112 @@ let instrument ns =
   in
   (wrapped, fun () -> { queries = !queries; fetches = !fetches })
 
+(* -- resilience policy ----------------------------------------------------- *)
+
+type policy = {
+  max_retries : int;
+  backoff : Hac_fault.Backoff.t;
+  call_budget : float;
+  breaker : Hac_fault.Breaker.config;
+  seed : int;
+}
+
+let default_policy =
+  {
+    max_retries = 2;
+    backoff = Hac_fault.Backoff.default;
+    call_budget = 2.0;
+    breaker = Hac_fault.Breaker.default_config;
+    seed = 0;
+  }
+
+let describe_exn = function
+  | Unavailable { reason; _ } -> reason
+  | Hac_fault.Fault.Injected op -> "injected fault on " ^ op
+  | e -> Printexc.to_string e
+
+let with_policy ?(policy = default_policy) ~clock ns =
+  let breaker = Hac_fault.Breaker.create ~config:policy.breaker () in
+  let total_failures = ref 0 and total_retries = ref 0 and total_calls = ref 0 in
+  let last_error = ref None in
+  let unavailable reason = raise (Unavailable { ns_id = ns.ns_id; reason }) in
+  (* One guarded provider call: consult the breaker, then try with bounded
+     retries, exponential backoff and a per-call virtual-time budget.  Every
+     exception the raw provider raises — including injected faults — counts
+     as a failure; a call that "succeeds" but blows the budget counts as a
+     timeout.  The caller sees either the result or [Unavailable]. *)
+  let call op f =
+    incr total_calls;
+    if not (Hac_fault.Breaker.allow breaker ~now:(Hac_fault.Clock.now clock)) then begin
+      last_error := Some "circuit open";
+      unavailable "circuit open"
+    end;
+    let rec attempt n =
+      let started = Hac_fault.Clock.now clock in
+      let outcome = match f () with v -> Ok v | exception e -> Error (describe_exn e) in
+      let verdict =
+        match outcome with
+        | Ok _ when Hac_fault.Clock.now clock -. started > policy.call_budget ->
+            Error
+              (Printf.sprintf "deadline exceeded (%.2fs > %.2fs budget)"
+                 (Hac_fault.Clock.now clock -. started)
+                 policy.call_budget)
+        | v -> v
+      in
+      match verdict with
+      | Ok v ->
+          Hac_fault.Breaker.record_success breaker;
+          v
+      | Error reason ->
+          incr total_failures;
+          last_error := Some reason;
+          Hac_fault.Breaker.record_failure breaker ~now:(Hac_fault.Clock.now clock);
+          if n < policy.max_retries && Hac_fault.Breaker.allow breaker ~now:(Hac_fault.Clock.now clock)
+          then begin
+            incr total_retries;
+            Hac_fault.Clock.advance clock (Hac_fault.Backoff.delay ~seed:policy.seed policy.backoff ~attempt:n);
+            attempt (n + 1)
+          end
+          else
+            unavailable
+              (Printf.sprintf "%s failed: %s (after %d attempt%s)" op reason
+                 (n + 1)
+                 (if n = 0 then "" else "s"))
+    in
+    attempt 0
+  in
+  let read_health () =
+    {
+      breaker = Hac_fault.Breaker.state breaker;
+      consecutive_failures = Hac_fault.Breaker.consecutive_failures breaker;
+      total_failures = !total_failures;
+      total_retries = !total_retries;
+      total_calls = !total_calls;
+      breaker_trips = Hac_fault.Breaker.trips breaker;
+      last_error = !last_error;
+    }
+  in
+  {
+    ns with
+    search = (fun q -> call "search" (fun () -> ns.search q));
+    fetch = (fun uri -> call "fetch" (fun () -> ns.fetch uri));
+    list_all = (fun () -> call "list_all" ns.list_all);
+    health = Some read_health;
+  }
+
+let with_faults inj ns =
+  {
+    ns with
+    search = (fun q -> Hac_fault.Fault.guard inj ~op:"search" (fun () -> ns.search q));
+    fetch =
+      (fun uri ->
+        Hac_fault.Fault.guard inj ~op:"fetch" (fun () ->
+            Option.map (Hac_fault.Fault.mangle inj) (ns.fetch uri)));
+    list_all = (fun () -> Hac_fault.Fault.guard inj ~op:"list_all" ns.list_all);
+  }
+
+(* -- static namespaces ----------------------------------------------------- *)
+
 let first_line s =
   match String.index_opt s '\n' with
   | Some i -> String.sub s 0 i
@@ -47,15 +177,12 @@ let static ~ns_id docs =
     words <> []
     && List.for_all (fun w -> Hac_index.Tokenizer.contains_word content w) words
   in
-  {
-    ns_id;
-    lang = Keywords;
-    search =
-      (fun q ->
-        List.filter_map
-          (fun ((_, _, content) as doc) ->
-            if matches q content then Some (entry_of doc) else None)
-          docs);
-    fetch = (fun uri -> Hashtbl.find_opt by_uri uri);
-    list_all = (fun () -> List.map entry_of docs);
-  }
+  make ~ns_id ~lang:Keywords
+    ~search:(fun q ->
+      List.filter_map
+        (fun ((_, _, content) as doc) ->
+          if matches q content then Some (entry_of doc) else None)
+        docs)
+    ~fetch:(fun uri -> Hashtbl.find_opt by_uri uri)
+    ~list_all:(fun () -> List.map entry_of docs)
+    ()

@@ -5,7 +5,13 @@
     interface semantic mount points talk to: submit a query string in the
     namespace's own language, get entries back, optionally fetch an entry's
     contents.  Implementations include simulated remote HAC file systems
-    ({!Remote_fs}) and a simulated web search engine ({!Web_search}). *)
+    ({!Remote_fs}) and a simulated web search engine ({!Web_search}).
+
+    The paper treats these remotes as slow and intermittently unavailable;
+    {!with_policy} wraps any namespace in the corresponding defences —
+    bounded retry with exponential backoff, a per-call deadline budget and a
+    three-state circuit breaker — while {!with_faults} injects the failures
+    themselves for tests and benchmarks (see {!Hac_fault.Fault}). *)
 
 type entry = {
   name : string;  (** Display name (used as the symbolic link name). *)
@@ -17,6 +23,17 @@ type lang =
   | Keywords  (** Space-separated required keywords (web engines). *)
   | Hac_syntax  (** The full HAC query language (other HAC systems). *)
 
+type health = {
+  breaker : Hac_fault.Breaker.state;  (** Circuit state as of the last call. *)
+  consecutive_failures : int;  (** Current failure streak. *)
+  total_failures : int;  (** Failed provider attempts (incl. retries). *)
+  total_retries : int;  (** Retry attempts issued. *)
+  total_calls : int;  (** Guarded calls requested by HAC. *)
+  breaker_trips : int;  (** Times the breaker has opened. *)
+  last_error : string option;  (** Most recent failure description. *)
+}
+(** Resilience counters of a {!with_policy}-wrapped namespace. *)
+
 type t = {
   ns_id : string;  (** Unique identifier of this namespace. *)
   lang : lang;  (** Query language this namespace understands. *)
@@ -25,7 +42,30 @@ type t = {
   list_all : unit -> entry list;
       (** Enumerate everything, or [[]] when the namespace cannot (e.g. a
           web search engine). *)
+  health : (unit -> health) option;
+      (** Present on resilience-wrapped namespaces; use {!health}. *)
 }
+
+exception Unavailable of { ns_id : string; reason : string }
+(** Raised by a {!with_policy}-wrapped namespace when a call cannot be
+    served: the circuit is open, or retries were exhausted.  The scope
+    engine catches this and degrades to the last-good cached result rather
+    than letting a flaky remote break re-evaluation. *)
+
+val make :
+  ns_id:string ->
+  lang:lang ->
+  search:(string -> entry list) ->
+  fetch:(string -> string option) ->
+  list_all:(unit -> entry list) ->
+  unit ->
+  t
+(** Plain constructor (no health state).  Prefer this over a record literal
+    so namespace implementations keep building when resilience fields
+    evolve. *)
+
+val health : t -> health option
+(** Current resilience counters; [None] for unwrapped namespaces. *)
 
 type stats = { queries : int; fetches : int }
 (** Accumulated call counts of an instrumented namespace. *)
@@ -33,6 +73,34 @@ type stats = { queries : int; fetches : int }
 val instrument : t -> t * (unit -> stats)
 (** Wrap a namespace so calls are counted; returns the wrapper and a stats
     reader.  Used by tests and by the benchmarks to show remote traffic. *)
+
+(** {1 Resilience} *)
+
+type policy = {
+  max_retries : int;  (** Retries after the first attempt. *)
+  backoff : Hac_fault.Backoff.t;  (** Delay schedule between retries. *)
+  call_budget : float;  (** Virtual-seconds deadline per attempt; a slower
+                            "success" is treated as a timeout failure. *)
+  breaker : Hac_fault.Breaker.config;  (** Circuit-breaker tuning. *)
+  seed : int;  (** Jitter seed (determinism). *)
+}
+
+val default_policy : policy
+(** 2 retries, default backoff, 2 s per-call budget, default breaker. *)
+
+val with_policy : ?policy:policy -> clock:Hac_fault.Clock.t -> t -> t
+(** Wrap every provider call in the retry/deadline/breaker discipline.
+    All time is virtual: backoff delays and probe intervals advance/read
+    [clock].  Any exception from the underlying namespace counts as a
+    failure; the wrapper itself only ever raises {!Unavailable}.  The
+    result carries live {!health}. *)
+
+val with_faults : Hac_fault.Fault.t -> t -> t
+(** Route every provider call through the fault injector: latency is
+    charged to the injector's clock, failing plans raise, and fetched
+    payloads pass through {!Hac_fault.Fault.mangle} (corruption).  Compose
+    as [with_policy ~clock (with_faults inj ns)] so the policy sees the
+    injected weather. *)
 
 val static : ns_id:string -> (string * string * string) list -> t
 (** [static ~ns_id docs] is an in-memory namespace over [(name, uri,

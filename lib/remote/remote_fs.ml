@@ -4,9 +4,18 @@ module Index = Hac_index.Index
 module Search = Hac_index.Search
 module Fileset = Hac_bitset.Fileset
 
-let uri_of_path ~ns_id path = "hacfs://" ^ ns_id ^ Vpath.normalize path
+(* A '/' inside the namespace id would make "hacfs://<ns_id><path>" ambiguous
+   to split, so it is rejected wherever an id enters this module. *)
+let check_ns_id ns_id =
+  if ns_id = "" || String.contains ns_id '/' then
+    invalid_arg (Printf.sprintf "Remote_fs: bad ns_id %S (must be non-empty, no '/')" ns_id)
+
+let uri_of_path ~ns_id path =
+  check_ns_id ns_id;
+  "hacfs://" ^ ns_id ^ Vpath.normalize path
 
 let path_of_uri ~ns_id uri =
+  check_ns_id ns_id;
   let prefix = "hacfs://" ^ ns_id ^ "/" in
   let plen = String.length prefix in
   if String.length uri >= plen && String.sub uri 0 plen = prefix then
@@ -14,20 +23,12 @@ let path_of_uri ~ns_id uri =
   else None
 
 let create ~ns_id fs index =
+  check_ns_id ns_id;
   let reader path = try Some (Fs.read_file fs path) with Hac_vfs.Errno.Error _ -> None in
   let attr_match key value id =
     match Index.doc_path index id with
     | None -> false
-    | Some path -> (
-        match key with
-        | "name" -> Vpath.basename path = value
-        | "ext" ->
-            let base = Vpath.basename path in
-            (match String.rindex_opt base '.' with
-            | Some i -> String.sub base (i + 1) (String.length base - i - 1) = value
-            | None -> false)
-        | "path" -> Vpath.is_prefix ~prefix:value path
-        | _ -> false)
+    | Some path -> Vpath.matches_builtin_attr ~key ~value path
   in
   let env =
     {
@@ -72,4 +73,4 @@ let create ~ns_id fs index =
       (Index.universe index) []
     |> List.rev
   in
-  { Namespace.ns_id; lang = Namespace.Hac_syntax; search; fetch; list_all }
+  Namespace.make ~ns_id ~lang:Namespace.Hac_syntax ~search ~fetch ~list_all ()

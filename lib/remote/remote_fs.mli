@@ -7,10 +7,13 @@
     also how "another user's personal HAC file system" is shared. *)
 
 val uri_of_path : ns_id:string -> string -> string
-(** The uri scheme used for entries: [hacfs://<ns_id><absolute path>]. *)
+(** The uri scheme used for entries: [hacfs://<ns_id><absolute path>].
+    Raises [Invalid_argument] when [ns_id] is empty or contains ['/'] —
+    such an id would make the uri ambiguous to split. *)
 
 val path_of_uri : ns_id:string -> string -> string option
-(** Inverse of {!uri_of_path} for uris belonging to this namespace. *)
+(** Inverse of {!uri_of_path} for uris belonging to this namespace.
+    Raises [Invalid_argument] on the same bad ids as {!uri_of_path}. *)
 
 val create : ns_id:string -> Hac_vfs.Fs.t -> Hac_index.Index.t -> Namespace.t
 (** [create ~ns_id fs index] exposes [fs] through [index].  The query

@@ -46,10 +46,7 @@ let create ?(max_results = 10) ns_id docs =
              in
              { Namespace.name; uri = d.uri; summary = d.title })
   in
-  {
-    Namespace.ns_id;
-    lang = Namespace.Keywords;
-    search;
-    fetch = (fun uri -> Hashtbl.find_opt by_uri uri);
-    list_all = (fun () -> []);
-  }
+  Namespace.make ~ns_id ~lang:Namespace.Keywords ~search
+    ~fetch:(fun uri -> Hashtbl.find_opt by_uri uri)
+    ~list_all:(fun () -> [])
+    ()

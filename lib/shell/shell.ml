@@ -6,7 +6,16 @@ module Vpath = Hac_vfs.Vpath
 module Fs = Hac_vfs.Fs
 module Errno = Hac_vfs.Errno
 
-type session = { mutable t : Hac.t; mutable wd : string }
+module Namespace = Hac_remote.Namespace
+module Fault = Hac_fault.Fault
+
+type session = {
+  mutable t : Hac.t;
+  mutable wd : string;
+  (* Fault injectors of the demo namespaces, by ns_id.  They share the
+     instance's virtual clock, so they die with it on [restore]. *)
+  faults : (string, Fault.t) Hashtbl.t;
+}
 
 let help_text =
   {|Commands:
@@ -36,7 +45,13 @@ let help_text =
   sprohibit DIR TARGET                prohibit a target directly
   sunprohibit DIR TARGET              lift a prohibition
   sexport [DIR]                       export semantic directories as text
-  srecover                            restore semantic state from /.hac metadata
+  srecover [-v]                       restore semantic state from /.hac metadata
+                                      (-v adds journal integrity accounting)
+  mount-status                        health of every mounted namespace
+  fault NS fail N|outage|latency S|corrupt|flaky P
+                                      inject a failure plan into a demo namespace
+  fault NS clear | fault NS           clear / show a namespace's plans
+  fault tick S                        advance the virtual clock S seconds
   save HOSTFILE | restore HOSTFILE    snapshot the whole fs to the host disk
   sdirs                               list semantic directories
   stats                               space and consistency counters
@@ -81,9 +96,18 @@ let load_demo t =
 let make ?(demo = false) () =
   let t = Hac.create ~auto_sync:true ~transducer () in
   if demo then load_demo t;
-  { t; wd = "/" }
+  { t; wd = "/"; faults = Hashtbl.create 4 }
 
-let of_hac t = { t; wd = "/" }
+let of_hac t = { t; wd = "/"; faults = Hashtbl.create 4 }
+
+(* Demo namespaces mount behind the full resilience stack: a fault injector
+   (driven by the [fault] command) under the retry/breaker policy, all on
+   the instance's virtual clock. *)
+let resilient_mount s dir ns =
+  let clock = Hac.clock s.t in
+  let inj = Fault.create ~seed:(Hashtbl.hash ns.Namespace.ns_id) ~clock () in
+  Hashtbl.replace s.faults ns.Namespace.ns_id inj;
+  Hac.smount s.t dir (Namespace.with_policy ~clock (Namespace.with_faults inj ns))
 
 let hac s = s.t
 
@@ -158,6 +182,95 @@ let cmd_sgrep s buf pattern dir =
                       out buf "%s:%d: %s\n" p lineno line)
             | exception Errno.Error _ -> ())
         files
+
+let mount_status_report s buf =
+  (match Hac.mount_status s.t with
+  | [] -> out buf "no mounted namespaces\n"
+  | rows ->
+      List.iter
+        (fun { Hac.mh_path; mh_ns; mh_health } ->
+          match mh_health with
+          | None -> out buf "%-16s %-14s (no resilience policy)\n" mh_path mh_ns
+          | Some h ->
+              out buf
+                "%-16s %-14s breaker=%-9s calls=%d failures=%d retries=%d trips=%d%s\n"
+                mh_path mh_ns
+                (Hac_fault.Breaker.state_name h.Namespace.breaker)
+                h.Namespace.total_calls h.Namespace.total_failures
+                h.Namespace.total_retries h.Namespace.breaker_trips
+                (match h.Namespace.last_error with
+                | Some e -> Printf.sprintf " last-error=%S" e
+                | None -> ""))
+        rows);
+  List.iter
+    (fun dir ->
+      match Hac.stale_remotes s.t dir with
+      | [] -> ()
+      | stale ->
+          out buf "%s: %d stale entr%s (%s)\n" dir (List.length stale)
+            (if List.length stale = 1 then "y" else "ies")
+            (String.concat ", "
+               (List.map (fun r -> r.Hac_core.Semdir.rr_name) stale)))
+    (Hac.semantic_dirs s.t);
+  out buf "clock=%.2fs remote-failures=%d stale-serves=%d\n"
+    (Hac_fault.Clock.now (Hac.clock s.t))
+    (Hac.remote_failures s.t) (Hac.stale_serves s.t)
+
+let fault_usage = "fault NS fail N|outage|latency S|corrupt|flaky P|clear — or: fault NS, fault tick S"
+
+let cmd_fault s buf args =
+  match args with
+  | [ "tick"; secs ] -> (
+      match float_of_string_opt secs with
+      | Some d when d >= 0.0 ->
+          Hac_fault.Clock.advance (Hac.clock s.t) d;
+          out buf "clock=%.2fs\n" (Hac_fault.Clock.now (Hac.clock s.t))
+      | Some _ | None -> out buf "fault tick: bad duration %s\n" secs)
+  | ns :: rest -> (
+      match Hashtbl.find_opt s.faults ns with
+      | None ->
+          out buf "fault: %s is not an injectable namespace (mount a demo namespace first)\n" ns
+      | Some inj -> (
+          let show () =
+            match Fault.plans inj with
+            | [] -> out buf "%s: no active faults (%d calls, %d injected)\n" ns
+                      (Fault.calls inj) (Fault.injected inj)
+            | plans ->
+                out buf "%s: %s (%d calls, %d injected)\n" ns
+                  (String.concat ", " (List.map Fault.plan_to_string plans))
+                  (Fault.calls inj) (Fault.injected inj)
+          in
+          match rest with
+          | [] -> show ()
+          | [ "clear" ] ->
+              Fault.clear inj;
+              show ()
+          | [ "fail"; n ] -> (
+              match int_of_string_opt n with
+              | Some n when n > 0 ->
+                  Fault.add_plan inj (Fault.Fail_times n);
+                  show ()
+              | Some _ | None -> out buf "fault: bad count %s\n" n)
+          | [ "outage" ] ->
+              Fault.add_plan inj Fault.Outage;
+              show ()
+          | [ "latency"; d ] -> (
+              match float_of_string_opt d with
+              | Some d when d >= 0.0 ->
+                  Fault.add_plan inj (Fault.Latency d);
+                  show ()
+              | Some _ | None -> out buf "fault: bad duration %s\n" d)
+          | [ "corrupt" ] ->
+              Fault.add_plan inj Fault.Corrupt;
+              show ()
+          | [ "flaky"; p ] -> (
+              match float_of_string_opt p with
+              | Some p when p >= 0.0 && p <= 1.0 ->
+                  Fault.add_plan inj (Fault.Flaky p);
+                  show ()
+              | Some _ | None -> out buf "fault: bad probability %s\n" p)
+          | _ -> out buf "%s\n" fault_usage))
+  | [] -> out buf "%s\n" fault_usage
 
 let space_report s buf =
   let sp = Hac.space s.t in
@@ -234,8 +347,8 @@ let run s buf line =
                (Hac.sact s.t (resolve s l))
          | "ssync", rest -> Hac.ssync s.t (match rest with [] -> s.wd | d :: _ -> resolve s d)
          | "sreindex", _ -> out buf "reindexed %d files\n" (Hac.reindex s.t ())
-         | "smount", [ d; "demo-library" ] -> Hac.smount s.t (resolve s d) (demo_library ())
-         | "smount", [ d; "demo-web" ] -> Hac.smount s.t (resolve s d) (demo_web ())
+         | "smount", [ d; "demo-library" ] -> resilient_mount s (resolve s d) (demo_library ())
+         | "smount", [ d; "demo-web" ] -> resilient_mount s (resolve s d) (demo_web ())
          | "sumount", [ d; ns ] -> Hac.sumount s.t (resolve s d) ~ns_id:ns
          | "sprohibit", [ d; target ] ->
              Hac.prohibit_target s.t ~dir:(resolve s d) ~target:(resolve s target)
@@ -246,6 +359,13 @@ let run s buf line =
              match Export.export_dir s.t (resolve s d) with
              | Some text -> Buffer.add_string buf text
              | None -> out buf "%s is not semantic\n" d)
+         | "srecover", [ "-v" ] ->
+             let r = Recover.reload_report s.t in
+             out buf "restored %d semantic directories (%d skipped)\n" r.Recover.restored
+               r.Recover.skipped;
+             out buf "journal: %d records applied, %d corrupt, %d malformed\n"
+               r.Recover.journal.Recover.applied r.Recover.journal.Recover.corrupt
+               r.Recover.journal.Recover.malformed
          | "srecover", _ -> out buf "restored %d semantic directories\n" (Recover.reload s.t)
          | "save", [ host ] ->
              Hac_vfs.Image.save_file (Hac.fs s.t) host;
@@ -257,9 +377,14 @@ let run s buf line =
                  Hac.shutdown ~graceful:false s.t;
                  s.t <- Hac.of_fs ~auto_sync:true ~transducer fs;
                  s.wd <- "/";
+                 (* The injectors reference the dead instance's clock, and
+                    their namespaces are gone with its mount table. *)
+                 Hashtbl.reset s.faults;
                  out buf "restored image; recovered %d semantic directories\n"
                    (Recover.reload s.t))
          | "sdirs", _ -> List.iter (fun d -> out buf "%s\n" d) (Hac.semantic_dirs s.t)
+         | "mount-status", _ -> mount_status_report s buf
+         | "fault", rest -> cmd_fault s buf rest
          | "stats", _ -> space_report s buf
          | _, _ -> out buf "unknown or malformed command (try: help)\n"
        with

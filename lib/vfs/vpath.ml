@@ -53,4 +53,17 @@ let replace_prefix ~prefix ~by p =
 let valid_name n =
   n <> "" && n <> "." && n <> ".." && not (String.contains n '/')
 
+let extension p =
+  let base = basename p in
+  match String.rindex_opt base '.' with
+  | Some i -> Some (String.sub base (i + 1) (String.length base - i - 1))
+  | None -> None
+
+let matches_builtin_attr ~key ~value p =
+  match key with
+  | "name" -> basename p = value
+  | "ext" -> extension p = Some value
+  | "path" -> is_prefix ~prefix:value p
+  | _ -> false
+
 let depth p = List.length (split p)

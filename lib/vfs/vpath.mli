@@ -49,3 +49,14 @@ val valid_name : string -> bool
 
 val depth : string -> int
 (** Number of components of a normalized path; [depth "/" = 0]. *)
+
+val extension : string -> string option
+(** The basename's suffix after its last dot ([extension "/a/b.ps" = Some
+    "ps"]); [None] when the basename has no dot. *)
+
+val matches_builtin_attr : key:string -> value:string -> string -> bool
+(** Whether a path satisfies one of the built-in path-derived query
+    attributes: [name:] (exact basename), [ext:] (exact {!extension}) or
+    [path:] (prefix).  [false] for any other key — callers own non-path
+    attributes.  Shared by local query evaluation and remote namespaces so
+    both sides agree on what [name:x] means. *)

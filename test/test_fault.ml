@@ -1,0 +1,460 @@
+(* Tests for the fault subsystem (clock, backoff, breaker, injector), the
+   namespace resilience policy, graceful degradation of semantic
+   directories, and crash-safe journal hardening.
+
+   The FAULT_SEED environment variable (set by the fault-suite alias, which
+   runs this binary under three fixed seeds) varies the deterministic
+   randomness: jitter, flaky-plan draws and the corruption keystream.  Every
+   assertion below must hold under any seed. *)
+
+module Clock = Hac_fault.Clock
+module Backoff = Hac_fault.Backoff
+module Breaker = Hac_fault.Breaker
+module Fault = Hac_fault.Fault
+module Namespace = Hac_remote.Namespace
+module Hac = Hac_core.Hac
+module Recover = Hac_core.Recover
+module Journal = Hac_core.Journal
+module Link = Hac_core.Link
+module Fs = Hac_vfs.Fs
+
+let seed =
+  match Sys.getenv_opt "FAULT_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 1)
+  | None -> 1
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_list = Alcotest.(check (list string))
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* -- clock ----------------------------------------------------------------- *)
+
+let test_clock () =
+  let c = Clock.create () in
+  Alcotest.(check (float 0.0)) "starts at zero" 0.0 (Clock.now c);
+  Clock.advance c 1.5;
+  Clock.advance c 0.25;
+  Alcotest.(check (float 1e-9)) "accumulates" 1.75 (Clock.now c);
+  Clock.advance c (-5.0);
+  Alcotest.(check (float 1e-9)) "never goes backwards" 1.75 (Clock.now c)
+
+(* -- backoff --------------------------------------------------------------- *)
+
+let test_backoff_schedule () =
+  let b = Backoff.default in
+  (* Nominal delays grow geometrically and jitter stays within its band. *)
+  let nominal n = min (b.Backoff.base *. (b.Backoff.factor ** float n)) b.Backoff.max_delay in
+  for attempt = 0 to 9 do
+    let d = Backoff.delay ~seed b ~attempt in
+    let nom = nominal attempt in
+    let slack = b.Backoff.jitter *. nom +. 1e-9 in
+    check_bool
+      (Printf.sprintf "attempt %d in [%.3f, %.3f] (got %.3f)" attempt (nom -. slack)
+         (nom +. slack) d)
+      true
+      (d >= nom -. slack && d <= nom +. slack)
+  done;
+  (* The cap binds eventually. *)
+  let late = Backoff.delay ~seed b ~attempt:30 in
+  check_bool "capped" true (late <= b.Backoff.max_delay *. (1.0 +. b.Backoff.jitter));
+  (* Determinism: same seed and attempt, same delay. *)
+  Alcotest.(check (float 0.0))
+    "deterministic" (Backoff.delay ~seed b ~attempt:3) (Backoff.delay ~seed b ~attempt:3)
+
+let test_backoff_budget () =
+  let b = Backoff.default in
+  let budget = Backoff.total_budget ~seed b ~retries:4 in
+  let sum =
+    List.fold_left ( +. ) 0.0 (List.init 4 (fun n -> Backoff.delay ~seed b ~attempt:n))
+  in
+  Alcotest.(check (float 1e-9)) "budget sums the delays" sum budget
+
+(* -- breaker --------------------------------------------------------------- *)
+
+let test_breaker_transitions () =
+  let config = { Breaker.failure_threshold = 3; probe_interval = 10.0; success_to_close = 2 } in
+  let br = Breaker.create ~config () in
+  Alcotest.(check string) "starts closed" "closed" (Breaker.state_name (Breaker.state br));
+  (* Failures below the threshold keep it closed. *)
+  Breaker.record_failure br ~now:0.0;
+  Breaker.record_failure br ~now:0.0;
+  check_bool "still allows" true (Breaker.allow br ~now:0.0);
+  Alcotest.(check string) "still closed" "closed" (Breaker.state_name (Breaker.state br));
+  (* A success resets the streak. *)
+  Breaker.record_success br;
+  check_int "streak reset" 0 (Breaker.consecutive_failures br);
+  (* The threshold trips it. *)
+  Breaker.record_failure br ~now:1.0;
+  Breaker.record_failure br ~now:1.0;
+  Breaker.record_failure br ~now:1.0;
+  Alcotest.(check string) "open" "open" (Breaker.state_name (Breaker.state br));
+  check_int "one trip" 1 (Breaker.trips br);
+  check_bool "open rejects" false (Breaker.allow br ~now:2.0);
+  (* After the probe interval, one probe is allowed: half-open. *)
+  check_bool "probe allowed" true (Breaker.allow br ~now:11.5);
+  Alcotest.(check string) "half-open" "half-open" (Breaker.state_name (Breaker.state br));
+  (* A half-open failure re-trips immediately. *)
+  Breaker.record_failure br ~now:11.5;
+  Alcotest.(check string) "re-tripped" "open" (Breaker.state_name (Breaker.state br));
+  check_int "two trips" 2 (Breaker.trips br);
+  (* Probe again; this time successes close it. *)
+  check_bool "second probe" true (Breaker.allow br ~now:30.0);
+  Breaker.record_success br;
+  Alcotest.(check string) "needs two successes" "half-open"
+    (Breaker.state_name (Breaker.state br));
+  Breaker.record_success br;
+  Alcotest.(check string) "closed again" "closed" (Breaker.state_name (Breaker.state br))
+
+(* -- injector -------------------------------------------------------------- *)
+
+let test_injector_fail_times () =
+  let clock = Clock.create () in
+  let inj = Fault.create ~seed ~clock () in
+  Fault.set_plans inj [ Fault.Fail_times 2 ];
+  let attempt () = match Fault.guard inj ~op:"x" (fun () -> "ok") with
+    | v -> Ok v
+    | exception Fault.Injected op -> Error op
+  in
+  Alcotest.(check (result string string)) "first fails" (Error "x") (attempt ());
+  Alcotest.(check (result string string)) "second fails" (Error "x") (attempt ());
+  Alcotest.(check (result string string)) "third succeeds" (Ok "ok") (attempt ());
+  check_int "two injected" 2 (Fault.injected inj);
+  check_int "three calls" 3 (Fault.calls inj);
+  check_bool "plan consumed" true (Fault.plans inj = [])
+
+let test_injector_latency_charges_clock () =
+  let clock = Clock.create () in
+  let inj = Fault.create ~seed ~clock () in
+  Fault.set_plans inj [ Fault.Latency 3.0 ];
+  let v = Fault.guard inj ~op:"x" (fun () -> 42) in
+  check_int "call succeeds" 42 v;
+  Alcotest.(check (float 1e-9)) "clock charged" 3.0 (Clock.now clock);
+  ignore (Fault.guard inj ~op:"x" (fun () -> 0));
+  Alcotest.(check (float 1e-9)) "latency persists" 6.0 (Clock.now clock)
+
+let test_injector_corrupt_mangles () =
+  let clock = Clock.create () in
+  let inj = Fault.create ~seed ~clock () in
+  let payload = "the quick brown fox jumps over the lazy dog" in
+  Alcotest.(check string) "no corrupt plan: identity" payload (Fault.mangle inj payload);
+  Fault.set_plans inj [ Fault.Corrupt ];
+  let mangled = Fault.mangle inj payload in
+  check_int "length preserved" (String.length payload) (String.length mangled);
+  check_bool "content scrambled" true (mangled <> payload);
+  check_bool "printable" true
+    (String.for_all (fun c -> Char.code c >= 0x20 && Char.code c < 0x80) mangled)
+
+let test_injector_flaky_deterministic () =
+  let run () =
+    let clock = Clock.create () in
+    let inj = Fault.create ~seed ~clock () in
+    Fault.set_plans inj [ Fault.Flaky 0.5 ];
+    List.init 40 (fun _ ->
+        match Fault.guard inj ~op:"x" (fun () -> ()) with
+        | () -> false
+        | exception Fault.Injected _ -> true)
+  in
+  Alcotest.(check (list bool)) "same seed, same weather" (run ()) (run ())
+
+(* -- namespace policy ------------------------------------------------------- *)
+
+let flaky_ns () =
+  Namespace.static ~ns_id:"flaky"
+    [ ("a.txt", "flaky://a", "alpha alpha\n"); ("b.txt", "flaky://b", "beta\n") ]
+
+let policy_pair ?(policy = Namespace.default_policy) () =
+  let clock = Clock.create () in
+  let inj = Fault.create ~seed ~clock () in
+  let ns = Namespace.with_policy ~policy ~clock (Namespace.with_faults inj (flaky_ns ())) in
+  (clock, inj, ns)
+
+let test_policy_retries_through () =
+  let _, inj, ns = policy_pair () in
+  (* default_policy allows 2 retries: two injected failures are absorbed. *)
+  Fault.set_plans inj [ Fault.Fail_times 2 ];
+  check_int "search succeeds after retries" 1 (List.length (ns.Namespace.search "beta"));
+  let h = Option.get (Namespace.health ns) in
+  check_int "one call" 1 h.Namespace.total_calls;
+  check_int "two failures" 2 h.Namespace.total_failures;
+  check_int "two retries" 2 h.Namespace.total_retries;
+  Alcotest.(check string) "breaker closed" "closed" (Breaker.state_name h.Namespace.breaker)
+
+let test_policy_exhausts_to_unavailable () =
+  let _, inj, ns = policy_pair () in
+  Fault.set_plans inj [ Fault.Outage ];
+  (match ns.Namespace.search "beta" with
+  | _ -> Alcotest.fail "expected Unavailable"
+  | exception Namespace.Unavailable { ns_id; _ } ->
+      Alcotest.(check string) "names the namespace" "flaky" ns_id);
+  let h = Option.get (Namespace.health ns) in
+  Alcotest.(check string) "breaker open" "open" (Breaker.state_name h.Namespace.breaker);
+  (* While open, calls fail fast without touching the provider. *)
+  let calls_before = Fault.calls inj in
+  (match ns.Namespace.fetch "flaky://a" with
+  | _ -> Alcotest.fail "expected Unavailable"
+  | exception Namespace.Unavailable _ -> ());
+  check_int "no provider call while open" calls_before (Fault.calls inj)
+
+let test_policy_deadline () =
+  (* A "successful" call that blows the per-call budget is a failure. *)
+  let policy = { Namespace.default_policy with call_budget = 1.0; max_retries = 0 } in
+  let _, inj, ns = policy_pair ~policy () in
+  Fault.set_plans inj [ Fault.Latency 5.0 ];
+  match ns.Namespace.search "beta" with
+  | _ -> Alcotest.fail "expected Unavailable"
+  | exception Namespace.Unavailable { reason; _ } ->
+      check_bool "timeout reason" true (contains ~sub:"deadline" reason)
+
+let test_policy_half_open_recovery () =
+  let clock, inj, ns = policy_pair () in
+  Fault.set_plans inj [ Fault.Outage ];
+  (try ignore (ns.Namespace.search "beta") with Namespace.Unavailable _ -> ());
+  let h = Option.get (Namespace.health ns) in
+  Alcotest.(check string) "open after outage" "open" (Breaker.state_name h.Namespace.breaker);
+  (* Provider recovers; past the probe interval the breaker lets one probe
+     through, and with default success_to_close=1 it closes again. *)
+  Fault.clear inj;
+  Clock.advance clock (Breaker.default_config.Breaker.probe_interval +. 1.0);
+  check_int "probe succeeds" 1 (List.length (ns.Namespace.search "beta"));
+  let h = Option.get (Namespace.health ns) in
+  Alcotest.(check string) "closed after probe" "closed" (Breaker.state_name h.Namespace.breaker)
+
+let test_with_faults_corrupts_fetch () =
+  let clock = Clock.create () in
+  let inj = Fault.create ~seed ~clock () in
+  let ns = Namespace.with_faults inj (flaky_ns ()) in
+  Fault.set_plans inj [ Fault.Corrupt ];
+  match ns.Namespace.fetch "flaky://a" with
+  | None -> Alcotest.fail "fetch should return mangled content"
+  | Some c ->
+      check_bool "mangled" true (c <> "alpha alpha\n");
+      check_int "length preserved" (String.length "alpha alpha\n") (String.length c)
+
+(* -- graceful degradation (the acceptance scenario) -------------------------- *)
+
+let degradation_world () =
+  let t = Hac.create ~auto_sync:true () in
+  Hac.smkdir t "/docs" "alpha OR beta";
+  let clock = Hac.clock t in
+  let inj = Fault.create ~seed ~clock () in
+  let ns = Namespace.with_policy ~clock (Namespace.with_faults inj (flaky_ns ())) in
+  Hac.smount t "/docs" ns;
+  (t, inj)
+
+let link_names t dir =
+  Hac.links t dir |> List.map (fun l -> l.Link.name) |> List.sort compare
+
+let test_degraded_resync_serves_stale () =
+  let t, inj = degradation_world () in
+  check_list "healthy entries" [ "a.txt"; "b.txt" ] (link_names t "/docs");
+  check_int "nothing stale yet" 0 (List.length (Hac.stale_remotes t "/docs"));
+  (* Total outage: re-evaluation must complete without raising and keep
+     serving the last-good entries, marked stale. *)
+  Fault.set_plans inj [ Fault.Outage ];
+  Hac.ssync t "/docs";
+  check_list "entries survive the outage" [ "a.txt"; "b.txt" ] (link_names t "/docs");
+  check_int "both stale" 2 (List.length (Hac.stale_remotes t "/docs"));
+  check_bool "failures counted" true (Hac.remote_failures t > 0);
+  check_bool "stale serves counted" true (Hac.stale_serves t >= 2);
+  (* mount-status reports the breaker open. *)
+  let open_breakers =
+    List.filter
+      (fun { Hac.mh_health; _ } ->
+        match mh_health with
+        | Some h -> h.Namespace.breaker = Breaker.Open
+        | None -> false)
+      (Hac.mount_status t)
+  in
+  check_int "breaker open at the mount" 1 (List.length open_breakers);
+  (* Repeated resyncs while down stay stable (and cheap: breaker is open). *)
+  Hac.ssync t "/docs";
+  Hac.ssync t "/docs";
+  check_list "still stable" [ "a.txt"; "b.txt" ] (link_names t "/docs")
+
+let test_recovery_restores_fresh_results () =
+  let t, inj = degradation_world () in
+  Fault.set_plans inj [ Fault.Outage ];
+  Hac.ssync t "/docs";
+  check_int "stale during outage" 2 (List.length (Hac.stale_remotes t "/docs"));
+  (* Provider comes back; once the virtual clock passes the probe interval,
+     a re-evaluation probes, succeeds and serves fresh results again. *)
+  Fault.clear inj;
+  Clock.advance (Hac.clock t) (Breaker.default_config.Breaker.probe_interval +. 1.0);
+  Hac.ssync t "/docs";
+  check_list "fresh entries back" [ "a.txt"; "b.txt" ] (link_names t "/docs");
+  check_int "no longer stale" 0 (List.length (Hac.stale_remotes t "/docs"));
+  let all_closed =
+    List.for_all
+      (fun { Hac.mh_health; _ } ->
+        match mh_health with
+        | Some h -> h.Namespace.breaker = Breaker.Closed
+        | None -> true)
+      (Hac.mount_status t)
+  in
+  check_bool "breaker closed again" true all_closed
+
+let test_one_failing_mount_does_not_poison_others () =
+  let t = Hac.create ~auto_sync:true () in
+  Hac.smkdir t "/docs" "alpha OR beta";
+  let clock = Hac.clock t in
+  let inj = Fault.create ~seed ~clock () in
+  let bad = Namespace.with_policy ~clock (Namespace.with_faults inj (flaky_ns ())) in
+  let good =
+    Namespace.static ~ns_id:"steady" [ ("c.txt", "steady://c", "beta notes\n") ]
+  in
+  Hac.smount t "/docs" bad;
+  Hac.smount t "/docs" good;
+  Fault.set_plans inj [ Fault.Outage ];
+  Hac.ssync t "/docs";
+  let names = link_names t "/docs" in
+  check_bool "steady result present" true (List.mem "c.txt" names);
+  check_bool "failing namespace's entries survive stale" true
+    (List.mem "a.txt" names && List.mem "b.txt" names)
+
+(* -- journal hardening ------------------------------------------------------- *)
+
+let test_journal_seal_roundtrip () =
+  List.iter
+    (fun body ->
+      match Journal.parse (Journal.seal body) with
+      | Journal.Valid b -> Alcotest.(check string) ("roundtrip " ^ body) body b
+      | Journal.Corrupt _ | Journal.Blank -> Alcotest.fail ("not valid: " ^ body))
+    [ "D 3 /a"; "D 4 /with space/dir"; "X 9"; "M 2 /x#y"; "weird # body #abc" ]
+
+let test_journal_rejects_tampering () =
+  let sealed = Journal.seal "D 3 /docs" in
+  let tampered = "D 4" ^ String.sub sealed 3 (String.length sealed - 3) in
+  (match Journal.parse tampered with
+  | Journal.Corrupt _ -> ()
+  | Journal.Valid _ | Journal.Blank -> Alcotest.fail "tampered line accepted");
+  (* Truncation (a torn tail) is detected too. *)
+  (match Journal.parse (String.sub sealed 0 (String.length sealed - 3)) with
+  | Journal.Corrupt _ -> ()
+  | Journal.Valid _ | Journal.Blank -> Alcotest.fail "truncated line accepted");
+  match Journal.parse "   " with
+  | Journal.Blank -> ()
+  | Journal.Valid _ | Journal.Corrupt _ -> Alcotest.fail "blank misclassified"
+
+let build_crashed_world () =
+  let t = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p t "/docs";
+  Hac.write_file t "/docs/a.txt" "alpha text\n";
+  Hac.write_file t "/docs/b.txt" "beta text\n";
+  Hac.smkdir t "/alpha" "alpha";
+  Hac.smkdir t "/beta" "beta";
+  ignore (Hac.readdir t "/alpha");
+  ignore (Hac.readdir t "/beta");
+  Hac.shutdown ~graceful:false t;
+  Hac.fs t
+
+let test_reload_skips_torn_tail () =
+  let fs = build_crashed_world () in
+  (* Simulate a crash mid-append: the last journal record is torn. *)
+  let log = Fs.read_file fs "/.hac/dirs.log" in
+  let torn = String.sub log 0 (String.length log - 5) ^ "\n" in
+  Fs.write_file fs "/.hac/dirs.log" torn;
+  let t2 = Hac.of_fs ~auto_sync:true fs in
+  let r = Recover.reload_report t2 in
+  check_bool "tear detected" true (r.Recover.journal.Recover.corrupt >= 1);
+  (* Everything whose record was intact is restored. *)
+  check_bool "intact dirs restored" true (r.Recover.restored >= 1);
+  check_bool "alpha back" true (Hac.is_semantic t2 "/alpha")
+
+let test_reload_survives_garbage () =
+  let fs = build_crashed_world () in
+  let log = Fs.read_file fs "/.hac/dirs.log" in
+  Fs.write_file fs "/.hac/dirs.log"
+    ("#!garbage header\n" ^ log ^ "\x00\x01binary tail not a record\n");
+  let t2 = Hac.of_fs ~auto_sync:true fs in
+  let r = Recover.reload_report t2 in
+  check_int "garbage lines counted" 2 r.Recover.journal.Recover.corrupt;
+  check_int "both restored" 2 r.Recover.restored;
+  check_bool "alpha live" true (Hac.is_semantic t2 "/alpha");
+  check_bool "beta live" true (Hac.is_semantic t2 "/beta")
+
+let test_replay_handles_paths_with_spaces () =
+  (* A 'D' record whose path contains spaces must not be dropped. *)
+  let text =
+    String.concat "\n"
+      [
+        Journal.seal "D 3 /my docs/project notes";
+        Journal.seal "D 4 /plain";
+        Journal.seal "M 4 /see also/the plain one";
+        Journal.seal "X 9";
+      ]
+  in
+  let map = Recover.replay_journal text in
+  Alcotest.(check (option string))
+    "D with spaces" (Some "/my docs/project notes") (Hashtbl.find_opt map 3);
+  Alcotest.(check (option string))
+    "M with spaces" (Some "/see also/the plain one") (Hashtbl.find_opt map 4)
+
+(* Property: whatever we do to the journal's tail — truncate it anywhere,
+   append arbitrary garbage — reload never raises and restores every
+   semantic directory whose records and structures are intact. *)
+let prop_reload_total =
+  QCheck.Test.make ~count:40 ~name:"reload is total under journal damage"
+    QCheck.(pair (int_range 0 2000) small_string)
+    (fun (cut, garbage) ->
+      let fs = build_crashed_world () in
+      let log = Fs.read_file fs "/.hac/dirs.log" in
+      let keep = min cut (String.length log) in
+      Fs.write_file fs "/.hac/dirs.log" (String.sub log 0 keep ^ garbage);
+      let t2 = Hac.of_fs ~auto_sync:true fs in
+      let r = Recover.reload_report t2 in
+      (* Never raises (we got here), never restores more than existed, and
+         with the journal fully intact plus garbage appended, everything
+         still comes back. *)
+      r.Recover.restored <= 2
+      && (keep < String.length log || r.Recover.restored = 2))
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "clock+backoff",
+        [
+          Alcotest.test_case "clock" `Quick test_clock;
+          Alcotest.test_case "backoff schedule" `Quick test_backoff_schedule;
+          Alcotest.test_case "backoff budget" `Quick test_backoff_budget;
+        ] );
+      ("breaker", [ Alcotest.test_case "transitions" `Quick test_breaker_transitions ]);
+      ( "injector",
+        [
+          Alcotest.test_case "fail N times" `Quick test_injector_fail_times;
+          Alcotest.test_case "latency charges the clock" `Quick
+            test_injector_latency_charges_clock;
+          Alcotest.test_case "corrupt mangles" `Quick test_injector_corrupt_mangles;
+          Alcotest.test_case "flaky is deterministic" `Quick test_injector_flaky_deterministic;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "retries through" `Quick test_policy_retries_through;
+          Alcotest.test_case "exhausts to Unavailable" `Quick test_policy_exhausts_to_unavailable;
+          Alcotest.test_case "deadline" `Quick test_policy_deadline;
+          Alcotest.test_case "half-open recovery" `Quick test_policy_half_open_recovery;
+          Alcotest.test_case "corrupt fetch" `Quick test_with_faults_corrupts_fetch;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "outage serves stale" `Quick test_degraded_resync_serves_stale;
+          Alcotest.test_case "recovery restores fresh" `Quick test_recovery_restores_fresh_results;
+          Alcotest.test_case "failure is isolated" `Quick
+            test_one_failing_mount_does_not_poison_others;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "seal roundtrip" `Quick test_journal_seal_roundtrip;
+          Alcotest.test_case "rejects tampering" `Quick test_journal_rejects_tampering;
+          Alcotest.test_case "torn tail skipped" `Quick test_reload_skips_torn_tail;
+          Alcotest.test_case "garbage survived" `Quick test_reload_survives_garbage;
+          Alcotest.test_case "paths with spaces" `Quick test_replay_handles_paths_with_spaces;
+          QCheck_alcotest.to_alcotest prop_reload_total;
+        ] );
+    ]

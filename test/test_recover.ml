@@ -41,6 +41,32 @@ let build_and_crash () =
   Hac.shutdown ~graceful:false t;
   Hac.fs t (* the "disk" that survives the crash *)
 
+(* End-to-end over the real event path (not just replay_journal): a
+   semantic directory whose path contains spaces must come back. *)
+let test_recover_dir_with_spaces () =
+  let t = Hac.create ~auto_sync:true () in
+  Hac.mkdir_p t "/my docs";
+  Hac.write_file t "/my docs/a.txt" "alpha text\n";
+  Hac.smkdir t "/my docs/alpha files" "alpha";
+  ignore (Hac.readdir t "/my docs/alpha files");
+  Hac.shutdown ~graceful:false t;
+  let t2 = Hac.of_fs ~auto_sync:true (Hac.fs t) in
+  check_int "restored" 1 (Recover.reload t2);
+  check_bool "semantic again" true (Hac.is_semantic t2 "/my docs/alpha files");
+  check_list "links back" [ "/my docs/a.txt" ] (transient_targets t2 "/my docs/alpha files")
+
+let test_journal_accounting () =
+  let fs = build_and_crash () in
+  (* Damage the log: one garbage line up front, one torn record at the end. *)
+  let log = Fs.read_file fs "/.hac/dirs.log" in
+  Fs.write_file fs "/.hac/dirs.log"
+    ("not a sealed record\n" ^ String.sub log 0 (String.length log - 4) ^ "\n");
+  let t2 = Hac.of_fs ~auto_sync:true fs in
+  let r = Recover.reload_report t2 in
+  check_int "corrupt counted" 2 r.Recover.journal.Recover.corrupt;
+  check_bool "intact records applied" true (r.Recover.journal.Recover.applied >= 1);
+  check_int "nothing malformed" 0 r.Recover.journal.Recover.malformed
+
 let test_metadata_persisted () =
   let fs = build_and_crash () in
   check_bool "journal exists" true (Fs.is_file fs "/.hac/dirs.log");
@@ -241,6 +267,8 @@ let () =
           Alcotest.test_case "restores dirrefs" `Quick test_reload_restores_dirrefs;
           Alcotest.test_case "skips removed" `Quick test_reload_skips_removed;
           Alcotest.test_case "checkpoint enables round two" `Quick test_checkpoint_rewrites;
+          Alcotest.test_case "dir with spaces" `Quick test_recover_dir_with_spaces;
+          Alcotest.test_case "journal accounting" `Quick test_journal_accounting;
         ] );
       ( "prohibit",
         [ Alcotest.test_case "prohibit_target" `Quick test_prohibit_target_api ] );

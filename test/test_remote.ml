@@ -115,6 +115,30 @@ let test_remote_fs_uris () =
     "foreign uri" None
     (Remote_fs.path_of_uri ~ns_id:"peer" "hacfs://other/pub/one.txt")
 
+let test_remote_fs_uri_roundtrips () =
+  let roundtrip path = Remote_fs.path_of_uri ~ns_id:"peer" (Remote_fs.uri_of_path ~ns_id:"peer" path) in
+  Alcotest.(check (option string)) "root" (Some "/") (roundtrip "/");
+  Alcotest.(check (option string)) "nested" (Some "/pub/a/b.txt") (roundtrip "/pub/a/b.txt");
+  Alcotest.(check (option string))
+    "spaces survive" (Some "/pub/my docs/b.txt") (roundtrip "/pub/my docs/b.txt");
+  (* Normalization happens on the way in, so the round trip is canonical. *)
+  Alcotest.(check (option string)) "trailing slash" (Some "/pub") (roundtrip "/pub/");
+  Alcotest.(check (option string)) "dot segments" (Some "/pub/b") (roundtrip "/pub/./a/../b")
+
+let test_remote_fs_bad_ns_id () =
+  let rejects f = match f () with
+    | _ -> Alcotest.fail "bad ns_id accepted"
+    | exception Invalid_argument _ -> ()
+  in
+  rejects (fun () -> Remote_fs.uri_of_path ~ns_id:"a/b" "/pub");
+  rejects (fun () -> Remote_fs.uri_of_path ~ns_id:"" "/pub");
+  (* A '/' in the id would make "hacfs://a/b/pub" parse as host "a", path
+     "/b/pub" — the split is ambiguous, so the id is rejected outright. *)
+  rejects (fun () -> Remote_fs.path_of_uri ~ns_id:"a/b" "hacfs://a/b/pub");
+  rejects (fun () -> Remote_fs.path_of_uri ~ns_id:"" "hacfs:///pub");
+  let remote = Hac.create () in
+  rejects (fun () -> Remote_fs.create ~ns_id:"bad/id" (Hac.fs remote) (Hac.index remote))
+
 let test_remote_fs_fetch () =
   let ns = remote_world () in
   Alcotest.(check (option string))
@@ -321,6 +345,8 @@ let () =
         [
           Alcotest.test_case "hac syntax" `Quick test_remote_fs_search_hac_syntax;
           Alcotest.test_case "uris" `Quick test_remote_fs_uris;
+          Alcotest.test_case "uri roundtrips" `Quick test_remote_fs_uri_roundtrips;
+          Alcotest.test_case "bad ns_id" `Quick test_remote_fs_bad_ns_id;
           Alcotest.test_case "fetch" `Quick test_remote_fs_fetch;
         ] );
       ("mount table", [ Alcotest.test_case "unit behaviour" `Quick test_mount_table ]);
