@@ -19,6 +19,9 @@ type t = {
   clock : Hac_fault.Clock.t;
   mutable remote_failures : int;
   mutable stale_serves : int;
+  rescache : Rescache.t;
+  mutable scope_generation : int;
+  mutable needs_full_sync : bool;
 }
 
 let create ?(block_size = 8) ?(stem = true) ?transducer ?(auto_sync = false) ?reindex_every fs =
@@ -44,10 +47,19 @@ let create ?(block_size = 8) ?(stem = true) ?transducer ?(auto_sync = false) ?re
       clock = Hac_fault.Clock.create ();
       remote_failures = 0;
       stale_serves = 0;
+      rescache = Rescache.create ();
+      scope_generation = 0;
+      needs_full_sync = false;
     }
   in
   Hac_depgraph.Depgraph.add_node t.deps Uidmap.root_uid;
   t
+
+let bump_generation t = t.scope_generation <- t.scope_generation + 1
+
+let force_full_sync t =
+  t.needs_full_sync <- true;
+  bump_generation t
 
 let reader t path =
   try Some (Hac_vfs.Fs.read_file t.fs path) with Hac_vfs.Errno.Error _ -> None

@@ -45,6 +45,18 @@ type t = {
   mutable stale_serves : int;
       (** Last-good remote entries re-served because their namespace was
           unavailable (graceful degradation). *)
+  rescache : Rescache.t;
+      (** Per-directory query-result cache; entries are validated against
+          [scope_generation]. *)
+  mutable scope_generation : int;
+      (** Bumped on every mutation that can change any query result (index
+          updates, renames, link/prohibition edits, mounts, resyncs) — the
+          cache-freshness clock. *)
+  mutable needs_full_sync : bool;
+      (** Set by structural events (renames, link edits, mount changes,
+          directory removal) whose effect on query results is not captured
+          by the reindex delta; the next settle falls back to a full
+          {!Sync.sync_all} and clears it. *)
 }
 
 val create :
@@ -69,3 +81,11 @@ val semdir_of_path : t -> string -> Semdir.t option
 
 val with_maintenance : t -> (unit -> 'a) -> 'a
 (** Run HAC's own fs mutations with event handling suppressed. *)
+
+val bump_generation : t -> unit
+(** Invalidate all cached query results (cheap: increments the clock). *)
+
+val force_full_sync : t -> unit
+(** Mark the instance as needing a full re-evaluation on the next settle
+    (also bumps the generation — a structural change invalidates cached
+    results too). *)

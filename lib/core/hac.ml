@@ -29,10 +29,13 @@ let semdir_of_parent (ctx : Ctx.t) path = Ctx.semdir_of_path ctx (Vpath.dirname 
 
 let mark_dirty (ctx : Ctx.t) path = Hashtbl.replace ctx.dirty path ()
 
-(* Settle everything now: data consistency, then scope consistency. *)
+(* Settle everything now: data consistency, then scope consistency.  The
+   reindex delta drives an incremental re-evaluation; structural events
+   (renames, link edits — anything that set [needs_full_sync]) make
+   [sync_delta] fall back to a full pass. *)
 let settle (ctx : Ctx.t) =
-  ignore (Sync.reindex ctx ());
-  Sync.sync_all ctx
+  let _, delta = Sync.reindex_with_delta ctx () in
+  Sync.sync_delta ctx delta
 
 let tick (ctx : Ctx.t) =
   ctx.ops_since_reindex <- ctx.ops_since_reindex + 1;
@@ -52,12 +55,16 @@ let record_permanent_link (ctx : Ctx.t) sd path =
       let key = Link.target_key target in
       Semdir.unprohibit sd key;
       Semdir.add_link sd
-        { Link.name = Vpath.basename path; target; cls = Link.Permanent }
+        { Link.name = Vpath.basename path; target; cls = Link.Permanent };
+      (* Permanent/prohibited sets gate query results outside any reindex
+         delta: only a full re-evaluation restores the invariant. *)
+      Ctx.force_full_sync ctx
 
 let record_link_removal (ctx : Ctx.t) sd path =
   let name = Vpath.basename path in
   match Semdir.remove_link sd name with
   | Some l ->
+      Ctx.force_full_sync ctx;
       (* Only prohibit when the target is now fully gone from the
          directory — deleting one of two aliases is not a rejection. *)
       if Semdir.link_by_target sd l.Link.target = None then begin
@@ -113,6 +120,10 @@ let forget_dir (ctx : Ctx.t) path =
   match Uidmap.remove ctx.uids path with
   | None -> ()
   | Some uid ->
+      Rescache.drop ctx.rescache ~uid;
+      (* Losing a semantic directory changes every scope that referenced
+         it; a syntactic directory's files already produce removal events. *)
+      if Hashtbl.mem ctx.semdirs uid then Ctx.force_full_sync ctx;
       Hashtbl.remove ctx.semdirs uid;
       Hashtbl.remove ctx.skeletons uid;
       Depgraph.remove_node ctx.deps uid;
@@ -165,6 +176,10 @@ let on_event (ctx : Ctx.t) ev =
         | Some sd -> record_link_removal ctx sd p
         | None -> ())
     | Event.Renamed (src, dst) -> (
+        (* Renames change path-derived membership (subtree scopes, built-in
+           attributes) without marking anything dirty: no reindex delta will
+           ever describe them. *)
+        Ctx.force_full_sync ctx;
         match Fs.lstat ctx.fs dst with
         | { Fs.st_kind = Event.Dir; _ } ->
             Uidmap.rename ctx.uids ~old_path:src ~new_path:dst;
@@ -468,8 +483,14 @@ let ssync (ctx : Ctx.t) path = Sync.sync_from ctx (uid_of_dir ctx path)
 let sync_all (ctx : Ctx.t) = Sync.sync_all ctx
 
 let reindex (ctx : Ctx.t) ?under () =
+  let n, delta = Sync.reindex_with_delta ctx ?under () in
+  Sync.sync_delta ctx delta;
+  n
+
+let reindex_full (ctx : Ctx.t) ?under () =
   let n = Sync.reindex ctx ?under () in
   Sync.sync_all ctx;
+  ctx.needs_full_sync <- false;
   n
 
 let dirty_count (ctx : Ctx.t) = Hashtbl.length ctx.dirty
@@ -495,6 +516,7 @@ let add_permanent (ctx : Ctx.t) ~dir ~target =
       (* Already present: upgrade to permanent rather than alias it. *)
       Semdir.unprohibit sd (Link.target_key target);
       Semdir.add_link sd { l with Link.cls = Link.Permanent };
+      Ctx.force_full_sync ctx;
       l.Link.name
   | None ->
       let taken name = Fs.lexists ctx.fs (Vpath.join dir name) in
@@ -512,7 +534,10 @@ let remove_link (ctx : Ctx.t) ~dir ~name =
 
 let unprohibit (ctx : Ctx.t) ~dir ~target =
   let sd = semdir_or_fail ctx dir in
-  Semdir.unprohibit sd (Link.target_key (Link.target_of_symlink target))
+  Semdir.unprohibit sd (Link.target_key (Link.target_of_symlink target));
+  (* The lifted target can only re-enter through a re-evaluation that
+     reconsiders it — no reindex delta will mention it. *)
+  Ctx.force_full_sync ctx
 
 let prohibit_target (ctx : Ctx.t) ~dir ~target =
   let dir = Vpath.normalize dir in
@@ -523,7 +548,9 @@ let prohibit_target (ctx : Ctx.t) ~dir ~target =
   | Some l ->
       (* Physically present: removing it prohibits it, like the user's rm. *)
       Fs.unlink ctx.fs (Vpath.join dir l.Link.name)
-  | None -> Semdir.prohibit sd (Link.target_key t)
+  | None ->
+      Semdir.prohibit sd (Link.target_key t);
+      Ctx.force_full_sync ctx
 
 (* Reinstall a semantic directory from recovered metadata: the directory and
    its physical links already exist in the file system; [permanent] names
@@ -694,6 +721,14 @@ let stale_remotes (ctx : Ctx.t) path =
   match Ctx.semdir_of_path ctx path with
   | None -> []
   | Some sd -> List.filter (fun r -> r.Semdir.rr_stale) sd.Semdir.transient_remote
+
+(* -- incremental-maintenance introspection ------------------------------------ *)
+
+let result_cache_stats (ctx : Ctx.t) = Rescache.stats ctx.rescache
+
+let reset_result_cache_stats (ctx : Ctx.t) = Rescache.reset_stats ctx.rescache
+
+let scope_generation (ctx : Ctx.t) = ctx.scope_generation
 
 (* -- accounting --------------------------------------------------------------- *)
 

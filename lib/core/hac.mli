@@ -128,8 +128,16 @@ val sync_all : t -> unit
 
 val reindex : t -> ?under:string -> unit -> int
 (** Settle data consistency now (optionally only below [under]) and then
-    re-evaluate all semantic directories.  Returns the number of files
-    whose index entries were refreshed. *)
+    restore scope consistency {e incrementally}: queries are re-evaluated
+    only over the documents the reindex touched or removed
+    ({!Sync.sync_delta}).  Structural events since the last settle force a
+    full re-evaluation instead.  Returns the number of files whose index
+    entries were refreshed. *)
+
+val reindex_full : t -> ?under:string -> unit -> int
+(** Like {!reindex} but always re-evaluates every semantic directory from
+    scratch ({!Sync.sync_all}) — the non-incremental baseline, useful for
+    benchmarking and as a property-test oracle. *)
 
 val dirty_count : t -> int
 (** Files whose index entry is currently stale. *)
@@ -250,6 +258,18 @@ val remote_failures : t -> int
 
 val stale_serves : t -> int
 (** Total last-good entries re-served in place of a failing namespace. *)
+
+(** {1 Incremental maintenance} *)
+
+val result_cache_stats : t -> Rescache.stats
+(** Hit/miss/entry/drop counters of the per-directory query-result cache. *)
+
+val reset_result_cache_stats : t -> unit
+(** Zero the hit/miss/drop counters (entries are kept). *)
+
+val scope_generation : t -> int
+(** Current value of the cache-freshness clock; it advances whenever a
+    mutation could change some query's result. *)
 
 (** {1 Accounting} *)
 

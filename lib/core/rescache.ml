@@ -1,0 +1,44 @@
+module Fileset = Hac_bitset.Fileset
+
+type entry = { fingerprint : string; generation : int; result : Fileset.t }
+
+type stats = { hits : int; misses : int; entries : int; drops : int }
+
+type t = {
+  tbl : (int, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable drops : int;
+}
+
+let create () = { tbl = Hashtbl.create 64; hits = 0; misses = 0; drops = 0 }
+
+let find t ~uid ~fingerprint ~generation =
+  match Hashtbl.find_opt t.tbl uid with
+  | Some e when e.fingerprint = fingerprint && e.generation = generation ->
+      t.hits <- t.hits + 1;
+      Some e.result
+  | Some _ | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let store t ~uid ~fingerprint ~generation result =
+  Hashtbl.replace t.tbl uid { fingerprint; generation; result }
+
+let drop t ~uid =
+  if Hashtbl.mem t.tbl uid then begin
+    Hashtbl.remove t.tbl uid;
+    t.drops <- t.drops + 1
+  end
+
+let clear t =
+  t.drops <- t.drops + Hashtbl.length t.tbl;
+  Hashtbl.reset t.tbl
+
+let stats t =
+  { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.tbl; drops = t.drops }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.drops <- 0

@@ -1,0 +1,43 @@
+(** Per-directory query-result cache.
+
+    Each semantic directory's last evaluated {e local} result is memoized as
+    [(query fingerprint, scope generation, Fileset.t)].  The fingerprint is
+    the printed query (uid-form dirrefs, so it is stable across renames of
+    referenced directories); the generation is {!Ctx.t.scope_generation},
+    which every index or namespace mutation bumps.  A lookup hits only when
+    both match, so a hit is O(1) and provably as fresh as the last
+    evaluation; anything else is a miss and falls back to evaluation.
+
+    Remote results are never cached: their value depends on namespace
+    availability and the stale re-serve policy, not only on index state. *)
+
+type t
+
+type stats = {
+  hits : int;  (** Lookups answered from the cache. *)
+  misses : int;  (** Lookups that fell back to query evaluation. *)
+  entries : int;  (** Directories with a live cache entry. *)
+  drops : int;  (** Entries discarded because their directory went away. *)
+}
+
+val create : unit -> t
+
+val find :
+  t -> uid:int -> fingerprint:string -> generation:int -> Hac_bitset.Fileset.t option
+(** The cached result, if its fingerprint and generation both match.
+    Counts a hit or a miss either way. *)
+
+val store :
+  t -> uid:int -> fingerprint:string -> generation:int -> Hac_bitset.Fileset.t -> unit
+(** Record a directory's freshly evaluated result (replaces any entry). *)
+
+val drop : t -> uid:int -> unit
+(** Forget a directory's entry (it was removed or lost its query). *)
+
+val clear : t -> unit
+(** Forget everything (counts every entry as dropped). *)
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+(** Zero the counters; live entries are kept. *)

@@ -14,6 +14,7 @@ type t = {
   mutable materialized : bool;
   prohibited : (string, unit) Hashtbl.t;
   mutable last_synced : int;
+  mutable meta_dirty : bool;
 }
 
 let create ~uid query =
@@ -26,6 +27,7 @@ let create ~uid query =
     materialized = false;
     prohibited = Hashtbl.create 8;
     last_synced = 0;
+    meta_dirty = true;
   }
 
 let find_link sd name = Hashtbl.find_opt sd.links name
@@ -39,13 +41,16 @@ let link_by_target sd target =
       | None -> if Link.target_key l.Link.target = key then Some l else None)
     sd.links None
 
-let add_link sd l = Hashtbl.replace sd.links l.Link.name l
+let add_link sd l =
+  Hashtbl.replace sd.links l.Link.name l;
+  sd.meta_dirty <- true
 
 let remove_link sd name =
   match Hashtbl.find_opt sd.links name with
   | None -> None
   | Some l ->
       Hashtbl.remove sd.links name;
+      sd.meta_dirty <- true;
       Some l
 
 let sorted_links ls = List.sort (fun a b -> compare a.Link.name b.Link.name) ls
@@ -56,9 +61,15 @@ let links_of_cls sd cls =
 
 let all_links sd = Hashtbl.fold (fun _ l acc -> l :: acc) sd.links [] |> sorted_links
 
-let prohibit sd key = Hashtbl.replace sd.prohibited key ()
+let prohibit sd key =
+  Hashtbl.replace sd.prohibited key ();
+  sd.meta_dirty <- true
 
-let unprohibit sd key = Hashtbl.remove sd.prohibited key
+let unprohibit sd key =
+  if Hashtbl.mem sd.prohibited key then begin
+    Hashtbl.remove sd.prohibited key;
+    sd.meta_dirty <- true
+  end
 
 let is_prohibited sd key = Hashtbl.mem sd.prohibited key
 

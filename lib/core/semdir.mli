@@ -35,6 +35,11 @@ type t = {
           through HAC and is then kept consistent by every re-evaluation. *)
   prohibited : (string, unit) Hashtbl.t;  (** Prohibited target keys. *)
   mutable last_synced : int;  (** Logical stamp of the last re-evaluation. *)
+  mutable meta_dirty : bool;
+      (** True when links or prohibitions changed since the last persist —
+          lets {!Sync} skip the metadata write for untouched directories
+          without ever losing recovery state.  Set by every mutator here;
+          cleared by {!Sync} after persisting. *)
 }
 
 val create : uid:int -> Hac_query.Ast.t -> t

@@ -27,7 +27,7 @@ let mounts_under (ctx : Ctx.t) path =
       | None -> false)
     (Mount_table.mount_points ctx.mounts)
 
-let provided_scope (ctx : Ctx.t) uid =
+let compute_scope (ctx : Ctx.t) uid =
   match Uidmap.path_of_uid ctx.uids uid with
   | None -> { local = Fileset.empty; remote = []; mount_uids = [] }
   | Some path -> (
@@ -54,16 +54,41 @@ let provided_scope (ctx : Ctx.t) uid =
             (Semdir.links_of_cls sd Link.Permanent);
           { local = !local; remote = List.rev !remote; mount_uids })
 
-let attr_docs (ctx : Ctx.t) key value =
+let provided_scope = compute_scope
+
+(* One propagation pass computes each directory's provided scope at most
+   once: [sync_from]/[sync_all] used to re-derive every scope for every
+   resync (the dirref environment re-derives them again inside query
+   evaluation).  Entries stay valid for the whole pass because directories
+   are processed dependencies-first and the index does not change during a
+   pass; the one exception — a directory whose own result just changed —
+   drops its entry so dependents recompute it. *)
+type pass = { scopes : (int, scope) Hashtbl.t }
+
+let fresh_pass () = { scopes = Hashtbl.create 16 }
+
+let scope_in pass ctx uid =
+  match Hashtbl.find_opt pass.scopes uid with
+  | Some s -> s
+  | None ->
+      let s = compute_scope ctx uid in
+      Hashtbl.replace pass.scopes uid s;
+      s
+
+let attr_docs ?within (ctx : Ctx.t) key value =
   match key with
   | "name" | "ext" | "path" ->
-      (* Built-in attributes derive from the path alone. *)
+      (* Built-in attributes derive from the path alone; under a delta
+         restriction only the delta's paths need testing. *)
+      let base =
+        match within with Some w -> w | None -> Index.universe ctx.index
+      in
       Fileset.filter
         (fun id ->
           match Index.doc_path ctx.index id with
           | Some p -> Vpath.matches_builtin_attr ~key ~value p
           | None -> false)
-        (Index.universe ctx.index)
+        base
   | _ -> (
       (* Transducer-extracted attributes: block-coarse candidates from the
          index, verified by re-extracting from the candidate's content. *)
@@ -82,22 +107,22 @@ let attr_docs (ctx : Ctx.t) key value =
                       (fun (k, v) -> k = key && v = value)
                       (td.Hac_index.Transducer.extract ~path ~content))
           in
-          Fileset.filter verify (Index.attr_docs ctx.index key value))
+          Fileset.filter verify (Index.attr_docs ?within ctx.index key value))
 
-(* Selectivity estimate for the planner: candidate-set sizes from cheap
-   postings lookups.  Verification never widens a candidate set, so these
-   are sound upper bounds for ordering conjunctions. *)
+(* Selectivity estimate for the planner: posting-block population via
+   {!Index.term_cost} — no block expansion, so ranking an AND chain costs a
+   hashtable lookup per term instead of materialising every candidate set.
+   Verification never widens a candidate set, so these are sound upper
+   bounds for ordering conjunctions. *)
 let term_cost (ctx : Ctx.t) term =
   let universe_size () = Index.doc_count ctx.index in
   match term with
-  | Ast.Word w -> Fileset.cardinal (Index.candidate_docs ctx.index w)
+  | Ast.Word w -> Index.term_cost ctx.index w
   | Ast.Phrase ws ->
-      List.fold_left
-        (fun acc w -> min acc (Fileset.cardinal (Index.candidate_docs ctx.index w)))
-        max_int ws
+      List.fold_left (fun acc w -> min acc (Index.term_cost ctx.index w)) max_int ws
   | Ast.Approx _ -> universe_size () (* vocabulary scan: treat as expensive *)
   | Ast.Attr (("name" | "ext" | "path"), _) -> universe_size ()
-  | Ast.Attr (k, v) -> Fileset.cardinal (Index.attr_docs ctx.index k v)
+  | Ast.Attr (k, v) -> Index.attr_cost ctx.index k v
   | Ast.Regex r -> (
       match Hac_index.Regex.compile_result r with
       | Ok re when (not (Index.stemming ctx.index)) && Hac_index.Regex.required_word re <> None
@@ -110,33 +135,21 @@ let term_cost (ctx : Ctx.t) term =
       | None -> universe_size ())
   | Ast.Dirref (Ast.Ref_path _) -> universe_size ()
 
-let eval_query (ctx : Ctx.t) q =
+let eval_query_in pass (ctx : Ctx.t) ?restrict_to q =
   let q = Hac_query.Planner.optimize ~cost:(term_cost ctx) q in
   let reader = Ctx.reader ctx in
-  let dirref = function
-    | Ast.Ref_uid u -> (provided_scope ctx u).local
+  let scope_of u = (scope_in pass ctx u).local in
+  let dirref ?within:_ = function
+    | Ast.Ref_uid u -> scope_of u
     | Ast.Ref_path p -> (
         match Uidmap.uid_of_path ctx.uids p with
-        | Some u -> (provided_scope ctx u).local
+        | Some u -> scope_of u
         | None -> Fileset.empty)
   in
-  let env =
-    {
-      Hac_query.Eval.universe = lazy (Index.universe ctx.index);
-      word = (fun ?within w -> Search.search_word ?within ctx.index reader w);
-      phrase = (fun ?within ws -> Search.search_phrase ?within ctx.index reader ws);
-      approx =
-        (fun ?within w k -> Search.search_approx ?within ctx.index reader ~word:w ~errors:k);
-      attr = (fun ?within:_ k v -> attr_docs ctx k v);
-      regex =
-        (fun ?within r ->
-          match Search.search_regex ?within ctx.index reader r with
-          | result -> result
-          | exception Hac_index.Regex.Parse_error _ -> Fileset.empty);
-      dirref = (fun ?within:_ r -> dirref r);
-    }
-  in
-  Hac_query.Eval.eval env q
+  let attr ?within k v = attr_docs ?within ctx k v in
+  Search.eval ?restrict_to ctx.index reader ~attr ~dirref q
+
+let eval_query (ctx : Ctx.t) ?restrict_to q = eval_query_in (fresh_pass ()) ctx ?restrict_to q
 
 (* -- metadata persistence --------------------------------------------------
 
@@ -367,13 +380,36 @@ let materialize (ctx : Ctx.t) (sd : Semdir.t) =
         sd.Semdir.materialized <- true
   end
 
-let resync_dir (ctx : Ctx.t) uid =
+let exclusion_filter (ctx : Ctx.t) (sd : Semdir.t) ~path set =
+  let prohibited key = Semdir.is_prohibited sd key in
+  let permanent_key key =
+    List.exists
+      (fun l -> Link.target_key l.Link.target = key)
+      (Semdir.links_of_cls sd Link.Permanent)
+  in
+  Fileset.filter
+    (fun id ->
+      match Index.doc_path ctx.index id with
+      | Some p ->
+          (not (Vpath.is_prefix ~prefix:path p))
+          && (not (prohibited p))
+          && not (permanent_key p)
+      | None -> false)
+    set
+
+(* The cache key for a directory's local result.  The printed uid-form query
+   ([{#n}] for dirrefs) is stable across renames of referenced directories,
+   and exact string comparison cannot collide the way a structural hash
+   could. *)
+let fingerprint (sd : Semdir.t) = Ast.to_string sd.Semdir.query
+
+let resync_dir_in pass (ctx : Ctx.t) uid =
   match (Ctx.semdir_of_uid ctx uid, Uidmap.path_of_uid ctx.uids uid) with
   | None, _ | _, None -> false
   | Some sd, Some path ->
       let pscope =
         match parent_uid ctx uid with
-        | Some p -> provided_scope ctx p
+        | Some p -> scope_in pass ctx p
         | None -> { local = Fileset.empty; remote = []; mount_uids = [] }
       in
       let prohibited key = Semdir.is_prohibited sd key in
@@ -382,75 +418,88 @@ let resync_dir (ctx : Ctx.t) uid =
           (fun l -> Link.target_key l.Link.target = key)
           (Semdir.links_of_cls sd Link.Permanent)
       in
-      (* 1. Evaluate the query over the parent's scope. *)
-      let matched = Fileset.inter (eval_query ctx sd.Semdir.query) pscope.local in
-      (* 2. New local result: matching files, except those physically inside
-            this directory (already "in" it), the prohibited ones, and the
-            permanent ones (section 2.3: HAC never touches those sets).
-            This set is the paper's per-directory result bitmap. *)
+      (* 1–2. The local result: evaluate the query over the parent's scope,
+            then drop files physically inside this directory (already "in"
+            it), the prohibited ones, and the permanent ones (section 2.3:
+            HAC never touches those sets).  This set is the paper's
+            per-directory result bitmap — and exactly what the result cache
+            memoizes: on a generation-fresh hit both the evaluation and the
+            exclusion filtering are skipped. *)
+      let fp = fingerprint sd in
       let new_local =
-        Fileset.filter
-          (fun id ->
-            match Index.doc_path ctx.index id with
-            | Some p ->
-                (not (Vpath.is_prefix ~prefix:path p))
-                && (not (prohibited p))
-                && not (permanent_key p)
-            | None -> false)
-          matched
+        match
+          Rescache.find ctx.rescache ~uid ~fingerprint:fp
+            ~generation:ctx.scope_generation
+        with
+        | Some r -> r
+        | None ->
+            let matched =
+              Fileset.inter (eval_query_in pass ctx sd.Semdir.query) pscope.local
+            in
+            exclusion_filter ctx sd ~path matched
       in
       (* 3. New remote result: inherited parent links that match, plus fresh
             results from visible mount points; same exclusions.  Namespace
             failures are collected rather than propagated — a re-evaluation
-            must never be broken by a flaky remote. *)
-      let failed = Hashtbl.create 4 in
-      let note_failure ns_id reason =
-        ctx.remote_failures <- ctx.remote_failures + 1;
-        if not (Hashtbl.mem failed ns_id) then Hashtbl.replace failed ns_id reason
-      in
-      let remote_acc = ref [] in
-      let seen_remote = Hashtbl.create 8 in
-      let consider_remote ~stale ~ns_id ~uri ~name =
-        if
-          (not (Hashtbl.mem seen_remote uri))
-          && (not (prohibited uri))
-          && not (permanent_key uri)
-        then begin
-          Hashtbl.replace seen_remote uri ();
-          if stale then ctx.stale_serves <- ctx.stale_serves + 1;
-          remote_acc :=
-            { Semdir.rr_ns = ns_id; rr_uri = uri; rr_name = name; rr_stale = stale }
-            :: !remote_acc
+            must never be broken by a flaky remote.  With no remote scope at
+            all (no inherited remote links, no visible mounts) the result is
+            empty by construction — no namespace is consulted, so no failure
+            and no stale re-serve can occur. *)
+      let new_remote =
+        if pscope.remote = [] && pscope.mount_uids = [] then []
+        else begin
+          let failed = Hashtbl.create 4 in
+          let note_failure ns_id reason =
+            ctx.remote_failures <- ctx.remote_failures + 1;
+            if not (Hashtbl.mem failed ns_id) then Hashtbl.replace failed ns_id reason
+          in
+          let remote_acc = ref [] in
+          let seen_remote = Hashtbl.create 8 in
+          let consider_remote ~stale ~ns_id ~uri ~name =
+            if
+              (not (Hashtbl.mem seen_remote uri))
+              && (not (prohibited uri))
+              && not (permanent_key uri)
+            then begin
+              Hashtbl.replace seen_remote uri ();
+              if stale then ctx.stale_serves <- ctx.stale_serves + 1;
+              remote_acc :=
+                { Semdir.rr_ns = ns_id; rr_uri = uri; rr_name = name; rr_stale = stale }
+                :: !remote_acc
+            end
+          in
+          List.iter
+            (fun target ->
+              match target with
+              | Link.Remote { ns_id; uri } ->
+                  if
+                    remote_matches ~on_failure:note_failure ctx sd.Semdir.query
+                      ~name:(Link.display_name target) ~ns_id ~uri
+                  then
+                    consider_remote ~stale:false ~ns_id ~uri ~name:(Link.display_name target)
+              | Link.Local _ -> ())
+            pscope.remote;
+          List.iter
+            (fun (target, name) ->
+              match target with
+              | Link.Remote { ns_id; uri } -> consider_remote ~stale:false ~ns_id ~uri ~name
+              | Link.Local _ -> ())
+            (mount_results ~on_failure:note_failure ctx sd.Semdir.query pscope.mount_uids);
+          (* Graceful degradation: a namespace that failed this round keeps
+             its last-good entries — re-served from the previous result and
+             marked stale — instead of silently vanishing from the
+             directory.  Fresh answers (e.g. inherited through the parent)
+             win the dedup. *)
+          if Hashtbl.length failed > 0 then
+            List.iter
+              (fun r ->
+                if Hashtbl.mem failed r.Semdir.rr_ns then
+                  consider_remote ~stale:true ~ns_id:r.Semdir.rr_ns ~uri:r.Semdir.rr_uri
+                    ~name:r.Semdir.rr_name)
+              sd.Semdir.transient_remote;
+          List.rev !remote_acc
         end
       in
-      List.iter
-        (fun target ->
-          match target with
-          | Link.Remote { ns_id; uri } ->
-              if
-                remote_matches ~on_failure:note_failure ctx sd.Semdir.query
-                  ~name:(Link.display_name target) ~ns_id ~uri
-              then consider_remote ~stale:false ~ns_id ~uri ~name:(Link.display_name target)
-          | Link.Local _ -> ())
-        pscope.remote;
-      List.iter
-        (fun (target, name) ->
-          match target with
-          | Link.Remote { ns_id; uri } -> consider_remote ~stale:false ~ns_id ~uri ~name
-          | Link.Local _ -> ())
-        (mount_results ~on_failure:note_failure ctx sd.Semdir.query pscope.mount_uids);
-      (* Graceful degradation: a namespace that failed this round keeps its
-         last-good entries — re-served from the previous result and marked
-         stale — instead of silently vanishing from the directory.  Fresh
-         answers (e.g. inherited through the parent) win the dedup. *)
-      if Hashtbl.length failed > 0 then
-        List.iter
-          (fun r ->
-            if Hashtbl.mem failed r.Semdir.rr_ns then
-              consider_remote ~stale:true ~ns_id:r.Semdir.rr_ns ~uri:r.Semdir.rr_uri
-                ~name:r.Semdir.rr_name)
-          sd.Semdir.transient_remote;
-      let new_remote = List.rev !remote_acc in
       let changed =
         (not (Fileset.equal new_local sd.Semdir.transient_local))
         || new_remote <> sd.Semdir.transient_remote
@@ -488,21 +537,45 @@ let resync_dir (ctx : Ctx.t) uid =
                 create_transient_link ctx sd ~path ~target ~name_hint)
               desired)
       end;
+      if changed then begin
+        (* Any later directory in this pass evaluating against stale state
+           would be wrong: its cached result and this directory's memoized
+           scope both reflect the pre-change world. *)
+        Ctx.bump_generation ctx;
+        Hashtbl.remove pass.scopes uid
+      end;
+      Rescache.store ctx.rescache ~uid ~fingerprint:fp ~generation:ctx.scope_generation
+        new_local;
+      let first_sync = sd.Semdir.last_synced = 0 in
       ctx.sync_stamp <- ctx.sync_stamp + 1;
       sd.Semdir.last_synced <- ctx.sync_stamp;
-      persist_semdir ctx sd;
+      (* The paper persists after every re-evaluation; nothing is lost by
+         skipping the write when neither the result nor the link/prohibition
+         metadata moved since the last one. *)
+      if changed || sd.Semdir.meta_dirty || first_sync then begin
+        persist_semdir ctx sd;
+        sd.Semdir.meta_dirty <- false
+      end;
       changed
 
+let resync_dir (ctx : Ctx.t) uid = resync_dir_in (fresh_pass ()) ctx uid
+
 let sync_from (ctx : Ctx.t) uid =
-  ignore (resync_dir ctx uid);
-  List.iter (fun u -> ignore (resync_dir ctx u)) (Depgraph.affected ctx.deps uid)
+  let pass = fresh_pass () in
+  ignore (resync_dir_in pass ctx uid);
+  List.iter (fun u -> ignore (resync_dir_in pass ctx u)) (Depgraph.affected ctx.deps uid)
 
 let sync_all (ctx : Ctx.t) =
-  List.iter (fun u -> ignore (resync_dir ctx u)) (Depgraph.topo_all ctx.deps)
+  let pass = fresh_pass () in
+  List.iter (fun u -> ignore (resync_dir_in pass ctx u)) (Depgraph.topo_all ctx.deps)
 
 (* -- data consistency (section 2.4) --------------------------------------- *)
 
-let reindex (ctx : Ctx.t) ?under () =
+type delta = { touched : Fileset.t; removed : Fileset.t }
+
+let empty_delta = { touched = Fileset.empty; removed = Fileset.empty }
+
+let reindex_with_delta (ctx : Ctx.t) ?under () =
   let in_scope path =
     match under with
     | None -> true
@@ -522,25 +595,146 @@ let reindex (ctx : Ctx.t) ?under () =
     Hac_vfs.Fd_table.close fds fd;
     content
   in
+  let touched = ref Fileset.empty in
+  let removed = ref Fileset.empty in
+  let forget path =
+    (match Index.doc_of_path ctx.index path with
+    | Some id -> removed := Fileset.add !removed id
+    | None -> ());
+    Index.remove_path ctx.index path
+  in
   List.iter
     (fun path ->
       Hashtbl.remove ctx.dirty path;
       if Fs.is_file ctx.fs path then
         match read_interposed path with
-        | content -> ignore (Index.update_document ctx.index ~path ~content)
+        | content ->
+            touched := Fileset.add !touched (Index.update_document ctx.index ~path ~content)
         | exception Hac_vfs.Errno.Error (Hac_vfs.Errno.EACCES, _) ->
             (* The current user may not read it, so it cannot be indexed
                under their credentials (security borrowed from the OS). *)
-            Index.remove_path ctx.index path
-      else Index.remove_path ctx.index path)
+            forget path
+      else forget path)
     paths;
   (* Lazy updates leave stale block bits behind (Glimpse-style); once a
      third of the document slots are dead weight, compact. *)
-  if Index.stale_ratio ctx.index > 0.33 && Index.doc_count ctx.index > 0 then
+  if Index.stale_ratio ctx.index > 0.33 && Index.doc_count ctx.index > 0 then begin
+    let live_before = Index.doc_count ctx.index in
     Index.rebuild ctx.index (fun id ->
         Option.bind (Index.doc_path ctx.index id) (fun p ->
             match read_interposed p with
             | content -> Some content
             | exception Hac_vfs.Errno.Error _ -> None));
+    (* Rebuild drops documents whose content became unreadable without any
+       event (e.g. a permission change); such removals are invisible to the
+       delta, so only a full re-evaluation is safe. *)
+    if Index.doc_count ctx.index <> live_before then Ctx.force_full_sync ctx
+  end;
   ctx.ops_since_reindex <- 0;
-  List.length paths
+  if paths <> [] then Ctx.bump_generation ctx;
+  (List.length paths, { touched = !touched; removed = !removed })
+
+let reindex (ctx : Ctx.t) ?under () = fst (reindex_with_delta ctx ?under ())
+
+(* -- incremental scope maintenance ----------------------------------------
+
+   [sync_all] after a k-file change re-evaluates every query over every
+   scope: O(all-docs × all-dirs) content verifications.  [sync_delta]
+   exploits what the reindex just learned.  For a content-only change the
+   membership of every document {e outside} the delta is unchanged in every
+   directory (word/phrase/attr/regex terms depend on the document's own
+   content and path; dirref terms on scopes whose non-delta membership is
+   itself unchanged, inductively, dependencies-first).  So each directory
+   only needs the query verdict on delta documents inside its scope:
+
+     new = (old \ delta) ∪ {d ∈ touched ∩ scope(parent) | d ⊨ query} \ excl
+
+   evaluated with {!Search.eval}'s [?restrict_to] so candidate expansion and
+   verification never leave the delta — O(k × affected-dirs).
+
+   Structural events (renames, link edits, mounts, prohibition changes,
+   query edits) change membership outside any reindex delta; they set
+   {!Ctx.t.needs_full_sync} and the next [sync_delta] falls back to a full
+   [sync_all].  That fallback is also the property-test oracle: both paths
+   must reach the same transient-link fixpoint. *)
+
+let resync_dir_delta pass (ctx : Ctx.t) ~touched ~removed uid =
+  match (Ctx.semdir_of_uid ctx uid, Uidmap.path_of_uid ctx.uids uid) with
+  | None, _ | _, None -> ()
+  | Some sd, Some path ->
+      let pscope =
+        match parent_uid ctx uid with
+        | Some p -> scope_in pass ctx p
+        | None -> { local = Fileset.empty; remote = []; mount_uids = [] }
+      in
+      let delta_all = Fileset.union touched removed in
+      (* Docs whose verdict must be (re)computed, and current members whose
+         verdict may have been lost (dropped from the parent scope, or from
+         the index altogether). *)
+      let candidates = Fileset.inter touched pscope.local in
+      let stale = Fileset.inter delta_all sd.Semdir.transient_local in
+      if not (Fileset.is_empty candidates && Fileset.is_empty stale) then begin
+        let matched =
+          Fileset.inter
+            (eval_query_in pass ctx ~restrict_to:candidates sd.Semdir.query)
+            candidates
+        in
+        let adds = exclusion_filter ctx sd ~path matched in
+        let old_local = sd.Semdir.transient_local in
+        let new_local = Fileset.union adds (Fileset.diff old_local delta_all) in
+        let changed = not (Fileset.equal new_local old_local) in
+        if changed then begin
+          sd.Semdir.transient_local <- new_local;
+          if sd.Semdir.materialized then
+            Ctx.with_maintenance ctx (fun () ->
+                (* Drop transient links whose target left the result or the
+                   index; only delta documents can be affected, but removed
+                   documents no longer map back to an id, so walk the links
+                   and keep exactly those still in the result. *)
+                List.iter
+                  (fun l ->
+                    match l.Link.target with
+                    | Link.Local p ->
+                        let keep =
+                          match Index.doc_of_path ctx.index p with
+                          | Some id -> Fileset.mem new_local id
+                          | None -> false
+                        in
+                        if not keep then begin
+                          ignore (Semdir.remove_link sd l.Link.name);
+                          let lpath = Vpath.join path l.Link.name in
+                          if Fs.is_symlink ctx.fs lpath then Fs.unlink ctx.fs lpath
+                        end
+                    | Link.Remote _ -> ())
+                  (Semdir.links_of_cls sd Link.Transient);
+                Fileset.iter
+                  (fun id ->
+                    match Index.doc_path ctx.index id with
+                    | Some p ->
+                        if Semdir.link_by_target sd (Link.Local p) = None then
+                          create_transient_link ctx sd ~path ~target:(Link.Local p)
+                            ~name_hint:None
+                    | None -> ())
+                  adds);
+          Ctx.bump_generation ctx;
+          Hashtbl.remove pass.scopes uid
+        end;
+        ctx.sync_stamp <- ctx.sync_stamp + 1;
+        sd.Semdir.last_synced <- ctx.sync_stamp;
+        if changed || sd.Semdir.meta_dirty then begin
+          persist_semdir ctx sd;
+          sd.Semdir.meta_dirty <- false
+        end
+      end
+
+let sync_delta (ctx : Ctx.t) delta =
+  if ctx.needs_full_sync then begin
+    ctx.needs_full_sync <- false;
+    sync_all ctx
+  end
+  else if not (Fileset.is_empty delta.touched && Fileset.is_empty delta.removed) then begin
+    let pass = fresh_pass () in
+    List.iter
+      (fun uid -> resync_dir_delta pass ctx ~touched:delta.touched ~removed:delta.removed uid)
+      (Depgraph.topo_all ctx.deps)
+  end

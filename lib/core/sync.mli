@@ -24,9 +24,12 @@ val provided_scope : Ctx.t -> int -> scope
     the indexed physical files of its subtree.  Mount points anywhere in the
     subtree are visible. *)
 
-val eval_query : Ctx.t -> Hac_query.Ast.t -> Hac_bitset.Fileset.t
+val eval_query :
+  Ctx.t -> ?restrict_to:Hac_bitset.Fileset.t -> Hac_query.Ast.t -> Hac_bitset.Fileset.t
 (** Evaluate a query against the local index with directory references
-    resolved through {!provided_scope} (no scope restriction applied). *)
+    resolved through {!provided_scope}.  [?restrict_to] evaluates only over
+    the given documents (candidate expansion and content verification stay
+    inside the set); without it no scope restriction is applied. *)
 
 val render_for : Hac_remote.Namespace.lang -> Hac_query.Ast.t -> string list
 (** Query strings to submit to a namespace speaking the given language.  For
@@ -77,11 +80,35 @@ val sync_from : Ctx.t -> int -> unit
 val sync_all : Ctx.t -> unit
 (** Re-evaluate every semantic directory, dependencies first. *)
 
+type delta = {
+  touched : Hac_bitset.Fileset.t;
+      (** Documents added or whose content was reindexed. *)
+  removed : Hac_bitset.Fileset.t;
+      (** Documents dropped from the index (deleted or unreadable). *)
+}
+(** What one {!reindex_with_delta} changed — the input to {!sync_delta}. *)
+
+val empty_delta : delta
+
 val reindex : Ctx.t -> ?under:string -> unit -> int
 (** Settle data consistency for the dirty paths (optionally only those below
     [under]): update or drop their index entries.  Returns the number of
     paths processed.  Does {e not} re-evaluate queries — callers typically
-    follow with {!sync_all}. *)
+    follow with {!sync_delta} (via {!reindex_with_delta}) or {!sync_all}. *)
+
+val reindex_with_delta : Ctx.t -> ?under:string -> unit -> int * delta
+(** {!reindex}, also returning which documents it touched or removed. *)
+
+val sync_delta : Ctx.t -> delta -> unit
+(** Incremental scope maintenance: restore the scope invariant after a
+    content-only change described by the delta.  Walks directories in
+    dependency order but re-evaluates each query {e only over the delta
+    documents in its parent scope}, patching the transient-link set — the
+    settle after [k] changed files costs O(k × affected dirs) instead of
+    O(all docs × all dirs).  Remote results are left as they are (remote
+    membership does not depend on local contents).  When
+    {!Ctx.t.needs_full_sync} is set (a structural event happened), clears it
+    and falls back to {!sync_all}; both paths reach the same fixpoint. *)
 
 val parent_uid : Ctx.t -> int -> int option
 (** UID of the parent directory ([None] for the root or unknown uids). *)

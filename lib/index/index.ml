@@ -183,18 +183,33 @@ let expand_blocks t blocks =
     blocks;
   Fileset.of_bitset b
 
-let candidate_docs t w =
+(* Delta-restricted expansion: when the caller only cares about a known
+   (small) candidate set, test each of its members against the block bitmap
+   instead of expanding every posting block — O(|within|) rather than
+   O(populated blocks × block_size). *)
+let within_blocks t blocks wset =
+  Fileset.filter
+    (fun id ->
+      id >= 0 && id < t.next_id && t.docs.(id).alive && Bitset.mem blocks (block_of t id))
+    wset
+
+let expand ?within t blocks =
+  match within with
+  | None -> expand_blocks t blocks
+  | Some wset -> within_blocks t blocks wset
+
+let candidate_docs ?within t w =
   match Hashtbl.find_opt t.postings (key t w) with
   | None -> Fileset.empty
-  | Some blocks -> expand_blocks t blocks
+  | Some blocks -> expand ?within t blocks
 
-let candidate_docs_approx t ~word ~errors =
+let candidate_docs_approx ?within t ~word ~errors =
   let word = key t word in
   let blocks = Bitset.create () in
   Hashtbl.iter
     (fun w bm -> if Agrep.word_matches ~pattern:word ~errors w then Bitset.union_into blocks bm)
     t.postings;
-  expand_blocks t blocks
+  expand ?within t blocks
 
 let vocabulary t =
   Hashtbl.fold (fun w _ acc -> w :: acc) t.postings [] |> List.sort compare
@@ -206,11 +221,26 @@ let doc_ids_under t dir =
   | Some b -> Fileset.of_bitset b
   | None -> Fileset.empty
 
-let attr_docs t key value =
+let attr_docs ?within t key value =
   let k = (String.lowercase_ascii key, String.lowercase_ascii value) in
   match Hashtbl.find_opt t.attr_postings k with
   | None -> Fileset.empty
-  | Some blocks -> expand_blocks t blocks
+  | Some blocks -> expand ?within t blocks
+
+(* Candidate-cardinality upper bound from posting-block population alone —
+   no block expansion, so safe to call once per query term per resync. *)
+let blocks_cost t = function
+  | None -> 0
+  | Some blocks ->
+      let pop = Bitset.cardinal blocks in
+      if pop > max_int / t.block_size then doc_count t
+      else min (pop * t.block_size) (doc_count t)
+
+let term_cost t w = blocks_cost t (Hashtbl.find_opt t.postings (key t w))
+
+let attr_cost t key value =
+  let k = (String.lowercase_ascii key, String.lowercase_ascii value) in
+  blocks_cost t (Hashtbl.find_opt t.attr_postings k)
 
 let attributes t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.attr_postings [] |> List.sort compare

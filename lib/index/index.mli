@@ -63,12 +63,15 @@ val doc_path : t -> doc_id -> string option
 val doc_of_path : t -> string -> doc_id option
 (** Identifier of an indexed path. *)
 
-val candidate_docs : t -> string -> Hac_bitset.Fileset.t
+val candidate_docs : ?within:Hac_bitset.Fileset.t -> t -> string -> Hac_bitset.Fileset.t
 (** Live documents whose block may contain the word (after stemming).  A
     superset of the true answer; precise when [block_size = 1] and no stale
-    bits have accumulated. *)
+    bits have accumulated.  [?within] restricts the answer to members of the
+    given set {e without} expanding posting blocks — delta resync passes the
+    touched-document set here so candidate generation is O(|within|). *)
 
-val candidate_docs_approx : t -> word:string -> errors:int -> Hac_bitset.Fileset.t
+val candidate_docs_approx :
+  ?within:Hac_bitset.Fileset.t -> t -> word:string -> errors:int -> Hac_bitset.Fileset.t
 (** Union of {!candidate_docs} over every vocabulary word within the given
     edit distance of [word] — Glimpse's approximate-query expansion. *)
 
@@ -78,11 +81,21 @@ val doc_ids_under : t -> string -> Hac_bitset.Fileset.t
     rather than a scan over every document.  [doc_ids_under t "/"] equals
     {!universe}. *)
 
-val attr_docs : t -> string -> string -> Hac_bitset.Fileset.t
+val attr_docs : ?within:Hac_bitset.Fileset.t -> t -> string -> string -> Hac_bitset.Fileset.t
 (** Live documents whose block carries the attribute/value pair (extracted
     by the transducer at indexing time).  Empty when no transducer is
     installed.  Same block-granular, verification-expected contract as
     {!candidate_docs}; attribute lookups are exact on the value. *)
+
+val term_cost : t -> string -> int
+(** Upper bound on [candidate_docs t w]'s cardinality, from posting-block
+    population alone (populated blocks × block size, clamped to the live
+    document count).  Never expands blocks — cheap enough to consult once
+    per query term on every resync, which is what {!Planner.optimize} needs
+    to rank conjuncts by real selectivity. *)
+
+val attr_cost : t -> string -> string -> int
+(** {!term_cost} for an attribute/value pair. *)
 
 val attributes : t -> (string * string) list
 (** All indexed attribute/value pairs, sorted. *)

@@ -49,7 +49,7 @@ let search_word ?within idx reader w =
   let w = String.lowercase_ascii w in
   verify idx reader
     (fun content -> contains_word idx ~content ~word:w)
-    (restrict within (Index.candidate_docs idx w))
+    (restrict within (Index.candidate_docs ?within idx w))
 
 let search_phrase ?within idx reader words =
   match words with
@@ -59,7 +59,7 @@ let search_phrase ?within idx reader words =
       let candidates =
         List.fold_left
           (fun acc w ->
-            let c = Index.candidate_docs idx w in
+            let c = Index.candidate_docs ?within idx w in
             match acc with None -> Some c | Some a -> Some (Fileset.inter a c))
           None words
       in
@@ -76,7 +76,7 @@ let search_approx ?within idx reader ~word ~errors =
         if Agrep.word_matches ~pattern:(key idx word) ~errors (key idx x) then found := true);
     !found
   in
-  verify idx reader pred (restrict within (Index.candidate_docs_approx idx ~word ~errors))
+  verify idx reader pred (restrict within (Index.candidate_docs_approx ?within idx ~word ~errors))
 
 let search_substring idx reader pattern =
   let pred content = Agrep.find_exact ~pattern content <> None in
@@ -98,10 +98,10 @@ let search_regex ?within idx reader pattern =
         List.fold_left
           (fun acc w ->
             if String.length w = Tokenizer.max_word_len || contains_substring w run then
-              Fileset.union acc (Index.candidate_docs idx w)
+              Fileset.union acc (Index.candidate_docs ?within idx w)
             else acc)
           Fileset.empty (Index.vocabulary idx)
-    | Some _ | None -> Index.universe idx
+    | Some _ | None -> ( match within with Some w -> w | None -> Index.universe idx)
   in
   verify idx reader (fun content -> Regex.matches re content) (restrict within candidates)
 
@@ -117,3 +117,24 @@ let matching_lines idx reader ~path ~query_words =
               if List.mem (key idx x) keys then line_has := true);
           if !line_has then hits := (lineno, line) :: !hits);
       List.rev !hits
+
+let eval ?restrict_to idx reader ~attr ~dirref q =
+  let env =
+    {
+      Hac_query.Eval.universe =
+        (* Under a restriction [*] and top-level NOT never need more than the
+           restriction itself; without one they need the live-document set. *)
+        lazy (match restrict_to with Some s -> s | None -> Index.universe idx);
+      word = (fun ?within w -> search_word ?within idx reader w);
+      phrase = (fun ?within ws -> search_phrase ?within idx reader ws);
+      approx = (fun ?within w k -> search_approx ?within idx reader ~word:w ~errors:k);
+      attr;
+      regex =
+        (fun ?within r ->
+          match search_regex ?within idx reader r with
+          | s -> s
+          | exception Regex.Parse_error _ -> Fileset.empty);
+      dirref;
+    }
+  in
+  Hac_query.Eval.eval ?within:restrict_to env q

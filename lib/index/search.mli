@@ -55,3 +55,20 @@ val contains_word : Index.t -> content:string -> word:string -> bool
 
 val contains_phrase : content:string -> string list -> bool
 (** Consecutive-words containment test (exact words, no stemming). *)
+
+val eval :
+  ?restrict_to:Hac_bitset.Fileset.t ->
+  Index.t ->
+  reader ->
+  attr:(?within:Hac_bitset.Fileset.t -> string -> string -> Hac_bitset.Fileset.t) ->
+  dirref:(?within:Hac_bitset.Fileset.t -> Hac_query.Ast.dirref -> Hac_bitset.Fileset.t) ->
+  Hac_query.Ast.t ->
+  Hac_bitset.Fileset.t
+(** Evaluate a parsed query against this index: the standard {!Eval.env}
+    wiring (word/phrase/approx/regex answered by the searches above, with
+    malformed regex terms evaluating to the empty set; attributes and
+    directory references supplied by the caller).  [?restrict_to] evaluates
+    the query only over the given documents — candidate expansion, content
+    verification and NOT's universe all stay inside the set, which is what
+    makes delta resync O(touched docs) ({!Eval.eval}'s restriction-pushdown
+    contract guarantees [eval ~restrict_to:S q = S ∩ eval q]). *)

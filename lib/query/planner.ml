@@ -1,11 +1,15 @@
 let big = max_int / 2
 
+(* Estimates saturate at [big]: clamping every operand into [0, big] first
+   means the sum fits in an int, so the old [sa + sb < 0] wrap check (which
+   [big + big] evades — it equals [max_int - 1]) is replaced by an exact
+   comparison. *)
+let saturating_add a b = if a >= big - b then big else a + b
+
 let rec subtree_cost ~cost = function
-  | Ast.Term t -> cost t
+  | Ast.Term t -> min big (max 0 (cost t))
   | Ast.And (a, b) -> min (subtree_cost ~cost a) (subtree_cost ~cost b)
-  | Ast.Or (a, b) ->
-      let sa = subtree_cost ~cost a and sb = subtree_cost ~cost b in
-      if sa + sb < 0 then big else sa + sb (* overflow guard *)
+  | Ast.Or (a, b) -> saturating_add (subtree_cost ~cost a) (subtree_cost ~cost b)
   | Ast.Not _ | Ast.All -> big
 
 (* Flatten an AND chain into its operands. *)

@@ -19,4 +19,6 @@ val optimize : cost:(Ast.term -> int) -> Ast.t -> Ast.t
 val subtree_cost : cost:(Ast.term -> int) -> Ast.t -> int
 (** The estimate used for ordering: a term's own cost; [min] over [AND]
     operands (one selective operand bounds the chain); sum over [OR];
-    [max_int/2] for [NOT] and [*], which touch the whole universe. *)
+    [max_int/2] for [NOT] and [*], which touch the whole universe.  All
+    arithmetic saturates at [max_int/2], so pathological costs (e.g. an
+    [OR] of two [NOT]s) can never wrap negative and win the ordering. *)

@@ -281,6 +281,10 @@ let space_report s buf =
   out buf "HAC structure bytes  : %d (semdirs %d, uidmap %d, depgraph %d)\n"
     (Hac.hac_overhead_bytes sp) sp.Hac.semdir_bytes sp.Hac.uidmap_bytes sp.Hac.depgraph_bytes;
   out buf "fs metadata bytes    : %d\n" sp.Hac.fs_metadata_bytes;
+  let rc = Hac.result_cache_stats s.t in
+  out buf "scope generation     : %d\n" (Hac.scope_generation s.t);
+  out buf "result cache         : %d hits, %d misses, %d entries\n" rc.Hac_core.Rescache.hits
+    rc.Hac_core.Rescache.misses rc.Hac_core.Rescache.entries;
   out buf "current user         : %d\n" (Fs.current_user (Hac.fs s.t))
 
 let run s buf line =

@@ -259,6 +259,24 @@ let test_planner_subtree_cost () =
   Alcotest.(check int) "or sums" 12 (Planner.subtree_cost ~cost (parse "aa OR bb"));
   Alcotest.(check bool) "not is big" true (Planner.subtree_cost ~cost (parse "NOT aa") > 1000)
 
+let test_planner_cost_saturates () =
+  let big = max_int / 2 in
+  let huge _ = max_int in
+  (* Or of two Nots used to compute max_int/2 + max_int/2 and rely on a
+     wrap-to-negative check that the operands evade. *)
+  Alcotest.(check int)
+    "or of two nots clamps" big
+    (Planner.subtree_cost ~cost:huge (parse "NOT aa OR NOT bb"));
+  Alcotest.(check int)
+    "nested ors stay clamped" big
+    (Planner.subtree_cost ~cost:huge (parse "(NOT aa OR NOT bb) OR (NOT cc OR NOT dd)"));
+  Alcotest.(check int)
+    "huge term costs clamp too" big
+    (Planner.subtree_cost ~cost:huge (parse "aa OR bb"));
+  Alcotest.(check bool)
+    "negative estimates treated as zero" true
+    (Planner.subtree_cost ~cost:(fun _ -> -5) (parse "aa OR bb") = 0)
+
 let prop_planner_preserves_semantics =
   QCheck.Test.make ~name:"optimize preserves evaluation" ~count:500
     (QCheck.pair arb_ast (QCheck.small_list (QCheck.int_bound 30)))
@@ -306,6 +324,7 @@ let () =
         [
           Alcotest.test_case "reorders conjunctions" `Quick test_planner_reorders;
           Alcotest.test_case "subtree cost" `Quick test_planner_subtree_cost;
+          Alcotest.test_case "cost saturates" `Quick test_planner_cost_saturates;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
