@@ -18,6 +18,8 @@ module Fsops = Hac_workload.Fsops
 module Jade_fs = Hac_workload.Jade_fs
 module Pseudo_fs = Hac_workload.Pseudo_fs
 module Timer = Hac_workload.Timer
+module Metrics = Hac_obs.Metrics
+module Trace = Hac_obs.Trace
 
 let quick = Array.exists (( = ) "quick") Sys.argv
 let smoke = Array.exists (( = ) "smoke") Sys.argv
@@ -28,6 +30,12 @@ let json_path =
   match List.filter (fun a -> Filename.check_suffix a ".json") (Array.to_list Sys.argv) with
   | p :: _ -> p
   | [] -> "BENCH_sync.json"
+
+(* Per-stage latency distributions land here; a second .json argv overrides. *)
+let obs_json_path =
+  match List.filter (fun a -> Filename.check_suffix a ".json") (Array.to_list Sys.argv) with
+  | _ :: p :: _ -> p
+  | _ -> "BENCH_obs.json"
 
 let banner title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -715,6 +723,140 @@ let incremental_settle () =
     && payload.[0] = '{'
     && payload.[String.length payload - 2] = '}')
 
+(* ------------------------------------------------------------------- *)
+(* Observability: per-stage latency distributions + the overhead guard *)
+(* ------------------------------------------------------------------- *)
+
+(* The incremental-settle workload as a reusable builder: [n_files] spread
+   over [n_dirs] marker classes; [touch] rewrites [k] files so membership
+   in the alternate class really changes on every settle. *)
+let settle_workload ~n_files ~n_dirs ~k () =
+  let t = Hac.create ~stem:false () in
+  let fs = Hac.fs t in
+  Fs.mkdir_p fs "/data";
+  let path i = Printf.sprintf "/data/f%04d.txt" i in
+  let filler = "lorem ipsum dolor sit amet consectetur adipiscing elit sed do" in
+  let content ~toggled i =
+    let home = i mod n_dirs and alt = (i + 7) mod n_dirs in
+    Printf.sprintf "%s wm%03d %s" filler home
+      (if toggled then Printf.sprintf "wm%03d" alt else "plain")
+  in
+  for i = 0 to n_files - 1 do
+    Fs.write_file fs (path i) (content ~toggled:false i)
+  done;
+  for j = 0 to n_dirs - 1 do
+    Hac.smkdir t (Printf.sprintf "/s%02d" j) (Printf.sprintf "wm%03d" j)
+  done;
+  ignore (Hac.reindex_full t ());
+  let toggled = ref false in
+  let touch () =
+    toggled := not !toggled;
+    for j = 0 to k - 1 do
+      let i = j * ((n_files / k) + 1) mod n_files in
+      Fs.write_file fs (path i) (content ~toggled:!toggled i)
+    done
+  in
+  (t, touch)
+
+let obs_section () =
+  banner "Observability: per-stage latency distributions (tracing on)";
+  Printf.printf
+    "  Every settle runs under the tracer; each finished span feeds a\n\
+    \  span.<stage>.cpu_s histogram in the metrics registry, dumped below\n\
+    \  with p50/p90/p99 per stage.  Writes %s.\n\n"
+    obs_json_path;
+  let n_files, n_dirs, k, passes =
+    if smoke then (60, 6, 3, 6) else if quick then (300, 15, 5, 12) else (1000, 30, 8, 25)
+  in
+  let t, touch = settle_workload ~n_files ~n_dirs ~k () in
+  Trace.set_enabled (Hac.tracer t) true;
+  (* Mostly delta settles with a full one mixed in, so sync.delta,
+     sync.full, sync.reindex and query.eval all accumulate samples. *)
+  for p = 1 to passes do
+    touch ();
+    if p mod 5 = 0 then ignore (Hac.reindex_full t ()) else ignore (Hac.reindex t ())
+  done;
+  let m = Hac.metrics t in
+  let stages =
+    List.filter_map
+      (fun (name, d) ->
+        match d with
+        | Metrics.Histogram_value s
+          when String.length name > 11
+               && String.sub name 0 5 = "span."
+               && Filename.check_suffix name ".cpu_s" ->
+            Some (String.sub name 5 (String.length name - 11), s)
+        | _ -> None)
+      (Metrics.dump m)
+  in
+  Printf.printf "  %-16s %7s %12s %12s %12s\n" "stage" "count" "p50 (us)" "p90 (us)"
+    "p99 (us)";
+  List.iter
+    (fun (stage, s) ->
+      Printf.printf "  %-16s %7d %12.2f %12.2f %12.2f\n" stage s.Metrics.count
+        (s.Metrics.p50 *. 1e6) (s.Metrics.p90 *. 1e6) (s.Metrics.p99 *. 1e6))
+    stages;
+  shape "tracer populated a histogram for every settle stage"
+    (List.mem_assoc "sync.reindex" stages
+    && List.mem_assoc "sync.delta" stages
+    && List.mem_assoc "sync.full" stages
+    && List.mem_assoc "query.eval" stages);
+  (* Overhead guard: tracing back off (one branch per span site), metrics
+     updates on the settle path are a boolean test plus a store each.  An
+     instrumented settle must sit within 10% of the same settle with the
+     registry disabled; rounds are interleaved to decorrelate noise. *)
+  Trace.set_enabled (Hac.tracer t) false;
+  let reps = if smoke then 3 else 9 in
+  let settle_once enabled =
+    Metrics.set_enabled m enabled;
+    touch ();
+    Gc.major ();
+    let s = Timer.time_only (fun () -> ignore (Hac.reindex t ())) in
+    Metrics.set_enabled m true;
+    s
+  in
+  let rounds = List.init reps (fun _ -> (settle_once true, settle_once false)) in
+  let median l = List.nth (List.sort compare l) (List.length l / 2) in
+  let on_s = median (List.map fst rounds) in
+  let off_s = median (List.map snd rounds) in
+  let overhead_pct = Timer.pct_over ~base:off_s on_s in
+  Printf.printf "\n  settle, metrics on  (tracing off): %8.3f ms\n" (on_s *. 1000.);
+  Printf.printf "  settle, metrics off (tracing off): %8.3f ms\n" (off_s *. 1000.);
+  Printf.printf "  instrumentation overhead: %+.1f%%  (guard: within 10%%)\n" overhead_pct;
+  shape "tracing-off instrumentation overhead within 10%"
+    (overhead_pct <= 10.0 || (on_s -. off_s) *. 1000. < 0.5);
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "{\n";
+  Printf.bprintf b
+    "  \"config\": { \"files\": %d, \"semdirs\": %d, \"touched\": %d, \"passes\": %d, \
+     \"mode\": \"%s\" },\n"
+    n_files n_dirs k passes
+    (if smoke then "smoke" else if quick then "quick" else "full");
+  Printf.bprintf b "  \"stages\": {\n";
+  let n_stages = List.length stages in
+  List.iteri
+    (fun i (stage, s) ->
+      Printf.bprintf b
+        "    \"%s\": { \"count\": %d, \"sum_s\": %.6f, \"min_s\": %.9f, \"max_s\": %.9f, \
+         \"p50_s\": %.9f, \"p90_s\": %.9f, \"p99_s\": %.9f }%s\n"
+        (Metrics.json_escape stage) s.Metrics.count s.Metrics.sum s.Metrics.vmin
+        s.Metrics.vmax s.Metrics.p50 s.Metrics.p90 s.Metrics.p99
+        (if i = n_stages - 1 then "" else ","))
+    stages;
+  Printf.bprintf b "  },\n";
+  Printf.bprintf b
+    "  \"overhead\": { \"settle_metrics_on_s\": %.6f, \"settle_metrics_off_s\": %.6f, \
+     \"pct\": %.2f, \"guard_pct\": 10.0 }\n"
+    on_s off_s overhead_pct;
+  Printf.bprintf b "}\n";
+  let payload = Buffer.contents b in
+  let oc = open_out obs_json_path in
+  output_string oc payload;
+  close_out oc;
+  shape
+    (Printf.sprintf "stage distributions written to %s" obs_json_path)
+    (n_stages > 0 && String.length payload > 2 && payload.[0] = '{')
+
 (* ----------------------------- *)
 (* Bechamel micro-benchmarks     *)
 (* ----------------------------- *)
@@ -794,9 +936,10 @@ let micro_benchmarks () =
 
 let () =
   if json_only then begin
-    (* Machine-readable mode: only the incremental-settle section, which
-       writes (and self-checks) the BENCH_sync.json trajectory. *)
+    (* Machine-readable mode: only the sections that write (and self-check)
+       the BENCH_sync.json and BENCH_obs.json trajectories. *)
     incremental_settle ();
+    obs_section ();
     Printf.printf "\ndone.\n"
   end
   else begin
@@ -813,6 +956,7 @@ let () =
     trace_replay ();
     fault_tolerance ();
     incremental_settle ();
+    obs_section ();
     micro_benchmarks ();
     Printf.printf "\ndone.\n"
   end

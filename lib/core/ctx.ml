@@ -22,9 +22,12 @@ type t = {
   rescache : Rescache.t;
   mutable scope_generation : int;
   mutable needs_full_sync : bool;
+  instr : Instr.t;
 }
 
 let create ?(block_size = 8) ?(stem = true) ?transducer ?(auto_sync = false) ?reindex_every fs =
+  let clock = Hac_fault.Clock.create () in
+  let instr = Instr.create ~now:(fun () -> Hac_fault.Clock.now clock) () in
   let t =
     {
       fs;
@@ -44,18 +47,21 @@ let create ?(block_size = 8) ?(stem = true) ?transducer ?(auto_sync = false) ?re
       reindex_every;
       ops_since_reindex = 0;
       sync_stamp = 0;
-      clock = Hac_fault.Clock.create ();
+      clock;
       remote_failures = 0;
       stale_serves = 0;
-      rescache = Rescache.create ();
+      rescache = Rescache.create ~metrics:instr.Instr.metrics ();
       scope_generation = 0;
       needs_full_sync = false;
+      instr;
     }
   in
   Hac_depgraph.Depgraph.add_node t.deps Uidmap.root_uid;
   t
 
-let bump_generation t = t.scope_generation <- t.scope_generation + 1
+let bump_generation t =
+  t.scope_generation <- t.scope_generation + 1;
+  Hac_obs.Metrics.set t.instr.Instr.generation (float_of_int t.scope_generation)
 
 let force_full_sync t =
   t.needs_full_sync <- true;

@@ -57,6 +57,9 @@ type t = {
           directory removal) whose effect on query results is not captured
           by the reindex delta; the next settle falls back to a full
           {!Sync.sync_all} and clears it. *)
+  instr : Instr.t;
+      (** This instance's observability surface: metrics registry, tracer
+          (virtual-clock timestamps) and pre-resolved instrument handles. *)
 }
 
 val create :

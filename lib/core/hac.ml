@@ -29,13 +29,21 @@ let semdir_of_parent (ctx : Ctx.t) path = Ctx.semdir_of_path ctx (Vpath.dirname 
 
 let mark_dirty (ctx : Ctx.t) path = Hashtbl.replace ctx.dirty path ()
 
+(* All durable directory-journal records funnel through here so appends are
+   accounted once, next to the write. *)
+let journal_append (ctx : Ctx.t) body =
+  Hac_obs.Metrics.incr ctx.instr.Instr.journal_appends;
+  Ctx.with_maintenance ctx (fun () ->
+      Fs.append_file ctx.fs (Sync.meta_root ^ "/dirs.log") (Journal.seal body ^ "\n"))
+
 (* Settle everything now: data consistency, then scope consistency.  The
    reindex delta drives an incremental re-evaluation; structural events
    (renames, link edits — anything that set [needs_full_sync]) make
    [sync_delta] fall back to a full pass. *)
 let settle (ctx : Ctx.t) =
-  let _, delta = Sync.reindex_with_delta ctx () in
-  Sync.sync_delta ctx delta
+  Hac_obs.Trace.with_span ctx.instr.Instr.tracer ~name:"hac.settle" (fun () ->
+      let _, delta = Sync.reindex_with_delta ctx () in
+      Sync.sync_delta ctx delta)
 
 let tick (ctx : Ctx.t) =
   ctx.ops_since_reindex <- ctx.ops_since_reindex + 1;
@@ -129,9 +137,7 @@ let forget_dir (ctx : Ctx.t) path =
       Depgraph.remove_node ctx.deps uid;
       Mount_table.unmount_all ctx.mounts ~uid;
       Sync.unpersist_semdir ctx uid;
-      Ctx.with_maintenance ctx (fun () ->
-          Fs.append_file ctx.fs (Sync.meta_root ^ "/dirs.log")
-            (Journal.seal (Printf.sprintf "X %d" uid) ^ "\n"))
+      journal_append ctx (Printf.sprintf "X %d" uid)
 
 let on_event (ctx : Ctx.t) ev =
   if ctx.alive && not ctx.maintenance then begin
@@ -162,10 +168,7 @@ let on_event (ctx : Ctx.t) ev =
         let uid = Uidmap.register ctx.uids p in
         Depgraph.add_node ctx.deps uid;
         Hashtbl.replace ctx.skeletons uid (Semdir.create ~uid Ast.All);
-        Ctx.with_maintenance ctx (fun () ->
-            Fs.append_file ctx.fs
-              (Sync.meta_root ^ "/dirs.log")
-              (Journal.seal (Printf.sprintf "D %d %s" uid p) ^ "\n"))
+        journal_append ctx (Printf.sprintf "D %d %s" uid p)
     | Event.Removed (Event.Dir, p) -> forget_dir ctx p
     | Event.Created (Event.Link, p) -> (
         match semdir_of_parent ctx p with
@@ -186,11 +189,7 @@ let on_event (ctx : Ctx.t) ev =
             index_rename_subtree ctx ~src ~dst;
             rename_dirty ctx ~src ~dst;
             (match Uidmap.uid_of_path ctx.uids dst with
-            | Some uid ->
-                Ctx.with_maintenance ctx (fun () ->
-                    Fs.append_file ctx.fs
-                      (Sync.meta_root ^ "/dirs.log")
-                      (Journal.seal (Printf.sprintf "M %d %s" uid dst) ^ "\n"))
+            | Some uid -> journal_append ctx (Printf.sprintf "M %d %s" uid dst)
             | None -> ());
             (* The moved directory's parent changed: rewire its dependency
                edge when it is semantic.  (Descendants kept their parents.) *)
@@ -647,8 +646,10 @@ let checkpoint_metadata (ctx : Ctx.t) =
       let b = Buffer.create 1024 in
       Uidmap.fold
         (fun uid path () ->
-          if path <> Vpath.root && not (Vpath.is_prefix ~prefix:Sync.meta_root path) then
-            Buffer.add_string b (Journal.seal (Printf.sprintf "D %d %s" uid path) ^ "\n"))
+          if path <> Vpath.root && not (Vpath.is_prefix ~prefix:Sync.meta_root path) then begin
+            Hac_obs.Metrics.incr ctx.instr.Instr.journal_appends;
+            Buffer.add_string b (Journal.seal (Printf.sprintf "D %d %s" uid path) ^ "\n")
+          end)
         ctx.uids ();
       Fs.write_file ctx.fs (Sync.meta_root ^ "/dirs.log") (Buffer.contents b));
   Hashtbl.iter (fun _ sd -> Sync.persist_semdir ctx sd) ctx.semdirs
@@ -729,6 +730,14 @@ let result_cache_stats (ctx : Ctx.t) = Rescache.stats ctx.rescache
 let reset_result_cache_stats (ctx : Ctx.t) = Rescache.reset_stats ctx.rescache
 
 let scope_generation (ctx : Ctx.t) = ctx.scope_generation
+
+(* -- observability ------------------------------------------------------------ *)
+
+let metrics (ctx : Ctx.t) = ctx.instr.Instr.metrics
+
+let tracer (ctx : Ctx.t) = ctx.instr.Instr.tracer
+
+let instr (ctx : Ctx.t) = ctx.instr
 
 (* -- accounting --------------------------------------------------------------- *)
 

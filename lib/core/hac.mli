@@ -271,6 +271,25 @@ val scope_generation : t -> int
 (** Current value of the cache-freshness clock; it advances whenever a
     mutation could change some query's result. *)
 
+(** {1 Observability} *)
+
+val metrics : t -> Hac_obs.Metrics.t
+(** The instance's metrics registry.  Every subsystem (planner, search,
+    sync, result cache, journal, resilience-wrapped namespaces created
+    with this registry) accounts here; see [docs/observability.md] for
+    the instrument catalogue. *)
+
+val tracer : t -> Hac_obs.Trace.t
+(** The instance's tracer.  Disabled by default; enable it to collect
+    nested spans ([hac.settle] > [sync.reindex] / [sync.delta] >
+    [query.eval], ...) with virtual-clock timestamps and CPU durations.
+    Every finished span also feeds a [span.<name>.cpu_s] histogram in
+    {!metrics}. *)
+
+val instr : t -> Instr.t
+(** The pre-resolved instrument handles (advanced use: extending the
+    core's own instrumentation). *)
+
 (** {1 Accounting} *)
 
 type space = {

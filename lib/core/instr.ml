@@ -1,0 +1,81 @@
+module Metrics = Hac_obs.Metrics
+module Trace = Hac_obs.Trace
+
+type t = {
+  metrics : Metrics.t;
+  tracer : Trace.t;
+  (* Handles resolved once at instance creation so hot paths never touch
+     the registry's hashtable. *)
+  journal_appends : Metrics.counter;
+  journal_replay_applied : Metrics.counter;
+  journal_replay_corrupt : Metrics.counter;
+  journal_replay_malformed : Metrics.counter;
+  planner_chains : Metrics.counter;
+  planner_reordered : Metrics.counter;
+  planner_cost_saved : Metrics.counter;
+  search_terms : Metrics.counter;
+  search_postings : Metrics.counter;
+  search_candidates : Metrics.counter;
+  search_verified : Metrics.counter;
+  restrict_kept : Metrics.counter;
+  restrict_dropped : Metrics.counter;
+  sync_full : Metrics.counter;
+  sync_delta : Metrics.counter;
+  sync_fallback : Metrics.counter;
+  sync_from : Metrics.counter;
+  sync_dirs : Metrics.counter;
+  sync_changed : Metrics.counter;
+  reindex_files : Metrics.counter;
+  index_rebuilds : Metrics.counter;
+  generation : Metrics.gauge;
+  pass_dirs : Metrics.histogram;
+}
+
+let create ~now () =
+  let m = Metrics.create () in
+  let tracer =
+    (* Every finished span feeds a per-stage CPU-time histogram, which is
+       what the bench reports as the settle latency breakdown. *)
+    Trace.create ~now
+      ~on_close:(fun sp ->
+        Metrics.observe
+          (Metrics.histogram m ("span." ^ sp.Trace.name ^ ".cpu_s"))
+          (Trace.cpu_duration sp))
+      ()
+  in
+  {
+    metrics = m;
+    tracer;
+    journal_appends = Metrics.counter m "journal.appends";
+    journal_replay_applied = Metrics.counter m "journal.replay.applied";
+    journal_replay_corrupt = Metrics.counter m "journal.replay.corrupt";
+    journal_replay_malformed = Metrics.counter m "journal.replay.malformed";
+    planner_chains = Metrics.counter m "planner.optimize.chains";
+    planner_reordered = Metrics.counter m "planner.optimize.reordered";
+    planner_cost_saved = Metrics.counter m "planner.optimize.cost_saved";
+    search_terms = Metrics.counter m "search.terms";
+    search_postings = Metrics.counter m "search.postings_scanned";
+    search_candidates = Metrics.counter m "search.candidates_expanded";
+    search_verified = Metrics.counter m "search.docs_verified";
+    restrict_kept = Metrics.counter m "search.restrict_kept";
+    restrict_dropped = Metrics.counter m "search.restrict_dropped";
+    sync_full = Metrics.counter m "sync.full.count";
+    sync_delta = Metrics.counter m "sync.delta.count";
+    sync_fallback = Metrics.counter m "sync.delta.fallback";
+    sync_from = Metrics.counter m "sync.from.count";
+    sync_dirs = Metrics.counter m "sync.dirs_reevaluated";
+    sync_changed = Metrics.counter m "sync.dirs_changed";
+    reindex_files = Metrics.counter m "sync.reindex.files";
+    index_rebuilds = Metrics.counter m "sync.index.rebuilds";
+    generation = Metrics.gauge m "scope.generation";
+    pass_dirs = Metrics.histogram m "sync.pass.dirs";
+  }
+
+(* Fold a finished search probe into the registry. *)
+let flush_probe t (p : Hac_index.Search.probe) =
+  Metrics.incr ~by:p.Hac_index.Search.terms t.search_terms;
+  Metrics.incr ~by:p.Hac_index.Search.postings_scanned t.search_postings;
+  Metrics.incr ~by:p.Hac_index.Search.candidates_expanded t.search_candidates;
+  Metrics.incr ~by:p.Hac_index.Search.docs_verified t.search_verified;
+  Metrics.incr ~by:p.Hac_index.Search.restrict_kept t.restrict_kept;
+  Metrics.incr ~by:p.Hac_index.Search.restrict_dropped t.restrict_dropped

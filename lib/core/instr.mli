@@ -1,0 +1,45 @@
+(** Per-instance observability handles.
+
+    One {!t} lives in every {!Ctx.t}: the instance's metrics registry, its
+    tracer (timestamps from the instance's virtual clock; every finished
+    span also feeds a [span.<name>.cpu_s] histogram), and counter/gauge/
+    histogram handles pre-resolved for the hot paths so instrumented code
+    never performs a registry lookup.
+
+    Instrument names follow [<subsystem>.<what>] — see
+    [docs/observability.md] for the full catalogue. *)
+
+type t = {
+  metrics : Hac_obs.Metrics.t;
+  tracer : Hac_obs.Trace.t;
+  journal_appends : Hac_obs.Metrics.counter;
+  journal_replay_applied : Hac_obs.Metrics.counter;
+  journal_replay_corrupt : Hac_obs.Metrics.counter;
+  journal_replay_malformed : Hac_obs.Metrics.counter;
+  planner_chains : Hac_obs.Metrics.counter;
+  planner_reordered : Hac_obs.Metrics.counter;
+  planner_cost_saved : Hac_obs.Metrics.counter;
+  search_terms : Hac_obs.Metrics.counter;
+  search_postings : Hac_obs.Metrics.counter;
+  search_candidates : Hac_obs.Metrics.counter;
+  search_verified : Hac_obs.Metrics.counter;
+  restrict_kept : Hac_obs.Metrics.counter;
+  restrict_dropped : Hac_obs.Metrics.counter;
+  sync_full : Hac_obs.Metrics.counter;
+  sync_delta : Hac_obs.Metrics.counter;
+  sync_fallback : Hac_obs.Metrics.counter;
+  sync_from : Hac_obs.Metrics.counter;
+  sync_dirs : Hac_obs.Metrics.counter;
+  sync_changed : Hac_obs.Metrics.counter;
+  reindex_files : Hac_obs.Metrics.counter;
+  index_rebuilds : Hac_obs.Metrics.counter;
+  generation : Hac_obs.Metrics.gauge;
+  pass_dirs : Hac_obs.Metrics.histogram;
+}
+
+val create : now:(unit -> float) -> unit -> t
+(** Fresh registry + tracer ([now] supplies the tracer's virtual
+    timestamps; tracing starts disabled, metrics enabled). *)
+
+val flush_probe : t -> Hac_index.Search.probe -> unit
+(** Add a finished per-evaluation probe's totals to the search counters. *)

@@ -71,9 +71,16 @@ let journal_map t =
   | Some text -> replay_journal text
 
 let journal_report t =
-  match read_opt (Hac.fs t) "/.hac/dirs.log" with
-  | None -> { applied = 0; corrupt = 0; malformed = 0 }
-  | Some text -> snd (replay_journal_report text)
+  let report =
+    match read_opt (Hac.fs t) "/.hac/dirs.log" with
+    | None -> { applied = 0; corrupt = 0; malformed = 0 }
+    | Some text -> snd (replay_journal_report text)
+  in
+  let i = Hac.instr t in
+  Hac_obs.Metrics.incr ~by:report.applied i.Instr.journal_replay_applied;
+  Hac_obs.Metrics.incr ~by:report.corrupt i.Instr.journal_replay_corrupt;
+  Hac_obs.Metrics.incr ~by:report.malformed i.Instr.journal_replay_malformed;
+  report
 
 let journal_paths t =
   Hashtbl.fold (fun uid path acc -> (uid, path) :: acc) (journal_map t) []
@@ -100,6 +107,7 @@ type reload_report = {
 }
 
 let reload_report t =
+  Hac_obs.Trace.with_span (Hac.tracer t) ~name:"recover.reload" (fun () ->
   let journal = journal_report t in
   let fs = Hac.fs t in
   (* Snapshot all recoverable state first: restoring writes fresh metadata
@@ -141,6 +149,6 @@ let reload_report t =
   (* The old instance's identifiers are dead; re-key the metadata area. *)
   Hac.checkpoint_metadata t;
   Hac.sync_all t;
-  { restored = !restored; skipped = !skipped; journal }
+  { restored = !restored; skipped = !skipped; journal })
 
 let reload t = (reload_report t).restored

@@ -1,44 +1,68 @@
 module Fileset = Hac_bitset.Fileset
+module Metrics = Hac_obs.Metrics
 
 type entry = { fingerprint : string; generation : int; result : Fileset.t }
 
 type stats = { hits : int; misses : int; entries : int; drops : int }
 
+(* Accounting lives in a metrics registry (the owning instance's, so the
+   shell's `metrics` sees it under rescache.hits etc.); [stats] is a thin
+   reader over those instruments, kept so the pre-registry API survives
+   unchanged. *)
 type t = {
   tbl : (int, entry) Hashtbl.t;
-  mutable hits : int;
-  mutable misses : int;
-  mutable drops : int;
+  c_hits : Metrics.counter;
+  c_misses : Metrics.counter;
+  c_drops : Metrics.counter;
+  g_entries : Metrics.gauge;
 }
 
-let create () = { tbl = Hashtbl.create 64; hits = 0; misses = 0; drops = 0 }
+let create ?metrics () =
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
+  {
+    tbl = Hashtbl.create 64;
+    c_hits = Metrics.counter m "rescache.hits";
+    c_misses = Metrics.counter m "rescache.misses";
+    c_drops = Metrics.counter m "rescache.drops";
+    g_entries = Metrics.gauge m "rescache.entries";
+  }
+
+let sync_entries t = Metrics.set t.g_entries (float_of_int (Hashtbl.length t.tbl))
 
 let find t ~uid ~fingerprint ~generation =
   match Hashtbl.find_opt t.tbl uid with
   | Some e when e.fingerprint = fingerprint && e.generation = generation ->
-      t.hits <- t.hits + 1;
+      Metrics.incr t.c_hits;
       Some e.result
   | Some _ | None ->
-      t.misses <- t.misses + 1;
+      Metrics.incr t.c_misses;
       None
 
 let store t ~uid ~fingerprint ~generation result =
-  Hashtbl.replace t.tbl uid { fingerprint; generation; result }
+  Hashtbl.replace t.tbl uid { fingerprint; generation; result };
+  sync_entries t
 
 let drop t ~uid =
   if Hashtbl.mem t.tbl uid then begin
     Hashtbl.remove t.tbl uid;
-    t.drops <- t.drops + 1
+    Metrics.incr t.c_drops;
+    sync_entries t
   end
 
 let clear t =
-  t.drops <- t.drops + Hashtbl.length t.tbl;
-  Hashtbl.reset t.tbl
+  Metrics.incr ~by:(Hashtbl.length t.tbl) t.c_drops;
+  Hashtbl.reset t.tbl;
+  sync_entries t
 
 let stats t =
-  { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.tbl; drops = t.drops }
+  {
+    hits = Metrics.count t.c_hits;
+    misses = Metrics.count t.c_misses;
+    entries = Hashtbl.length t.tbl;
+    drops = Metrics.count t.c_drops;
+  }
 
 let reset_stats t =
-  t.hits <- 0;
-  t.misses <- 0;
-  t.drops <- 0
+  Metrics.reset_counter t.c_hits;
+  Metrics.reset_counter t.c_misses;
+  Metrics.reset_counter t.c_drops

@@ -20,7 +20,10 @@ type stats = {
   drops : int;  (** Entries discarded because their directory went away. *)
 }
 
-val create : unit -> t
+val create : ?metrics:Hac_obs.Metrics.t -> unit -> t
+(** Counters register as [rescache.hits]/[.misses]/[.drops] plus a
+    [rescache.entries] gauge in [metrics] (a private registry when
+    omitted); {!stats} reads those same instruments back. *)
 
 val find :
   t -> uid:int -> fingerprint:string -> generation:int -> Hac_bitset.Fileset.t option

@@ -136,18 +136,32 @@ let term_cost (ctx : Ctx.t) term =
   | Ast.Dirref (Ast.Ref_path _) -> universe_size ()
 
 let eval_query_in pass (ctx : Ctx.t) ?restrict_to q =
-  let q = Hac_query.Planner.optimize ~cost:(term_cost ctx) q in
-  let reader = Ctx.reader ctx in
-  let scope_of u = (scope_in pass ctx u).local in
-  let dirref ?within:_ = function
-    | Ast.Ref_uid u -> scope_of u
-    | Ast.Ref_path p -> (
-        match Uidmap.uid_of_path ctx.uids p with
-        | Some u -> scope_of u
-        | None -> Fileset.empty)
-  in
-  let attr ?within k v = attr_docs ?within ctx k v in
-  Search.eval ?restrict_to ctx.index reader ~attr ~dirref q
+  let i = ctx.instr in
+  Hac_obs.Trace.with_span i.Instr.tracer ~name:"query.eval" (fun () ->
+      let report ~chosen ~naive ~terms:_ =
+        Hac_obs.Metrics.incr i.Instr.planner_chains;
+        if chosen < naive then begin
+          Hac_obs.Metrics.incr i.Instr.planner_reordered;
+          Hac_obs.Metrics.incr ~by:(naive - chosen) i.Instr.planner_cost_saved
+        end
+      in
+      let q = Hac_query.Planner.optimize ~report ~cost:(term_cost ctx) q in
+      let reader = Ctx.reader ctx in
+      let scope_of u = (scope_in pass ctx u).local in
+      let dirref ?within:_ = function
+        | Ast.Ref_uid u -> scope_of u
+        | Ast.Ref_path p -> (
+            match Uidmap.uid_of_path ctx.uids p with
+            | Some u -> scope_of u
+            | None -> Fileset.empty)
+      in
+      let attr ?within k v = attr_docs ?within ctx k v in
+      let probe = Search.new_probe () in
+      let result = Search.eval ~probe ?restrict_to ctx.index reader ~attr ~dirref q in
+      Instr.flush_probe i probe;
+      Hac_obs.Trace.set_attr_int i.Instr.tracer "terms" probe.Search.terms;
+      Hac_obs.Trace.set_attr_int i.Instr.tracer "verified" probe.Search.docs_verified;
+      result)
 
 let eval_query (ctx : Ctx.t) ?restrict_to q = eval_query_in (fresh_pass ()) ctx ?restrict_to q
 
@@ -504,6 +518,8 @@ let resync_dir_in pass (ctx : Ctx.t) uid =
         (not (Fileset.equal new_local sd.Semdir.transient_local))
         || new_remote <> sd.Semdir.transient_remote
       in
+      Hac_obs.Metrics.incr ctx.instr.Instr.sync_dirs;
+      if changed then Hac_obs.Metrics.incr ctx.instr.Instr.sync_changed;
       sd.Semdir.transient_local <- new_local;
       sd.Semdir.transient_remote <- new_remote;
       (* 4. A directory whose links are already expanded must stay
@@ -561,13 +577,25 @@ let resync_dir_in pass (ctx : Ctx.t) uid =
 let resync_dir (ctx : Ctx.t) uid = resync_dir_in (fresh_pass ()) ctx uid
 
 let sync_from (ctx : Ctx.t) uid =
-  let pass = fresh_pass () in
-  ignore (resync_dir_in pass ctx uid);
-  List.iter (fun u -> ignore (resync_dir_in pass ctx u)) (Depgraph.affected ctx.deps uid)
+  let i = ctx.instr in
+  Hac_obs.Trace.with_span i.Instr.tracer ~name:"sync.from" (fun () ->
+      Hac_obs.Metrics.incr i.Instr.sync_from;
+      let pass = fresh_pass () in
+      ignore (resync_dir_in pass ctx uid);
+      let affected = Depgraph.affected ctx.deps uid in
+      List.iter (fun u -> ignore (resync_dir_in pass ctx u)) affected;
+      Hac_obs.Metrics.observe i.Instr.pass_dirs (float_of_int (1 + List.length affected));
+      Hac_obs.Trace.set_attr_int i.Instr.tracer "dirs" (1 + List.length affected))
 
 let sync_all (ctx : Ctx.t) =
-  let pass = fresh_pass () in
-  List.iter (fun u -> ignore (resync_dir_in pass ctx u)) (Depgraph.topo_all ctx.deps)
+  let i = ctx.instr in
+  Hac_obs.Trace.with_span i.Instr.tracer ~name:"sync.full" (fun () ->
+      Hac_obs.Metrics.incr i.Instr.sync_full;
+      let pass = fresh_pass () in
+      let dirs = Depgraph.topo_all ctx.deps in
+      List.iter (fun u -> ignore (resync_dir_in pass ctx u)) dirs;
+      Hac_obs.Metrics.observe i.Instr.pass_dirs (float_of_int (List.length dirs));
+      Hac_obs.Trace.set_attr_int i.Instr.tracer "dirs" (List.length dirs))
 
 (* -- data consistency (section 2.4) --------------------------------------- *)
 
@@ -576,6 +604,8 @@ type delta = { touched : Fileset.t; removed : Fileset.t }
 let empty_delta = { touched = Fileset.empty; removed = Fileset.empty }
 
 let reindex_with_delta (ctx : Ctx.t) ?under () =
+  let i = ctx.instr in
+  Hac_obs.Trace.with_span i.Instr.tracer ~name:"sync.reindex" (fun () ->
   let in_scope path =
     match under with
     | None -> true
@@ -619,6 +649,7 @@ let reindex_with_delta (ctx : Ctx.t) ?under () =
   (* Lazy updates leave stale block bits behind (Glimpse-style); once a
      third of the document slots are dead weight, compact. *)
   if Index.stale_ratio ctx.index > 0.33 && Index.doc_count ctx.index > 0 then begin
+    Hac_obs.Metrics.incr i.Instr.index_rebuilds;
     let live_before = Index.doc_count ctx.index in
     Index.rebuild ctx.index (fun id ->
         Option.bind (Index.doc_path ctx.index id) (fun p ->
@@ -632,7 +663,9 @@ let reindex_with_delta (ctx : Ctx.t) ?under () =
   end;
   ctx.ops_since_reindex <- 0;
   if paths <> [] then Ctx.bump_generation ctx;
-  (List.length paths, { touched = !touched; removed = !removed })
+  Hac_obs.Metrics.incr ~by:(List.length paths) i.Instr.reindex_files;
+  Hac_obs.Trace.set_attr_int i.Instr.tracer "files" (List.length paths);
+  (List.length paths, { touched = !touched; removed = !removed }))
 
 let reindex (ctx : Ctx.t) ?under () = fst (reindex_with_delta ctx ?under ())
 
@@ -674,6 +707,7 @@ let resync_dir_delta pass (ctx : Ctx.t) ~touched ~removed uid =
       let candidates = Fileset.inter touched pscope.local in
       let stale = Fileset.inter delta_all sd.Semdir.transient_local in
       if not (Fileset.is_empty candidates && Fileset.is_empty stale) then begin
+        Hac_obs.Metrics.incr ctx.instr.Instr.sync_dirs;
         let matched =
           Fileset.inter
             (eval_query_in pass ctx ~restrict_to:candidates sd.Semdir.query)
@@ -683,6 +717,7 @@ let resync_dir_delta pass (ctx : Ctx.t) ~touched ~removed uid =
         let old_local = sd.Semdir.transient_local in
         let new_local = Fileset.union adds (Fileset.diff old_local delta_all) in
         let changed = not (Fileset.equal new_local old_local) in
+        if changed then Hac_obs.Metrics.incr ctx.instr.Instr.sync_changed;
         if changed then begin
           sd.Semdir.transient_local <- new_local;
           if sd.Semdir.materialized then
@@ -728,13 +763,22 @@ let resync_dir_delta pass (ctx : Ctx.t) ~touched ~removed uid =
       end
 
 let sync_delta (ctx : Ctx.t) delta =
+  let i = ctx.instr in
   if ctx.needs_full_sync then begin
+    Hac_obs.Metrics.incr i.Instr.sync_fallback;
     ctx.needs_full_sync <- false;
     sync_all ctx
   end
-  else if not (Fileset.is_empty delta.touched && Fileset.is_empty delta.removed) then begin
-    let pass = fresh_pass () in
-    List.iter
-      (fun uid -> resync_dir_delta pass ctx ~touched:delta.touched ~removed:delta.removed uid)
-      (Depgraph.topo_all ctx.deps)
-  end
+  else if not (Fileset.is_empty delta.touched && Fileset.is_empty delta.removed) then
+    Hac_obs.Trace.with_span i.Instr.tracer ~name:"sync.delta" (fun () ->
+        Hac_obs.Metrics.incr i.Instr.sync_delta;
+        let pass = fresh_pass () in
+        let dirs = Depgraph.topo_all ctx.deps in
+        List.iter
+          (fun uid ->
+            resync_dir_delta pass ctx ~touched:delta.touched ~removed:delta.removed uid)
+          dirs;
+        Hac_obs.Metrics.observe i.Instr.pass_dirs (float_of_int (List.length dirs));
+        Hac_obs.Trace.set_attr_int i.Instr.tracer "dirs" (List.length dirs);
+        Hac_obs.Trace.set_attr_int i.Instr.tracer "delta"
+          (Fileset.cardinal delta.touched + Fileset.cardinal delta.removed))

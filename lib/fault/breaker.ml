@@ -10,6 +10,7 @@ let default_config = { failure_threshold = 3; probe_interval = 30.0; success_to_
 
 type t = {
   config : config;
+  on_transition : state -> state -> unit;
   mutable state : state;
   mutable consecutive_failures : int;
   mutable opened_at : float;
@@ -17,9 +18,10 @@ type t = {
   mutable trips : int;
 }
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?(on_transition = fun _ _ -> ()) () =
   {
     config;
+    on_transition;
     state = Closed;
     consecutive_failures = 0;
     opened_at = 0.0;
@@ -31,19 +33,26 @@ let config t = t.config
 
 let state t = t.state
 
+let set_state t s =
+  if t.state <> s then begin
+    let old = t.state in
+    t.state <- s;
+    t.on_transition old s
+  end
+
 let trip t ~now =
-  t.state <- Open;
   t.opened_at <- now;
   t.probe_successes <- 0;
-  t.trips <- t.trips + 1
+  t.trips <- t.trips + 1;
+  set_state t Open
 
 let allow t ~now =
   match t.state with
   | Closed | Half_open -> true
   | Open ->
       if now -. t.opened_at >= t.config.probe_interval then begin
-        t.state <- Half_open;
         t.probe_successes <- 0;
+        set_state t Half_open;
         true
       end
       else false
@@ -54,8 +63,8 @@ let record_success t =
   | Half_open ->
       t.probe_successes <- t.probe_successes + 1;
       if t.probe_successes >= t.config.success_to_close then begin
-        t.state <- Closed;
-        t.consecutive_failures <- 0
+        t.consecutive_failures <- 0;
+        set_state t Closed
       end
   | Open -> () (* success report for a call admitted before the trip *)
 

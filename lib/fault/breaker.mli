@@ -21,8 +21,11 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> unit -> t
-(** A closed breaker. *)
+val create : ?config:config -> ?on_transition:(state -> state -> unit) -> unit -> t
+(** A closed breaker.  [on_transition old new_] fires on every state
+    change (closed→open, open→half-open, half-open→closed,
+    half-open→open) — an observability hook; it must not call back into
+    the breaker. *)
 
 val config : t -> config
 

@@ -2,6 +2,31 @@ module Fileset = Hac_bitset.Fileset
 
 type reader = string -> string option
 
+(* Per-evaluation profiling accumulator.  A plain mutable record rather
+   than a metrics dependency: callers that care allocate one, pass it down,
+   and flush the totals wherever they like; the [None] fast path costs one
+   match per call site. *)
+type probe = {
+  mutable postings_scanned : int;
+  mutable candidates_expanded : int;
+  mutable docs_verified : int;
+  mutable restrict_kept : int;
+  mutable restrict_dropped : int;
+  mutable terms : int;
+}
+
+let new_probe () =
+  {
+    postings_scanned = 0;
+    candidates_expanded = 0;
+    docs_verified = 0;
+    restrict_kept = 0;
+    restrict_dropped = 0;
+    terms = 0;
+  }
+
+let tick probe f = match probe with Some p -> f p | None -> ()
+
 let key idx w = if Index.stemming idx then Stemmer.stem w else w
 
 let contains_word idx ~content ~word =
@@ -33,10 +58,19 @@ let contains_phrase ~content words =
       in
       scan tokens
 
-let restrict within candidates =
-  match within with None -> candidates | Some w -> Fileset.inter w candidates
+let restrict ?probe within candidates =
+  match within with
+  | None -> candidates
+  | Some w ->
+      let kept = Fileset.inter w candidates in
+      tick probe (fun p ->
+          let before = Fileset.cardinal candidates and after = Fileset.cardinal kept in
+          p.restrict_kept <- p.restrict_kept + after;
+          p.restrict_dropped <- p.restrict_dropped + (before - after));
+      kept
 
-let verify idx reader pred candidates =
+let verify ?probe idx reader pred candidates =
+  tick probe (fun p -> p.docs_verified <- p.docs_verified + Fileset.cardinal candidates);
   Fileset.filter
     (fun id ->
       match Index.doc_path idx id with
@@ -45,30 +79,38 @@ let verify idx reader pred candidates =
           match reader path with None -> false | Some content -> pred content))
     candidates
 
-let search_word ?within idx reader w =
-  let w = String.lowercase_ascii w in
-  verify idx reader
-    (fun content -> contains_word idx ~content ~word:w)
-    (restrict within (Index.candidate_docs ?within idx w))
+let expanded ?probe candidates =
+  tick probe (fun p ->
+      p.candidates_expanded <- p.candidates_expanded + Fileset.cardinal candidates);
+  candidates
 
-let search_phrase ?within idx reader words =
+let search_word ?probe ?within idx reader w =
+  let w = String.lowercase_ascii w in
+  tick probe (fun p -> p.postings_scanned <- p.postings_scanned + Index.term_cost idx w);
+  verify ?probe idx reader
+    (fun content -> contains_word idx ~content ~word:w)
+    (restrict ?probe within (expanded ?probe (Index.candidate_docs ?within idx w)))
+
+let search_phrase ?probe ?within idx reader words =
   match words with
   | [] -> Fileset.empty
-  | [ w ] -> search_word ?within idx reader w
+  | [ w ] -> search_word ?probe ?within idx reader w
   | _ ->
       let candidates =
         List.fold_left
           (fun acc w ->
+            tick probe (fun p ->
+                p.postings_scanned <- p.postings_scanned + Index.term_cost idx w);
             let c = Index.candidate_docs ?within idx w in
             match acc with None -> Some c | Some a -> Some (Fileset.inter a c))
           None words
       in
       let candidates = Option.value candidates ~default:Fileset.empty in
-      verify idx reader
+      verify ?probe idx reader
         (fun content -> contains_phrase ~content words)
-        (restrict within candidates)
+        (restrict ?probe within (expanded ?probe candidates))
 
-let search_approx ?within idx reader ~word ~errors =
+let search_approx ?probe ?within idx reader ~word ~errors =
   let word = String.lowercase_ascii word in
   let pred content =
     let found = ref false in
@@ -76,16 +118,18 @@ let search_approx ?within idx reader ~word ~errors =
         if Agrep.word_matches ~pattern:(key idx word) ~errors (key idx x) then found := true);
     !found
   in
-  verify idx reader pred (restrict within (Index.candidate_docs_approx ?within idx ~word ~errors))
+  let candidates = expanded ?probe (Index.candidate_docs_approx ?within idx ~word ~errors) in
+  tick probe (fun p -> p.postings_scanned <- p.postings_scanned + Fileset.cardinal candidates);
+  verify ?probe idx reader pred (restrict ?probe within candidates)
 
-let search_substring idx reader pattern =
+let search_substring ?probe idx reader pattern =
   let pred content = Agrep.find_exact ~pattern content <> None in
-  verify idx reader pred (Index.universe idx)
+  verify ?probe idx reader pred (expanded ?probe (Index.universe idx))
 
 let contains_substring hay needle =
   Agrep.find_exact ~pattern:needle hay <> None
 
-let search_regex ?within idx reader pattern =
+let search_regex ?probe ?within idx reader pattern =
   let re = Regex.compile pattern in
   let candidates =
     (* A literal run required by every match must appear inside some token
@@ -97,13 +141,18 @@ let search_regex ?within idx reader pattern =
       ->
         List.fold_left
           (fun acc w ->
-            if String.length w = Tokenizer.max_word_len || contains_substring w run then
+            if String.length w = Tokenizer.max_word_len || contains_substring w run then begin
+              tick probe (fun p ->
+                  p.postings_scanned <- p.postings_scanned + Index.term_cost idx w);
               Fileset.union acc (Index.candidate_docs ?within idx w)
+            end
             else acc)
           Fileset.empty (Index.vocabulary idx)
     | Some _ | None -> ( match within with Some w -> w | None -> Index.universe idx)
   in
-  verify idx reader (fun content -> Regex.matches re content) (restrict within candidates)
+  verify ?probe idx reader
+    (fun content -> Regex.matches re content)
+    (restrict ?probe within (expanded ?probe candidates))
 
 let matching_lines idx reader ~path ~query_words =
   match reader path with
@@ -118,20 +167,31 @@ let matching_lines idx reader ~path ~query_words =
           if !line_has then hits := (lineno, line) :: !hits);
       List.rev !hits
 
-let eval ?restrict_to idx reader ~attr ~dirref q =
+let eval ?probe ?restrict_to idx reader ~attr ~dirref q =
+  let term () = tick probe (fun p -> p.terms <- p.terms + 1) in
   let env =
     {
       Hac_query.Eval.universe =
         (* Under a restriction [*] and top-level NOT never need more than the
            restriction itself; without one they need the live-document set. *)
         lazy (match restrict_to with Some s -> s | None -> Index.universe idx);
-      word = (fun ?within w -> search_word ?within idx reader w);
-      phrase = (fun ?within ws -> search_phrase ?within idx reader ws);
-      approx = (fun ?within w k -> search_approx ?within idx reader ~word:w ~errors:k);
+      word =
+        (fun ?within w ->
+          term ();
+          search_word ?probe ?within idx reader w);
+      phrase =
+        (fun ?within ws ->
+          term ();
+          search_phrase ?probe ?within idx reader ws);
+      approx =
+        (fun ?within w k ->
+          term ();
+          search_approx ?probe ?within idx reader ~word:w ~errors:k);
       attr;
       regex =
         (fun ?within r ->
-          match search_regex ?within idx reader r with
+          term ();
+          match search_regex ?probe ?within idx reader r with
           | s -> s
           | exception Regex.Parse_error _ -> Fileset.empty);
       dirref;

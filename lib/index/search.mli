@@ -9,19 +9,52 @@
 type reader = string -> string option
 (** [reader path] is the document's contents, or [None] when unreadable. *)
 
+type probe = {
+  mutable postings_scanned : int;
+      (** Index cost units consulted ({!Index.term_cost} per word looked up;
+          candidate cardinality for approximate lookups). *)
+  mutable candidates_expanded : int;
+      (** Documents in candidate sets before restriction/verification. *)
+  mutable docs_verified : int;
+      (** Documents whose contents were read and checked. *)
+  mutable restrict_kept : int;
+      (** Candidates surviving a [?within] restriction. *)
+  mutable restrict_dropped : int;
+      (** Candidates removed by a [?within] restriction — together with
+          [restrict_kept] this gives the restriction hit rate. *)
+  mutable terms : int;  (** Query terms evaluated through {!eval}. *)
+}
+(** Per-evaluation profiling accumulator.  Pass one [?probe] through a
+    search to collect where the work went; omitting it costs nothing
+    measurable.  Purely observational — never affects results. *)
+
+val new_probe : unit -> probe
+(** All-zero probe. *)
+
 val search_word :
-  ?within:Hac_bitset.Fileset.t -> Index.t -> reader -> string -> Hac_bitset.Fileset.t
+  ?probe:probe ->
+  ?within:Hac_bitset.Fileset.t ->
+  Index.t ->
+  reader ->
+  string ->
+  Hac_bitset.Fileset.t
 (** Documents that contain the word (index candidates, then verified whole-
     word containment; stemming follows the index's setting).  [?within]
     restricts the candidates before verification — conjunctive evaluation
     passes its accumulated result here so ever fewer documents are read. *)
 
 val search_phrase :
-  ?within:Hac_bitset.Fileset.t -> Index.t -> reader -> string list -> Hac_bitset.Fileset.t
+  ?probe:probe ->
+  ?within:Hac_bitset.Fileset.t ->
+  Index.t ->
+  reader ->
+  string list ->
+  Hac_bitset.Fileset.t
 (** Documents containing the words consecutively, in order.  Candidate set is
     the intersection of the per-word candidates. *)
 
 val search_approx :
+  ?probe:probe ->
   ?within:Hac_bitset.Fileset.t ->
   Index.t ->
   reader ->
@@ -31,12 +64,17 @@ val search_approx :
 (** Documents containing some word within the given edit distance — the
     [~term] query form. *)
 
-val search_substring : Index.t -> reader -> string -> Hac_bitset.Fileset.t
+val search_substring : ?probe:probe -> Index.t -> reader -> string -> Hac_bitset.Fileset.t
 (** Documents whose raw contents contain the byte string (bitap scan over
     every live document — no index help; for short or non-word patterns). *)
 
 val search_regex :
-  ?within:Hac_bitset.Fileset.t -> Index.t -> reader -> string -> Hac_bitset.Fileset.t
+  ?probe:probe ->
+  ?within:Hac_bitset.Fileset.t ->
+  Index.t ->
+  reader ->
+  string ->
+  Hac_bitset.Fileset.t
 (** Documents whose raw contents match the regular expression (the [/re/]
     query term).  When the pattern syntactically requires a literal word
     ({!Regex.required_word}) and the index is unstemmed, candidates are
@@ -57,6 +95,7 @@ val contains_phrase : content:string -> string list -> bool
 (** Consecutive-words containment test (exact words, no stemming). *)
 
 val eval :
+  ?probe:probe ->
   ?restrict_to:Hac_bitset.Fileset.t ->
   Index.t ->
   reader ->

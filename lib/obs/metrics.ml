@@ -1,0 +1,238 @@
+(* Named instruments behind string keys.  Handles are resolved once and
+   mutated in place, so a hot path pays one hashtable lookup at wiring time
+   and a couple of loads per update afterwards; [set_enabled false] turns
+   every update into a single boolean test. *)
+
+type counter = { c_live : bool ref; mutable n : int }
+
+type gauge = { g_live : bool ref; mutable g : float }
+
+(* Log2-bucketed histogram: bucket 0 holds values <= [lo]; bucket i holds
+   (lo*2^(i-1), lo*2^i]; the last bucket is unbounded above.  With lo = 1ns
+   and 64 buckets the span covers ~1ns .. ~9.2s*2^30, i.e. any duration or
+   count this system can produce. *)
+let lo = 1e-9
+
+let buckets = 64
+
+type histogram = {
+  h_live : bool ref;
+  counts : int array;
+  mutable h_count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+type instr = C of counter | G of gauge | H of histogram
+
+type t = { tbl : (string, instr) Hashtbl.t; live : bool ref }
+
+let create () = { tbl = Hashtbl.create 64; live = ref true }
+
+let set_enabled t b = t.live := b
+
+let enabled t = !(t.live)
+
+let kind_error name = invalid_arg ("Metrics: instrument kind mismatch for " ^ name)
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (C c) -> c
+  | Some _ -> kind_error name
+  | None ->
+      let c = { c_live = t.live; n = 0 } in
+      Hashtbl.replace t.tbl name (C c);
+      c
+
+let incr ?(by = 1) c = if !(c.c_live) then c.n <- c.n + by
+
+let count c = c.n
+
+let reset_counter c = c.n <- 0
+
+let gauge t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (G g) -> g
+  | Some _ -> kind_error name
+  | None ->
+      let g = { g_live = t.live; g = 0.0 } in
+      Hashtbl.replace t.tbl name (G g);
+      g
+
+let set g v = if !(g.g_live) then g.g <- v
+
+let value g = g.g
+
+let histogram t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (H h) -> h
+  | Some _ -> kind_error name
+  | None ->
+      let h =
+        {
+          h_live = t.live;
+          counts = Array.make buckets 0;
+          h_count = 0;
+          sum = 0.0;
+          vmin = infinity;
+          vmax = neg_infinity;
+        }
+      in
+      Hashtbl.replace t.tbl name (H h);
+      h
+
+let bucket_of v =
+  if v <= lo then 0
+  else begin
+    let rec go i ub = if v <= ub || i >= buckets - 1 then i else go (i + 1) (ub *. 2.0) in
+    go 1 (lo *. 2.0)
+  end
+
+let bucket_upper i = if i >= buckets - 1 then infinity else lo *. (2.0 ** float_of_int i)
+
+let observe h v =
+  if !(h.h_live) then begin
+    h.counts.(bucket_of v) <- h.counts.(bucket_of v) + 1;
+    h.h_count <- h.h_count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.vmin then h.vmin <- v;
+    if v > h.vmax then h.vmax <- v
+  end
+
+let percentile h p =
+  if h.h_count = 0 then 0.0
+  else begin
+    let rank = max 1 (int_of_float (ceil (p *. float_of_int h.h_count))) in
+    let rec go i seen =
+      let seen = seen + h.counts.(i) in
+      if seen >= rank || i = buckets - 1 then i else go (i + 1) seen
+    in
+    let b = go 0 0 in
+    (* The bucket's upper bound over-reports by up to 2x; clamping into the
+       observed range makes degenerate distributions (all values equal)
+       exact and keeps p99 <= max always. *)
+    max h.vmin (min (bucket_upper b) h.vmax)
+  end
+
+type summary = {
+  count : int;
+  sum : float;
+  vmin : float;
+  vmax : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let summary h =
+  if h.h_count = 0 then
+    { count = 0; sum = 0.0; vmin = 0.0; vmax = 0.0; p50 = 0.0; p90 = 0.0; p99 = 0.0 }
+  else
+    {
+      count = h.h_count;
+      sum = h.sum;
+      vmin = h.vmin;
+      vmax = h.vmax;
+      p50 = percentile h 0.50;
+      p90 = percentile h 0.90;
+      p99 = percentile h 0.99;
+    }
+
+let reset t =
+  Hashtbl.iter
+    (fun _ instr ->
+      match instr with
+      | C c -> c.n <- 0
+      | G g -> g.g <- 0.0
+      | H h ->
+          Array.fill h.counts 0 buckets 0;
+          h.h_count <- 0;
+          h.sum <- 0.0;
+          h.vmin <- infinity;
+          h.vmax <- neg_infinity)
+    t.tbl
+
+type dumped = Counter_value of int | Gauge_value of float | Histogram_value of summary
+
+let dump t =
+  Hashtbl.fold
+    (fun name instr acc ->
+      let v =
+        match instr with
+        | C c -> Counter_value c.n
+        | G g -> Gauge_value g.g
+        | H h -> Histogram_value (summary h)
+      in
+      (name, v) :: acc)
+    t.tbl []
+  |> List.sort compare
+
+let find t name =
+  Option.map
+    (function
+      | C c -> Counter_value c.n
+      | G g -> Gauge_value g.g
+      | H h -> Histogram_value (summary h))
+    (Hashtbl.find_opt t.tbl name)
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.9g" f
+
+let render t =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter_value n -> Printf.bprintf b "%-40s %d\n" name n
+      | Gauge_value g -> Printf.bprintf b "%-40s %s\n" name (fmt_float g)
+      | Histogram_value s ->
+          Printf.bprintf b
+            "%-40s count=%d sum=%s min=%s max=%s p50=%s p90=%s p99=%s\n" name s.count
+            (fmt_float s.sum) (fmt_float s.vmin) (fmt_float s.vmax) (fmt_float s.p50)
+            (fmt_float s.p90) (fmt_float s.p99))
+    (dump t);
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* JSON numbers may not be [inf]/[nan]; empty-histogram summaries never
+   produce them (summary returns zeros), and finite observations keep every
+   aggregate finite. *)
+let json_float f = if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
+
+let to_json t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\n";
+  let entries = dump t in
+  List.iteri
+    (fun i (name, v) ->
+      Printf.bprintf b "  \"%s\": " (json_escape name);
+      (match v with
+      | Counter_value n -> Printf.bprintf b "{ \"type\": \"counter\", \"value\": %d }" n
+      | Gauge_value g ->
+          Printf.bprintf b "{ \"type\": \"gauge\", \"value\": %s }" (json_float g)
+      | Histogram_value s ->
+          Printf.bprintf b
+            "{ \"type\": \"histogram\", \"count\": %d, \"sum\": %s, \"min\": %s, \"max\": \
+             %s, \"p50\": %s, \"p90\": %s, \"p99\": %s }"
+            s.count (json_float s.sum) (json_float s.vmin) (json_float s.vmax)
+            (json_float s.p50) (json_float s.p90) (json_float s.p99));
+      Buffer.add_string b (if i = List.length entries - 1 then "\n" else ",\n"))
+    entries;
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -1,0 +1,96 @@
+(** Metrics registry: named counters, gauges and log-bucketed histograms.
+
+    Instruments are found-or-created by name and returned as handles that
+    update in place, so hot paths resolve a handle once and pay only a
+    boolean test plus a store per update.  The whole registry can be turned
+    off ([set_enabled]) which makes every update a no-op while keeping the
+    handles valid. *)
+
+type t
+
+val create : unit -> t
+
+val set_enabled : t -> bool -> unit
+(** When disabled, [incr]/[set]/[observe] on every instrument of this
+    registry become no-ops.  Reads still work. *)
+
+val enabled : t -> bool
+
+val reset : t -> unit
+(** Zero every instrument in place; existing handles remain valid. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Find or create.  @raise Invalid_argument if [name] exists with a
+    different instrument kind. *)
+
+val incr : ?by:int -> counter -> unit
+
+val count : counter -> int
+
+val reset_counter : counter -> unit
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+
+val set : gauge -> float -> unit
+
+val value : gauge -> float
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : t -> string -> histogram
+
+val observe : histogram -> float -> unit
+
+val buckets : int
+(** Number of log2 buckets (64). *)
+
+val bucket_of : float -> int
+(** Bucket index for a value: 0 for values <= 1e-9, else the smallest [i]
+    with [v <= 1e-9 *. 2.^i], saturating at [buckets - 1]. *)
+
+val bucket_upper : int -> float
+(** Upper bound of bucket [i]; [infinity] for the last bucket. *)
+
+type summary = {
+  count : int;
+  sum : float;
+  vmin : float;
+  vmax : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summary : histogram -> summary
+
+val percentile : histogram -> float -> float
+(** Upper bound of the bucket holding rank [ceil (p *. count)], clamped
+    into the observed [vmin, vmax] range; 0 on an empty histogram. *)
+
+(** {1 Inspection} *)
+
+type dumped = Counter_value of int | Gauge_value of float | Histogram_value of summary
+
+val dump : t -> (string * dumped) list
+(** All instruments, sorted by name. *)
+
+val find : t -> string -> dumped option
+
+val render : t -> string
+(** Human-readable table, one instrument per line. *)
+
+val to_json : t -> string
+(** JSON object keyed by instrument name. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal. *)

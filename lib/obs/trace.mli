@@ -1,0 +1,74 @@
+(** Nested tracing spans with deterministic timestamps.
+
+    Spans take their primary timestamps from a caller-supplied [now]
+    function — in this repo the virtual fault clock — so traces are
+    reproducible under tests and fault injection.  A second CPU clock
+    ([Sys.time] by default) records real durations for profiling, and a
+    global sequence number gives a strict order even when neither clock
+    advances.  Finished spans are kept in a bounded ring buffer. *)
+
+type span = {
+  id : int;
+  parent : int option;  (** enclosing span id, [None] for roots *)
+  depth : int;  (** nesting depth at open time, roots are 0 *)
+  name : string;
+  mutable attrs : (string * string) list;
+  seq : int;  (** global open order; strictly increasing *)
+  vstart : float;  (** virtual-clock open time *)
+  mutable vstop : float;
+  cstart : float;  (** CPU-clock open time *)
+  mutable cstop : float;
+  mutable failed : bool;  (** closed by an escaping exception *)
+}
+
+type t
+
+val create :
+  ?capacity:int ->
+  ?cpu:(unit -> float) ->
+  ?on_close:(span -> unit) ->
+  now:(unit -> float) ->
+  unit ->
+  t
+(** [capacity] bounds the finished-span ring (default 512).  [on_close]
+    fires for every finished span — used to feed per-span histograms into a
+    metrics registry.  Tracing starts {e disabled}. *)
+
+val set_enabled : t -> bool -> unit
+
+val enabled : t -> bool
+
+val with_span : t -> ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+(** Run [f] inside a new span.  When tracing is disabled this is exactly
+    [f ()].  An escaping exception marks the span [failed] and is
+    re-raised. *)
+
+val set_attr : t -> string -> string -> unit
+(** Attach an attribute to the innermost active span; no-op when no span is
+    open (e.g. tracing disabled). *)
+
+val set_attr_int : t -> string -> int -> unit
+
+val finished : t -> span list
+(** Finished spans still in the ring, oldest first. *)
+
+val dropped : t -> int
+(** Spans evicted from the ring since the last [clear]. *)
+
+val total : t -> int
+(** Spans ever finished since the last [clear]. *)
+
+val clear : t -> unit
+
+val v_duration : span -> float
+
+val cpu_duration : span -> float
+
+val to_jsonl : t -> string
+(** One JSON object per finished span, oldest first. *)
+
+val render : t -> string
+(** Indented forest of all spans in the ring. *)
+
+val render_last : t -> string
+(** Indented subtree of the most recently finished root span. *)

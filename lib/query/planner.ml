@@ -17,18 +17,25 @@ let rec conjuncts = function
   | Ast.And (a, b) -> conjuncts a @ conjuncts b
   | q -> [ q ]
 
-let rec optimize ~cost q =
+let rec optimize ?report ~cost q =
   match q with
   | Ast.Term _ | Ast.All -> q
-  | Ast.Not a -> Ast.Not (optimize ~cost a)
-  | Ast.Or (a, b) -> Ast.Or (optimize ~cost a, optimize ~cost b)
+  | Ast.Not a -> Ast.Not (optimize ?report ~cost a)
+  | Ast.Or (a, b) -> Ast.Or (optimize ?report ~cost a, optimize ?report ~cost b)
   | Ast.And _ -> (
-      let parts = List.map (optimize ~cost) (conjuncts q) in
+      let parts = List.map (optimize ?report ~cost) (conjuncts q) in
       let ranked =
         List.stable_sort
           (fun a b -> compare (subtree_cost ~cost a) (subtree_cost ~cost b))
           parts
       in
+      (match (report, parts, ranked) with
+      | Some f, naive_head :: _, chosen_head :: _ ->
+          f
+            ~chosen:(subtree_cost ~cost chosen_head)
+            ~naive:(subtree_cost ~cost naive_head)
+            ~terms:(List.length parts)
+      | _ -> ());
       match ranked with
       | [] -> assert false (* conjuncts never returns [] *)
       | first :: rest -> List.fold_left (fun acc p -> Ast.And (acc, p)) first rest)

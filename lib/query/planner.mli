@@ -11,10 +11,18 @@
     It is applied at evaluation time only; the stored (and printed) query
     keeps the user's shape. *)
 
-val optimize : cost:(Ast.term -> int) -> Ast.t -> Ast.t
+val optimize :
+  ?report:(chosen:int -> naive:int -> terms:int -> unit) ->
+  cost:(Ast.term -> int) ->
+  Ast.t ->
+  Ast.t
 (** Reorder [AND] chains cheapest-first, recursing everywhere.  [cost]
     estimates how large a term's result is (smaller = more selective);
-    it is consulted once per term. *)
+    it is consulted once per term.  [report], when given, is called once
+    per reordered [AND] chain with the estimated cost of the operand the
+    plan evaluates first ([chosen]), the cost of the operand the user's
+    ordering would have evaluated first ([naive]), and the chain length
+    ([terms]) — a profiling hook, never affecting the plan. *)
 
 val subtree_cost : cost:(Ast.term -> int) -> Ast.t -> int
 (** The estimate used for ordering: a term's own cost; [min] over [AND]

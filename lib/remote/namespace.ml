@@ -77,9 +77,35 @@ let describe_exn = function
   | Hac_fault.Fault.Injected op -> "injected fault on " ^ op
   | e -> Printexc.to_string e
 
-let with_policy ?(policy = default_policy) ~clock ns =
-  let breaker = Hac_fault.Breaker.create ~config:policy.breaker () in
-  let total_failures = ref 0 and total_retries = ref 0 and total_calls = ref 0 in
+let breaker_code = function
+  | Hac_fault.Breaker.Closed -> 0.0
+  | Hac_fault.Breaker.Half_open -> 1.0
+  | Hac_fault.Breaker.Open -> 2.0
+
+let with_policy ?(policy = default_policy) ?metrics ~clock ns =
+  (* Resilience accounting lives in a metrics registry — the caller's if
+     given (so `metrics` in the shell sees every namespace), else a private
+     one.  [health] below reads these instruments back, so there is exactly
+     one copy of the truth. *)
+  let registry =
+    match metrics with Some m -> m | None -> Hac_obs.Metrics.create ()
+  in
+  let instr what = Hac_obs.Metrics.counter registry ("ns." ^ ns.ns_id ^ "." ^ what) in
+  let c_calls = instr "calls"
+  and c_failures = instr "failures"
+  and c_retries = instr "retries"
+  and c_transitions = instr "breaker.transitions" in
+  let g_state = Hac_obs.Metrics.gauge registry ("ns." ^ ns.ns_id ^ ".breaker.state") in
+  let h_slack =
+    Hac_obs.Metrics.histogram registry ("ns." ^ ns.ns_id ^ ".deadline_slack_s")
+  in
+  let breaker =
+    Hac_fault.Breaker.create ~config:policy.breaker
+      ~on_transition:(fun _ next ->
+        Hac_obs.Metrics.incr c_transitions;
+        Hac_obs.Metrics.set g_state (breaker_code next))
+      ()
+  in
   let last_error = ref None in
   let unavailable reason = raise (Unavailable { ns_id = ns.ns_id; reason }) in
   (* One guarded provider call: consult the breaker, then try with bounded
@@ -88,7 +114,7 @@ let with_policy ?(policy = default_policy) ~clock ns =
      as a failure; a call that "succeeds" but blows the budget counts as a
      timeout.  The caller sees either the result or [Unavailable]. *)
   let call op f =
-    incr total_calls;
+    Hac_obs.Metrics.incr c_calls;
     if not (Hac_fault.Breaker.allow breaker ~now:(Hac_fault.Clock.now clock)) then begin
       last_error := Some "circuit open";
       unavailable "circuit open"
@@ -107,15 +133,17 @@ let with_policy ?(policy = default_policy) ~clock ns =
       in
       match verdict with
       | Ok v ->
+          Hac_obs.Metrics.observe h_slack
+            (policy.call_budget -. (Hac_fault.Clock.now clock -. started));
           Hac_fault.Breaker.record_success breaker;
           v
       | Error reason ->
-          incr total_failures;
+          Hac_obs.Metrics.incr c_failures;
           last_error := Some reason;
           Hac_fault.Breaker.record_failure breaker ~now:(Hac_fault.Clock.now clock);
           if n < policy.max_retries && Hac_fault.Breaker.allow breaker ~now:(Hac_fault.Clock.now clock)
           then begin
-            incr total_retries;
+            Hac_obs.Metrics.incr c_retries;
             Hac_fault.Clock.advance clock (Hac_fault.Backoff.delay ~seed:policy.seed policy.backoff ~attempt:n);
             attempt (n + 1)
           end
@@ -131,9 +159,9 @@ let with_policy ?(policy = default_policy) ~clock ns =
     {
       breaker = Hac_fault.Breaker.state breaker;
       consecutive_failures = Hac_fault.Breaker.consecutive_failures breaker;
-      total_failures = !total_failures;
-      total_retries = !total_retries;
-      total_calls = !total_calls;
+      total_failures = Hac_obs.Metrics.count c_failures;
+      total_retries = Hac_obs.Metrics.count c_retries;
+      total_calls = Hac_obs.Metrics.count c_calls;
       breaker_trips = Hac_fault.Breaker.trips breaker;
       last_error = !last_error;
     }

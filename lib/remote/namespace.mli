@@ -88,12 +88,20 @@ type policy = {
 val default_policy : policy
 (** 2 retries, default backoff, 2 s per-call budget, default breaker. *)
 
-val with_policy : ?policy:policy -> clock:Hac_fault.Clock.t -> t -> t
+val with_policy :
+  ?policy:policy -> ?metrics:Hac_obs.Metrics.t -> clock:Hac_fault.Clock.t -> t -> t
 (** Wrap every provider call in the retry/deadline/breaker discipline.
     All time is virtual: backoff delays and probe intervals advance/read
     [clock].  Any exception from the underlying namespace counts as a
     failure; the wrapper itself only ever raises {!Unavailable}.  The
-    result carries live {!health}. *)
+    result carries live {!health}.
+
+    Accounting goes to [metrics] (or a private registry when omitted)
+    under [ns.<id>.calls] / [.failures] / [.retries] counters, a
+    [ns.<id>.breaker.state] gauge (0 closed, 1 half-open, 2 open) plus a
+    [.breaker.transitions] counter, and a [ns.<id>.deadline_slack_s]
+    histogram of budget remaining on each success; {!health} reads these
+    same instruments back. *)
 
 val with_faults : Hac_fault.Fault.t -> t -> t
 (** Route every provider call through the fault injector: latency is

@@ -34,6 +34,7 @@ let help_text =
   schquery DIR QUERY...               change (or retro-fit) a directory's query
   sreadin DIR                         show a directory's query
   ssearch QUERY...                    evaluate a query ad hoc (no directory)
+  sfind QUERY...                      alias of ssearch
   sgrep REGEX [DIR]                   regex search, with matching lines
   links [DIR]                         show links with their classes
   prohibited [DIR]                    show prohibited targets
@@ -55,6 +56,9 @@ let help_text =
   save HOSTFILE | restore HOSTFILE    snapshot the whole fs to the host disk
   sdirs                               list semantic directories
   stats                               space and consistency counters
+  trace [on|off|dump|json|clear]      span tracing (virtual-clock timestamps)
+  metrics [-json]                     dump the metrics registry
+  profile CMD...                      run any command in a root span, print its tree
   help | quit
 
 Query syntax: words, "phrases", ~approx, /regex/, attr:value (from:, subject:,
@@ -107,7 +111,11 @@ let resilient_mount s dir ns =
   let clock = Hac.clock s.t in
   let inj = Fault.create ~seed:(Hashtbl.hash ns.Namespace.ns_id) ~clock () in
   Hashtbl.replace s.faults ns.Namespace.ns_id inj;
-  Hac.smount s.t dir (Namespace.with_policy ~clock (Namespace.with_faults inj ns))
+  (* The instance's registry, so `metrics` shows every namespace's
+     resilience accounting alongside the core's instruments. *)
+  Hac.smount s.t dir
+    (Namespace.with_policy ~metrics:(Hac.metrics s.t) ~clock
+       (Namespace.with_faults inj ns))
 
 let hac s = s.t
 
@@ -287,7 +295,31 @@ let space_report s buf =
     rc.Hac_core.Rescache.misses rc.Hac_core.Rescache.entries;
   out buf "current user         : %d\n" (Fs.current_user (Hac.fs s.t))
 
-let run s buf line =
+module Trace = Hac_obs.Trace
+module Metrics = Hac_obs.Metrics
+
+let cmd_trace s buf args =
+  let tr = Hac.tracer s.t in
+  match args with
+  | [ "on" ] ->
+      Trace.set_enabled tr true;
+      out buf "tracing on\n"
+  | [ "off" ] ->
+      Trace.set_enabled tr false;
+      out buf "tracing off\n"
+  | [ "dump" ] -> Buffer.add_string buf (Trace.render tr)
+  | [ "json" ] -> Buffer.add_string buf (Trace.to_jsonl tr)
+  | [ "clear" ] ->
+      Trace.clear tr;
+      out buf "trace buffer cleared\n"
+  | [] ->
+      out buf "tracing %s: %d spans buffered, %d finished, %d dropped\n"
+        (if Trace.enabled tr then "on" else "off")
+        (List.length (Trace.finished tr))
+        (Trace.total tr) (Trace.dropped tr)
+  | _ -> out buf "trace [on|off|dump|json|clear]\n"
+
+let rec run s buf line =
   let parts =
     String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
   in
@@ -339,6 +371,7 @@ let run s buf line =
              | Some q -> out buf "%s\n" q
              | None -> out buf "%s is not semantic\n" d)
          | "ssearch", q when q <> [] -> cmd_ssearch s buf (String.concat " " q)
+         | "sfind", q when q <> [] -> cmd_ssearch s buf (String.concat " " q)
          | "sgrep", pattern :: rest ->
              cmd_sgrep s buf pattern (match rest with [] -> s.wd | d :: _ -> resolve s d)
          | "links", rest -> show_links s buf (match rest with [] -> s.wd | d :: _ -> resolve s d)
@@ -390,6 +423,27 @@ let run s buf line =
          | "mount-status", _ -> mount_status_report s buf
          | "fault", rest -> cmd_fault s buf rest
          | "stats", _ -> space_report s buf
+         | "trace", rest -> cmd_trace s buf rest
+         | "metrics", [] -> Buffer.add_string buf (Metrics.render (Hac.metrics s.t))
+         | "metrics", [ "-json" ] ->
+             Buffer.add_string buf (Metrics.to_json (Hac.metrics s.t))
+         | "profile", rest when rest <> [] ->
+             (* Wrap the inner command in a root span with tracing forced
+                on, then print that subtree; the previous tracing setting
+                is restored either way. *)
+             let tr = Hac.tracer s.t in
+             let was = Trace.enabled tr in
+             Trace.set_enabled tr true;
+             let finish () = Trace.set_enabled tr was in
+             (match
+                Trace.with_span tr ~name:("profile:" ^ List.hd rest) (fun () ->
+                    ignore (run s buf (String.concat " " rest)))
+              with
+             | () -> finish ()
+             | exception e ->
+                 finish ();
+                 raise e);
+             Buffer.add_string buf (Trace.render_last (Hac.tracer s.t))
          | _, _ -> out buf "unknown or malformed command (try: help)\n"
        with
       | Errno.Error (code, subject) -> out buf "error: %s: %s\n" subject (Errno.message code)

@@ -1,0 +1,360 @@
+(* Tests for the observability layer: the metrics registry (counters,
+   gauges, log-bucketed histograms and their percentiles), the tracer
+   (nesting, ordering and eviction under the virtual clock), the wiring of
+   both through the stack (result cache, resilient namespaces, settle
+   spans), and the differential guarantee that turning tracing on never
+   changes what HAC computes. *)
+
+module Metrics = Hac_obs.Metrics
+module Trace = Hac_obs.Trace
+module Clock = Hac_fault.Clock
+module Breaker = Hac_fault.Breaker
+module Fault = Hac_fault.Fault
+module Namespace = Hac_remote.Namespace
+module Hac = Hac_core.Hac
+module Link = Hac_core.Link
+module Rescache = Hac_core.Rescache
+module Fs = Hac_vfs.Fs
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let counter_value m name =
+  match Metrics.find m name with
+  | Some (Metrics.Counter_value n) -> n
+  | _ -> Alcotest.failf "no counter %s" name
+
+let gauge_value m name =
+  match Metrics.find m name with
+  | Some (Metrics.Gauge_value v) -> v
+  | _ -> Alcotest.failf "no gauge %s" name
+
+let histogram_value m name =
+  match Metrics.find m name with
+  | Some (Metrics.Histogram_value s) -> s
+  | _ -> Alcotest.failf "no histogram %s" name
+
+(* -- registry basics ------------------------------------------------------- *)
+
+let test_counters_and_gauges () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "a.count" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  check_int "counter accumulates" 5 (Metrics.count c);
+  (* Same name returns the same instrument, not a fresh one. *)
+  Metrics.incr (Metrics.counter m "a.count");
+  check_int "find-or-create aliases" 6 (Metrics.count c);
+  let g = Metrics.gauge m "a.gauge" in
+  Metrics.set g 2.5;
+  Alcotest.(check (float 0.0)) "gauge holds last value" 2.5 (Metrics.value g);
+  (match Metrics.gauge m "a.count" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch not rejected");
+  Metrics.reset m;
+  check_int "reset zeroes counters in place" 0 (Metrics.count c);
+  Alcotest.(check (float 0.0)) "reset zeroes gauges" 0.0 (Metrics.value g)
+
+let test_disable_is_noop () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "c" in
+  let g = Metrics.gauge m "g" in
+  let h = Metrics.histogram m "h" in
+  Metrics.set_enabled m false;
+  Metrics.incr c;
+  Metrics.set g 7.0;
+  Metrics.observe h 0.5;
+  check_int "disabled counter unchanged" 0 (Metrics.count c);
+  Alcotest.(check (float 0.0)) "disabled gauge unchanged" 0.0 (Metrics.value g);
+  check_int "disabled histogram unchanged" 0 (Metrics.summary h).Metrics.count;
+  Metrics.set_enabled m true;
+  Metrics.incr c;
+  check_int "re-enabled counter counts" 1 (Metrics.count c)
+
+(* -- histograms ------------------------------------------------------------ *)
+
+let test_histogram_buckets () =
+  check_int "underflow lands in bucket 0" 0 (Metrics.bucket_of 0.0);
+  check_int "lo itself lands in bucket 0" 0 (Metrics.bucket_of 1e-9);
+  check_int "just above lo lands in bucket 1" 1 (Metrics.bucket_of 2e-9);
+  (* Bucket upper bounds are consistent with bucket assignment. *)
+  List.iter
+    (fun i ->
+      check_int
+        (Printf.sprintf "upper bound of bucket %d maps back" i)
+        i
+        (Metrics.bucket_of (Metrics.bucket_upper i)))
+    [ 1; 5; 20; 40 ];
+  check_int "huge values saturate in the last bucket" (Metrics.buckets - 1)
+    (Metrics.bucket_of 1e30);
+  check_bool "last bucket is unbounded" true
+    (Metrics.bucket_upper (Metrics.buckets - 1) = infinity)
+
+let test_histogram_percentiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  (* A single repeated value: every percentile is clamped onto it. *)
+  for _ = 1 to 10 do
+    Metrics.observe h 0.003
+  done;
+  let s = Metrics.summary h in
+  check_int "count" 10 s.Metrics.count;
+  Alcotest.(check (float 1e-9)) "sum" 0.03 s.Metrics.sum;
+  Alcotest.(check (float 0.0)) "p50 clamps to the one value" 0.003 s.Metrics.p50;
+  Alcotest.(check (float 0.0)) "p99 clamps to the one value" 0.003 s.Metrics.p99;
+  (* A skewed distribution: the p50/p90 ranks sit in the small-value
+     bucket (within one log2 bucket of 1 ms) while p99 reaches the single
+     large observation, clamped to the true max. *)
+  let h2 = Metrics.histogram m "lat2" in
+  for _ = 1 to 9 do
+    Metrics.observe h2 0.001
+  done;
+  Metrics.observe h2 1.0;
+  let s2 = Metrics.summary h2 in
+  check_bool "p50 within a bucket of the bulk" true
+    (s2.Metrics.p50 >= 0.001 && s2.Metrics.p50 <= 0.0021);
+  check_bool "p90 still in the bulk" true (s2.Metrics.p90 <= 0.0021);
+  Alcotest.(check (float 0.0)) "p99 reaches the outlier, clamped to max" 1.0
+    s2.Metrics.p99;
+  Alcotest.(check (float 0.0)) "min tracked exactly" 0.001 s2.Metrics.vmin;
+  Alcotest.(check (float 0.0)) "max tracked exactly" 1.0 s2.Metrics.vmax
+
+(* -- tracer ---------------------------------------------------------------- *)
+
+let make_tracer ?capacity ?on_close () =
+  let clock = Clock.create () in
+  let tr = Trace.create ?capacity ?on_close ~now:(fun () -> Clock.now clock) () in
+  (clock, tr)
+
+let test_span_nesting_and_order () =
+  let clock, tr = make_tracer () in
+  Trace.set_enabled tr true;
+  Trace.with_span tr ~name:"outer" (fun () ->
+      Clock.advance clock 1.0;
+      Trace.with_span tr ~name:"inner" (fun () ->
+          Trace.set_attr_int tr "k" 7;
+          Clock.advance clock 0.5);
+      Trace.with_span tr ~name:"inner2" (fun () -> ()));
+  (match Trace.finished tr with
+  | [ i1; i2; outer ] ->
+      (* Children close before their parent; open order is the seq order. *)
+      Alcotest.(check string) "first closed" "inner" i1.Trace.name;
+      Alcotest.(check string) "second closed" "inner2" i2.Trace.name;
+      Alcotest.(check string) "root closed last" "outer" outer.Trace.name;
+      check_bool "seq follows open order" true
+        (outer.Trace.seq < i1.Trace.seq && i1.Trace.seq < i2.Trace.seq);
+      check_int "root depth" 0 outer.Trace.depth;
+      check_int "child depth" 1 i1.Trace.depth;
+      check_bool "child links to parent" true (i1.Trace.parent = Some outer.Trace.id);
+      Alcotest.(check (float 0.0)) "child opens at virtual 1.0" 1.0 i1.Trace.vstart;
+      Alcotest.(check (float 1e-9)) "child virtual duration" 0.5 (Trace.v_duration i1);
+      Alcotest.(check (float 1e-9)) "root spans the whole window" 1.5
+        (Trace.v_duration outer);
+      check_bool "attr recorded on the innermost span" true
+        (List.mem_assoc "k" i1.Trace.attrs && List.assoc "k" i1.Trace.attrs = "7")
+  | spans -> Alcotest.failf "expected 3 finished spans, got %d" (List.length spans));
+  check_int "jsonl has one line per span" 3
+    (List.length
+       (List.filter (fun l -> l <> "")
+          (String.split_on_char '\n' (Trace.to_jsonl tr))))
+
+let test_span_disabled_and_failed () =
+  let _, tr = make_tracer () in
+  check_int "disabled with_span is passthrough" 42
+    (Trace.with_span tr ~name:"ghost" (fun () -> 42));
+  check_int "disabled leaves no spans" 0 (Trace.total tr);
+  Trace.set_enabled tr true;
+  (match Trace.with_span tr ~name:"boom" (fun () -> failwith "no") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  (match Trace.finished tr with
+  | [ sp ] ->
+      check_bool "escaping exception marks the span failed" true sp.Trace.failed
+  | _ -> Alcotest.fail "failed span not recorded");
+  (* The active stack unwound: the next span is a fresh root. *)
+  Trace.with_span tr ~name:"after" (fun () -> ());
+  match Trace.finished tr with
+  | [ _; after ] ->
+      check_bool "stack unwound after failure" true
+        (after.Trace.parent = None && after.Trace.depth = 0)
+  | _ -> Alcotest.fail "expected two spans"
+
+let test_ring_eviction () =
+  let _, tr = make_tracer ~capacity:4 () in
+  Trace.set_enabled tr true;
+  for i = 1 to 6 do
+    Trace.with_span tr ~name:(Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  let names = List.map (fun sp -> sp.Trace.name) (Trace.finished tr) in
+  Alcotest.(check (list string)) "ring keeps the newest, oldest first"
+    [ "s3"; "s4"; "s5"; "s6" ] names;
+  check_int "evictions counted" 2 (Trace.dropped tr);
+  check_int "total unaffected by eviction" 6 (Trace.total tr);
+  Trace.clear tr;
+  check_int "clear empties the ring" 0 (List.length (Trace.finished tr));
+  check_int "clear resets dropped" 0 (Trace.dropped tr);
+  check_int "clear resets total" 0 (Trace.total tr)
+
+let test_on_close_feeds_histograms () =
+  let t = Hac.create () in
+  Trace.set_enabled (Hac.tracer t) true;
+  Hac.write_file t "/a.txt" "alpha beta";
+  Hac.smkdir t "/q" "alpha";
+  ignore (Hac.reindex t ());
+  let s = histogram_value (Hac.metrics t) "span.sync.reindex.cpu_s" in
+  check_bool "every finished span feeds span.<name>.cpu_s" true (s.Metrics.count > 0);
+  let s2 = histogram_value (Hac.metrics t) "span.query.eval.cpu_s" in
+  check_bool "query evaluation histogrammed" true (s2.Metrics.count > 0)
+
+(* -- differential: tracing must not change behaviour ----------------------- *)
+
+let run_workload ~traced =
+  let t = Hac.create ~stem:false () in
+  if traced then Trace.set_enabled (Hac.tracer t) true;
+  let fs = Hac.fs t in
+  Fs.mkdir_p fs "/docs";
+  for i = 0 to 19 do
+    Fs.write_file fs
+      (Printf.sprintf "/docs/f%02d.txt" i)
+      (Printf.sprintf "file number %d %s" i (if i mod 3 = 0 then "triple" else "plain"))
+  done;
+  Hac.smkdir t "/threes" "triple";
+  Hac.smkdir t "/both" "triple AND number";
+  ignore (Hac.reindex t ());
+  Fs.write_file fs "/docs/f01.txt" "file number 1 triple now";
+  Fs.write_file fs "/docs/f03.txt" "file number 3 plain now";
+  ignore (Hac.reindex t ());
+  Hac.schquery t "/both" "plain AND number";
+  ignore (Hac.reindex t ());
+  let links d = List.sort compare (List.map (fun l -> l.Link.name) (Hac.links t d)) in
+  (Hac.semantic_dirs t, links "/threes", links "/both", Hac.dirty_count t)
+
+let test_differential_tracing () =
+  let plain = run_workload ~traced:false in
+  let traced = run_workload ~traced:true in
+  check_bool "tracing on and off compute identical results" true (plain = traced)
+
+(* -- breaker + namespace metrics ------------------------------------------- *)
+
+let test_breaker_metrics () =
+  let clock = Clock.create () in
+  let m = Metrics.create () in
+  let ns =
+    Namespace.static ~ns_id:"flaky"
+      [ ("doc.ps", "dlib://flaky/doc.ps", "sorting networks survey") ]
+  in
+  let inj = Fault.create ~seed:11 ~clock () in
+  let wrapped = Namespace.with_policy ~metrics:m ~clock (Namespace.with_faults inj ns) in
+  ignore (wrapped.Namespace.search "sorting");
+  check_int "healthy call counted" 1 (counter_value m "ns.flaky.calls");
+  check_int "no failures yet" 0 (counter_value m "ns.flaky.failures");
+  Alcotest.(check (float 0.0)) "breaker gauge starts closed" 0.0
+    (gauge_value m "ns.flaky.breaker.state");
+  check_bool "slack histogram observed on success" true
+    ((histogram_value m "ns.flaky.deadline_slack_s").Metrics.count > 0);
+  Fault.set_plans inj [ Fault.Outage ];
+  for _ = 1 to 4 do
+    (try ignore (wrapped.Namespace.search "sorting") with Namespace.Unavailable _ -> ())
+  done;
+  Alcotest.(check (float 0.0)) "breaker gauge open under persistent failure" 2.0
+    (gauge_value m "ns.flaky.breaker.state");
+  check_bool "transitions counted" true
+    (counter_value m "ns.flaky.breaker.transitions" >= 1);
+  check_bool "failures counted" true (counter_value m "ns.flaky.failures" > 0);
+  check_bool "retries counted" true (counter_value m "ns.flaky.retries" > 0);
+  (* Health is a reader over the same instruments — single source of truth. *)
+  (match Namespace.health wrapped with
+  | Some h ->
+      check_int "health.total_calls reads the registry"
+        (counter_value m "ns.flaky.calls")
+        h.Namespace.total_calls;
+      check_int "health.total_failures reads the registry"
+        (counter_value m "ns.flaky.failures")
+        h.Namespace.total_failures;
+      check_int "health.total_retries reads the registry"
+        (counter_value m "ns.flaky.retries")
+        h.Namespace.total_retries;
+      check_bool "health sees the open breaker" true (h.Namespace.breaker = Breaker.Open)
+  | None -> Alcotest.fail "policy-wrapped namespace has no health");
+  Fault.clear inj;
+  Clock.advance clock 60.0;
+  ignore (wrapped.Namespace.search "sorting");
+  Alcotest.(check (float 0.0)) "recovery closes the breaker gauge" 0.0
+    (gauge_value m "ns.flaky.breaker.state");
+  check_bool "open -> half-open -> closed adds transitions" true
+    (counter_value m "ns.flaky.breaker.transitions" >= 3)
+
+(* -- result cache thin reader ---------------------------------------------- *)
+
+let test_rescache_thin_reader () =
+  let t = Hac.create () in
+  Hac.write_file t "/a.txt" "needle in haystack";
+  Hac.smkdir t "/q" "needle";
+  ignore (Hac.reindex t ());
+  Hac.sync_all t;
+  Hac.sync_all t;
+  let st = Hac.result_cache_stats t in
+  let m = Hac.metrics t in
+  check_int "stats.hits is the rescache.hits counter"
+    (counter_value m "rescache.hits")
+    st.Rescache.hits;
+  check_int "stats.misses is the rescache.misses counter"
+    (counter_value m "rescache.misses")
+    st.Rescache.misses;
+  check_int "stats.drops is the rescache.drops counter"
+    (counter_value m "rescache.drops")
+    st.Rescache.drops;
+  check_bool "entries gauge mirrors the table" true
+    (gauge_value m "rescache.entries" = float_of_int st.Rescache.entries);
+  check_bool "warm no-change sync_all hits" true (st.Rescache.hits > 0);
+  Hac.reset_result_cache_stats t;
+  check_int "reset zeroes the registry counters too" 0
+    (counter_value m "rescache.hits" + counter_value m "rescache.misses"
+   + counter_value m "rescache.drops")
+
+(* -- json export ----------------------------------------------------------- *)
+
+let test_json_export () =
+  let m = Metrics.create () in
+  Metrics.incr (Metrics.counter m "x.calls");
+  Metrics.set (Metrics.gauge m "x.level") 1.5;
+  Metrics.observe (Metrics.histogram m "x.lat") 0.25;
+  let j = Metrics.to_json m in
+  let has sub =
+    let n = String.length sub and l = String.length j in
+    let rec go i = i + n <= l && (String.sub j i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "counter serialised" true (has "\"x.calls\": { \"type\": \"counter\"");
+  check_bool "gauge serialised" true (has "\"x.level\": { \"type\": \"gauge\"");
+  check_bool "histogram serialised with percentiles" true
+    (has "\"x.lat\": { \"type\": \"histogram\"" && has "\"p99\"")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
+          Alcotest.test_case "disable is a no-op" `Quick test_disable_is_noop;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "json export" `Quick test_json_export;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nesting and order" `Quick test_span_nesting_and_order;
+          Alcotest.test_case "disabled and failed spans" `Quick
+            test_span_disabled_and_failed;
+          Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+          Alcotest.test_case "on_close feeds histograms" `Quick
+            test_on_close_feeds_histograms;
+        ] );
+      ( "wiring",
+        [
+          Alcotest.test_case "tracing is behaviour-neutral" `Quick
+            test_differential_tracing;
+          Alcotest.test_case "breaker gauge and transitions" `Quick test_breaker_metrics;
+          Alcotest.test_case "rescache thin reader" `Quick test_rescache_thin_reader;
+        ] );
+    ]
