@@ -132,12 +132,28 @@ let subset a b =
   match (a, b) with
   | Dense x, Dense y -> Bitset.subset x y
   | Sparse x, Sparse y -> Sparse.subset x y
-  | _ ->
-      let r = ref true in
-      iter (fun i -> if not (mem b i) then r := false) a;
-      !r
+  | _ -> (
+      (* Mixed representations: stop at the first counter-example instead of
+         scanning the rest of [a]. *)
+      try
+        iter (fun i -> if not (mem b i) then raise Exit) a;
+        true
+      with Exit -> false)
 
-let filter p t = of_list (List.filter p (elements t))
+(* In-representation filtering: this is {!Search.verify}'s hot path, where
+   the old [elements] / [List.filter] / [of_list] round trip allocated a
+   list cell per candidate plus a sort. *)
+let filter p t =
+  match t with
+  | Sparse s -> normalize (Sparse (Sparse.filter p s))
+  | Dense b ->
+      let r =
+        Bitset.create
+          ~capacity:(match Bitset.max_elt_opt b with Some m -> m + 1 | None -> 64)
+          ()
+      in
+      Bitset.iter (fun i -> if p i then Bitset.add r i) b;
+      normalize (Dense r)
 
 let choose_opt = function
   | Dense b -> Bitset.choose_opt b

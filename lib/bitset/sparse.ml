@@ -116,6 +116,19 @@ let equal a b = a = b
 
 let subset a b = Array.length (diff a b) = 0
 
+let filter p s =
+  let n = Array.length s in
+  let kept = Array.make n 0 in
+  let out = ref 0 in
+  for i = 0 to n - 1 do
+    let x = Array.unsafe_get s i in
+    if p x then begin
+      kept.(!out) <- x;
+      incr out
+    end
+  done;
+  if !out = n then s else Array.sub kept 0 !out
+
 let iter f s = Array.iter f s
 
 let fold f s init = Array.fold_left (fun acc i -> f i acc) init s

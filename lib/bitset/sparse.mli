@@ -51,6 +51,10 @@ val equal : t -> t -> bool
 val subset : t -> t -> bool
 (** [subset a b] iff every element of [a] is in [b]. *)
 
+val filter : (int -> bool) -> t -> t
+(** Elements satisfying the predicate, in one linear scan of the backing
+    array; returns the input itself when nothing is dropped. *)
+
 val iter : (int -> unit) -> t -> unit
 (** Iterate in increasing order. *)
 

@@ -22,6 +22,7 @@ type t = {
   rescache : Rescache.t;
   mutable scope_generation : int;
   mutable needs_full_sync : bool;
+  mutable pass_caches : bool;
   instr : Instr.t;
 }
 
@@ -53,6 +54,7 @@ let create ?(block_size = 8) ?(stem = true) ?transducer ?(auto_sync = false) ?re
       rescache = Rescache.create ~metrics:instr.Instr.metrics ();
       scope_generation = 0;
       needs_full_sync = false;
+      pass_caches = true;
       instr;
     }
   in

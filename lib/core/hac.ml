@@ -36,14 +36,26 @@ let journal_append (ctx : Ctx.t) body =
   Ctx.with_maintenance ctx (fun () ->
       Fs.append_file ctx.fs (Sync.meta_root ^ "/dirs.log") (Journal.seal body ^ "\n"))
 
+(* A settle's domain budget becomes a pool only when it actually buys
+   parallelism; [None] keeps the engine on the exact sequential code path. *)
+let with_pool domains f =
+  match domains with
+  | Some d when d > 1 -> Hac_par.Pool.with_pool ~domains:d (fun p -> f (Some p))
+  | Some _ | None -> f None
+
 (* Settle everything now: data consistency, then scope consistency.  The
    reindex delta drives an incremental re-evaluation; structural events
    (renames, link edits — anything that set [needs_full_sync]) make
-   [sync_delta] fall back to a full pass. *)
-let settle (ctx : Ctx.t) =
+   [sync_delta] fall back to a full pass.  [?domains] re-evaluates with a
+   domain pool of that width (see {!Sync.sync_all}); the result is identical
+   to the default sequential settle. *)
+let settle ?domains (ctx : Ctx.t) =
+  (match domains with
+  | Some d -> Hac_obs.Metrics.set ctx.instr.Instr.par_domains (float_of_int (max 1 d))
+  | None -> ());
   Hac_obs.Trace.with_span ctx.instr.Instr.tracer ~name:"hac.settle" (fun () ->
       let _, delta = Sync.reindex_with_delta ctx () in
-      Sync.sync_delta ctx delta)
+      with_pool domains (fun pool -> Sync.sync_delta ?pool ctx delta))
 
 let tick (ctx : Ctx.t) =
   ctx.ops_since_reindex <- ctx.ops_since_reindex + 1;
@@ -477,22 +489,29 @@ let semantic_dirs (ctx : Ctx.t) =
     ctx.semdirs []
   |> List.sort compare
 
-let ssync (ctx : Ctx.t) path = Sync.sync_from ctx (uid_of_dir ctx path)
+let ssync ?domains (ctx : Ctx.t) path =
+  let uid = uid_of_dir ctx path in
+  with_pool domains (fun pool -> Sync.sync_from ?pool ctx uid)
 
-let sync_all (ctx : Ctx.t) = Sync.sync_all ctx
+let sync_all ?domains (ctx : Ctx.t) =
+  with_pool domains (fun pool -> Sync.sync_all ?pool ctx)
 
-let reindex (ctx : Ctx.t) ?under () =
+let reindex ?domains (ctx : Ctx.t) ?under () =
   let n, delta = Sync.reindex_with_delta ctx ?under () in
-  Sync.sync_delta ctx delta;
+  with_pool domains (fun pool -> Sync.sync_delta ?pool ctx delta);
   n
 
-let reindex_full (ctx : Ctx.t) ?under () =
+let reindex_full ?domains (ctx : Ctx.t) ?under () =
   let n = Sync.reindex ctx ?under () in
-  Sync.sync_all ctx;
+  with_pool domains (fun pool -> Sync.sync_all ?pool ctx);
   ctx.needs_full_sync <- false;
   n
 
 let dirty_count (ctx : Ctx.t) = Hashtbl.length ctx.dirty
+
+let set_pass_caches (ctx : Ctx.t) on = ctx.pass_caches <- on
+
+let pass_caches_enabled (ctx : Ctx.t) = ctx.pass_caches
 
 (* -- links ------------------------------------------------------------------ *)
 

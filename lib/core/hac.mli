@@ -119,28 +119,48 @@ val is_semantic : t -> string -> bool
 val semantic_dirs : t -> string list
 (** Paths of every semantic directory, sorted. *)
 
-val ssync : t -> string -> unit
+val settle : ?domains:int -> t -> unit
+(** Settle everything now: data consistency (reindex the dirty paths), then
+    scope consistency (incremental, falling back to a full pass after
+    structural events).  [?domains > 1] re-evaluates with a domain pool of
+    that width: each dependency level's query evaluations run concurrently
+    against the frozen index, results are applied in order — the outcome is
+    identical to the sequential settle (see [docs/parallelism.md]). *)
+
+val ssync : ?domains:int -> t -> string -> unit
 (** Re-evaluate the directory's query and those of all directories that
-    directly or indirectly depend on it (the paper's [ssync]). *)
+    directly or indirectly depend on it (the paper's [ssync]).  [?domains]
+    as in {!settle}. *)
 
-val sync_all : t -> unit
-(** Settle scope consistency everywhere (dependencies first). *)
+val sync_all : ?domains:int -> t -> unit
+(** Settle scope consistency everywhere (dependencies first).  [?domains]
+    as in {!settle}. *)
 
-val reindex : t -> ?under:string -> unit -> int
+val reindex : ?domains:int -> t -> ?under:string -> unit -> int
 (** Settle data consistency now (optionally only below [under]) and then
     restore scope consistency {e incrementally}: queries are re-evaluated
     only over the documents the reindex touched or removed
     ({!Sync.sync_delta}).  Structural events since the last settle force a
     full re-evaluation instead.  Returns the number of files whose index
-    entries were refreshed. *)
+    entries were refreshed.  [?domains] as in {!settle}. *)
 
-val reindex_full : t -> ?under:string -> unit -> int
+val reindex_full : ?domains:int -> t -> ?under:string -> unit -> int
 (** Like {!reindex} but always re-evaluates every semantic directory from
     scratch ({!Sync.sync_all}) — the non-incremental baseline, useful for
-    benchmarking and as a property-test oracle. *)
+    benchmarking and as a property-test oracle.  [?domains] as in
+    {!settle}. *)
 
 val dirty_count : t -> int
 (** Files whose index entry is currently stale. *)
+
+val set_pass_caches : t -> bool -> unit
+(** Enable/disable the shared per-pass evaluation caches (term-result memo
+    and document token cache).  On by default; disabling them is an ablation
+    knob for benchmarks comparing against the uncached engine — results are
+    identical either way. *)
+
+val pass_caches_enabled : t -> bool
+(** Current setting of {!set_pass_caches}. *)
 
 (** {1 Links} *)
 

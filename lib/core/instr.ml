@@ -27,6 +27,14 @@ type t = {
   sync_changed : Metrics.counter;
   reindex_files : Metrics.counter;
   index_rebuilds : Metrics.counter;
+  par_levels : Metrics.counter;
+  par_tasks : Metrics.counter;
+  par_domains : Metrics.gauge;
+  memo_hits : Metrics.counter;
+  memo_misses : Metrics.counter;
+  doc_cache_hits : Metrics.counter;
+  doc_cache_misses : Metrics.counter;
+  doc_cache_uncached : Metrics.counter;
   generation : Metrics.gauge;
   pass_dirs : Metrics.histogram;
 }
@@ -67,6 +75,14 @@ let create ~now () =
     sync_changed = Metrics.counter m "sync.dirs_changed";
     reindex_files = Metrics.counter m "sync.reindex.files";
     index_rebuilds = Metrics.counter m "sync.index.rebuilds";
+    par_levels = Metrics.counter m "sync.par.levels";
+    par_tasks = Metrics.counter m "sync.par.tasks";
+    par_domains = Metrics.gauge m "sync.par.domains";
+    memo_hits = Metrics.counter m "pass.term_memo.hits";
+    memo_misses = Metrics.counter m "pass.term_memo.misses";
+    doc_cache_hits = Metrics.counter m "pass.doc_cache.hits";
+    doc_cache_misses = Metrics.counter m "pass.doc_cache.misses";
+    doc_cache_uncached = Metrics.counter m "pass.doc_cache.uncached";
     generation = Metrics.gauge m "scope.generation";
     pass_dirs = Metrics.histogram m "sync.pass.dirs";
   }

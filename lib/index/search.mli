@@ -31,9 +31,52 @@ type probe = {
 val new_probe : unit -> probe
 (** All-zero probe. *)
 
+(** {1 Per-pass shared caches}
+
+    Both caches live for exactly one settle pass — the window during which
+    the index and every document's content are frozen — so dropping them at
+    the end of the pass is the whole invalidation story.  Both are safe to
+    share across domains. *)
+
+type doc_cache
+(** A bounded document content/token cache.  The first verification of a
+    path reads it; later verifications (by any sibling directory, from any
+    domain) reuse the content and the lazily-built token structures, so each
+    file is read and tokenized at most once per pass.  Unreadable paths are
+    cached too.  Documents past the byte budget are served uncached. *)
+
+type cache_stats = {
+  cache_hits : int;
+  cache_misses : int;
+  cache_uncached : int;  (** Lookups past the byte budget, served uncached. *)
+  cache_docs : int;
+  cache_bytes : int;
+}
+
+val doc_cache : ?max_bytes:int -> unit -> doc_cache
+(** An empty cache (default budget 32 MiB of document bytes). *)
+
+val doc_cache_stats : doc_cache -> cache_stats
+
+val cached_content : doc_cache -> reader -> string -> string option
+(** Read through the cache: the document's contents, or [None] when
+    unreadable (also cached). *)
+
+type term_memo
+(** A per-pass memo of {e unrestricted} term results, keyed by term.  Across
+    sibling directories whose queries share [word:]/[attr:]/phrase subterms,
+    each distinct subterm is evaluated once per pass. *)
+
+type memo_stats = { memo_hits : int; memo_misses : int; memo_entries : int }
+
+val term_memo : unit -> term_memo
+
+val term_memo_stats : term_memo -> memo_stats
+
 val search_word :
   ?probe:probe ->
   ?within:Hac_bitset.Fileset.t ->
+  ?cache:doc_cache ->
   Index.t ->
   reader ->
   string ->
@@ -41,21 +84,26 @@ val search_word :
 (** Documents that contain the word (index candidates, then verified whole-
     word containment; stemming follows the index's setting).  [?within]
     restricts the candidates before verification — conjunctive evaluation
-    passes its accumulated result here so ever fewer documents are read. *)
+    passes its accumulated result here so ever fewer documents are read.
+    [?cache] routes content reads and tokenization through a pass cache. *)
 
 val search_phrase :
   ?probe:probe ->
   ?within:Hac_bitset.Fileset.t ->
+  ?cache:doc_cache ->
   Index.t ->
   reader ->
   string list ->
   Hac_bitset.Fileset.t
-(** Documents containing the words consecutively, in order.  Candidate set is
-    the intersection of the per-word candidates. *)
+(** Documents containing the words consecutively, in order.  The candidate
+    set is the intersection of the per-word candidates, built rarest-first
+    ({!Index.term_cost} order) with each partial intersection narrowing the
+    next posting expansion, short-circuiting when it empties. *)
 
 val search_approx :
   ?probe:probe ->
   ?within:Hac_bitset.Fileset.t ->
+  ?cache:doc_cache ->
   Index.t ->
   reader ->
   word:string ->
@@ -71,6 +119,7 @@ val search_substring : ?probe:probe -> Index.t -> reader -> string -> Hac_bitset
 val search_regex :
   ?probe:probe ->
   ?within:Hac_bitset.Fileset.t ->
+  ?cache:doc_cache ->
   Index.t ->
   reader ->
   string ->
@@ -94,6 +143,47 @@ val contains_word : Index.t -> content:string -> word:string -> bool
 val contains_phrase : content:string -> string list -> bool
 (** Consecutive-words containment test (exact words, no stemming). *)
 
+(** {1 Evaluators}
+
+    {!eval} used to rebuild its {!Eval.env} closure record per call; a
+    settle pass over thousands of directories re-allocated identical
+    closures thousands of times.  An {!evaluator} hoists everything that is
+    per-index — the index, the reader, the caches and the env itself — and
+    threads the per-query probe and restriction through mutable fields, so
+    one evaluator serves a whole pass.  An evaluator is single-domain (its
+    fields are unsynchronized); parallel passes give each task its own
+    evaluator over the {e shared} memo and cache. *)
+
+type evaluator
+
+val evaluator :
+  ?memo:term_memo ->
+  ?cache:doc_cache ->
+  Index.t ->
+  reader ->
+  attr:(?within:Hac_bitset.Fileset.t -> string -> string -> Hac_bitset.Fileset.t) ->
+  dirref:(?within:Hac_bitset.Fileset.t -> Hac_query.Ast.dirref -> Hac_bitset.Fileset.t) ->
+  evaluator
+(** The standard {!Eval.env} wiring (word/phrase/approx/regex answered by
+    the searches above, with malformed regex terms evaluating to the empty
+    set; attributes and directory references supplied by the caller).  With
+    [?memo], unrestricted term evaluations — including the universe and the
+    supplied [attr] — are memoized; [dirref] results never are (scopes move
+    as a pass applies results).  With [?cache], content verification runs
+    through the document cache. *)
+
+val eval_with :
+  evaluator ->
+  ?probe:probe ->
+  ?restrict_to:Hac_bitset.Fileset.t ->
+  Hac_query.Ast.t ->
+  Hac_bitset.Fileset.t
+(** Evaluate a parsed query.  [?restrict_to] evaluates the query only over
+    the given documents — candidate expansion, content verification and
+    NOT's universe all stay inside the set, which is what makes delta resync
+    O(touched docs) ({!Eval.eval}'s restriction-pushdown contract guarantees
+    [eval ~restrict_to:S q = S ∩ eval q]). *)
+
 val eval :
   ?probe:probe ->
   ?restrict_to:Hac_bitset.Fileset.t ->
@@ -103,11 +193,5 @@ val eval :
   dirref:(?within:Hac_bitset.Fileset.t -> Hac_query.Ast.dirref -> Hac_bitset.Fileset.t) ->
   Hac_query.Ast.t ->
   Hac_bitset.Fileset.t
-(** Evaluate a parsed query against this index: the standard {!Eval.env}
-    wiring (word/phrase/approx/regex answered by the searches above, with
-    malformed regex terms evaluating to the empty set; attributes and
-    directory references supplied by the caller).  [?restrict_to] evaluates
-    the query only over the given documents — candidate expansion, content
-    verification and NOT's universe all stay inside the set, which is what
-    makes delta resync O(touched docs) ({!Eval.eval}'s restriction-pushdown
-    contract guarantees [eval ~restrict_to:S q = S ∩ eval q]). *)
+(** One-shot {!evaluator} + {!eval_with}, uncached — the historical entry
+    point, kept for callers outside settle passes. *)

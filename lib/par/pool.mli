@@ -1,0 +1,39 @@
+(** A small fixed-size pool of OCaml 5 worker domains.
+
+    Built for fork/join regions: {!run} publishes a job to every worker and
+    joins them at a barrier, {!map} distributes an array over the pool with
+    work stealing.  A pool of size 1 spawns nothing and runs everything
+    inline on the caller, so the sequential path stays exactly the
+    sequential code. *)
+
+type t
+(** A pool.  Workers park between parallel regions; {!shutdown} (or
+    {!with_pool}) reaps them. *)
+
+val create : ?domains:int -> unit -> t
+(** A pool of [domains] total slots (default, and minimum, 1): the caller
+    participates as slot 0, so [domains - 1] worker domains are spawned. *)
+
+val size : t -> int
+(** Total slots, including the caller's. *)
+
+val default_domains : unit -> int
+(** A sensible default width for interactive use:
+    [min 4 (Domain.recommended_domain_count ())]. *)
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f slot] for every slot [0 .. size-1] concurrently
+    (the caller runs slot 0) and returns once all have finished.  If any
+    slot raises, the first exception is re-raised after the barrier.  Not
+    reentrant: a job must not call {!run} or {!map} on its own pool. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f xs] applies [f] to every element, balancing elements across
+    slots via a shared counter; results keep input order.  [f] must be safe
+    to call from any domain.  Exceptions re-raise as in {!run}. *)
+
+val shutdown : t -> unit
+(** Join all workers.  Idempotent; the pool must not be used afterwards. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [create] / run / [shutdown], exception-safe. *)

@@ -1,7 +1,10 @@
 module Fileset = Hac_bitset.Fileset
 
 type env = {
-  universe : Fileset.t lazy_t;
+  universe : unit -> Fileset.t;
+      (* A thunk rather than a [lazy_t] so one long-lived env (e.g. a settle
+         pass's evaluator) can serve many evaluations whose effective
+         universe differs per call (restriction pushdown). *)
   word : ?within:Fileset.t -> string -> Fileset.t;
   phrase : ?within:Fileset.t -> string list -> Fileset.t;
   approx : ?within:Fileset.t -> string -> int -> Fileset.t;
@@ -17,7 +20,7 @@ let clip within set =
 
 let rec eval ?within env q =
   match q with
-  | Ast.All -> clip within (Lazy.force env.universe)
+  | Ast.All -> clip within (env.universe ())
   | Ast.Term (Ast.Word w) -> clip within (env.word ?within w)
   | Ast.Term (Ast.Phrase ws) -> clip within (env.phrase ?within ws)
   | Ast.Term (Ast.Approx (w, k)) -> clip within (env.approx ?within w k)
@@ -25,7 +28,7 @@ let rec eval ?within env q =
   | Ast.Term (Ast.Regex r) -> clip within (env.regex ?within r)
   | Ast.Term (Ast.Dirref r) -> clip within (env.dirref ?within r)
   | Ast.Not a ->
-      let scope = match within with Some s -> s | None -> Lazy.force env.universe in
+      let scope = match within with Some s -> s | None -> env.universe () in
       Fileset.diff scope (eval ~within:scope env a)
   | Ast.Or (a, b) -> Fileset.union (eval ?within env a) (eval ?within env b)
   | Ast.And (a, b) ->
@@ -36,7 +39,7 @@ let rec eval ?within env q =
 
 let const_env set =
   {
-    universe = lazy set;
+    universe = (fun () -> set);
     word = (fun ?within:_ _ -> set);
     phrase = (fun ?within:_ _ -> set);
     approx = (fun ?within:_ _ _ -> set);

@@ -18,8 +18,10 @@
     correctly: [(U \ q) ∩ S = S \ (q ∩ S)]. *)
 
 type env = {
-  universe : Hac_bitset.Fileset.t lazy_t;
-      (** All files visible to the query (lazy: only NOT and [*] force it). *)
+  universe : unit -> Hac_bitset.Fileset.t;
+      (** All files visible to the query — a thunk, called only by NOT and
+          [*], so a long-lived env can serve calls whose effective universe
+          differs (restriction pushdown) and implementations can memoize. *)
   word : ?within:Hac_bitset.Fileset.t -> string -> Hac_bitset.Fileset.t;
       (** Whole-word content match. *)
   phrase : ?within:Hac_bitset.Fileset.t -> string list -> Hac_bitset.Fileset.t;

@@ -32,7 +32,7 @@ let create ~ns_id fs index =
   in
   let env =
     {
-      Hac_query.Eval.universe = lazy (Index.universe index);
+      Hac_query.Eval.universe = (fun () -> Index.universe index);
       word = (fun ?within w -> Search.search_word ?within index reader w);
       phrase = (fun ?within ws -> Search.search_phrase ?within index reader ws);
       approx =

@@ -154,6 +154,62 @@ let prop_affected_closed =
         (fun n -> List.for_all (fun d -> List.mem d aff) (Depgraph.dependents g n))
         (start :: aff))
 
+(* -- antichain levels (the parallel settle schedule) ---------------------- *)
+
+let test_levels_diamond () =
+  let g = diamond () in
+  check_list "level 0" [ 1 ] (List.nth (Depgraph.levels g) 0);
+  check_list "level 1" [ 2; 3 ] (List.nth (Depgraph.levels g) 1);
+  check_list "level 2" [ 4 ] (List.nth (Depgraph.levels g) 2);
+  check_int "levels" 3 (List.length (Depgraph.levels g))
+
+let test_levels_of_subset () =
+  let g = diamond () in
+  (* Restricted to {2; 3; 4}: 2 and 3 lose their only (external) dependency
+     and become the first wave. *)
+  Alcotest.(check (list (list int)))
+    "subset levels"
+    [ [ 2; 3 ]; [ 4 ] ]
+    (Depgraph.levels_of g [ 4; 3; 2 ]);
+  Alcotest.(check (list (list int))) "empty set" [] (Depgraph.levels_of g [])
+
+(* Every property the level engine relies on, over random DAGs: the levels
+   partition the node set, concatenation is a valid topological order, and
+   no node's dependency shares (or follows) its level. *)
+let levels_properties g =
+  let levels = Depgraph.levels g in
+  let flat = List.concat levels in
+  let partition =
+    List.sort compare flat = List.sort compare (Depgraph.topo_all g)
+    && List.length flat = Depgraph.node_count g
+  in
+  let level_of = Hashtbl.create 16 in
+  List.iteri (fun i level -> List.iter (fun n -> Hashtbl.replace level_of n i) level) levels;
+  let deps_strictly_earlier =
+    List.for_all
+      (fun n ->
+        List.for_all
+          (fun d -> Hashtbl.find level_of d < Hashtbl.find level_of n)
+          (Depgraph.deps g n))
+      flat
+  in
+  partition && deps_strictly_earlier
+
+let test_levels_hand_built () =
+  let g = Depgraph.create () in
+  (* A chain hanging off one side of a wide fan. *)
+  ok (Depgraph.set_deps g 10 [ 1 ]);
+  ok (Depgraph.set_deps g 11 [ 1 ]);
+  ok (Depgraph.set_deps g 12 [ 1 ]);
+  ok (Depgraph.set_deps g 20 [ 10 ]);
+  ok (Depgraph.set_deps g 30 [ 20; 11 ]);
+  check_bool "properties hold" true (levels_properties g);
+  check_list "widest wave" [ 10; 11; 12 ] (List.nth (Depgraph.levels g) 1)
+
+let prop_levels_sound =
+  QCheck.Test.make ~name:"levels partition topo_all into antichain waves" ~count:300
+    arb_attempts (fun attempts -> levels_properties (build_graph attempts))
+
 let prop_no_cycles_ever =
   QCheck.Test.make ~name:"graph stays acyclic under random set_deps" ~count:300 arb_attempts
     (fun attempts ->
@@ -185,7 +241,18 @@ let () =
           Alcotest.test_case "affected order" `Quick test_affected_order;
           Alcotest.test_case "topo_all" `Quick test_topo_all;
         ] );
+      ( "levels",
+        [
+          Alcotest.test_case "diamond" `Quick test_levels_diamond;
+          Alcotest.test_case "subset" `Quick test_levels_of_subset;
+          Alcotest.test_case "hand-built" `Quick test_levels_hand_built;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_topo_respects_edges; prop_affected_closed; prop_no_cycles_ever ] );
+          [
+            prop_topo_respects_edges;
+            prop_affected_closed;
+            prop_no_cycles_ever;
+            prop_levels_sound;
+          ] );
     ]

@@ -178,7 +178,7 @@ let prop_print_parse_print_stable =
 
 let env_of_table universe table =
   {
-    Eval.universe = lazy (Fileset.of_list universe);
+    Eval.universe = (fun () -> Fileset.of_list universe);
     word =
       (fun ?within:_ w -> Fileset.of_list (Option.value (List.assoc_opt w table) ~default:[]));
     phrase = (fun ?within:_ _ -> Fileset.empty);
@@ -220,7 +220,7 @@ let prop_scope_restriction_commutes =
       let restricted =
         {
           env_full with
-          Eval.universe = lazy scope;
+          Eval.universe = (fun () -> scope);
           word = (fun ?within w -> Fileset.inter scope (env_full.Eval.word ?within w));
           approx =
             (fun ?within w k -> Fileset.inter scope (env_full.Eval.approx ?within w k));
