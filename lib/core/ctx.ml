@@ -23,6 +23,8 @@ type t = {
   mutable scope_generation : int;
   mutable needs_full_sync : bool;
   mutable pass_caches : bool;
+  mutable durability : [ `Always | `Batch ];
+  mutable journal_epoch : int;
   instr : Instr.t;
 }
 
@@ -55,6 +57,8 @@ let create ?(block_size = 8) ?(stem = true) ?transducer ?(auto_sync = false) ?re
       scope_generation = 0;
       needs_full_sync = false;
       pass_caches = true;
+      durability = `Batch;
+      journal_epoch = -1;
       instr;
     }
   in

@@ -62,6 +62,13 @@ type t = {
           caches ({!Hac_index.Search.term_memo} and
           {!Hac_index.Search.doc_cache}).  On by default; an ablation knob
           for benchmarks comparing against the uncached engine. *)
+  mutable durability : [ `Always | `Batch ];
+      (** When journal appends are flushed to the simulated disk: [`Always]
+          fsyncs each append as it happens, [`Batch] (the default) fsyncs
+          once per settle, before the settle acknowledges completion. *)
+  mutable journal_epoch : int;
+      (** Epoch of the segment journal appends go to; [-1] until first
+          resolved from the on-disk chain (see {!Journal.current_epoch}). *)
   instr : Instr.t;
       (** This instance's observability surface: metrics registry, tracer
           (virtual-clock timestamps) and pre-resolved instrument handles. *)

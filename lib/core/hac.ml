@@ -29,12 +29,25 @@ let semdir_of_parent (ctx : Ctx.t) path = Ctx.semdir_of_path ctx (Vpath.dirname 
 
 let mark_dirty (ctx : Ctx.t) path = Hashtbl.replace ctx.dirty path ()
 
+(* The epoch of the segment this instance appends to, resolved lazily from
+   the on-disk chain (a fresh tree starts at 0 = dirs.log; a tree carrying
+   checkpoints starts past the newest one). *)
+let ensure_epoch (ctx : Ctx.t) =
+  if ctx.journal_epoch < 0 then ctx.journal_epoch <- Journal.current_epoch ctx.fs;
+  ctx.journal_epoch
+
+let journal_path (ctx : Ctx.t) = Journal.segment_path (ensure_epoch ctx)
+
 (* All durable directory-journal records funnel through here so appends are
-   accounted once, next to the write. *)
+   accounted once, next to the write.  Under [`Always] durability each
+   append is flushed to the simulated disk immediately; under [`Batch] the
+   settle's completion barrier flushes the batch. *)
 let journal_append (ctx : Ctx.t) body =
   Hac_obs.Metrics.incr ctx.instr.Instr.journal_appends;
   Ctx.with_maintenance ctx (fun () ->
-      Fs.append_file ctx.fs (Sync.meta_root ^ "/dirs.log") (Journal.seal body ^ "\n"))
+      let path = journal_path ctx in
+      Fs.append_file ctx.fs path (Journal.seal body ^ "\n");
+      if ctx.durability = `Always then Fs.fsync ctx.fs path)
 
 (* A settle's domain budget becomes a pool only when it actually buys
    parallelism; [None] keeps the engine on the exact sequential code path. *)
@@ -49,13 +62,21 @@ let with_pool domains f =
    [sync_delta] fall back to a full pass.  [?domains] re-evaluates with a
    domain pool of that width (see {!Sync.sync_all}); the result is identical
    to the default sequential settle. *)
-let settle ?domains (ctx : Ctx.t) =
+let settle ?durability ?domains (ctx : Ctx.t) =
+  (* The knob is sticky: a settle that picks a durability mode sets it for
+     every subsequent journal append too. *)
+  (match durability with Some d -> ctx.durability <- d | None -> ());
   (match domains with
   | Some d -> Hac_obs.Metrics.set ctx.instr.Instr.par_domains (float_of_int (max 1 d))
   | None -> ());
   Hac_obs.Trace.with_span ctx.instr.Instr.tracer ~name:"hac.settle" (fun () ->
       let _, delta = Sync.reindex_with_delta ctx () in
-      with_pool domains (fun pool -> Sync.sync_delta ?pool ctx delta))
+      with_pool domains (fun pool -> Sync.sync_delta ?pool ctx delta);
+      (* Completion barrier: nothing this settle acknowledged may be
+         reordered past it — the journal tail (and, the simulated disk
+         persisting in order, every metadata write before it) is on disk
+         before the caller sees the settle return. *)
+      Fs.fsync ctx.fs (journal_path ctx))
 
 let tick (ctx : Ctx.t) =
   ctx.ops_since_reindex <- ctx.ops_since_reindex + 1;
@@ -238,6 +259,11 @@ let create ?block_size ?stem ?transducer ?auto_sync ?reindex_every () =
 
 let of_fs ?block_size ?stem ?transducer ?auto_sync ?reindex_every fs =
   let ctx = Ctx.create ?block_size ?stem ?transducer ?auto_sync ?reindex_every fs in
+  (* Allocate this life's uids strictly above everything the on-disk
+     metadata mentions, so nothing we register can alias a previous life's
+     identifiers (stale structure files must stay unreadable, and a crash
+     during recovery must never mix two incarnations' records). *)
+  Uidmap.reserve ctx.uids (Journal.max_uid fs);
   (* Adopt existing content: register directories, index files.  The
      metadata area is HAC's own and stays out of the index. *)
   Fs.walk fs Vpath.root (fun path st ->
@@ -254,6 +280,12 @@ let shutdown ?(graceful = true) (ctx : Ctx.t) =
     if graceful then settle ctx;
     ctx.alive <- false
   end
+
+let set_durability (ctx : Ctx.t) d = ctx.durability <- d
+
+let durability (ctx : Ctx.t) = ctx.durability
+
+let journal_epoch (ctx : Ctx.t) = ensure_epoch ctx
 
 (* -- plain fs wrappers ----------------------------------------------------- *)
 
@@ -415,6 +447,9 @@ let install_semdir (ctx : Ctx.t) uid query =
   match Sync.recompute_deps ctx sd with
   | Ok () ->
       Sync.sync_from ctx uid;
+      (* Journal the promotion after the first persist so recovery never
+         sees a semantic flag whose structure files were not yet written. *)
+      journal_append ctx (Printf.sprintf "S %d" uid);
       sd
   | Error cycle ->
       Hashtbl.remove ctx.semdirs uid;
@@ -654,24 +689,99 @@ let sact (ctx : Ctx.t) link_path =
           if !line_has then hits := (lineno, line) :: !hits);
       List.rev !hits
 
-(* Rewrite the metadata area from current state: a fresh directory journal
-   keyed by this instance's uids, and one set of structure files per live
-   semantic directory.  Used after recovery, when the old instance's uids no
-   longer mean anything. *)
-let checkpoint_metadata (ctx : Ctx.t) =
+(* Commit an atomic checkpoint of the full semantic state: a consolidated
+   journal (every directory known to this instance, keyed by its uids, plus
+   the semantic flags) and a copy of every live directory's structure files,
+   bundled into one checksummed {!Hac_vfs.Image} blob.  The blob is
+   published with the classic write-new / fsync / rename / fsync dance, so
+   a crash at any point leaves either the old chain or the new one — never
+   a half-written base.  After the commit, appends move to the next epoch's
+   segment; nothing old is deleted here (that is {!compact}'s job). *)
+let do_checkpoint (ctx : Ctx.t) =
+  Hashtbl.iter (fun _ sd -> Sync.persist_semdir ctx sd) ctx.semdirs;
   Ctx.with_maintenance ctx (fun () ->
-      if Fs.is_dir ctx.fs Sync.meta_root then Fs.rmtree ctx.fs Sync.meta_root;
-      Fs.mkdir_p ctx.fs Sync.meta_root;
-      let b = Buffer.create 1024 in
-      Uidmap.fold
-        (fun uid path () ->
-          if path <> Vpath.root && not (Vpath.is_prefix ~prefix:Sync.meta_root path) then begin
-            Hac_obs.Metrics.incr ctx.instr.Instr.journal_appends;
-            Buffer.add_string b (Journal.seal (Printf.sprintf "D %d %s" uid path) ^ "\n")
-          end)
-        ctx.uids ();
-      Fs.write_file ctx.fs (Sync.meta_root ^ "/dirs.log") (Buffer.contents b));
-  Hashtbl.iter (fun _ sd -> Sync.persist_semdir ctx sd) ctx.semdirs
+      Hac_obs.Trace.with_span ctx.instr.Instr.tracer ~name:"hac.checkpoint" (fun () ->
+          let epoch = ensure_epoch ctx in
+          let b = Buffer.create 1024 in
+          Uidmap.fold
+            (fun uid path () ->
+              if path <> Vpath.root && not (Vpath.is_prefix ~prefix:Sync.meta_root path)
+              then
+                Buffer.add_string b (Journal.seal (Printf.sprintf "D %d %s" uid path) ^ "\n"))
+            ctx.uids ();
+          Hashtbl.iter
+            (fun uid _ ->
+              Buffer.add_string b (Journal.seal (Printf.sprintf "S %d" uid) ^ "\n"))
+            ctx.semdirs;
+          let img = Fs.create () in
+          Fs.write_file img "/dirs.log" (Buffer.contents b);
+          Hashtbl.iter
+            (fun uid _ ->
+              List.iter
+                (fun f ->
+                  match (try Some (Fs.read_file ctx.fs f) with Hac_vfs.Errno.Error _ -> None) with
+                  | Some c -> Fs.write_file img ("/" ^ Vpath.basename f) c
+                  | None -> ())
+                (Sync.meta_files uid))
+            ctx.semdirs;
+          let sealed = Journal.seal_blob (Hac_vfs.Image.dump img) in
+          if not (Fs.is_dir ctx.fs Sync.meta_root) then Fs.mkdir_p ctx.fs Sync.meta_root;
+          Fs.write_file ctx.fs Journal.checkpoint_tmp sealed;
+          Fs.fsync ctx.fs Journal.checkpoint_tmp;
+          Fs.rename ctx.fs ~src:Journal.checkpoint_tmp ~dst:(Journal.checkpoint_path epoch);
+          Fs.fsync ctx.fs (Journal.checkpoint_path epoch);
+          ctx.journal_epoch <- epoch + 1;
+          Hac_obs.Metrics.incr ctx.instr.Instr.journal_checkpoints;
+          Hac_obs.Metrics.set ctx.instr.Instr.journal_epoch (float_of_int ctx.journal_epoch);
+          epoch))
+
+let checkpoint ?durability ?domains (ctx : Ctx.t) =
+  settle ?durability ?domains ctx;
+  do_checkpoint ctx
+
+(* Kept under its historical name for the recovery path: re-key the
+   metadata area around this instance's uids.  The consolidated checkpoint
+   *is* that re-keying — committed atomically instead of the old
+   delete-then-rewrite, which a crash in the middle could halve. *)
+let checkpoint_metadata (ctx : Ctx.t) = ignore (do_checkpoint ctx)
+
+(* Truncate history a durable checkpoint has made redundant: segments at or
+   below the newest checkpoint that proves readable, checkpoints older than
+   it, any uncommitted checkpoint scratch, and structure files of uids the
+   surviving chain no longer flags semantic (stale leftovers of previous
+   lives — unreachable, since recovery only reads structure files for
+   chain-semantic uids). *)
+let compact (ctx : Ctx.t) =
+  Ctx.with_maintenance ctx (fun () ->
+      let removed = ref 0 in
+      let rm p = if Fs.lexists ctx.fs p then begin Fs.unlink ctx.fs p; incr removed end in
+      let segments, ckpts = Journal.scan ctx.fs in
+      let newest_valid =
+        List.fold_left
+          (fun acc (e, p) ->
+            match Journal.load_checkpoint ctx.fs p with Ok _ -> Some e | Error _ -> acc)
+          None ckpts
+      in
+      (match newest_valid with
+      | None -> ()
+      | Some e ->
+          List.iter (fun (se, p) -> if se <= e then rm p) segments;
+          List.iter (fun (ce, p) -> if ce < e then rm p) ckpts);
+      rm Journal.checkpoint_tmp;
+      (match newest_valid with
+      | None -> ()
+      | Some _ ->
+          let live = Journal.replay_chain (Journal.read_chain ctx.fs) in
+          if Fs.is_dir ctx.fs Sync.meta_root then
+            List.iter
+              (fun name ->
+                match Journal.sd_uid_of_name name with
+                | Some uid when not (Hashtbl.mem live.Journal.sem uid) ->
+                    rm (Sync.meta_root ^ "/" ^ name)
+                | Some _ | None -> ())
+              (Fs.readdir ctx.fs Sync.meta_root));
+      if !removed > 0 then Hac_obs.Metrics.incr ctx.instr.Instr.journal_compactions;
+      !removed)
 
 (* -- mounts ------------------------------------------------------------------ *)
 

@@ -119,13 +119,26 @@ val is_semantic : t -> string -> bool
 val semantic_dirs : t -> string list
 (** Paths of every semantic directory, sorted. *)
 
-val settle : ?domains:int -> t -> unit
+val settle : ?durability:[ `Always | `Batch ] -> ?domains:int -> t -> unit
 (** Settle everything now: data consistency (reindex the dirty paths), then
     scope consistency (incremental, falling back to a full pass after
     structural events).  [?domains > 1] re-evaluates with a domain pool of
     that width: each dependency level's query evaluations run concurrently
     against the frozen index, results are applied in order — the outcome is
-    identical to the sequential settle (see [docs/parallelism.md]). *)
+    identical to the sequential settle (see [docs/parallelism.md]).
+
+    Every settle ends with a durability barrier: the journal tail is
+    fsynced to the simulated disk before the settle returns, so nothing a
+    settle acknowledged can be lost to a later crash.  [?durability] sets
+    the (sticky) append-flush policy: [`Always] additionally fsyncs each
+    journal append as it happens, [`Batch] (default) relies on the
+    per-settle barrier alone.  See {!set_durability}. *)
+
+val set_durability : t -> [ `Always | `Batch ] -> unit
+(** Set the journal append-flush policy (see {!settle}). *)
+
+val durability : t -> [ `Always | `Batch ]
+(** The current append-flush policy. *)
 
 val ssync : ?domains:int -> t -> string -> unit
 (** Re-evaluate the directory's query and those of all directories that
@@ -207,10 +220,36 @@ val resolve_link : t -> string -> string option
 (** Contents of the file a link (or plain path) designates, fetching from
     the remote namespace when the target is remote. *)
 
+(** {1 Checkpoints and compaction}
+
+    The directory journal is a chain of epoch-stamped segments plus
+    atomically-published checkpoints (see {!Journal} and
+    [docs/recovery.md]).  A checkpoint bounds remount cost by the delta
+    since it was taken; compaction reclaims the history it supersedes. *)
+
+val checkpoint : ?durability:[ `Always | `Batch ] -> ?domains:int -> t -> int
+(** Settle, then commit an atomic checkpoint of the full semantic state
+    (consolidated journal + every semantic directory's structure files,
+    one checksummed image blob published by write-new/fsync/rename).
+    Returns the epoch the checkpoint covers; subsequent journal appends
+    open the next epoch's segment.  Crash-safe at every point: recovery
+    sees either the old chain or the new one. *)
+
+val compact : t -> int
+(** Delete what the newest {e readable} checkpoint supersedes: older
+    segments and checkpoints, uncommitted checkpoint scratch, and stale
+    structure files no longer reachable from the chain.  Returns how many
+    files were removed.  A no-op (except scratch cleanup) when no valid
+    checkpoint exists — compaction never truncates history it cannot
+    prove covered. *)
+
+val journal_epoch : t -> int
+(** Epoch of the segment journal appends currently go to. *)
+
 val checkpoint_metadata : t -> unit
-(** Rewrite the on-"disk" metadata area ([/.hac]) from current state: a
-    fresh directory journal and one structure-file set per semantic
-    directory.  {!Recover.reload} calls this after restoring so the old
+(** Re-key the on-"disk" metadata area around this instance's uids by
+    committing a checkpoint of current state ({!checkpoint} without the
+    settle).  {!Recover.reload} calls this after restoring so the old
     instance's identifiers cannot shadow the new ones. *)
 
 (** {1 Mount points} *)

@@ -10,6 +10,13 @@ type t = {
   journal_replay_applied : Metrics.counter;
   journal_replay_corrupt : Metrics.counter;
   journal_replay_malformed : Metrics.counter;
+  journal_epoch : Metrics.gauge;
+  journal_checkpoints : Metrics.counter;
+  journal_compactions : Metrics.counter;
+  recover_segments_replayed : Metrics.gauge;
+  recover_checkpoint_age : Metrics.gauge;
+  recover_records_skipped : Metrics.counter;
+  recover_dirs_skipped : Metrics.counter;
   planner_chains : Metrics.counter;
   planner_reordered : Metrics.counter;
   planner_cost_saved : Metrics.counter;
@@ -58,6 +65,13 @@ let create ~now () =
     journal_replay_applied = Metrics.counter m "journal.replay.applied";
     journal_replay_corrupt = Metrics.counter m "journal.replay.corrupt";
     journal_replay_malformed = Metrics.counter m "journal.replay.malformed";
+    journal_epoch = Metrics.gauge m "journal.epoch";
+    journal_checkpoints = Metrics.counter m "journal.checkpoints";
+    journal_compactions = Metrics.counter m "journal.compactions";
+    recover_segments_replayed = Metrics.gauge m "recover.segments_replayed";
+    recover_checkpoint_age = Metrics.gauge m "recover.checkpoint_age";
+    recover_records_skipped = Metrics.counter m "recover.records_skipped";
+    recover_dirs_skipped = Metrics.counter m "recover.dirs_skipped";
     planner_chains = Metrics.counter m "planner.optimize.chains";
     planner_reordered = Metrics.counter m "planner.optimize.reordered";
     planner_cost_saved = Metrics.counter m "planner.optimize.cost_saved";

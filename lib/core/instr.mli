@@ -16,6 +16,21 @@ type t = {
   journal_replay_applied : Hac_obs.Metrics.counter;
   journal_replay_corrupt : Hac_obs.Metrics.counter;
   journal_replay_malformed : Hac_obs.Metrics.counter;
+  journal_epoch : Hac_obs.Metrics.gauge;
+      (** Epoch of the segment currently appended to. *)
+  journal_checkpoints : Hac_obs.Metrics.counter;
+      (** Checkpoints committed by this instance. *)
+  journal_compactions : Hac_obs.Metrics.counter;
+      (** Compaction passes that removed at least one file. *)
+  recover_segments_replayed : Hac_obs.Metrics.gauge;
+      (** Post-checkpoint segments the last recovery replayed. *)
+  recover_checkpoint_age : Hac_obs.Metrics.gauge;
+      (** Records the last recovery replayed beyond its checkpoint (the
+          delta the checkpoint did not cover). *)
+  recover_records_skipped : Hac_obs.Metrics.counter;
+      (** Corrupt or malformed journal records skipped during replay. *)
+  recover_dirs_skipped : Hac_obs.Metrics.counter;
+      (** Recovery-plan directories that could not be restored. *)
   planner_chains : Hac_obs.Metrics.counter;
   planner_reordered : Hac_obs.Metrics.counter;
   planner_cost_saved : Hac_obs.Metrics.counter;

@@ -1,38 +1,259 @@
 (* Crash-safe journal records: each line carries a checksum of its body so
    replay can tell a real record from a torn or corrupted one. *)
 
-let checksum body =
-  (* FNV-1a over the body, truncated to 32 bits — cheap, dependency-free and
-     more than enough to catch torn writes and bit rot in a line-oriented
-     log.  Not a defence against an adversary. *)
-  let h = ref 0x811c9dc5 in
-  String.iter
-    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xFFFFFFFF)
-    body;
-  !h
+module Fs = Hac_vfs.Fs
+module Vpath = Hac_vfs.Vpath
+module Image = Hac_vfs.Image
 
-let hex_len = 8
+let checksum = Seal.checksum
+let seal = Seal.seal
 
-(* "body #hhhhhhhh": the suffix is fixed-width so bodies may contain '#'. *)
-let suffix_len = hex_len + 2
+type line = Seal.line = Valid of string | Corrupt of string | Blank
 
-let seal body = Printf.sprintf "%s #%08x" body (checksum body)
+let parse = Seal.parse
 
-type line = Valid of string | Corrupt of string | Blank
+(* -- record replay ---------------------------------------------------------
 
-let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+   Journal record grammar (one sealed line each):
+     D <uid> <path>     directory created (or known, in a consolidated log)
+     M <uid> <path>     directory (and hence its subtree) moved here
+     S <uid>            directory became semantic
+     X <uid>            directory removed
+   Replaying yields the uid -> path map plus the set of uids that were
+   semantic, as of the last intact record.  Corrupt and malformed lines are
+   counted and skipped — every intact record still applies. *)
 
-let parse line =
-  let n = String.length line in
-  if String.trim line = "" then Blank
-  else if n > suffix_len && line.[n - suffix_len] = ' ' && line.[n - suffix_len + 1] = '#'
-  then begin
-    let body = String.sub line 0 (n - suffix_len) in
-    let hex = String.sub line (n - hex_len) hex_len in
-    if
-      String.for_all is_hex hex
-      && int_of_string_opt ("0x" ^ hex) = Some (checksum body)
-    then Valid body
-    else Corrupt line
-  end
-  else Corrupt line
+type replay = {
+  map : (int, string) Hashtbl.t;
+  sem : (int, unit) Hashtbl.t;
+  mutable applied : int;
+  mutable corrupt : int;
+  mutable malformed : int;
+  mutable seg_applied : int;
+}
+
+let replay_create () =
+  {
+    map = Hashtbl.create 64;
+    sem = Hashtbl.create 16;
+    applied = 0;
+    corrupt = 0;
+    malformed = 0;
+    seg_applied = 0;
+  }
+
+let replay_text r text =
+  let apply_move uid new_path =
+    match Hashtbl.find_opt r.map uid with
+    | None -> Hashtbl.replace r.map uid new_path
+    | Some old_path ->
+        (* The move carries the whole registered subtree along. *)
+        Hashtbl.iter
+          (fun u p ->
+            match Vpath.replace_prefix ~prefix:old_path ~by:new_path p with
+            | Some p' when Vpath.is_prefix ~prefix:old_path p ->
+                Hashtbl.replace r.map u p'
+            | Some _ | None -> ())
+          (Hashtbl.copy r.map)
+  in
+  (* Paths may contain spaces: D and M both take everything after the uid
+     as the path (rest-concat), never a fixed arity. *)
+  let handle_body body =
+    match String.split_on_char ' ' (String.trim body) with
+    | "D" :: uid :: rest when rest <> [] -> (
+        match int_of_string_opt uid with
+        | Some uid ->
+            r.applied <- r.applied + 1;
+            Hashtbl.replace r.map uid (String.concat " " rest)
+        | None -> r.malformed <- r.malformed + 1)
+    | "M" :: uid :: rest when rest <> [] -> (
+        match int_of_string_opt uid with
+        | Some uid ->
+            r.applied <- r.applied + 1;
+            apply_move uid (String.concat " " rest)
+        | None -> r.malformed <- r.malformed + 1)
+    | [ "S"; uid ] -> (
+        match int_of_string_opt uid with
+        | Some uid ->
+            r.applied <- r.applied + 1;
+            Hashtbl.replace r.sem uid ()
+        | None -> r.malformed <- r.malformed + 1)
+    | [ "X"; uid ] -> (
+        match int_of_string_opt uid with
+        | Some uid ->
+            r.applied <- r.applied + 1;
+            Hashtbl.remove r.map uid;
+            Hashtbl.remove r.sem uid
+        | None -> r.malformed <- r.malformed + 1)
+    | _ -> r.malformed <- r.malformed + 1
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         match parse line with
+         | Valid body -> handle_body body
+         | Corrupt _ -> r.corrupt <- r.corrupt + 1
+         | Blank -> ())
+
+let semantic_entries r =
+  Hashtbl.fold
+    (fun uid () acc ->
+      match Hashtbl.find_opt r.map uid with
+      | Some path -> (uid, path) :: acc
+      | None -> acc)
+    r.sem []
+  |> List.sort compare
+
+(* -- segments, checkpoints, epochs ----------------------------------------
+
+   The journal is a chain of epoch-stamped files under the metadata area:
+
+     dirs.log          segment, epoch 0 (the historical name)
+     seg-NNNNNN.log    segment, epoch NNNNNN >= 1
+     ckpt-NNNNNN.img   checkpoint covering every epoch <= NNNNNN
+     ckpt.tmp          checkpoint being written (not yet committed)
+
+   A checkpoint is published atomically (write ckpt.tmp, fsync, rename,
+   fsync), after which appends move to the next epoch's segment.  Recovery
+   starts from the newest checkpoint that proves readable and replays only
+   the segments newer than it; compaction deletes what the checkpoint
+   supersedes. *)
+
+let meta_root = Sync.meta_root
+
+let segment_name epoch =
+  if epoch = 0 then "dirs.log" else Printf.sprintf "seg-%06d.log" epoch
+
+let segment_path epoch = meta_root ^ "/" ^ segment_name epoch
+
+let checkpoint_name epoch = Printf.sprintf "ckpt-%06d.img" epoch
+
+let checkpoint_path epoch = meta_root ^ "/" ^ checkpoint_name epoch
+
+let checkpoint_tmp = meta_root ^ "/ckpt.tmp"
+
+type file_class = Segment of int | Checkpoint of int | Other
+
+let classify name =
+  let num off len = int_of_string_opt (String.sub name off len) in
+  if name = "dirs.log" then Segment 0
+  else if
+    String.length name = 14
+    && String.sub name 0 4 = "seg-"
+    && String.sub name 10 4 = ".log"
+  then match num 4 6 with Some e when e > 0 -> Segment e | _ -> Other
+  else if
+    String.length name = 15
+    && String.sub name 0 5 = "ckpt-"
+    && String.sub name 11 4 = ".img"
+  then match num 5 6 with Some e when e >= 0 -> Checkpoint e | _ -> Other
+  else Other
+
+let sd_uid_of_name name =
+  (* "sd-<uid>.<suffix>" — per-directory structure files. *)
+  if String.length name > 3 && String.sub name 0 3 = "sd-" then
+    match String.index_opt name '.' with
+    | Some dot when dot > 3 -> int_of_string_opt (String.sub name 3 (dot - 3))
+    | _ -> None
+  else None
+
+let scan fs =
+  let names = if Fs.is_dir fs meta_root then Fs.readdir fs meta_root else [] in
+  let segs, ckpts =
+    List.fold_left
+      (fun (segs, ckpts) name ->
+        match classify name with
+        | Segment e -> ((e, meta_root ^ "/" ^ name) :: segs, ckpts)
+        | Checkpoint e -> (segs, (e, meta_root ^ "/" ^ name) :: ckpts)
+        | Other -> (segs, ckpts))
+      ([], []) names
+  in
+  (List.sort compare segs, List.sort compare ckpts)
+
+let current_epoch fs =
+  let segs, ckpts = scan fs in
+  let top = List.fold_left (fun m (e, _) -> max m e) 0 segs in
+  List.fold_left (fun m (e, _) -> max m (e + 1)) top ckpts
+
+(* -- checkpoint blobs ------------------------------------------------------
+
+   A checkpoint file is an {!Hac_vfs.Image} dump wrapped in a one-line
+   header carrying the payload length and checksum, so a torn or rotted
+   checkpoint is detected as a unit (all-or-nothing) before any of it is
+   believed. *)
+
+let seal_blob = Seal.seal_blob
+let open_blob = Seal.open_blob
+
+let read_opt fs path =
+  try Some (Fs.read_file fs path) with Hac_vfs.Errno.Error _ -> None
+
+let load_checkpoint fs path =
+  match read_opt fs path with
+  | None -> Error "unreadable checkpoint"
+  | Some data -> ( match open_blob data with Error _ as e -> e | Ok p -> Image.load p)
+
+(* -- the chain: what recovery reads ---------------------------------------- *)
+
+type chain = {
+  checkpoint : (int * Fs.t) option;
+  invalid_checkpoints : int;
+  segments : (int * string) list;
+  skipped_segments : int;
+}
+
+let read_chain fs =
+  let segs, ckpts = scan fs in
+  let checkpoint, invalid =
+    List.fold_left
+      (fun (best, bad) (e, p) ->
+        match load_checkpoint fs p with
+        | Ok img -> (Some (e, img), bad)
+        | Error _ -> (best, bad + 1))
+      (None, 0) ckpts
+  in
+  let cutoff = match checkpoint with None -> -1 | Some (e, _) -> e in
+  let post, pre = List.partition (fun (e, _) -> e > cutoff) segs in
+  {
+    checkpoint;
+    invalid_checkpoints = invalid;
+    segments = List.filter_map (fun (e, p) -> Option.map (fun t -> (e, t)) (read_opt fs p)) post;
+    skipped_segments = List.length pre;
+  }
+
+let replay_chain chain =
+  let r = replay_create () in
+  (match chain.checkpoint with
+  | None -> ()
+  | Some (_, img) -> (
+      match read_opt img "/dirs.log" with
+      | Some text -> replay_text r text
+      | None -> ()));
+  let base = r.applied in
+  List.iter (fun (_, text) -> replay_text r text) chain.segments;
+  r.seg_applied <- r.applied - base;
+  r
+
+(* Highest uid any on-disk metadata mentions — consolidated or not, live
+   structure files included — so a recovering instance can allocate its own
+   uids strictly above everything a previous life left behind. *)
+let max_uid fs =
+  let best = ref 0 in
+  let see u = if u > !best then best := u in
+  let scan_text text =
+    String.split_on_char '\n' text
+    |> List.iter (fun line ->
+           match parse line with
+           | Valid body -> (
+               match String.split_on_char ' ' (String.trim body) with
+               | _ :: uid :: _ -> ( match int_of_string_opt uid with Some u -> see u | None -> ())
+               | _ -> ())
+           | Corrupt _ | Blank -> ())
+  in
+  let segs, _ = scan fs in
+  List.iter (fun (_, p) -> Option.iter scan_text (read_opt fs p)) segs;
+  (match (read_chain fs).checkpoint with
+  | Some (_, img) -> Option.iter scan_text (read_opt img "/dirs.log")
+  | None -> ());
+  (if Fs.is_dir fs meta_root then
+     List.iter (fun name -> Option.iter see (sd_uid_of_name name)) (Fs.readdir fs meta_root));
+  !best

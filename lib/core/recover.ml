@@ -1,86 +1,51 @@
 module Fs = Hac_vfs.Fs
-module Vpath = Hac_vfs.Vpath
 
 type journal_report = { applied : int; corrupt : int; malformed : int }
 
-(* dirs.log records (appended by the event handler, one {!Journal.seal}ed
-   line each):
-     D <uid> <path>     directory created
-     M <uid> <path>     directory (and hence its subtree) moved here
-     X <uid>            directory removed
-   Replaying them yields the uid -> path map as of shutdown.  A crash can
-   tear the trailing record and anything can corrupt earlier ones; such
-   lines fail their checksum, are counted and skipped — every intact record
-   still applies. *)
+(* Record replay itself lives in {!Journal} (shared with compaction); this
+   module turns a replayed chain into restored semantic directories. *)
+
 let replay_journal_report text =
-  let map = Hashtbl.create 64 in
-  let applied = ref 0 and corrupt = ref 0 and malformed = ref 0 in
-  let apply_move uid new_path =
-    match Hashtbl.find_opt map uid with
-    | None -> Hashtbl.replace map uid new_path
-    | Some old_path ->
-        (* The move carries the whole registered subtree along. *)
-        Hashtbl.iter
-          (fun u p ->
-            match Vpath.replace_prefix ~prefix:old_path ~by:new_path p with
-            | Some p' when Vpath.is_prefix ~prefix:old_path p ->
-                Hashtbl.replace map u p'
-            | Some _ | None -> ())
-          (Hashtbl.copy map)
-  in
-  (* Paths may contain spaces: D and M both take everything after the uid
-     as the path (rest-concat), never a fixed arity. *)
-  let handle_body body =
-    match String.split_on_char ' ' (String.trim body) with
-    | "D" :: uid :: rest when rest <> [] -> (
-        match int_of_string_opt uid with
-        | Some uid ->
-            incr applied;
-            Hashtbl.replace map uid (String.concat " " rest)
-        | None -> incr malformed)
-    | "M" :: uid :: rest when rest <> [] -> (
-        match int_of_string_opt uid with
-        | Some uid ->
-            incr applied;
-            apply_move uid (String.concat " " rest)
-        | None -> incr malformed)
-    | [ "X"; uid ] -> (
-        match int_of_string_opt uid with
-        | Some uid ->
-            incr applied;
-            Hashtbl.remove map uid
-        | None -> incr malformed)
-    | _ -> incr malformed
-  in
-  String.split_on_char '\n' text
-  |> List.iter (fun line ->
-         match Journal.parse line with
-         | Journal.Valid body -> handle_body body
-         | Journal.Corrupt _ -> incr corrupt
-         | Journal.Blank -> ());
-  (map, { applied = !applied; corrupt = !corrupt; malformed = !malformed })
+  let r = Journal.replay_create () in
+  Journal.replay_text r text;
+  ( r.Journal.map,
+    { applied = r.Journal.applied; corrupt = r.Journal.corrupt; malformed = r.Journal.malformed }
+  )
 
 let replay_journal text = fst (replay_journal_report text)
 
+(* Structure files are sealed whole ({!Seal.seal_blob}); a damaged or
+   unsealed one reads as absent (all-or-nothing). *)
 let read_opt fs path =
-  try Some (Fs.read_file fs path) with Hac_vfs.Errno.Error _ -> None
+  match Fs.read_file fs path with
+  | data -> Seal.unseal_file data
+  | exception Hac_vfs.Errno.Error _ -> None
 
-let journal_map t =
-  match read_opt (Hac.fs t) "/.hac/dirs.log" with
-  | None -> Hashtbl.create 0
-  | Some text -> replay_journal text
+let chain_replay t =
+  let chain = Journal.read_chain (Hac.fs t) in
+  (chain, Journal.replay_chain chain)
+
+let report_of_replay (r : Journal.replay) =
+  { applied = r.Journal.applied; corrupt = r.Journal.corrupt; malformed = r.Journal.malformed }
+
+let journal_map t = (snd (chain_replay t)).Journal.map
+
+let record_replay_metrics t (chain : Journal.chain) (r : Journal.replay) =
+  let i = Hac.instr t in
+  Hac_obs.Metrics.incr ~by:r.Journal.applied i.Instr.journal_replay_applied;
+  Hac_obs.Metrics.incr ~by:r.Journal.corrupt i.Instr.journal_replay_corrupt;
+  Hac_obs.Metrics.incr ~by:r.Journal.malformed i.Instr.journal_replay_malformed;
+  Hac_obs.Metrics.incr
+    ~by:(r.Journal.corrupt + r.Journal.malformed)
+    i.Instr.recover_records_skipped;
+  Hac_obs.Metrics.set i.Instr.recover_segments_replayed
+    (float_of_int (List.length chain.Journal.segments));
+  Hac_obs.Metrics.set i.Instr.recover_checkpoint_age (float_of_int r.Journal.seg_applied)
 
 let journal_report t =
-  let report =
-    match read_opt (Hac.fs t) "/.hac/dirs.log" with
-    | None -> { applied = 0; corrupt = 0; malformed = 0 }
-    | Some text -> snd (replay_journal_report text)
-  in
-  let i = Hac.instr t in
-  Hac_obs.Metrics.incr ~by:report.applied i.Instr.journal_replay_applied;
-  Hac_obs.Metrics.incr ~by:report.corrupt i.Instr.journal_replay_corrupt;
-  Hac_obs.Metrics.incr ~by:report.malformed i.Instr.journal_replay_malformed;
-  report
+  let chain, r = chain_replay t in
+  record_replay_metrics t chain r;
+  report_of_replay r
 
 let journal_paths t =
   Hashtbl.fold (fun uid path acc -> (uid, path) :: acc) (journal_map t) []
@@ -104,51 +69,97 @@ type reload_report = {
   restored : int;
   skipped : int;
   journal : journal_report;
+  segments_replayed : int;
+  checkpoint_epoch : int option;
 }
+
+(* Structure files for one uid, read from [fs] under the live metadata area
+   or from a checkpoint image (where they sit at the root). *)
+let structures_of fs ~root uid =
+  match read_opt fs (Printf.sprintf "%ssd-%d.query" root uid) with
+  | None -> None
+  | Some query_text ->
+      let query = String.trim query_text in
+      if query = "" then None
+      else
+        let permanent =
+          match read_opt fs (Printf.sprintf "%ssd-%d.links" root uid) with
+          | Some text -> permanent_names text
+          | None -> []
+        in
+        let prohibited =
+          match read_opt fs (Printf.sprintf "%ssd-%d.proh" root uid) with
+          | Some text -> non_empty_lines text
+          | None -> []
+        in
+        Some (query, permanent, prohibited)
 
 let reload_report t =
   Hac_obs.Trace.with_span (Hac.tracer t) ~name:"recover.reload" (fun () ->
-  let journal = journal_report t in
+  let chain, r = chain_replay t in
+  record_replay_metrics t chain r;
+  let journal = report_of_replay r in
   let fs = Hac.fs t in
-  (* Snapshot all recoverable state first: restoring writes fresh metadata
-     under this instance's uids, which must not alias the old ones. *)
+  let live_root = Journal.meta_root ^ "/" in
+  let blob_structures uid =
+    match chain.Journal.checkpoint with
+    | None -> None
+    | Some (_, img) -> structures_of img ~root:"/" uid
+  in
+  (* Which uids were semantic?  Chains written by this code flag them with
+     S records; a legacy chain (no S record anywhere) falls back to the old
+     inference — a structure file exists for the uid. *)
+  let legacy = Hashtbl.length r.Journal.sem = 0 in
+  let entries =
+    if not legacy then Journal.semantic_entries r
+    else
+      Hashtbl.fold
+        (fun uid path acc ->
+          if structures_of fs ~root:live_root uid <> None then (uid, path) :: acc else acc)
+        r.Journal.map []
+      |> List.sort compare
+  in
+  (* Snapshot every candidate's structures first: restoring persists fresh
+     metadata, which must never be re-read as recovered input.  Live files
+     are preferred (they carry post-checkpoint settles); the checkpoint's
+     copies back them up when the live file was torn, rotted or lost. *)
   let plan =
-    Hashtbl.fold
-      (fun uid path acc ->
-        match read_opt fs (Printf.sprintf "/.hac/sd-%d.query" uid) with
-        | None -> acc (* never semantic, or metadata gone *)
-        | Some query_text ->
-            let query = String.trim query_text in
-            if query = "" || not (Fs.is_dir fs path) then acc
-            else
-              let permanent =
-                match read_opt fs (Printf.sprintf "/.hac/sd-%d.links" uid) with
-                | Some text -> permanent_names text
-                | None -> []
-              in
-              let prohibited =
-                match read_opt fs (Printf.sprintf "/.hac/sd-%d.proh" uid) with
-                | Some text -> non_empty_lines text
-                | None -> []
-              in
-              (path, query, permanent, prohibited) :: acc)
-      (journal_map t) []
-    |> List.sort compare
+    List.filter_map
+      (fun (uid, path) ->
+        if not (Fs.is_dir fs path) then None
+        else
+          match (structures_of fs ~root:live_root uid, blob_structures uid) with
+          | None, None -> None
+          | live, blob -> Some (path, live, blob))
+      entries
   in
   let restored = ref 0 and skipped = ref 0 in
-  List.iter
-    (fun (path, query, permanent, prohibited) ->
-      if Hac.is_semantic t path then incr skipped
-      else
+  let try_restore path = function
+    | None -> false
+    | Some (query, permanent, prohibited) -> (
         match Hac.restore_semdir t path ~query ~permanent ~prohibited with
-        | () -> incr restored
-        | exception Hac.Hac_error _ ->
-            (* Unparseable or cyclic after the crash: leave it plain. *)
-            incr skipped)
+        | () -> true
+        | exception Hac.Hac_error _ -> false)
+  in
+  List.iter
+    (fun (path, live, blob) ->
+      if Hac.is_semantic t path then incr skipped
+      else if try_restore path live then incr restored
+      else if blob <> live && try_restore path blob then incr restored
+      else (* Unparseable or cyclic after the crash: leave it plain. *)
+        incr skipped)
     plan;
-  (* The old instance's identifiers are dead; re-key the metadata area. *)
-  Hac.checkpoint_metadata t;
+  Hac_obs.Metrics.incr ~by:!skipped (Hac.instr t).Instr.recover_dirs_skipped;
   Hac.sync_all t;
-  { restored = !restored; skipped = !skipped; journal })
+  (* The old instance's identifiers are dead; re-key the metadata area
+     (atomically — a crash mid-recovery leaves the old chain intact). *)
+  Hac.checkpoint_metadata t;
+  {
+    restored = !restored;
+    skipped = !skipped;
+    journal;
+    segments_replayed = List.length chain.Journal.segments;
+    checkpoint_epoch = Option.map fst chain.Journal.checkpoint;
+  })
 
 let reload t = (reload_report t).restored

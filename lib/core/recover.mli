@@ -35,6 +35,13 @@ type reload_report = {
   skipped : int;  (** Recovery-plan entries not restored (already semantic,
                       or unparseable/cyclic after the crash). *)
   journal : journal_report;  (** Journal integrity during this reload. *)
+  segments_replayed : int;
+      (** Journal segments replayed beyond the checkpoint base — with a
+          fresh checkpoint this is at most one (the open segment), however
+          long the history before it. *)
+  checkpoint_epoch : int option;
+      (** Epoch of the checkpoint recovery started from, when one proved
+          readable. *)
 }
 
 val reload_report : Hac.t -> reload_report
@@ -42,7 +49,8 @@ val reload_report : Hac.t -> reload_report
     [srecover -v] prints. *)
 
 val journal_report : Hac.t -> journal_report
-(** Verify the directory journal without restoring anything. *)
+(** Verify the directory journal chain (checkpoint base plus every newer
+    segment) without restoring anything. *)
 
 val replay_journal : string -> (int, string) Hashtbl.t
 (** Replay raw journal text to the uid → path map it describes, skipping

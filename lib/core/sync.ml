@@ -325,8 +325,10 @@ let persist_semdir (ctx : Ctx.t) (sd : Semdir.t) =
   in
   Ctx.with_maintenance ctx (fun () ->
       if not (Fs.is_dir ctx.fs meta_root) then Fs.mkdir_p ctx.fs meta_root;
+      (* Sealed whole, so a torn write leaves a detectably-damaged file
+         rather than a silently truncated query or link set. *)
       List.iter2 (Fs.write_file ctx.fs) (meta_files sd.Semdir.uid)
-        [ query_data; links_data; proh_data; result_data ])
+        (List.map Seal.seal_blob [ query_data; links_data; proh_data; result_data ]))
 
 let unpersist_semdir (ctx : Ctx.t) uid =
   Ctx.with_maintenance ctx (fun () ->

@@ -41,6 +41,10 @@ val meta_root : string
     structures inside the file system, as the paper's implementation writes
     them to disk.  Everything below it is invisible to indexing and scopes. *)
 
+val meta_files : int -> string list
+(** Paths of a directory's structure files ([sd-<uid>.query/.links/.proh/
+    .result]) under {!meta_root}, by uid. *)
+
 val persist_semdir : Ctx.t -> Semdir.t -> unit
 (** Write a semantic directory's structures (query, link sets, prohibitions
     and the paper's N/8-byte result bitmap) to its metadata file.  Performed

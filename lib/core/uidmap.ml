@@ -14,6 +14,8 @@ let create () =
   Hashtbl.replace t.by_uid root_uid Vpath.root;
   t
 
+let reserve t n = if n >= t.next then t.next <- n + 1
+
 let register t path =
   let path = Vpath.normalize path in
   match Hashtbl.find_opt t.by_path path with

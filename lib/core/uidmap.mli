@@ -17,6 +17,12 @@ val root_uid : int
 val register : t -> string -> int
 (** UID for the directory path, allocating a fresh one when unknown. *)
 
+val reserve : t -> int -> unit
+(** Ensure every uid allocated from now on is strictly greater than [n].
+    Recovery reserves past everything the on-disk metadata mentions so a
+    new instance's uids never alias a previous life's (stale structure
+    files keyed by old uids must stay unreadable, not be misread). *)
+
 val uid_of_path : t -> string -> int option
 (** Lookup by (normalized) path. *)
 

@@ -1,0 +1,349 @@
+module Fs = Hac_vfs.Fs
+module Store = Hac_fault.Store
+module Hac = Hac_core.Hac
+module Recover = Hac_core.Recover
+module Journal = Hac_core.Journal
+module Link = Hac_core.Link
+
+type violation = { point : string; what : string }
+
+type outcome = {
+  seed : int;
+  ops : int;
+  boundaries : int;
+  points : int;
+  oracle_points : int;
+  recovery_points : int;
+  compaction_points : int;
+  dropped_fsyncs : int;
+  violations : violation list;
+}
+
+(* -- observable state of an instance ---------------------------------------
+
+   Two instances agree when every semantic directory shows the same query,
+   the same named links (with targets and classes) and the same prohibition
+   set.  uids are deliberately absent: each recovered life allocates fresh
+   ones. *)
+
+type dir_state = {
+  path : string;
+  query : string;
+  links : (string * string * string) list;  (* name, target key, class *)
+  prohibited : string list;
+}
+
+let state_of t =
+  Hac.semantic_dirs t
+  |> List.map (fun path ->
+         {
+           path;
+           query = Option.value ~default:"?" (Hac.sreadin t path);
+           links =
+             Hac.links t path
+             |> List.map (fun l ->
+                    (l.Link.name, Link.target_key l.Link.target, Link.cls_name l.Link.cls))
+             |> List.sort compare;
+           prohibited = List.sort compare (Hac.prohibited t path);
+         })
+
+let describe ds =
+  ds
+  |> List.map (fun d ->
+         Printf.sprintf "%s[%s] links=%s proh=%s" d.path d.query
+           (String.concat ","
+              (List.map (fun (n, tgt, c) -> Printf.sprintf "%s->%s(%s)" n tgt c) d.links))
+           (String.concat "," d.prohibited))
+  |> String.concat "; "
+  |> fun s -> if s = "" then "(no semantic dirs)" else s
+
+let diff_states expected got =
+  Printf.sprintf "expected %s / got %s" (describe expected) (describe got)
+
+(* -- the recorded workload -------------------------------------------------
+
+   A smoke workload exercising every journal record kind and both chain
+   operations: directory and file churn, semantic creation, re-query,
+   curation (permanent + prohibited links), rename, semantic removal, an
+   explicit checkpoint and a compaction.  Small on purpose — the harness
+   recovers a full instance at every single op boundary of this script. *)
+
+type boundary = { label : string; at : int; state : dir_state list }
+
+type recording = {
+  store : Store.t;
+  all_ops : Store.op list;
+  bounds : boundary list;  (* ascending by [at] *)
+  legal : (string * string, unit) Hashtbl.t;  (* acknowledged (path, query) *)
+}
+
+let steps t =
+  [
+    ("seed files", fun () ->
+        Hac.mkdir t "/docs";
+        Hac.write_file t "/docs/a.txt" "alpha notes here";
+        Hac.write_file t "/docs/b.txt" "beta draft notes");
+    ("smkdir alpha", fun () -> Hac.smkdir t "/alpha" "alpha");
+    ("grow corpus", fun () -> Hac.write_file t "/docs/c.txt" "alpha beta mixed");
+    ("smkdir beta", fun () -> Hac.smkdir t "/beta" "beta");
+    ("rename target", fun () -> Hac.rename t ~src:"/docs/b.txt" ~dst:"/docs/bb.txt");
+    ("curate links", fun () ->
+        Hac.prohibit_target t ~dir:"/alpha" ~target:"/docs/c.txt";
+        ignore (Hac.add_permanent t ~dir:"/alpha" ~target:"/docs/bb.txt"));
+    ("checkpoint", fun () -> ignore (Hac.checkpoint t));
+    ("post-checkpoint file", fun () -> Hac.write_file t "/docs/d.txt" "alpha again");
+    ("requery beta", fun () -> Hac.schquery t "/beta" "notes");
+    ("smkdir scratch", fun () -> Hac.smkdir t "/scratch" "mixed");
+    ("srmdir scratch", fun () -> Hac.srmdir t "/scratch");
+    ("compact", fun () -> ignore (Hac.compact t));
+    ("tail file", fun () -> Hac.write_file t "/docs/e.txt" "beta finale");
+  ]
+
+let record ~seed ?(sabotage = fun _ _ -> ()) ~on_boundary () =
+  let fs = Fs.create () in
+  let store = Store.create ~seed () in
+  Fs.attach_disk fs store;
+  let t = Hac.of_fs fs in
+  let legal = Hashtbl.create 32 in
+  let bounds = ref [] in
+  List.iter
+    (fun (label, f) ->
+      sabotage label store;
+      f ();
+      (* Materialise every directory's physical links before the settle so
+         the completion barrier covers them — [state_of] below must observe,
+         not mutate, the acknowledged disk state. *)
+      List.iter (fun d -> ignore (Hac.links t d)) (Hac.semantic_dirs t);
+      Hac.settle t;
+      let state = state_of t in
+      List.iter (fun d -> Hashtbl.replace legal (d.path, d.query) ()) state;
+      let b = { label; at = Store.op_count store; state } in
+      on_boundary store b;
+      bounds := b :: !bounds)
+    (steps t);
+  Fs.detach_disk fs;
+  Hac.shutdown ~graceful:false t;
+  { store; all_ops = Store.ops store; bounds = List.rev !bounds; legal }
+
+(* -- recovery invariants ---------------------------------------------------
+
+   For every crash state the harness checks:
+   + recovery never raises, whatever the disk contains;
+   + the recovered state is a settle fixpoint (links are exactly the
+     current scopes' query results — re-settling changes nothing);
+   + every recovered (path, query) was acknowledged at some settle of the
+     original run (nothing invented, no silently mis-parsed query);
+   + the re-keyed journal chain agrees with the instance: chain-semantic
+     paths = live semantic dirs, and every journaled directory exists;
+   + recovering the same disk twice yields the same state. *)
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let check ~legal ~add ?(double = false) point fs =
+  match
+    let t = Hac.of_fs fs in
+    let rep = Recover.reload_report t in
+    (t, rep)
+  with
+  | exception e ->
+      add point (Printf.sprintf "recovery raised %s" (Printexc.to_string e));
+      None
+  | t, rep ->
+      let st = state_of t in
+      Hac.sync_all t;
+      let st' = state_of t in
+      if st <> st' then
+        add point ("recovered state is not a settle fixpoint: " ^ diff_states st st');
+      List.iter
+        (fun d ->
+          if not (Hashtbl.mem legal (d.path, d.query)) then
+            add point
+              (Printf.sprintf "recovered (%s, %s) was never an acknowledged state" d.path
+                 d.query))
+        st;
+      let r = Journal.replay_chain (Journal.read_chain fs) in
+      let chain_sem = List.map snd (Journal.semantic_entries r) |> List.sort compare in
+      let live_sem = List.map (fun d -> d.path) st in
+      if chain_sem <> live_sem then
+        add point
+          (Printf.sprintf "chain flags [%s] semantic but instance has [%s]"
+             (String.concat "," chain_sem)
+             (String.concat "," live_sem));
+      Hashtbl.iter
+        (fun _ p ->
+          if not (Fs.is_dir fs p) then
+            add point (Printf.sprintf "journal names %s but no such directory" p))
+        r.Journal.map;
+      if double then begin
+        Hac.shutdown ~graceful:false t;
+        match
+          let t2 = Hac.of_fs fs in
+          ignore (Recover.reload t2);
+          t2
+        with
+        | exception e ->
+            add point (Printf.sprintf "second recovery raised %s" (Printexc.to_string e))
+        | t2 ->
+            let st2 = state_of t2 in
+            if st <> st2 then
+              add point ("double recovery diverged: " ^ diff_states st st2);
+            Hac.shutdown ~graceful:false t2
+      end;
+      Some (rep, st)
+
+(* Crash during recovery itself: record the recovery's own writes on a
+   second device, then enumerate every prefix of (base crash state +
+   recovery writes) and recover each — covering torn re-keying, the
+   checkpoint rename, and every partially-restored structure file. *)
+let recovery_crash_points ~seed ~legal ~add (base_label, base_ops) =
+  let fs0 = Sim.replay base_ops in
+  let store2 = Store.create ~seed () in
+  Fs.attach_disk fs0 store2;
+  let t = Hac.of_fs fs0 in
+  ignore (Recover.reload t);
+  Fs.detach_disk fs0;
+  Hac.shutdown ~graceful:false t;
+  let rec_ops = Store.ops store2 in
+  let n = List.length rec_ops in
+  for j = 0 to n do
+    let fs = Sim.replay ~into:(Sim.replay base_ops) (take j rec_ops) in
+    let point = Printf.sprintf "%s + recovery op %d/%d" base_label j n in
+    ignore (check ~legal ~add ~double:(j = n || j mod 5 = 0) point fs)
+  done;
+  n + 1
+
+let run ?(seed = 1) ?(double_stride = 7) () =
+  let violations = ref [] in
+  let add point what = violations := { point; what } :: !violations in
+  (* The oracle run: every settle acknowledges durability, so at each step
+     boundary the whole log must be durable and recovering exactly the
+     durable prefix must reproduce the acknowledged state. *)
+  let rec_main =
+    record ~seed
+      ~on_boundary:(fun store b ->
+        if Store.durable_count store <> Store.op_count store then
+          add
+            (Printf.sprintf "boundary %s" b.label)
+            (Printf.sprintf "settle acknowledged with %d of %d ops durable"
+               (Store.durable_count store) (Store.op_count store)))
+      ()
+  in
+  let ops_n = List.length rec_main.all_ops in
+  let label_of k =
+    match List.find_opt (fun b -> k <= b.at) rec_main.bounds with
+    | Some b -> b.label
+    | None -> "tail"
+  in
+  let compact_range =
+    let rec find prev = function
+      | [] -> (0, 0)
+      | b :: rest -> if b.label = "compact" then (prev, b.at) else find b.at rest
+    in
+    find 0 rec_main.bounds
+  in
+  let points = ref 0 and oracle_points = ref 0 and compaction_points = ref 0 in
+  for k = 0 to ops_n do
+    let prefix = Store.ops ~upto:k rec_main.store in
+    let point = Printf.sprintf "op %d/%d (%s) clean" k ops_n (label_of k) in
+    incr points;
+    if k > fst compact_range && k <= snd compact_range then incr compaction_points;
+    (match
+       check ~legal:rec_main.legal ~add
+         ~double:(k mod double_stride = 0 || k = ops_n)
+         point (Sim.replay prefix)
+     with
+    | Some (_, st) -> (
+        match List.find_opt (fun b -> b.at = k) rec_main.bounds with
+        | Some b ->
+            incr oracle_points;
+            if st <> b.state then
+              add point ("acknowledged state not recovered: " ^ diff_states b.state st)
+        | None -> ())
+    | None -> ());
+    if k < ops_n then begin
+      let op = List.nth rec_main.all_ops k in
+      List.iter
+        (fun (vlabel, damaged) ->
+          match damaged with
+          | None -> ()
+          | Some d ->
+              incr points;
+              let point = Printf.sprintf "op %d/%d (%s) %s" k ops_n (label_of k) vlabel in
+              ignore (check ~legal:rec_main.legal ~add point (Sim.replay (prefix @ [ d ]))))
+        [
+          ("torn", Store.torn op ~keep:(Store.tear_point rec_main.store op));
+          ("flipped", Store.flipped op ~at:(Store.flip_point rec_main.store op));
+          ("interrupted", Store.interrupted op);
+        ]
+    end
+  done;
+  (* Crash points inside recovery itself, from two bases: the state right
+     after the explicit checkpoint (re-keying on top of a fresh base) and
+     the final state (recovery after compaction). *)
+  let ckpt_at =
+    match List.find_opt (fun b -> b.label = "checkpoint") rec_main.bounds with
+    | Some b -> b.at
+    | None -> ops_n
+  in
+  let recovery_points =
+    recovery_crash_points ~seed ~legal:rec_main.legal ~add
+      ("ckpt boundary", Store.ops ~upto:ckpt_at rec_main.store)
+    + recovery_crash_points ~seed ~legal:rec_main.legal ~add
+        ("final state", rec_main.all_ops)
+  in
+  (* Post-checkpoint replay bound: recovering the final state must start
+     from the checkpoint and replay only the open segment, not history. *)
+  (match check ~legal:rec_main.legal ~add "final chain" (Sim.replay rec_main.all_ops) with
+  | Some (rep, _) ->
+      if rep.Recover.checkpoint_epoch = None then
+        add "final chain" "no readable checkpoint after an explicit checkpoint";
+      if rep.Recover.segments_replayed > 1 then
+        add "final chain"
+          (Printf.sprintf "replayed %d segments past the checkpoint (want <= 1)"
+             rep.Recover.segments_replayed)
+  | None -> ());
+  (* A device that acknowledges fsyncs it never performs: the tail of the
+     run is lost even though settle acknowledged it.  Consistency must
+     survive; only durability of the lied-about suffix is forfeit. *)
+  let dropped =
+    let rec_drop =
+      record ~seed
+        ~sabotage:(fun label store ->
+          if label = "post-checkpoint file" then Store.drop_fsyncs store 2)
+        ~on_boundary:(fun _ _ -> ())
+        ()
+    in
+    let d = Store.dropped_fsync_count rec_drop.store in
+    if d = 0 then add "dropped-fsync run" "fault injection armed but no fsync was dropped";
+    incr points;
+    ignore
+      (check ~legal:rec_drop.legal ~add ~double:true "dropped-fsync durable frontier"
+         (Sim.replay (Store.ops ~upto:(Store.durable_count rec_drop.store) rec_drop.store)));
+    d
+  in
+  {
+    seed;
+    ops = ops_n;
+    boundaries = List.length rec_main.bounds;
+    points = !points;
+    oracle_points = !oracle_points;
+    recovery_points;
+    compaction_points = !compaction_points;
+    dropped_fsyncs = dropped;
+    violations = List.rev !violations;
+  }
+
+let summary o =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "crash harness: seed %d, %d ops, %d crash states (%d oracle boundaries, %d in \
+        compaction, %d during recovery, %d dropped fsyncs)\n"
+       o.seed o.ops o.points o.oracle_points o.compaction_points o.recovery_points
+       o.dropped_fsyncs);
+  if o.violations = [] then Buffer.add_string b "no invariant violations\n"
+  else
+    List.iter
+      (fun v -> Buffer.add_string b (Printf.sprintf "VIOLATION at %s: %s\n" v.point v.what))
+      o.violations;
+  Buffer.contents b

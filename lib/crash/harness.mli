@@ -1,0 +1,45 @@
+(** The exhaustive crash-point recovery harness.
+
+    Runs a recorded smoke workload on an instance whose VFS is wired to a
+    simulated device ({!Hac_fault.Store}), then reconstructs the disk state
+    a crash would leave at {e every} operation boundary — plus torn,
+    bit-flipped and interrupted variants of the first lost op, crash points
+    inside recovery itself, crash points inside compaction, and a run whose
+    device drops fsyncs — and recovers each state, checking the recovery
+    invariants (see [docs/recovery.md]):
+
+    + recovery never raises;
+    + the recovered state is a settle fixpoint — the links of every
+      semantic directory are exactly its current scope's query results;
+    + every recovered (path, query) pair was acknowledged by a settle of
+      the original run (a sequential oracle: nothing invented, nothing
+      silently mis-parsed);
+    + the re-keyed journal chain agrees with the directory tree;
+    + recovery is idempotent (recovering twice changes nothing);
+    + at every settle boundary the whole log is durable, and recovering
+      exactly the durable prefix reproduces the acknowledged state. *)
+
+type violation = { point : string; what : string }
+(** One invariant failure: which crash point, what went wrong. *)
+
+type outcome = {
+  seed : int;  (** Damage-offset seed the run used. *)
+  ops : int;  (** Operations the recorded workload produced. *)
+  boundaries : int;  (** Settle-acknowledged steps (oracle candidates). *)
+  points : int;  (** Crash states recovered and checked. *)
+  oracle_points : int;  (** Crash states compared against the oracle. *)
+  recovery_points : int;  (** Crash states inside recovery itself. *)
+  compaction_points : int;  (** Crash states inside the compaction step. *)
+  dropped_fsyncs : int;  (** Fsync barriers swallowed in the lying-device run. *)
+  violations : violation list;  (** Empty on a healthy implementation. *)
+}
+
+val run : ?seed:int -> ?double_stride:int -> unit -> outcome
+(** Run the whole matrix.  [seed] (default 1) drives the deterministic
+    tear/flip offsets; [double_stride] (default 7) is how often the
+    double-recovery idempotency check runs (every n-th point — it doubles
+    the cost of a point). *)
+
+val summary : outcome -> string
+(** Multi-line human-readable rendering (what the shell's [crashtest]
+    prints). *)

@@ -1,0 +1,39 @@
+module Fs = Hac_vfs.Fs
+module Store = Hac_fault.Store
+
+(* Applying one logged operation to a tree mirrors what the VFS did when it
+   recorded it.  A damaged op (torn payload, halfway rename) may fail to
+   apply — e.g. a torn append to a file whose create was itself lost — and
+   that is exactly what a real disk would present: the op's effect is
+   simply absent.  Errors are therefore swallowed, never propagated. *)
+let apply fs (op : Store.op) =
+  match op with
+  | Store.Mkdir p -> Fs.mkdir fs p
+  | Store.Create p -> Fs.create_file fs p
+  | Store.Write (p, data) -> Fs.write_file fs p data
+  | Store.Append (p, data) -> Fs.append_file fs p data
+  | Store.Pwrite (p, pos, data) ->
+      let ino = Fs.ino_of_path fs p in
+      ignore (Fs.pwrite_ino fs ino ~path:p ~pos data)
+  | Store.Unlink p -> Fs.unlink fs p
+  | Store.Rmdir p -> Fs.rmdir fs p
+  | Store.Symlink { target; link } -> Fs.symlink fs ~target ~link
+  | Store.Rename { src; dst } -> Fs.rename fs ~src ~dst
+  | Store.Rename_dup { src; dst } ->
+      (* The halfway state of a crashed rename: the destination entry made
+         it to disk, the source entry was never removed. *)
+      if Fs.is_symlink fs src then begin
+        let target = Fs.readlink fs src in
+        if Fs.lexists fs dst then Fs.unlink fs dst;
+        Fs.symlink fs ~target ~link:dst
+      end
+      else if Fs.is_dir fs src then Fs.mkdir fs dst
+      else Fs.write_file fs dst (Fs.read_file fs src)
+  | Store.Chmod (p, mode) -> Fs.chmod fs p mode
+  | Store.Chown (p, uid) -> Fs.chown fs p uid
+  | Store.Fsync _ -> ()
+
+let replay ?into ops =
+  let fs = match into with Some fs -> fs | None -> Fs.create () in
+  List.iter (fun op -> try apply fs op with Hac_vfs.Errno.Error _ -> ()) ops;
+  fs

@@ -1,0 +1,17 @@
+(** Reconstruct the file-system tree a crash would leave behind.
+
+    A {!Hac_fault.Store.t} holds the ordered operation log of an instance;
+    under its in-order persistence model, every crash state is the replay
+    of some prefix of that log into an empty tree, possibly with the first
+    lost operation replaced by a damaged variant ({!Hac_fault.Store.torn},
+    [flipped], [interrupted]).  This module performs that replay. *)
+
+val apply : Hac_vfs.Fs.t -> Hac_fault.Store.op -> unit
+(** Apply one operation.  [Rename_dup] materialises the halfway rename
+    (destination written, source kept); [Fsync] is a no-op on the tree.
+    Raises {!Hac_vfs.Errno.Error} as the underlying call would. *)
+
+val replay : ?into:Hac_vfs.Fs.t -> Hac_fault.Store.op list -> Hac_vfs.Fs.t
+(** Replay an op list into [into] (default: a fresh empty tree) and return
+    it.  Individual op failures are swallowed — a damaged op that no longer
+    applies is exactly an op whose effect never reached the disk. *)

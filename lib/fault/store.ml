@@ -1,0 +1,153 @@
+type op =
+  | Mkdir of string
+  | Create of string
+  | Write of string * string
+  | Append of string * string
+  | Pwrite of string * int * string
+  | Unlink of string
+  | Rmdir of string
+  | Symlink of { target : string; link : string }
+  | Rename of { src : string; dst : string }
+  | Rename_dup of { src : string; dst : string }
+  | Chmod of string * int
+  | Chown of string * int
+  | Fsync of string
+
+type t = {
+  seed : int;
+  mutable ops : op array;  (* valid entries are [0, n) *)
+  mutable n : int;
+  mutable durable : int;  (* ops before this index survive any crash *)
+  mutable fsyncs : int;
+  mutable dropped : int;
+  mutable drop_budget : int;  (* fsync barriers left to swallow *)
+}
+
+let create ?(seed = 0) () =
+  {
+    seed = seed lor 1;
+    ops = Array.make 64 (Fsync "/");
+    n = 0;
+    durable = 0;
+    fsyncs = 0;
+    dropped = 0;
+    drop_budget = 0;
+  }
+
+let reset t =
+  t.ops <- Array.make 64 (Fsync "/");
+  t.n <- 0;
+  t.durable <- 0;
+  t.fsyncs <- 0;
+  t.dropped <- 0;
+  t.drop_budget <- 0
+
+let record t op =
+  if t.n = Array.length t.ops then begin
+    let bigger = Array.make (2 * t.n) op in
+    Array.blit t.ops 0 bigger 0 t.n;
+    t.ops <- bigger
+  end;
+  t.ops.(t.n) <- op;
+  t.n <- t.n + 1;
+  match op with
+  | Fsync _ ->
+      if t.drop_budget > 0 then begin
+        t.drop_budget <- t.drop_budget - 1;
+        t.dropped <- t.dropped + 1
+      end
+      else begin
+        t.fsyncs <- t.fsyncs + 1;
+        t.durable <- t.n
+      end
+  | _ -> ()
+
+let op_count t = t.n
+let durable_count t = t.durable
+
+let ops ?upto t =
+  let upto = match upto with None -> t.n | Some k -> max 0 (min k t.n) in
+  Array.to_list (Array.sub t.ops 0 upto)
+
+let drop_fsyncs t n = t.drop_budget <- max 0 n
+let fsync_count t = t.fsyncs
+let dropped_fsync_count t = t.dropped
+
+(* ---- fault transforms ---- *)
+
+let payload_length = function
+  | Write (_, s) | Append (_, s) | Pwrite (_, _, s) -> String.length s
+  | Mkdir _ | Create _ | Unlink _ | Rmdir _ | Symlink _ | Rename _
+  | Rename_dup _ | Chmod _ | Chown _ | Fsync _ ->
+      0
+
+let torn op ~keep =
+  if keep <= 0 then None
+  else
+    match op with
+    | Write (p, s) when keep < String.length s -> Some (Write (p, String.sub s 0 keep))
+    | Append (p, s) when keep < String.length s -> Some (Append (p, String.sub s 0 keep))
+    | Pwrite (p, pos, s) when keep < String.length s ->
+        Some (Pwrite (p, pos, String.sub s 0 keep))
+    | Write _ | Append _ | Pwrite _ -> Some op
+    | Rename { src; dst } -> Some (Rename_dup { src; dst })
+    | Mkdir _ | Create _ | Unlink _ | Rmdir _ | Symlink _ | Rename_dup _
+    | Chmod _ | Chown _ | Fsync _ ->
+        None
+
+let flip_byte s at =
+  let len = String.length s in
+  if len = 0 then s
+  else
+    let at = at mod len in
+    let bit = 1 lsl (at mod 8) in
+    String.mapi (fun i c -> if i = at then Char.chr (Char.code c lxor bit) else c) s
+
+let flipped op ~at =
+  match op with
+  | Write (p, s) when s <> "" -> Some (Write (p, flip_byte s at))
+  | Append (p, s) when s <> "" -> Some (Append (p, flip_byte s at))
+  | Pwrite (p, pos, s) when s <> "" -> Some (Pwrite (p, pos, flip_byte s at))
+  | _ -> None
+
+let shortened = torn
+
+let interrupted = function
+  | Rename { src; dst } -> Some (Rename_dup { src; dst })
+  | _ -> None
+
+(* One SplitMix step over [seed + content hash]; same mixing constants as
+   the call-level injector in fault.ml so one seed convention covers both. *)
+let mix seed h =
+  let z = ref ((seed + h + 0x9e3779b9) land max_int) in
+  z := (!z lxor (!z lsr 16)) * 0x21f0aaad;
+  z := (!z lxor (!z lsr 15)) * 0x735a2d97;
+  z := !z lxor (!z lsr 15);
+  !z land max_int
+
+let op_hash op = Hashtbl.hash op
+
+let tear_point t op =
+  let len = payload_length op in
+  if len = 0 then 0 else mix t.seed (op_hash op) mod len
+
+let flip_point t op =
+  let len = payload_length op in
+  if len = 0 then 0 else mix t.seed (op_hash op + 1) mod len
+
+let abbrev s = if String.length s <= 18 then s else String.sub s 0 15 ^ "..."
+
+let to_string = function
+  | Mkdir p -> "mkdir " ^ p
+  | Create p -> "create " ^ p
+  | Write (p, s) -> Printf.sprintf "write %s [%dB %S]" p (String.length s) (abbrev s)
+  | Append (p, s) -> Printf.sprintf "append %s [%dB %S]" p (String.length s) (abbrev s)
+  | Pwrite (p, pos, s) -> Printf.sprintf "pwrite %s @%d [%dB]" p pos (String.length s)
+  | Unlink p -> "unlink " ^ p
+  | Rmdir p -> "rmdir " ^ p
+  | Symlink { target; link } -> Printf.sprintf "symlink %s -> %s" link target
+  | Rename { src; dst } -> Printf.sprintf "rename %s -> %s" src dst
+  | Rename_dup { src; dst } -> Printf.sprintf "rename* %s -> %s (torn)" src dst
+  | Chmod (p, m) -> Printf.sprintf "chmod %s %o" p m
+  | Chown (p, u) -> Printf.sprintf "chown %s %d" p u
+  | Fsync p -> "fsync " ^ p

@@ -1,0 +1,125 @@
+(** A simulated storage device: the logical write-ahead op log of a file
+    system instance, with a durability frontier and crash-fault transforms.
+
+    The in-memory VFS ({!Hac_vfs.Fs}) is "RAM"; this module models the
+    "disk" underneath it.  Every mutating syscall the VFS executes is
+    {!record}ed here in order.  A crash throws away RAM, so the state that
+    survives is some replay of a prefix of this log — at least the prefix
+    up to the last acknowledged fsync (the {e durability frontier}), at
+    most the whole log, and possibly with the first lost operation torn
+    or bit-flipped rather than cleanly absent.
+
+    The store is deliberately ignorant of the VFS: it holds descriptions
+    of operations, not inodes.  Replaying an op list into a fresh tree
+    lives in [lib/crash] ([Hac_crash.Sim.replay]), keeping the dependency
+    order fault ← vfs ← core ← crash acyclic.
+
+    The persistence model is {e in-order global}: operations become
+    durable in the order they were issued, and an fsync on any path makes
+    every earlier operation durable (syncfs semantics).  This is stricter
+    than a real page cache, which may reorder; the crash matrix in
+    [docs/fault-model.md] spells out what the simplification does and
+    does not cover.
+
+    Fault transforms ({!torn}, {!flipped}, {!shortened}, {!interrupted})
+    are pure: they derive a damaged variant of one recorded op, and the
+    harness decides where to apply them.  {!tear_point} and {!flip_point}
+    draw deterministic pseudo-random offsets from the seed given at
+    {!create}, so a seed replays the exact same damage. *)
+
+type op =
+  | Mkdir of string
+  | Create of string  (** Empty regular file created. *)
+  | Write of string * string  (** Whole-file create-or-truncate write. *)
+  | Append of string * string  (** Bytes appended to the file. *)
+  | Pwrite of string * int * string  (** Positioned write at an offset. *)
+  | Unlink of string
+  | Rmdir of string
+  | Symlink of { target : string; link : string }
+  | Rename of { src : string; dst : string }
+  | Rename_dup of { src : string; dst : string }
+      (** A rename that crashed halfway: the destination entry was
+          written but the source entry was never removed.  Only produced
+          by {!interrupted}, never {!record}ed directly. *)
+  | Chmod of string * int
+  | Chown of string * int
+  | Fsync of string  (** Durability barrier (advances the frontier). *)
+
+type t
+(** One simulated device. *)
+
+val create : ?seed:int -> unit -> t
+(** An empty op log.  [seed] (default 0) drives {!tear_point} and
+    {!flip_point}. *)
+
+val record : t -> op -> unit
+(** Append one operation.  [Fsync] ops advance the durability frontier
+    to cover every operation recorded so far — unless fsync dropping is
+    armed (see {!drop_fsyncs}), in which case the barrier is silently
+    swallowed: the op is logged (so replay still sees a no-op) but the
+    frontier does not move, modelling a device that acknowledges flushes
+    it never performed. *)
+
+val op_count : t -> int
+(** Operations recorded so far. *)
+
+val durable_count : t -> int
+(** Length of the prefix guaranteed to survive a crash (ops up to and
+    including the last honoured fsync). *)
+
+val ops : ?upto:int -> t -> op list
+(** The first [upto] operations in record order (default: all). *)
+
+val drop_fsyncs : t -> int -> unit
+(** Arm the device to swallow the next [n] fsync barriers. *)
+
+val fsync_count : t -> int
+(** Fsync barriers honoured so far. *)
+
+val dropped_fsync_count : t -> int
+(** Fsync barriers swallowed so far. *)
+
+val reset : t -> unit
+(** Forget everything: empty log, frontier zero, counters zero.  The
+    seed is kept. *)
+
+(** {1 Crash-fault transforms}
+
+    Each returns the damaged variant of an op as it would appear on
+    disk after the crash, or [None] when the op is all-or-nothing at
+    this damage point (it simply did not happen). *)
+
+val payload_length : op -> int
+(** Bytes of payload the op carries (0 for metadata-only ops). *)
+
+val torn : op -> keep:int -> op option
+(** Torn write: only the first [keep] payload bytes reached the disk.
+    [None] for metadata-only ops (they are atomic: either present or
+    absent) and for [keep = 0].  A [Rename] becomes {!Rename_dup} —
+    the halfway state of the two-entry update. *)
+
+val flipped : op -> at:int -> op option
+(** Media corruption: one bit flipped in the payload at byte offset
+    [at] (reduced mod the payload length).  [None] for ops without
+    payload bytes. *)
+
+val shortened : op -> keep:int -> op option
+(** Short read: the device returns only a [keep]-byte prefix of the
+    payload when read back.  Same surface as {!torn} (a prefix), kept
+    separate so call sites document which failure they model. *)
+
+val interrupted : op -> op option
+(** Mid-operation crash for two-step metadata updates: a [Rename]
+    yields its {!Rename_dup} halfway state; all other ops are
+    single-step and return [None]. *)
+
+val tear_point : t -> op -> int
+(** Deterministic tear offset in [0, payload_length) for this op, drawn
+    from the store's seed and the op's position-independent content
+    hash.  0 when the op has no payload. *)
+
+val flip_point : t -> op -> int
+(** Deterministic byte offset for {!flipped}, same scheme. *)
+
+val to_string : op -> string
+(** One-line rendering for traces and failure messages. *)

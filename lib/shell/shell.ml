@@ -49,6 +49,9 @@ let help_text =
   sexport [DIR]                       export semantic directories as text
   srecover [-v]                       restore semantic state from /.hac metadata
                                       (-v adds journal integrity accounting)
+  checkpoint                          commit an atomic checkpoint of the journal chain
+  compact                             drop journal history a checkpoint supersedes
+  crashtest [SEED]                    run the exhaustive crash-point recovery harness
   mount-status                        health of every mounted namespace
   fault NS fail N|outage|latency S|corrupt|flaky P
                                       inject a failure plan into a demo namespace
@@ -299,6 +302,19 @@ let space_report s buf =
 module Trace = Hac_obs.Trace
 module Metrics = Hac_obs.Metrics
 
+(* Mount-time integrity warnings: recovery is best-effort by design, so any
+   record or directory it had to drop must be surfaced, not silently eaten. *)
+let recovery_warnings buf (r : Recover.reload_report) =
+  let j = r.Recover.journal in
+  let bad = j.Recover.corrupt + j.Recover.malformed in
+  if bad > 0 then
+    out buf "warning: skipped %d journal record(s) (%d corrupt, %d malformed)\n" bad
+      j.Recover.corrupt j.Recover.malformed;
+  if r.Recover.skipped > 0 then
+    out buf "warning: skipped %d director%s (already semantic, or metadata damaged)\n"
+      r.Recover.skipped
+      (if r.Recover.skipped = 1 then "y" else "ies")
+
 let cmd_trace s buf args =
   let tr = Hac.tracer s.t in
   match args with
@@ -417,8 +433,32 @@ let rec run s buf line =
                r.Recover.skipped;
              out buf "journal: %d records applied, %d corrupt, %d malformed\n"
                r.Recover.journal.Recover.applied r.Recover.journal.Recover.corrupt
-               r.Recover.journal.Recover.malformed
-         | "srecover", _ -> out buf "restored %d semantic directories\n" (Recover.reload s.t)
+               r.Recover.journal.Recover.malformed;
+             (match r.Recover.checkpoint_epoch with
+             | Some e ->
+                 out buf "chain: checkpoint epoch %d + %d segment(s) replayed\n" e
+                   r.Recover.segments_replayed
+             | None ->
+                 out buf "chain: no checkpoint, %d segment(s) replayed\n"
+                   r.Recover.segments_replayed);
+             recovery_warnings buf r
+         | "srecover", _ ->
+             let r = Recover.reload_report s.t in
+             out buf "restored %d semantic directories\n" r.Recover.restored;
+             recovery_warnings buf r
+         | "checkpoint", _ ->
+             let e = Hac.checkpoint s.t in
+             out buf "checkpoint committed for epoch %d; appends continue in epoch %d\n" e
+               (Hac.journal_epoch s.t)
+         | "compact", _ ->
+             out buf "compaction removed %d superseded metadata file(s)\n" (Hac.compact s.t)
+         | "crashtest", rest ->
+             let seed =
+               match rest with
+               | [ n ] -> ( match int_of_string_opt n with Some v -> v | None -> 1)
+               | _ -> 1
+             in
+             Buffer.add_string buf (Hac_crash.Harness.summary (Hac_crash.Harness.run ~seed ()))
          | "save", [ host ] ->
              Hac_vfs.Image.save_file (Hac.fs s.t) host;
              out buf "saved image to %s\n" host
@@ -432,8 +472,10 @@ let rec run s buf line =
                  (* The injectors reference the dead instance's clock, and
                     their namespaces are gone with its mount table. *)
                  Hashtbl.reset s.faults;
+                 let r = Recover.reload_report s.t in
                  out buf "restored image; recovered %d semantic directories\n"
-                   (Recover.reload s.t))
+                   r.Recover.restored;
+                 recovery_warnings buf r)
          | "sdirs", _ -> List.iter (fun d -> out buf "%s\n" d) (Hac.semantic_dirs s.t)
          | "mount-status", _ -> mount_status_report s buf
          | "fault", rest -> cmd_fault s buf rest

@@ -1,4 +1,15 @@
-type t = { inodes : Inode.table; bus : Event.bus; mutable user : int }
+module Store = Hac_fault.Store
+
+type t = {
+  inodes : Inode.table;
+  bus : Event.bus;
+  mutable user : int;
+  mutable disk : Store.t option;
+      (* When attached, every successful mutation is recorded on the
+         simulated device so the crash harness can rebuild any
+         partially-persisted state.  Detached (the default) costs one
+         match per mutation. *)
+}
 
 type stat = {
   st_ino : Inode.ino;
@@ -13,11 +24,22 @@ type stat = {
 
 let max_symlink_depth = 40
 
-let create () = { inodes = Inode.create_table (); bus = Event.create_bus (); user = 0 }
+let create () =
+  { inodes = Inode.create_table (); bus = Event.create_bus (); user = 0; disk = None }
 
 let set_user fs uid = fs.user <- uid
 
 let current_user fs = fs.user
+
+let attach_disk fs store = fs.disk <- Some store
+
+let detach_disk fs = fs.disk <- None
+
+let disk fs = fs.disk
+
+let log_disk fs op = match fs.disk with None -> () | Some s -> Store.record s op
+
+let fsync fs path = log_disk fs (Store.Fsync (Vpath.normalize path))
 
 (* r=4, w=2, x=1.  The superuser bypasses everything; the owner uses the
    high bits, everyone else the low bits (group bits unused). *)
@@ -139,6 +161,7 @@ let mkdir fs path =
   in
   n.Inode.nlink <- 1;
   Hashtbl.replace d name n.Inode.ino;
+  log_disk fs (Store.Mkdir path);
   Event.publish fs.bus (Event.Created (Event.Dir, path))
 
 let rec mkdir_p fs path =
@@ -171,6 +194,7 @@ let rmdir fs path =
   | Inode.Regular _ | Inode.Symlink _ -> Errno.raise_error Errno.ENOTDIR path);
   Hashtbl.remove d name;
   Inode.free fs.inodes ino;
+  log_disk fs (Store.Rmdir path);
   Event.publish fs.bus (Event.Removed (Event.Dir, path))
 
 let readdir fs path =
@@ -193,6 +217,7 @@ let create_file fs path =
   let n = Inode.alloc fs.inodes ~owner:fs.user ~mode:0o666 (fresh_file ()) in
   n.Inode.nlink <- 1;
   Hashtbl.replace d name n.Inode.ino;
+  log_disk fs (Store.Create path);
   Event.publish fs.bus (Event.Created (Event.File, path))
 
 let file_of_ino fs ino subject =
@@ -238,7 +263,10 @@ let set_contents fs path content ~append =
     f.Inode.len <- clen
   end;
   touch fs n;
-  if not (created && clen = 0) then Event.publish fs.bus (Event.Written path)
+  if not (created && clen = 0) then begin
+    log_disk fs (if append then Store.Append (path, content) else Store.Write (path, content));
+    Event.publish fs.bus (Event.Written path)
+  end
 
 let write_file fs path content = set_contents fs path content ~append:false
 
@@ -268,6 +296,7 @@ let unlink fs path =
   Hashtbl.remove d name;
   n.Inode.nlink <- n.Inode.nlink - 1;
   if n.Inode.nlink <= 0 then Inode.free fs.inodes ino;
+  log_disk fs (Store.Unlink path);
   Event.publish fs.bus (Event.Removed (kind, path))
 
 (* -- symlinks ------------------------------------------------------------ *)
@@ -279,6 +308,7 @@ let symlink fs ~target ~link =
   let n = Inode.alloc fs.inodes ~owner:fs.user ~mode:0o777 (Inode.Symlink target) in
   n.Inode.nlink <- 1;
   Hashtbl.replace d name n.Inode.ino;
+  log_disk fs (Store.Symlink { target; link = path });
   Event.publish fs.bus (Event.Created (Event.Link, path))
 
 let readlink fs path =
@@ -320,6 +350,7 @@ let rename fs ~src ~dst =
     Hashtbl.remove src_d src_name;
     Hashtbl.replace dst_d dst_name src_ino;
     touch fs src_node;
+    log_disk fs (Store.Rename { src = src_path; dst = dst_path });
     Event.publish fs.bus (Event.Renamed (src_path, dst_path))
   end
 
@@ -356,14 +387,16 @@ let chmod fs ?(follow = true) path mode =
   let n = node fs (resolve_ino fs ~follow_last:follow path) in
   if fs.user <> 0 && fs.user <> n.Inode.owner then Errno.raise_error Errno.EPERM path;
   n.Inode.mode <- mode land 0o777;
-  touch fs n
+  touch fs n;
+  log_disk fs (Store.Chmod (path, mode land 0o777))
 
 let chown fs ?(follow = true) path uid =
   let path = Vpath.normalize path in
   let n = node fs (resolve_ino fs ~follow_last:follow path) in
   if fs.user <> 0 then Errno.raise_error Errno.EPERM path;
   n.Inode.owner <- uid;
-  touch fs n
+  touch fs n;
+  log_disk fs (Store.Chown (path, uid))
 
 let access fs path want =
   match resolve_ino fs ~follow_last:true path with
@@ -449,6 +482,7 @@ let pwrite_ino fs ino ~path ~pos data =
   Bytes.blit_string data 0 f.Inode.bytes pos dlen;
   if pos + dlen > f.Inode.len then f.Inode.len <- pos + dlen;
   touch fs n;
+  log_disk fs (Store.Pwrite (Vpath.normalize path, pos, data));
   Event.publish fs.bus (Event.Written (Vpath.normalize path));
   dlen
 

@@ -61,6 +61,29 @@ val access : t -> string -> int -> bool
 val events : t -> Event.bus
 (** The mutation-event stream of this file system. *)
 
+(** {1 Simulated storage}
+
+    An optional "disk" underneath the in-memory tree: when a
+    {!Hac_fault.Store.t} is attached, every successful mutation is
+    recorded on it in order, so the crash harness can reconstruct any
+    partially-persisted state a real crash could leave behind.  With no
+    store attached (the default) all of this is free. *)
+
+val attach_disk : t -> Hac_fault.Store.t -> unit
+(** Route every subsequent mutation through the simulated device. *)
+
+val detach_disk : t -> unit
+(** Stop recording (the store keeps whatever it already holds). *)
+
+val disk : t -> Hac_fault.Store.t option
+(** The attached device, if any. *)
+
+val fsync : t -> string -> unit
+(** Durability barrier on [path]: records an [Fsync] op, advancing the
+    simulated device's durable frontier over everything written so far
+    (the store models in-order syncfs persistence).  A no-op without an
+    attached store — the in-memory tree itself is always "durable". *)
+
 (** {1 Directories} *)
 
 val mkdir : t -> string -> unit

@@ -1,0 +1,192 @@
+(* The crash-consistency subsystem end to end: op replay into crash states,
+   the exhaustive crash-point harness, checkpointed-remount bounds and the
+   durability knob.
+
+   The crash-suite alias in test/dune runs this binary under three pinned
+   FAULT_SEEDs, so every assertion must hold for any damage-offset seed. *)
+
+open Hac_core
+module Fs = Hac_vfs.Fs
+module Image = Hac_vfs.Image
+module Store = Hac_fault.Store
+module Sim = Hac_crash.Sim
+module Harness = Hac_crash.Harness
+
+let seed =
+  match Sys.getenv_opt "FAULT_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 1)
+  | None -> 1
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* -- Sim: crash-state reconstruction -------------------------------------- *)
+
+let test_replay_round_trip () =
+  (* Everything the VFS logs replays back to an identical tree. *)
+  let fs = Fs.create () in
+  let store = Store.create ~seed () in
+  Fs.attach_disk fs store;
+  Fs.mkdir fs "/a";
+  Fs.mkdir fs "/a/b";
+  Fs.write_file fs "/a/f.txt" "one two three";
+  Fs.append_file fs "/a/f.txt" " four";
+  Fs.create_file fs "/a/empty";
+  Fs.symlink fs ~target:"/a/f.txt" ~link:"/a/lnk";
+  Fs.rename fs ~src:"/a/b" ~dst:"/a/c";
+  Fs.write_file fs "/a/c/g.txt" "gee";
+  Fs.unlink fs "/a/empty";
+  Fs.chmod fs "/a/f.txt" 0o600;
+  let fs' = Sim.replay (Store.ops store) in
+  Alcotest.(check (list string)) "files" (Fs.find_files fs "/") (Fs.find_files fs' "/");
+  Alcotest.(check string) "contents" (Fs.read_file fs "/a/f.txt") (Fs.read_file fs' "/a/f.txt");
+  Alcotest.(check string) "link" (Fs.readlink fs "/a/lnk") (Fs.readlink fs' "/a/lnk");
+  check_int "mode" (Fs.stat fs "/a/f.txt").Fs.st_mode (Fs.stat fs' "/a/f.txt").Fs.st_mode
+
+let test_rename_dup_halfway_state () =
+  (* An interrupted rename leaves both entries on disk. *)
+  let fs = Fs.create () in
+  Fs.write_file fs "/old.txt" "payload";
+  Sim.apply fs (Store.Rename_dup { src = "/old.txt"; dst = "/new.txt" });
+  check_bool "src kept" true (Fs.is_file fs "/old.txt");
+  check_bool "dst written" true (Fs.is_file fs "/new.txt");
+  Alcotest.(check string) "dst carries the data" "payload" (Fs.read_file fs "/new.txt")
+
+let test_torn_write_is_a_prefix () =
+  let fs = Fs.create () in
+  let op = Store.Write ("/f.txt", "hello world") in
+  (match Store.torn op ~keep:5 with
+  | Some d -> Sim.apply fs d
+  | None -> Alcotest.fail "payload op must tear");
+  Alcotest.(check string) "prefix survived" "hello" (Fs.read_file fs "/f.txt")
+
+(* -- the harness: every crash point recovers ------------------------------- *)
+
+let test_harness_no_violations () =
+  let o = Harness.run ~seed () in
+  if o.Harness.violations <> [] then Alcotest.fail (Harness.summary o);
+  check_bool "a real matrix was enumerated" true (o.Harness.points > 100);
+  check_bool "oracle boundaries checked" true (o.Harness.oracle_points >= 10);
+  check_bool "crash-during-compaction covered" true (o.Harness.compaction_points > 0);
+  check_bool "crash-during-recovery covered" true (o.Harness.recovery_points > 50);
+  check_bool "dropped fsyncs exercised" true (o.Harness.dropped_fsyncs > 0)
+
+(* -- checkpointed remount bounds ------------------------------------------- *)
+
+let remount t =
+  match Image.load (Image.dump (Hac.fs t)) with
+  | Ok fs -> Hac.of_fs fs
+  | Error e -> Alcotest.fail ("image round trip: " ^ e)
+
+let test_recovery_replays_only_post_checkpoint_segments () =
+  let t = Hac.create () in
+  Hac.mkdir t "/docs";
+  for i = 1 to 20 do
+    Hac.write_file t (Printf.sprintf "/docs/f%02d.txt" i) "alpha payload text"
+  done;
+  Hac.smkdir t "/alpha" "alpha";
+  Hac.settle t;
+  ignore (Hac.checkpoint t);
+  (* Post-checkpoint delta: one directory, one file. *)
+  Hac.mkdir t "/later";
+  Hac.write_file t "/docs/tail.txt" "alpha tail";
+  Hac.settle t;
+  let t2 = remount t in
+  let rep = Recover.reload_report t2 in
+  check_bool "semantic state recovered" true (Hac.is_semantic t2 "/alpha");
+  (match rep.Recover.checkpoint_epoch with
+  | Some _ -> ()
+  | None -> Alcotest.fail "recovery did not start from the checkpoint");
+  check_int "only the open segment replayed" 1 rep.Recover.segments_replayed;
+  (* The metric agrees with the report. *)
+  match Hac_obs.Metrics.find (Hac.metrics t2) "recover.segments_replayed" with
+  | Some (Hac_obs.Metrics.Gauge_value v) ->
+      check_int "recover.segments_replayed gauge" rep.Recover.segments_replayed
+        (int_of_float v)
+  | _ -> Alcotest.fail "recover.segments_replayed metric missing"
+
+let test_compaction_truncates_history () =
+  let t = Hac.create () in
+  Hac.mkdir t "/docs";
+  Hac.write_file t "/docs/a.txt" "alpha";
+  Hac.smkdir t "/alpha" "alpha";
+  Hac.settle t;
+  ignore (Hac.checkpoint t);
+  Hac.mkdir t "/one";
+  ignore (Hac.checkpoint t);
+  Hac.mkdir t "/two";
+  Hac.settle t;
+  let removed = Hac.compact t in
+  check_bool "compaction removed superseded files" true (removed > 0);
+  let segs, ckpts = Journal.scan (Hac.fs t) in
+  let newest = List.fold_left (fun m (e, _) -> max m e) (-1) ckpts in
+  check_int "a single checkpoint survives" 1 (List.length ckpts);
+  check_bool "no segment at or below the checkpoint" true
+    (List.for_all (fun (e, _) -> e > newest) segs);
+  (* Recovery after compaction still reproduces the full state. *)
+  let t2 = remount t in
+  ignore (Recover.reload t2);
+  check_bool "alpha recovered from truncated chain" true (Hac.is_semantic t2 "/alpha");
+  check_bool "post-compaction dirs present" true (Hac.is_dir t2 "/one" && Hac.is_dir t2 "/two")
+
+(* -- durability knob -------------------------------------------------------- *)
+
+let test_settle_acknowledges_only_durable_state () =
+  let fs = Fs.create () in
+  let store = Store.create ~seed () in
+  Fs.attach_disk fs store;
+  let t = Hac.of_fs fs in
+  Hac.mkdir t "/docs";
+  Hac.write_file t "/docs/a.txt" "alpha";
+  Hac.smkdir t "/alpha" "alpha";
+  check_bool "work recorded before settle" true (Store.op_count store > 0);
+  Hac.settle t;
+  check_int "settle ack implies full durability" (Store.op_count store)
+    (Store.durable_count store)
+
+let test_durability_knob_always_vs_batch () =
+  let fs = Fs.create () in
+  let store = Store.create ~seed () in
+  Fs.attach_disk fs store;
+  let t = Hac.of_fs fs in
+  check_bool "defaults to batch" true (Hac.durability t = `Batch);
+  Hac.mkdir t "/d1";
+  Hac.settle ~durability:`Always t;
+  check_bool "knob is sticky" true (Hac.durability t = `Always);
+  let before = Store.fsync_count store in
+  Hac.mkdir t "/d2";
+  (* Under `Always the journal append itself carries the barrier. *)
+  check_bool "append fsyncs immediately" true (Store.fsync_count store > before);
+  Hac.set_durability t `Batch;
+  let before = Store.fsync_count store in
+  Hac.mkdir t "/d3";
+  check_int "batch defers the barrier to settle" before (Store.fsync_count store);
+  Hac.settle t;
+  check_bool "settle completes the barrier" true (Store.fsync_count store > before)
+
+let () =
+  Alcotest.run "crash"
+    [
+      ( "sim",
+        [
+          Alcotest.test_case "replay round trip" `Quick test_replay_round_trip;
+          Alcotest.test_case "rename halfway state" `Quick test_rename_dup_halfway_state;
+          Alcotest.test_case "torn write prefix" `Quick test_torn_write_is_a_prefix;
+        ] );
+      ( "harness",
+        [ Alcotest.test_case "zero invariant violations" `Quick test_harness_no_violations ]
+      );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "replays only the delta" `Quick
+            test_recovery_replays_only_post_checkpoint_segments;
+          Alcotest.test_case "compaction truncates history" `Quick
+            test_compaction_truncates_history;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "ack implies durable" `Quick
+            test_settle_acknowledges_only_durable_state;
+          Alcotest.test_case "always vs batch" `Quick test_durability_knob_always_vs_batch;
+        ] );
+    ]

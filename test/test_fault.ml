@@ -396,6 +396,49 @@ let test_replay_handles_paths_with_spaces () =
   Alcotest.(check (option string))
     "M with spaces" (Some "/see also/the plain one") (Hashtbl.find_opt map 4)
 
+(* Exhaustive torn-tail sweep: chop the final journal record at every byte
+   offset.  Whatever the cut, replay applies every earlier record, counts
+   at most one corrupt line, and never misreads the partial tail as a
+   record.  Paths embed the seed so the three pinned fault-suite seeds
+   exercise different record bytes (and hence different checksums). *)
+let test_truncated_tail_every_offset () =
+  let d3 = Printf.sprintf "/docs %d/a dir" seed in
+  let m4 = Printf.sprintf "/moved %d" seed in
+  let head_records = [ "D 3 " ^ d3; "D 4 /plain"; "S 4"; "M 4 " ^ m4 ] in
+  let head = String.concat "" (List.map (fun r -> Journal.seal r ^ "\n") head_records) in
+  let last = Journal.seal "X 3" ^ "\n" in
+  for keep = 0 to String.length last - 1 do
+    let r = Journal.replay_create () in
+    Journal.replay_text r (head ^ String.sub last 0 keep);
+    let where = Printf.sprintf " (cut at %d)" keep in
+    check_bool ("at most one corrupt line" ^ where) true (r.Journal.corrupt <= 1);
+    check_int ("nothing malformed" ^ where) 0 r.Journal.malformed;
+    (* All-or-nothing: the torn removal either did not happen (its bytes
+       incomplete) or applied in full — and "in full" is only possible when
+       the cut lost no more than the trailing newline separator. *)
+    if r.Journal.applied = 5 then begin
+      check_bool ("full record implies only the separator lost" ^ where) true
+        (keep >= String.length last - 1);
+      Alcotest.(check (option string))
+        ("uid 3 removed by the intact record" ^ where)
+        None (Hashtbl.find_opt r.Journal.map 3)
+    end
+    else begin
+      check_int ("head records applied" ^ where) 4 r.Journal.applied;
+      Alcotest.(check (option string))
+        ("uid 3 survives its torn removal" ^ where)
+        (Some d3) (Hashtbl.find_opt r.Journal.map 3)
+    end;
+    Alcotest.(check (option string))
+      ("uid 4 moved" ^ where) (Some m4) (Hashtbl.find_opt r.Journal.map 4);
+    check_bool ("semantic flag replayed" ^ where) true (Hashtbl.mem r.Journal.sem 4)
+  done;
+  (* The whole record present: the removal lands. *)
+  let r = Journal.replay_create () in
+  Journal.replay_text r (head ^ last);
+  check_int "full tail applies" 5 r.Journal.applied;
+  Alcotest.(check (option string)) "uid 3 removed" None (Hashtbl.find_opt r.Journal.map 3)
+
 (* Property: whatever we do to the journal's tail — truncate it anywhere,
    append arbitrary garbage — reload never raises and restores every
    semantic directory whose records and structures are intact. *)
@@ -455,6 +498,8 @@ let () =
           Alcotest.test_case "torn tail skipped" `Quick test_reload_skips_torn_tail;
           Alcotest.test_case "garbage survived" `Quick test_reload_survives_garbage;
           Alcotest.test_case "paths with spaces" `Quick test_replay_handles_paths_with_spaces;
+          Alcotest.test_case "torn tail at every offset" `Quick
+            test_truncated_tail_every_offset;
           QCheck_alcotest.to_alcotest prop_reload_total;
         ] );
     ]

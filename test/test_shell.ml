@@ -3,6 +3,7 @@
 
 module Shell = Hac_shell.Shell
 module Hac = Hac_core.Hac
+module Fs = Hac_vfs.Fs
 
 let check_str = Alcotest.(check string)
 
@@ -137,6 +138,23 @@ let test_srecover_roundtrip () =
   check_bool "recovered" true (contains (run s2 "srecover") "restored 1");
   check_bool "alive again" true (contains (run s2 "links /apples") "apple.txt")
 
+let test_checkpoint_compact () =
+  let s = seeded () in
+  check_bool "checkpoint" true (contains (run s "checkpoint") "checkpoint committed for epoch 0");
+  check_bool "next epoch" true (contains (run s "checkpoint") "epoch 1");
+  check_bool "compact" true (contains (run s "compact") "compaction removed");
+  check_bool "still recovers" true (contains (run s "srecover -v") "checkpoint epoch")
+
+let test_srecover_warns_on_corruption () =
+  let s = seeded () in
+  let t = Shell.hac s in
+  Hac.shutdown ~graceful:false t;
+  let fs = Hac.fs t in
+  let log = "/.hac/dirs.log" in
+  Fs.write_file fs log (Fs.read_file fs log ^ "D 99 /phantom zzz dir #00000000\n");
+  let s2 = Shell.of_hac (Hac.of_fs ~auto_sync:true fs) in
+  check_bool "warns" true (contains (run s2 "srecover") "warning: skipped 1 journal record")
+
 let test_stats () =
   let s = seeded () in
   let out = run s "stats" in
@@ -164,7 +182,7 @@ let prop_no_escaping_exceptions =
               "mv"; "ln"; "chmod"; "chown"; "su"; "smkdir"; "srmdir"; "schquery";
               "sreadin"; "ssearch"; "sgrep"; "links"; "prohibited"; "sact"; "ssync";
               "sreindex"; "smount"; "sumount"; "sprohibit"; "sunprohibit"; "sexport";
-              "srecover"; "sdirs"; "stats"; "help";
+              "srecover"; "sdirs"; "stats"; "help"; "checkpoint"; "compact";
             ];
           oneofl [ "/"; "/a"; "/a/b"; ".."; "."; "x"; "600"; "1"; "*"; "("; "{/a}"; "/re/" ];
           map
@@ -210,6 +228,8 @@ let () =
         [
           Alcotest.test_case "sexport" `Quick test_sexport;
           Alcotest.test_case "srecover" `Quick test_srecover_roundtrip;
+          Alcotest.test_case "checkpoint/compact" `Quick test_checkpoint_compact;
+          Alcotest.test_case "srecover warns" `Quick test_srecover_warns_on_corruption;
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "quit" `Quick test_quit;
         ] );
