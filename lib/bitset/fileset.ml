@@ -1,170 +1,61 @@
-(* Representation choice: a set stays sparse until its cardinality exceeds
-   [dense_threshold] *and* its density (cardinal / (max+1)) makes a bitmap
-   cheaper than one word per element.  The choice is re-made after every
-   operation that can change cardinality, so long-lived sets converge to the
-   cheaper representation. *)
+(* Filesets are roaring-style compressed sets (see {!Roaring}): 2^16-keyed
+   chunks, each stored as a sorted array, bitmap, or run container.  The old
+   sparse-array / whole-universe-bitmap pair is gone; this module is a thin
+   façade that keeps the historical [Fileset] API for the evaluator and adds
+   the multi-way intersection and builder entry points the index needs. *)
 
-type t = Dense of Bitset.t | Sparse of Sparse.t
+type t = Roaring.t
 
-let dense_threshold = 128
+let empty = Roaring.empty
+let singleton = Roaring.singleton
+let of_list = Roaring.of_list
 
-let normalize = function
-  | Sparse s as v ->
-      let n = Sparse.cardinal s in
-      if n <= dense_threshold then v
-      else begin
-        match Sparse.max_elt_opt s with
-        | None -> v
-        | Some m ->
-            (* One word per element sparse vs one bit per universe slot dense. *)
-            if n * Sys.int_size > m + 1 then begin
-              let b = Bitset.create ~capacity:(m + 1) () in
-              Sparse.iter (Bitset.add b) s;
-              Dense b
-            end
-            else v
-      end
-  | Dense b as v ->
-      let n = Bitset.cardinal b in
-      if n > dense_threshold then v
-      else Sparse (Sparse.of_list (Bitset.elements b))
+(* Bitset iterates in increasing order, so the streaming constructor applies:
+   no intermediate copy of the bitmap words (the old code copied the whole
+   word array and then often re-sparsified it). *)
+let of_bitset b = Roaring.of_increasing_iter (fun f -> Bitset.iter f b)
+let of_increasing_iter = Roaring.of_increasing_iter
+let range = Roaring.range
+let mem = Roaring.mem
+let add = Roaring.add
+let remove = Roaring.remove
+let union = Roaring.union
+let inter = Roaring.inter
+let diff = Roaring.diff
+let inter_many = Roaring.inter_many
+let cardinal = Roaring.cardinal
+let is_empty = Roaring.is_empty
+let equal = Roaring.equal
+let subset = Roaring.subset
+let iter = Roaring.iter
+let fold = Roaring.fold
+let filter = Roaring.filter
+let elements = Roaring.elements
+let choose_opt = Roaring.choose_opt
+let max_elt_opt = Roaring.max_elt_opt
+let byte_size = Roaring.byte_size
+let is_dense = Roaring.has_compressed
 
-let empty = Sparse Sparse.empty
+type container_stats = Roaring.stats = {
+  containers : int;
+  arrays : int;
+  bitmaps : int;
+  run_containers : int;
+  bytes : int;
+}
 
-let singleton i = Sparse (Sparse.singleton i)
+let container_stats = Roaring.stats
+let pp = Roaring.pp
 
-let of_list l = normalize (Sparse (Sparse.of_list l))
+module Builder = struct
+  type fileset = t
+  type t = Roaring.builder
 
-let of_bitset b = normalize (Dense (Bitset.copy b))
-
-let range lo hi =
-  if lo > hi then empty
-  else begin
-    let b = Bitset.create ~capacity:(hi + 1) () in
-    for i = max 0 lo to hi do
-      Bitset.add b i
-    done;
-    normalize (Dense b)
-  end
-
-let mem t i =
-  match t with Dense b -> Bitset.mem b i | Sparse s -> Sparse.mem s i
-
-let add t i =
-  match t with
-  | Dense b ->
-      let b = Bitset.copy b in
-      Bitset.add b i;
-      Dense b
-  | Sparse s -> normalize (Sparse (Sparse.add s i))
-
-let remove t i =
-  match t with
-  | Dense b ->
-      let b = Bitset.copy b in
-      Bitset.remove b i;
-      normalize (Dense b)
-  | Sparse s -> Sparse (Sparse.remove s i)
-
-let to_bitset = function
-  | Dense b -> b
-  | Sparse s ->
-      let b =
-        Bitset.create
-          ~capacity:(match Sparse.max_elt_opt s with Some m -> m + 1 | None -> 64)
-          ()
-      in
-      Sparse.iter (Bitset.add b) s;
-      b
-
-let union a b =
-  match (a, b) with
-  | Sparse x, Sparse y -> normalize (Sparse (Sparse.union x y))
-  | _ ->
-      let r = Bitset.copy (to_bitset a) in
-      Bitset.union_into r (to_bitset b);
-      normalize (Dense r)
-
-let inter a b =
-  match (a, b) with
-  | Sparse x, Sparse y -> Sparse (Sparse.inter x y)
-  | _ ->
-      let r = Bitset.copy (to_bitset a) in
-      Bitset.inter_into r (to_bitset b);
-      normalize (Dense r)
-
-let diff a b =
-  match (a, b) with
-  | Sparse x, Sparse y -> Sparse (Sparse.diff x y)
-  | _ ->
-      let r = Bitset.copy (to_bitset a) in
-      Bitset.diff_into r (to_bitset b);
-      normalize (Dense r)
-
-let cardinal = function
-  | Dense b -> Bitset.cardinal b
-  | Sparse s -> Sparse.cardinal s
-
-let is_empty = function
-  | Dense b -> Bitset.is_empty b
-  | Sparse s -> Sparse.is_empty s
-
-let iter f = function
-  | Dense b -> Bitset.iter f b
-  | Sparse s -> Sparse.iter f s
-
-let fold f t init =
-  match t with
-  | Dense b -> Bitset.fold f b init
-  | Sparse s -> Sparse.fold f s init
-
-let elements = function
-  | Dense b -> Bitset.elements b
-  | Sparse s -> Sparse.elements s
-
-let equal a b =
-  match (a, b) with
-  | Dense x, Dense y -> Bitset.equal x y
-  | Sparse x, Sparse y -> Sparse.equal x y
-  | _ -> elements a = elements b
-
-let subset a b =
-  match (a, b) with
-  | Dense x, Dense y -> Bitset.subset x y
-  | Sparse x, Sparse y -> Sparse.subset x y
-  | _ -> (
-      (* Mixed representations: stop at the first counter-example instead of
-         scanning the rest of [a]. *)
-      try
-        iter (fun i -> if not (mem b i) then raise Exit) a;
-        true
-      with Exit -> false)
-
-(* In-representation filtering: this is {!Search.verify}'s hot path, where
-   the old [elements] / [List.filter] / [of_list] round trip allocated a
-   list cell per candidate plus a sort. *)
-let filter p t =
-  match t with
-  | Sparse s -> normalize (Sparse (Sparse.filter p s))
-  | Dense b ->
-      let r =
-        Bitset.create
-          ~capacity:(match Bitset.max_elt_opt b with Some m -> m + 1 | None -> 64)
-          ()
-      in
-      Bitset.iter (fun i -> if p i then Bitset.add r i) b;
-      normalize (Dense r)
-
-let choose_opt = function
-  | Dense b -> Bitset.choose_opt b
-  | Sparse s -> Sparse.choose_opt s
-
-let byte_size = function
-  | Dense b -> Bitset.byte_size b
-  | Sparse s -> Sparse.byte_size s
-
-let is_dense = function Dense _ -> true | Sparse _ -> false
-
-let pp ppf = function
-  | Dense b -> Bitset.pp ppf b
-  | Sparse s -> Sparse.pp ppf s
+  let create () = Roaring.builder ()
+  let add = Roaring.badd
+  let remove = Roaring.bremove
+  let mem = Roaring.bmem
+  let cardinal = Roaring.bcardinal
+  let snapshot : t -> fileset = Roaring.bsnapshot
+  let clear = Roaring.bclear
+end

@@ -548,6 +548,24 @@ let set_pass_caches (ctx : Ctx.t) on = ctx.pass_caches <- on
 
 let pass_caches_enabled (ctx : Ctx.t) = ctx.pass_caches
 
+let set_cas (ctx : Ctx.t) on = Index.set_use_cas ctx.index on
+
+let cas_enabled (ctx : Ctx.t) = Index.use_cas ctx.index
+
+(* Stats-time accounting: measuring the CAS postings forces every partition
+   snapshot, so the container gauges are published here — never on the
+   indexing path. *)
+let index_report (ctx : Ctx.t) =
+  let s = Index.cas_stats ctx.index in
+  let i = ctx.instr in
+  let setg g v = Hac_obs.Metrics.set g (float_of_int v) in
+  setg i.Instr.index_containers_arrays s.Hac_index.Cas.arrays;
+  setg i.Instr.index_containers_bitmaps s.Hac_index.Cas.bitmaps;
+  setg i.Instr.index_containers_runs s.Hac_index.Cas.run_containers;
+  setg i.Instr.index_postings_bytes s.Hac_index.Cas.bytes;
+  setg i.Instr.index_postings_uncompressed s.Hac_index.Cas.uncompressed_bytes;
+  s
+
 (* -- links ------------------------------------------------------------------ *)
 
 let links (ctx : Ctx.t) path =

@@ -175,6 +175,21 @@ val set_pass_caches : t -> bool -> unit
 val pass_caches_enabled : t -> bool
 (** Current setting of {!set_pass_caches}. *)
 
+val set_cas : t -> bool -> unit
+(** Enable/disable the combined content-and-structure query path
+    ({!Hac_index.Index.set_use_cas}).  On by default; off, term lookups fall
+    back to Glimpse block expansion — the ablation baseline.  Results are
+    identical either way (both paths verify candidates). *)
+
+val cas_enabled : t -> bool
+(** Current setting of {!set_cas}. *)
+
+val index_report : t -> Hac_index.Cas.stats
+(** Container histogram and memory accounting of the CAS postings, also
+    published to the [index.containers.*] / [index.postings.*] gauges.
+    Forces partition snapshots — a stats-time cost, cheap next to a settle
+    but not free. *)
+
 (** {1 Links} *)
 
 val links : t -> string -> Link.t list

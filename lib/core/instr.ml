@@ -20,6 +20,13 @@ type t = {
   planner_chains : Metrics.counter;
   planner_reordered : Metrics.counter;
   planner_cost_saved : Metrics.counter;
+  planner_scoped_chains : Metrics.counter;
+  index_containers_arrays : Metrics.gauge;
+  index_containers_bitmaps : Metrics.gauge;
+  index_containers_runs : Metrics.gauge;
+  index_postings_bytes : Metrics.gauge;
+  index_postings_uncompressed : Metrics.gauge;
+  rescache_bytes : Metrics.gauge;
   search_terms : Metrics.counter;
   search_postings : Metrics.counter;
   search_candidates : Metrics.counter;
@@ -75,6 +82,13 @@ let create ~now () =
     planner_chains = Metrics.counter m "planner.optimize.chains";
     planner_reordered = Metrics.counter m "planner.optimize.reordered";
     planner_cost_saved = Metrics.counter m "planner.optimize.cost_saved";
+    planner_scoped_chains = Metrics.counter m "planner.cost.scoped_chains";
+    index_containers_arrays = Metrics.gauge m "index.containers.arrays";
+    index_containers_bitmaps = Metrics.gauge m "index.containers.bitmaps";
+    index_containers_runs = Metrics.gauge m "index.containers.runs";
+    index_postings_bytes = Metrics.gauge m "index.postings.bytes";
+    index_postings_uncompressed = Metrics.gauge m "index.postings.uncompressed_bytes";
+    rescache_bytes = Metrics.gauge m "rescache.bytes";
     search_terms = Metrics.counter m "search.terms";
     search_postings = Metrics.counter m "search.postings_scanned";
     search_candidates = Metrics.counter m "search.candidates_expanded";

@@ -34,6 +34,21 @@ type t = {
   planner_chains : Hac_obs.Metrics.counter;
   planner_reordered : Hac_obs.Metrics.counter;
   planner_cost_saved : Hac_obs.Metrics.counter;
+  planner_scoped_chains : Hac_obs.Metrics.counter;
+      (** AND chains planned with a subtree scope hint (partition-scoped,
+          calibrated costs rather than whole-index estimates). *)
+  index_containers_arrays : Hac_obs.Metrics.gauge;
+      (** Array containers across all CAS postings (set at stats time). *)
+  index_containers_bitmaps : Hac_obs.Metrics.gauge;
+      (** Bitmap containers across all CAS postings (set at stats time). *)
+  index_containers_runs : Hac_obs.Metrics.gauge;
+      (** Run containers across all CAS postings (set at stats time). *)
+  index_postings_bytes : Hac_obs.Metrics.gauge;
+      (** Compressed CAS postings footprint in bytes (set at stats time). *)
+  index_postings_uncompressed : Hac_obs.Metrics.gauge;
+      (** What flat per-term bitmaps over the doc-id space would cost. *)
+  rescache_bytes : Hac_obs.Metrics.gauge;
+      (** Bytes held by cached per-directory result sets. *)
   search_terms : Hac_obs.Metrics.counter;
   search_postings : Hac_obs.Metrics.counter;
   search_candidates : Hac_obs.Metrics.counter;

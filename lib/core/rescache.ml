@@ -1,9 +1,13 @@
 module Fileset = Hac_bitset.Fileset
 module Metrics = Hac_obs.Metrics
 
-type entry = { fingerprint : string; generation : int; result : Fileset.t }
+(* Each entry carries the byte size of its result (as {!Fileset.byte_size}
+   reported at store time): result sets are immutable, so the figure stays
+   exact until the entry is replaced or dropped, and the cache's total
+   footprint is maintained incrementally instead of re-measured per query. *)
+type entry = { fingerprint : string; generation : int; result : Fileset.t; bytes : int }
 
-type stats = { hits : int; misses : int; entries : int; drops : int }
+type stats = { hits : int; misses : int; entries : int; drops : int; bytes : int }
 
 (* Accounting lives in a metrics registry (the owning instance's, so the
    shell's `metrics` sees it under rescache.hits etc.); [stats] is a thin
@@ -11,23 +15,29 @@ type stats = { hits : int; misses : int; entries : int; drops : int }
    unchanged. *)
 type t = {
   tbl : (int, entry) Hashtbl.t;
+  mutable total_bytes : int;
   c_hits : Metrics.counter;
   c_misses : Metrics.counter;
   c_drops : Metrics.counter;
   g_entries : Metrics.gauge;
+  g_bytes : Metrics.gauge;
 }
 
 let create ?metrics () =
   let m = match metrics with Some m -> m | None -> Metrics.create () in
   {
     tbl = Hashtbl.create 64;
+    total_bytes = 0;
     c_hits = Metrics.counter m "rescache.hits";
     c_misses = Metrics.counter m "rescache.misses";
     c_drops = Metrics.counter m "rescache.drops";
     g_entries = Metrics.gauge m "rescache.entries";
+    g_bytes = Metrics.gauge m "rescache.bytes";
   }
 
-let sync_entries t = Metrics.set t.g_entries (float_of_int (Hashtbl.length t.tbl))
+let sync_entries t =
+  Metrics.set t.g_entries (float_of_int (Hashtbl.length t.tbl));
+  Metrics.set t.g_bytes (float_of_int t.total_bytes)
 
 let find t ~uid ~fingerprint ~generation =
   match Hashtbl.find_opt t.tbl uid with
@@ -38,12 +48,21 @@ let find t ~uid ~fingerprint ~generation =
       Metrics.incr t.c_misses;
       None
 
+let forget_bytes t uid =
+  match Hashtbl.find_opt t.tbl uid with
+  | Some e -> t.total_bytes <- t.total_bytes - e.bytes
+  | None -> ()
+
 let store t ~uid ~fingerprint ~generation result =
-  Hashtbl.replace t.tbl uid { fingerprint; generation; result };
+  forget_bytes t uid;
+  let bytes = Fileset.byte_size result in
+  t.total_bytes <- t.total_bytes + bytes;
+  Hashtbl.replace t.tbl uid { fingerprint; generation; result; bytes };
   sync_entries t
 
 let drop t ~uid =
   if Hashtbl.mem t.tbl uid then begin
+    forget_bytes t uid;
     Hashtbl.remove t.tbl uid;
     Metrics.incr t.c_drops;
     sync_entries t
@@ -52,6 +71,7 @@ let drop t ~uid =
 let clear t =
   Metrics.incr ~by:(Hashtbl.length t.tbl) t.c_drops;
   Hashtbl.reset t.tbl;
+  t.total_bytes <- 0;
   sync_entries t
 
 let stats t =
@@ -60,6 +80,7 @@ let stats t =
     misses = Metrics.count t.c_misses;
     entries = Hashtbl.length t.tbl;
     drops = Metrics.count t.c_drops;
+    bytes = t.total_bytes;
   }
 
 let reset_stats t =

@@ -18,12 +18,15 @@ type stats = {
   misses : int;  (** Lookups that fell back to query evaluation. *)
   entries : int;  (** Directories with a live cache entry. *)
   drops : int;  (** Entries discarded because their directory went away. *)
+  bytes : int;
+      (** Total {!Hac_bitset.Fileset.byte_size} of the cached result sets,
+          maintained incrementally on store/drop/clear. *)
 }
 
 val create : ?metrics:Hac_obs.Metrics.t -> unit -> t
-(** Counters register as [rescache.hits]/[.misses]/[.drops] plus a
-    [rescache.entries] gauge in [metrics] (a private registry when
-    omitted); {!stats} reads those same instruments back. *)
+(** Counters register as [rescache.hits]/[.misses]/[.drops] plus
+    [rescache.entries] and [rescache.bytes] gauges in [metrics] (a private
+    registry when omitted); {!stats} reads those same instruments back. *)
 
 val find :
   t -> uid:int -> fingerprint:string -> generation:int -> Hac_bitset.Fileset.t option

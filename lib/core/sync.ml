@@ -161,20 +161,23 @@ let attr_docs ?within ?cache (ctx : Ctx.t) key value =
           in
           Fileset.filter verify (Index.attr_docs ?within ctx.index key value))
 
-(* Selectivity estimate for the planner: posting-block population via
-   {!Index.term_cost} — no block expansion, so ranking an AND chain costs a
-   hashtable lookup per term instead of materialising every candidate set.
+(* Measured candidate counts for the planner.  With the CAS index on these
+   are per-container cardinalities of exactly the partitions a lookup would
+   touch (scoped by [?under] when the evaluation has a subtree scope);
+   with it off they fall back to Glimpse posting-block upper bounds.  No
+   candidate set is ever materialised, and — because [eval_query_par] calls
+   this from worker domains — no metric, tracer or cache is touched here.
    Verification never widens a candidate set, so these are sound upper
    bounds for ordering conjunctions. *)
-let term_cost (ctx : Ctx.t) term =
+let term_cost ?under (ctx : Ctx.t) term =
   let universe_size () = Index.doc_count ctx.index in
   match term with
-  | Ast.Word w -> Index.term_cost ctx.index w
+  | Ast.Word w -> Index.term_cost ?under ctx.index w
   | Ast.Phrase ws ->
-      List.fold_left (fun acc w -> min acc (Index.term_cost ctx.index w)) max_int ws
+      List.fold_left (fun acc w -> min acc (Index.term_cost ?under ctx.index w)) max_int ws
   | Ast.Approx _ -> universe_size () (* vocabulary scan: treat as expensive *)
   | Ast.Attr (("name" | "ext" | "path"), _) -> universe_size ()
-  | Ast.Attr (k, v) -> Index.attr_cost ctx.index k v
+  | Ast.Attr (k, v) -> Index.attr_cost ?under ctx.index k v
   | Ast.Regex r -> (
       match Hac_index.Regex.compile_result r with
       | Ok re when (not (Index.stemming ctx.index)) && Hac_index.Regex.required_word re <> None
@@ -218,7 +221,12 @@ let evaluator_in pass ctx =
       pass.ev <- Some ev;
       ev
 
-let eval_query_in pass (ctx : Ctx.t) ?restrict_to q =
+(* [?under] is the scope-pushdown hint: the (normalized, absolute) directory
+   the final result will be intersected below.  It sharpens both the cost
+   model (partition-scoped cardinalities) and candidate generation (the CAS
+   index skips partitions that cannot intersect the scope) — sound only
+   because the caller intersects with a subtree scope at or below it. *)
+let eval_query_in pass (ctx : Ctx.t) ?restrict_to ?under q =
   let i = ctx.instr in
   Hac_obs.Trace.with_span i.Instr.tracer ~name:"query.eval" (fun () ->
       let report ~chosen ~naive ~terms:_ =
@@ -226,11 +234,18 @@ let eval_query_in pass (ctx : Ctx.t) ?restrict_to q =
         if chosen < naive then begin
           Hac_obs.Metrics.incr i.Instr.planner_reordered;
           Hac_obs.Metrics.incr ~by:(naive - chosen) i.Instr.planner_cost_saved
-        end
+        end;
+        (match under with
+        | Some _ -> Hac_obs.Metrics.incr i.Instr.planner_scoped_chains
+        | None -> ())
       in
-      let q = Hac_query.Planner.optimize ~report ~cost:(term_cost ctx) q in
+      let q =
+        Hac_query.Planner.optimize ~report
+          ~cost:(Hac_query.Planner.calibrated ~measured:(term_cost ?under ctx))
+          q
+      in
       let probe = Search.new_probe () in
-      let result = Search.eval_with (evaluator_in pass ctx) ~probe ?restrict_to q in
+      let result = Search.eval_with (evaluator_in pass ctx) ~probe ?restrict_to ?under q in
       Instr.flush_probe i probe;
       Hac_obs.Trace.set_attr_int i.Instr.tracer "terms" probe.Search.terms;
       Hac_obs.Trace.set_attr_int i.Instr.tracer "verified" probe.Search.docs_verified;
@@ -250,29 +265,42 @@ type par_acc = {
   mutable acc_chains : int;
   mutable acc_reordered : int;
   mutable acc_cost_saved : int;
+  mutable acc_scoped : int;
 }
 
 let new_par_acc () =
-  { acc_probe = Search.new_probe (); acc_chains = 0; acc_reordered = 0; acc_cost_saved = 0 }
+  {
+    acc_probe = Search.new_probe ();
+    acc_chains = 0;
+    acc_reordered = 0;
+    acc_cost_saved = 0;
+    acc_scoped = 0;
+  }
 
 let merge_par_acc (ctx : Ctx.t) acc =
   let i = ctx.instr in
   Instr.flush_probe i acc.acc_probe;
   Hac_obs.Metrics.incr ~by:acc.acc_chains i.Instr.planner_chains;
   Hac_obs.Metrics.incr ~by:acc.acc_reordered i.Instr.planner_reordered;
-  Hac_obs.Metrics.incr ~by:acc.acc_cost_saved i.Instr.planner_cost_saved
+  Hac_obs.Metrics.incr ~by:acc.acc_cost_saved i.Instr.planner_cost_saved;
+  Hac_obs.Metrics.incr ~by:acc.acc_scoped i.Instr.planner_scoped_chains
 
-let eval_query_par pass (ctx : Ctx.t) acc ?restrict_to q =
+let eval_query_par pass (ctx : Ctx.t) acc ?restrict_to ?under q =
   let report ~chosen ~naive ~terms:_ =
     acc.acc_chains <- acc.acc_chains + 1;
     if chosen < naive then begin
       acc.acc_reordered <- acc.acc_reordered + 1;
       acc.acc_cost_saved <- acc.acc_cost_saved + (naive - chosen)
-    end
+    end;
+    match under with Some _ -> acc.acc_scoped <- acc.acc_scoped + 1 | None -> ()
   in
-  let q = Hac_query.Planner.optimize ~report ~cost:(term_cost ctx) q in
+  let q =
+    Hac_query.Planner.optimize ~report
+      ~cost:(Hac_query.Planner.calibrated ~measured:(term_cost ?under ctx))
+      q
+  in
   let ev = make_evaluator pass ctx ~shared:true in
-  Search.eval_with ev ~probe:acc.acc_probe ?restrict_to q
+  Search.eval_with ev ~probe:acc.acc_probe ?restrict_to ?under q
 
 (* -- metadata persistence --------------------------------------------------
 
@@ -528,6 +556,21 @@ let exclusion_filter (ctx : Ctx.t) (sd : Semdir.t) ~path set =
    could. *)
 let fingerprint (sd : Semdir.t) = Ast.to_string sd.Semdir.query
 
+(* The scope-pushdown hint for a directory's evaluation: the parent's path,
+   but only when the parent is a {e plain} directory.  Then the parent
+   scope's [local] is exactly [subtree_docs] of that path, so the
+   [Fileset.inter _ pscope.local] in [resync_dir_in] discharges the
+   soundness obligation of [?under] — every kept document lives under the
+   hint.  A semdir parent's scope also carries its own query result and
+   permanent links, which are not confined to its subtree, so no hint. *)
+let under_hint (ctx : Ctx.t) uid =
+  match parent_uid ctx uid with
+  | None -> None
+  | Some p -> (
+      match (Ctx.semdir_of_uid ctx p, Uidmap.path_of_uid ctx.uids p) with
+      | None, Some path -> Some (Vpath.normalize path)
+      | _ -> None)
+
 (* [?known_local] short-circuits steps 1–2 with a precomputed local result
    (a parallel level already evaluated and exclusion-filtered it, or the
    pre-stage found it in the result cache); everything that writes — the
@@ -567,7 +610,9 @@ let resync_dir_in ?known_local pass (ctx : Ctx.t) uid =
             | Some r -> r
             | None ->
                 let matched =
-                  Fileset.inter (eval_query_in pass ctx sd.Semdir.query) pscope.local
+                  Fileset.inter
+                    (eval_query_in pass ctx ?under:(under_hint ctx uid) sd.Semdir.query)
+                    pscope.local
                 in
                 exclusion_filter ctx sd ~path matched)
       in
@@ -743,8 +788,8 @@ let level_prestage pass (ctx : Ctx.t) ~use_rescache uid =
             ~generation:ctx.scope_generation
         with
         | Some r -> Lhit r
-        | None -> Leval (sd, path, pscope)
-      else Leval (sd, path, pscope)
+        | None -> Leval (sd, path, pscope, under_hint ctx uid)
+      else Leval (sd, path, pscope, under_hint ctx uid)
 
 let note_level (ctx : Ctx.t) ~tasks =
   Hac_obs.Metrics.incr ctx.instr.Instr.par_levels;
@@ -758,16 +803,16 @@ let run_level_full pool pass (ctx : Ctx.t) level =
     Array.of_list
       (List.filter_map
          (function
-           | uid, Leval (sd, path, pscope) -> Some (uid, sd, path, pscope)
+           | uid, Leval (sd, path, pscope, under) -> Some (uid, sd, path, pscope, under)
            | _, (Lskip | Lhit _) -> None)
          jobs)
   in
   let results =
     Hac_par.Pool.map pool
-      (fun (uid, sd, path, pscope) ->
+      (fun (uid, sd, path, pscope, under) ->
         let acc = new_par_acc () in
         let matched =
-          Fileset.inter (eval_query_par pass ctx acc sd.Semdir.query) pscope.local
+          Fileset.inter (eval_query_par pass ctx acc ?under sd.Semdir.query) pscope.local
         in
         (uid, exclusion_filter ctx sd ~path matched, acc))
       tasks
@@ -1015,7 +1060,9 @@ let run_level_delta pool pass (ctx : Ctx.t) ~touched ~removed level =
       (fun uid ->
         match level_prestage pass ctx ~use_rescache:false uid with
         | Lskip | Lhit _ -> (uid, Lskip)
-        | Leval (sd, path, pscope) ->
+        | Leval (sd, path, pscope, _under) ->
+            (* Delta evaluations are already restricted to the touched set;
+               the partition hint would buy nothing on top. *)
             let candidates = Fileset.inter touched pscope.local in
             if Fileset.is_empty candidates then (uid, Lskip)
             else (uid, Leval (sd, path, candidates)))

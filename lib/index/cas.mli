@@ -1,0 +1,75 @@
+(** Combined content-and-structure index: per-term postings partitioned by a
+    path-prefix label, so a path-scoped term lookup unions only the
+    partitions whose label can contain documents under the scope.
+
+    Same laziness contract as the Glimpse block index — every answer is a
+    sound superset of the truth (removals are masked by the alive set,
+    renames by the relabeled set) and callers verify candidates against real
+    content.  Mutation is main-domain-only between settle passes; lookups
+    and costs are safe from worker domains. *)
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Drop all postings, labels and drift sets (used by index rebuild). *)
+
+val label_of_path : string -> string
+(** The partition label of a document path: the depth-<=2 prefix of its
+    directory ("/a/b/c/f.txt" -> "/a/b", "/f.txt" -> "/"). *)
+
+val note_doc : t -> int -> path:string -> unit
+(** Record (or refresh) the document's label and mark it alive.  A label
+    change joins the document to the relabeled drift set. *)
+
+val note_remove : t -> int -> unit
+(** Mark the document dead; its postings stay until {!reset}. *)
+
+val alive : t -> Hac_bitset.Fileset.t
+(** Snapshot of the live-document set (cached between mutations). *)
+
+val relabeled_count : t -> int
+(** Documents whose label drifted since their postings were written. *)
+
+val post_word : t -> int -> string -> unit
+(** [post_word t id w] adds the (stemmed) word posting under the document's
+    current label.  Consecutive duplicate ids are coalesced. *)
+
+val post_attr : t -> int -> string -> string -> unit
+(** Attribute/value posting, same contract as {!post_word}. *)
+
+val word_candidates : ?under:string -> t -> string -> Hac_bitset.Fileset.t
+(** Live documents that may contain the word.  With [?under] (a normalized
+    absolute directory) only the partitions whose label can hold documents
+    under that scope are unioned — a superset of (word docs ∩ docs under
+    scope), to be verified by the caller. *)
+
+val attr_candidates : ?under:string -> t -> string -> string -> Hac_bitset.Fileset.t
+
+val word_cost : ?under:string -> t -> string -> int
+(** Measured candidate-cardinality estimate: sum of the covered partitions'
+    sizes, no set materialization.  Reflects the actual posting sizes of the
+    compressed representation, per scope. *)
+
+val attr_cost : ?under:string -> t -> string -> string -> int
+
+type stats = {
+  labels : int;
+  terms : int;
+  partitions : int;
+  postings : int;  (** appended postings, duplicates included *)
+  bytes : int;  (** compressed snapshot payload bytes *)
+  raw_bytes : int;  (** posting-vector backing store bytes *)
+  uncompressed_bytes : int;  (** one whole-universe bitmap per term *)
+  arrays : int;
+  bitmaps : int;
+  run_containers : int;
+  relabeled : int;
+}
+
+val stats : ?universe:int -> t -> stats
+(** Container histogram and memory accounting over all partitions.  Forces
+    every partition snapshot — an explicit stats-time cost.  [universe] (the
+    document-id space size) prices the uncompressed one-bitmap-per-term
+    alternative for the compression-ratio report. *)

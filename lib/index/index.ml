@@ -15,7 +15,9 @@ type t = {
   postings : (string, Bitset.t) Hashtbl.t; (* word -> block bitmap *)
   attr_postings : (string * string, Bitset.t) Hashtbl.t; (* (attr, value) -> block bitmap *)
   mutable lazy_ops : int; (* removals + in-place updates since the last rebuild *)
-  by_dir : (string, Bitset.t) Hashtbl.t; (* ancestor dir -> live docs beneath it *)
+  by_dir : (string, Fileset.Builder.t) Hashtbl.t; (* ancestor dir -> live docs beneath it *)
+  cas : Cas.t; (* content-and-structure postings, doc-granular *)
+  mutable use_cas : bool; (* query-path knob: CAS vs block expansion *)
 }
 
 let create ?(block_size = 8) ?(stem = true) ?transducer () =
@@ -31,7 +33,13 @@ let create ?(block_size = 8) ?(stem = true) ?transducer () =
     attr_postings = Hashtbl.create 64;
     lazy_ops = 0;
     by_dir = Hashtbl.create 256;
+    cas = Cas.create ();
+    use_cas = true;
   }
+
+let set_use_cas t flag = t.use_cas <- flag
+
+let use_cas t = t.use_cas
 
 let block_size t = t.block_size
 
@@ -84,10 +92,10 @@ let dir_enroll t path id =
   List.iter
     (fun dir ->
       match Hashtbl.find_opt t.by_dir dir with
-      | Some b -> Bitset.add b id
+      | Some b -> Fileset.Builder.add b id
       | None ->
-          let b = Bitset.create ~capacity:(id + 1) () in
-          Bitset.add b id;
+          let b = Fileset.Builder.create () in
+          Fileset.Builder.add b id;
           Hashtbl.replace t.by_dir dir b)
     (ancestors path)
 
@@ -95,18 +103,23 @@ let dir_withdraw t path id =
   List.iter
     (fun dir ->
       match Hashtbl.find_opt t.by_dir dir with
-      | Some b -> Bitset.remove b id
+      | Some b -> Fileset.Builder.remove b id
       | None -> ())
     (ancestors path)
 
 let index_content t id path content =
   let block = block_of t id in
-  Tokenizer.iter_words content (fun w -> post_word t block w);
+  Cas.note_doc t.cas id ~path;
+  Tokenizer.iter_words content (fun w ->
+      post_word t block w;
+      Cas.post_word t.cas id (key t w));
   match t.transducer with
   | None -> ()
   | Some td ->
       List.iter
-        (fun (k, v) -> post_attr t block k v)
+        (fun (k, v) ->
+          post_attr t block k v;
+          Cas.post_attr t.cas id (String.lowercase_ascii k) (String.lowercase_ascii v))
         (td.Transducer.extract ~path ~content)
 
 let update_document t ~path ~content =
@@ -135,6 +148,7 @@ let remove_path t path =
       t.docs.(id).alive <- false;
       t.lazy_ops <- t.lazy_ops + 1;
       dir_withdraw t path id;
+      Cas.note_remove t.cas id;
       Hashtbl.remove t.by_path path
 
 let rename_path t ~old_path ~new_path =
@@ -148,20 +162,19 @@ let rename_path t ~old_path ~new_path =
       (match Hashtbl.find_opt t.by_path new_path with
       | Some clobbered ->
           t.docs.(clobbered).alive <- false;
-          dir_withdraw t new_path clobbered
+          dir_withdraw t new_path clobbered;
+          Cas.note_remove t.cas clobbered
       | None -> ());
       Hashtbl.replace t.by_path new_path id;
       dir_enroll t new_path id;
+      Cas.note_doc t.cas id ~path:new_path;
       t.docs.(id).path <- new_path
 
 let doc_count t = Hashtbl.length t.by_path
 
-let universe t =
-  let b = Bitset.create ~capacity:(max 1 t.next_id) () in
-  for id = 0 to t.next_id - 1 do
-    if t.docs.(id).alive then Bitset.add b id
-  done;
-  Fileset.of_bitset b
+(* The CAS alive set mirrors the docs array exactly (both are maintained by
+   the same mutation paths), and its snapshot is cached between mutations. *)
+let universe t = Cas.alive t.cas
 
 let doc_path t id =
   if id < 0 || id >= t.next_id then None
@@ -171,17 +184,19 @@ let doc_path t id =
 
 let doc_of_path t path = Hashtbl.find_opt t.by_path path
 
+(* Blocks iterate in increasing order and block ranges are disjoint, so the
+   candidate ids stream out strictly increasing — straight into containers,
+   no intermediate bitmap (the old code built a Bitset and copied it). *)
 let expand_blocks t blocks =
-  let b = Bitset.create ~capacity:(max 1 t.next_id) () in
-  Bitset.iter
-    (fun block ->
-      let lo = block * t.block_size in
-      let hi = min (((block + 1) * t.block_size) - 1) (t.next_id - 1) in
-      for id = lo to hi do
-        if t.docs.(id).alive then Bitset.add b id
-      done)
-    blocks;
-  Fileset.of_bitset b
+  Fileset.of_increasing_iter (fun f ->
+      Bitset.iter
+        (fun block ->
+          let lo = block * t.block_size in
+          let hi = min (((block + 1) * t.block_size) - 1) (t.next_id - 1) in
+          for id = lo to hi do
+            if t.docs.(id).alive then f id
+          done)
+        blocks)
 
 (* Delta-restricted expansion: when the caller only cares about a known
    (small) candidate set, test each of its members against the block bitmap
@@ -198,10 +213,22 @@ let expand ?within t blocks =
   | None -> expand_blocks t blocks
   | Some wset -> within_blocks t blocks wset
 
-let candidate_docs ?within t w =
-  match Hashtbl.find_opt t.postings (key t w) with
-  | None -> Fileset.empty
-  | Some blocks -> expand ?within t blocks
+(* CAS query path: doc-granular partitioned postings, resolved per scope.
+   [?under] restricts candidate generation to the partitions whose label can
+   contain documents under the given directory — sound because every answer
+   is a verified superset, and the caller intersects the final result with
+   the scope set anyway.  With [use_cas] off (the ablation/differential
+   baseline) terms fall back to Glimpse block expansion and [?under] is
+   ignored. *)
+let candidate_docs ?within ?under t w =
+  if t.use_cas then begin
+    let c = Cas.word_candidates ?under t.cas (key t w) in
+    match within with None -> c | Some wset -> Fileset.inter c wset
+  end
+  else
+    match Hashtbl.find_opt t.postings (key t w) with
+    | None -> Fileset.empty
+    | Some blocks -> expand ?within t blocks
 
 let candidate_docs_approx ?within t ~word ~errors =
   let word = key t word in
@@ -216,16 +243,23 @@ let vocabulary t =
 
 let vocabulary_size t = Hashtbl.length t.postings
 
+(* Snapshot of the by_dir builder: cached between mutations, so repeated
+   scope computations over a settled tree cost a hashtable lookup. *)
 let doc_ids_under t dir =
   match Hashtbl.find_opt t.by_dir dir with
-  | Some b -> Fileset.of_bitset b
+  | Some b -> Fileset.Builder.snapshot b
   | None -> Fileset.empty
 
-let attr_docs ?within t key value =
-  let k = (String.lowercase_ascii key, String.lowercase_ascii value) in
-  match Hashtbl.find_opt t.attr_postings k with
-  | None -> Fileset.empty
-  | Some blocks -> expand ?within t blocks
+let attr_docs ?within ?under t key value =
+  let key = String.lowercase_ascii key and value = String.lowercase_ascii value in
+  if t.use_cas then begin
+    let c = Cas.attr_candidates ?under t.cas key value in
+    match within with None -> c | Some wset -> Fileset.inter c wset
+  end
+  else
+    match Hashtbl.find_opt t.attr_postings (key, value) with
+    | None -> Fileset.empty
+    | Some blocks -> expand ?within t blocks
 
 (* Candidate-cardinality upper bound from posting-block population alone —
    no block expansion, so safe to call once per query term per resync. *)
@@ -236,11 +270,18 @@ let blocks_cost t = function
       if pop > max_int / t.block_size then doc_count t
       else min (pop * t.block_size) (doc_count t)
 
-let term_cost t w = blocks_cost t (Hashtbl.find_opt t.postings (key t w))
+(* With CAS on, term costs are measured partition cardinalities of the real
+   compressed representation (scoped by [?under]); otherwise the Glimpse
+   block upper bound.  Called from worker domains during parallel passes —
+   must not touch metrics or other main-domain-only state. *)
+let term_cost ?under t w =
+  if t.use_cas then Cas.word_cost ?under t.cas (key t w)
+  else blocks_cost t (Hashtbl.find_opt t.postings (key t w))
 
-let attr_cost t key value =
-  let k = (String.lowercase_ascii key, String.lowercase_ascii value) in
-  blocks_cost t (Hashtbl.find_opt t.attr_postings k)
+let attr_cost ?under t key value =
+  let key = String.lowercase_ascii key and value = String.lowercase_ascii value in
+  if t.use_cas then Cas.attr_cost ?under t.cas key value
+  else blocks_cost t (Hashtbl.find_opt t.attr_postings (key, value))
 
 let attributes t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.attr_postings [] |> List.sort compare
@@ -249,6 +290,7 @@ let rebuild t reader =
   t.lazy_ops <- 0;
   Hashtbl.reset t.postings;
   Hashtbl.reset t.attr_postings;
+  Cas.reset t.cas;
   for id = 0 to t.next_id - 1 do
     if t.docs.(id).alive then
       match reader id with
@@ -256,8 +298,11 @@ let rebuild t reader =
       | None ->
           (* The document vanished from under us; treat as removed. *)
           Hashtbl.remove t.by_path t.docs.(id).path;
-          t.docs.(id).alive <- false
+          t.docs.(id).alive <- false;
+          Cas.note_remove t.cas id
   done
+
+let cas_stats t = Cas.stats ~universe:t.next_id t.cas
 
 let index_bytes t =
   let word = Sys.int_size / 8 + 1 in
@@ -272,7 +317,9 @@ let index_bytes t =
   in
   let dir_bytes =
     Hashtbl.fold
-      (fun dir b acc -> acc + String.length dir + (2 * word) + Bitset.byte_size b)
+      (fun dir b acc ->
+        acc + String.length dir + (2 * word)
+        + Fileset.byte_size (Fileset.Builder.snapshot b))
       t.by_dir 0
   in
   let docs_bytes =
@@ -282,7 +329,7 @@ let index_bytes t =
     done;
     !acc
   in
-  postings_bytes + dir_bytes + docs_bytes
+  postings_bytes + dir_bytes + docs_bytes + (cas_stats t).Cas.bytes
 
 let stale_ratio t =
   let live = doc_count t in

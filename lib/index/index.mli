@@ -63,12 +63,18 @@ val doc_path : t -> doc_id -> string option
 val doc_of_path : t -> string -> doc_id option
 (** Identifier of an indexed path. *)
 
-val candidate_docs : ?within:Hac_bitset.Fileset.t -> t -> string -> Hac_bitset.Fileset.t
-(** Live documents whose block may contain the word (after stemming).  A
-    superset of the true answer; precise when [block_size = 1] and no stale
-    bits have accumulated.  [?within] restricts the answer to members of the
-    given set {e without} expanding posting blocks — delta resync passes the
-    touched-document set here so candidate generation is O(|within|). *)
+val candidate_docs :
+  ?within:Hac_bitset.Fileset.t -> ?under:string -> t -> string -> Hac_bitset.Fileset.t
+(** Live documents that may contain the word (after stemming) — a superset
+    of the true answer, to be verified by the caller.  With the CAS path on
+    (default, see {!set_use_cas}) candidates come from the doc-granular
+    partitioned postings; [?under] (a normalized absolute directory)
+    restricts generation to the partitions whose path label can hold
+    documents under that scope, which is sound whenever the caller
+    intersects the final result with a subtree scope below [under].
+    [?within] intersects the answer with the given set.  With CAS off the
+    Glimpse block path is used, [?under] is ignored, and [?within] restricts
+    without expanding posting blocks. *)
 
 val candidate_docs_approx :
   ?within:Hac_bitset.Fileset.t -> t -> word:string -> errors:int -> Hac_bitset.Fileset.t
@@ -81,21 +87,42 @@ val doc_ids_under : t -> string -> Hac_bitset.Fileset.t
     rather than a scan over every document.  [doc_ids_under t "/"] equals
     {!universe}. *)
 
-val attr_docs : ?within:Hac_bitset.Fileset.t -> t -> string -> string -> Hac_bitset.Fileset.t
-(** Live documents whose block carries the attribute/value pair (extracted
-    by the transducer at indexing time).  Empty when no transducer is
-    installed.  Same block-granular, verification-expected contract as
+val attr_docs :
+  ?within:Hac_bitset.Fileset.t ->
+  ?under:string ->
+  t ->
+  string ->
+  string ->
+  Hac_bitset.Fileset.t
+(** Live documents carrying the attribute/value pair (extracted by the
+    transducer at indexing time).  Empty when no transducer is installed.
+    Same superset/verification contract and [?within]/[?under] semantics as
     {!candidate_docs}; attribute lookups are exact on the value. *)
 
-val term_cost : t -> string -> int
-(** Upper bound on [candidate_docs t w]'s cardinality, from posting-block
-    population alone (populated blocks × block size, clamped to the live
-    document count).  Never expands blocks — cheap enough to consult once
-    per query term on every resync, which is what {!Planner.optimize} needs
-    to rank conjuncts by real selectivity. *)
+val term_cost : ?under:string -> t -> string -> int
+(** Estimate of [candidate_docs t w]'s cardinality.  With CAS on this is
+    measured from the compressed partitions the lookup would actually touch
+    (scoped by [?under]); with CAS off it is the Glimpse posting-block upper
+    bound (populated blocks × block size, clamped to the live document
+    count).  Never materializes a candidate set — cheap enough to consult
+    once per query term on every resync, which is what {!Planner.optimize}
+    needs to rank conjuncts by real selectivity.  Safe to call from worker
+    domains. *)
 
-val attr_cost : t -> string -> string -> int
+val attr_cost : ?under:string -> t -> string -> string -> int
 (** {!term_cost} for an attribute/value pair. *)
+
+val set_use_cas : t -> bool -> unit
+(** Toggle the CAS query path (default on).  Off, term lookups fall back to
+    Glimpse block expansion — the ablation baseline; indexing maintains both
+    structures either way, so the knob can be flipped at any time. *)
+
+val use_cas : t -> bool
+(** Current state of the CAS query-path knob. *)
+
+val cas_stats : t -> Cas.stats
+(** Memory accounting and container histogram of the CAS postings (forces
+    partition snapshots — a stats-time cost). *)
 
 val attributes : t -> (string * string) list
 (** All indexed attribute/value pairs, sorted. *)

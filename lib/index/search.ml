@@ -242,46 +242,67 @@ let expanded ?probe candidates =
       p.candidates_expanded <- p.candidates_expanded + Fileset.cardinal candidates);
   candidates
 
-let search_word ?probe ?within ?cache idx reader w =
+let search_word ?probe ?within ?under ?cache idx reader w =
   let w = String.lowercase_ascii w in
-  tick probe (fun p -> p.postings_scanned <- p.postings_scanned + Index.term_cost idx w);
-  let candidates = restrict ?probe within (expanded ?probe (Index.candidate_docs ?within idx w)) in
+  tick probe (fun p ->
+      p.postings_scanned <- p.postings_scanned + Index.term_cost ?under idx w);
+  let candidates =
+    restrict ?probe within (expanded ?probe (Index.candidate_docs ?within ?under idx w))
+  in
   match cache with
   | None -> verify ?probe idx reader (fun content -> contains_word idx ~content ~word:w) candidates
   | Some c -> verify_entry ?probe c idx reader (fun e -> entry_has_word idx e w) candidates
 
-let search_phrase ?probe ?within ?cache idx reader words =
+let search_phrase ?probe ?within ?under ?cache idx reader words =
   match words with
   | [] -> Fileset.empty
-  | [ w ] -> search_word ?probe ?within ?cache idx reader w
+  | [ w ] -> search_word ?probe ?within ?under ?cache idx reader w
   | _ ->
-      (* Rarest-first: expand the cheapest posting first and feed the
-         accumulated intersection to each later expansion as its [within] —
-         {!Index.expand}'s delta-restricted path then tests the shrinking
-         candidate set against the block bitmap instead of expanding every
-         block, and an empty intersection stops before touching the
-         remaining postings.  Verification keeps the original word order. *)
-      let ranked =
-        List.stable_sort
-          (fun a b -> compare (Index.term_cost idx a) (Index.term_cost idx b))
-          words
-      in
       let candidates =
-        match ranked with
-        | [] -> Fileset.empty
-        | w0 :: rest ->
-            tick probe (fun p ->
-                p.postings_scanned <- p.postings_scanned + Index.term_cost idx w0);
-            List.fold_left
-              (fun acc w ->
-                if Fileset.is_empty acc then acc
-                else begin
-                  tick probe (fun p ->
-                      p.postings_scanned <- p.postings_scanned + Index.term_cost idx w);
-                  Index.candidate_docs ~within:acc idx w
-                end)
-              (Index.candidate_docs ?within idx w0)
-              rest
+        if Index.use_cas idx then begin
+          (* Doc-granular postings: fetch every word's candidate set (cached
+             per term) and hand the lot to the container-level rarest-first
+             [inter_many] — no pairwise intermediates. *)
+          let sets =
+            List.map
+              (fun w ->
+                tick probe (fun p ->
+                    p.postings_scanned <- p.postings_scanned + Index.term_cost ?under idx w);
+                Index.candidate_docs ?under idx w)
+              words
+          in
+          let sets = match within with Some w -> w :: sets | None -> sets in
+          Fileset.inter_many sets
+        end
+        else begin
+          (* Rarest-first over block postings: expand the cheapest posting
+             first and feed the accumulated intersection to each later
+             expansion as its [within] — {!Index.expand}'s delta-restricted
+             path then tests the shrinking candidate set against the block
+             bitmap instead of expanding every block, and an empty
+             intersection stops before touching the remaining postings.
+             Verification keeps the original word order. *)
+          let ranked =
+            List.stable_sort
+              (fun a b -> compare (Index.term_cost idx a) (Index.term_cost idx b))
+              words
+          in
+          match ranked with
+          | [] -> Fileset.empty
+          | w0 :: rest ->
+              tick probe (fun p ->
+                  p.postings_scanned <- p.postings_scanned + Index.term_cost idx w0);
+              List.fold_left
+                (fun acc w ->
+                  if Fileset.is_empty acc then acc
+                  else begin
+                    tick probe (fun p ->
+                        p.postings_scanned <- p.postings_scanned + Index.term_cost idx w);
+                    Index.candidate_docs ~within:acc idx w
+                  end)
+                (Index.candidate_docs ?within idx w0)
+                rest
+        end
       in
       let candidates = restrict ?probe within (expanded ?probe candidates) in
       (match cache with
@@ -319,7 +340,7 @@ let search_substring ?probe idx reader pattern =
 let contains_substring hay needle =
   Agrep.find_exact ~pattern:needle hay <> None
 
-let search_regex ?probe ?within ?cache idx reader pattern =
+let search_regex ?probe ?within ?under ?cache idx reader pattern =
   let re = Regex.compile pattern in
   let candidates =
     (* A literal run required by every match must appear inside some token
@@ -333,8 +354,8 @@ let search_regex ?probe ?within ?cache idx reader pattern =
           (fun acc w ->
             if String.length w = Tokenizer.max_word_len || contains_substring w run then begin
               tick probe (fun p ->
-                  p.postings_scanned <- p.postings_scanned + Index.term_cost idx w);
-              Fileset.union acc (Index.candidate_docs ?within idx w)
+                  p.postings_scanned <- p.postings_scanned + Index.term_cost ?under idx w);
+              Fileset.union acc (Index.candidate_docs ?within ?under idx w)
             end
             else acc)
           Fileset.empty (Index.vocabulary idx)
@@ -416,6 +437,7 @@ type evaluator = {
   ev_cache : doc_cache option;
   mutable ev_probe : probe option;
   mutable ev_restrict : Fileset.t option;
+  mutable ev_under : string option;
   mutable ev_env : Hac_query.Eval.env option;
 }
 
@@ -430,6 +452,9 @@ let memo_term ev ~within k compute =
 
 let make_env ev ~attr ~dirref =
   let term () = tick ev.ev_probe (fun p -> p.terms <- p.terms + 1) in
+  (* Scope-pruned term results genuinely differ per scope hint, so the hint
+     is part of the memo key. *)
+  let keyed k = match ev.ev_under with None -> k | Some u -> k ^ "@" ^ u in
   {
     Hac_query.Eval.universe =
       (fun () ->
@@ -443,14 +468,15 @@ let make_env ev ~attr ~dirref =
     word =
       (fun ?within w ->
         term ();
-        memo_term ev ~within ("w:" ^ w) (fun () ->
-            search_word ?probe:ev.ev_probe ?within ?cache:ev.ev_cache ev.ev_idx ev.ev_reader w));
+        memo_term ev ~within (keyed ("w:" ^ w)) (fun () ->
+            search_word ?probe:ev.ev_probe ?within ?under:ev.ev_under ?cache:ev.ev_cache
+              ev.ev_idx ev.ev_reader w));
     phrase =
       (fun ?within ws ->
         term ();
-        memo_term ev ~within ("p:" ^ String.concat "\x00" ws) (fun () ->
-            search_phrase ?probe:ev.ev_probe ?within ?cache:ev.ev_cache ev.ev_idx ev.ev_reader
-              ws));
+        memo_term ev ~within (keyed ("p:" ^ String.concat "\x00" ws)) (fun () ->
+            search_phrase ?probe:ev.ev_probe ?within ?under:ev.ev_under ?cache:ev.ev_cache
+              ev.ev_idx ev.ev_reader ws));
     approx =
       (fun ?within w k ->
         term ();
@@ -459,13 +485,14 @@ let make_env ev ~attr ~dirref =
               ~word:w ~errors:k));
     attr =
       (fun ?within k v ->
-        memo_term ev ~within ("a:" ^ k ^ "\x00" ^ v) (fun () -> attr ?within k v));
+        memo_term ev ~within (keyed ("a:" ^ k ^ "\x00" ^ v)) (fun () -> attr ?within k v));
     regex =
       (fun ?within r ->
         term ();
-        memo_term ev ~within ("r:" ^ r) (fun () ->
+        memo_term ev ~within (keyed ("r:" ^ r)) (fun () ->
             match
-              search_regex ?probe:ev.ev_probe ?within ?cache:ev.ev_cache ev.ev_idx ev.ev_reader r
+              search_regex ?probe:ev.ev_probe ?within ?under:ev.ev_under ?cache:ev.ev_cache
+                ev.ev_idx ev.ev_reader r
             with
             | s -> s
             | exception Regex.Parse_error _ -> Fileset.empty));
@@ -482,17 +509,19 @@ let evaluator ?memo ?cache idx reader ~attr ~dirref =
       ev_cache = cache;
       ev_probe = None;
       ev_restrict = None;
+      ev_under = None;
       ev_env = None;
     }
   in
   ev.ev_env <- Some (make_env ev ~attr ~dirref);
   ev
 
-let eval_with ev ?probe ?restrict_to q =
+let eval_with ev ?probe ?restrict_to ?under q =
   ev.ev_probe <- probe;
   ev.ev_restrict <- restrict_to;
+  ev.ev_under <- under;
   let env = match ev.ev_env with Some e -> e | None -> assert false in
   Hac_query.Eval.eval ?within:restrict_to env q
 
-let eval ?probe ?restrict_to idx reader ~attr ~dirref q =
-  eval_with (evaluator idx reader ~attr ~dirref) ?probe ?restrict_to q
+let eval ?probe ?restrict_to ?under idx reader ~attr ~dirref q =
+  eval_with (evaluator idx reader ~attr ~dirref) ?probe ?restrict_to ?under q

@@ -76,6 +76,7 @@ val term_memo_stats : term_memo -> memo_stats
 val search_word :
   ?probe:probe ->
   ?within:Hac_bitset.Fileset.t ->
+  ?under:string ->
   ?cache:doc_cache ->
   Index.t ->
   reader ->
@@ -85,20 +86,25 @@ val search_word :
     word containment; stemming follows the index's setting).  [?within]
     restricts the candidates before verification — conjunctive evaluation
     passes its accumulated result here so ever fewer documents are read.
+    [?under] is the CAS scope hint ({!Index.candidate_docs}): sound only
+    when the caller intersects the result with a subtree scope below it.
     [?cache] routes content reads and tokenization through a pass cache. *)
 
 val search_phrase :
   ?probe:probe ->
   ?within:Hac_bitset.Fileset.t ->
+  ?under:string ->
   ?cache:doc_cache ->
   Index.t ->
   reader ->
   string list ->
   Hac_bitset.Fileset.t
-(** Documents containing the words consecutively, in order.  The candidate
-    set is the intersection of the per-word candidates, built rarest-first
-    ({!Index.term_cost} order) with each partial intersection narrowing the
-    next posting expansion, short-circuiting when it empties. *)
+(** Documents containing the words consecutively, in order.  With the CAS
+    path on, the per-word candidate sets go through the container-level
+    rarest-first {!Fileset.inter_many}; on the block path the intersection
+    is built rarest-first ({!Index.term_cost} order) with each partial
+    intersection narrowing the next posting expansion, short-circuiting when
+    it empties. *)
 
 val search_approx :
   ?probe:probe ->
@@ -119,6 +125,7 @@ val search_substring : ?probe:probe -> Index.t -> reader -> string -> Hac_bitset
 val search_regex :
   ?probe:probe ->
   ?within:Hac_bitset.Fileset.t ->
+  ?under:string ->
   ?cache:doc_cache ->
   Index.t ->
   reader ->
@@ -176,17 +183,23 @@ val eval_with :
   evaluator ->
   ?probe:probe ->
   ?restrict_to:Hac_bitset.Fileset.t ->
+  ?under:string ->
   Hac_query.Ast.t ->
   Hac_bitset.Fileset.t
 (** Evaluate a parsed query.  [?restrict_to] evaluates the query only over
     the given documents — candidate expansion, content verification and
     NOT's universe all stay inside the set, which is what makes delta resync
     O(touched docs) ({!Eval.eval}'s restriction-pushdown contract guarantees
-    [eval ~restrict_to:S q = S ∩ eval q]). *)
+    [eval ~restrict_to:S q = S ∩ eval q]).  [?under] is the CAS scope hint,
+    forwarded to every term lookup (and mixed into the pass-memo keys): the
+    caller asserts the final result will be intersected with a scope set
+    lying under that directory, which makes per-term partition pruning sound
+    for any boolean query shape. *)
 
 val eval :
   ?probe:probe ->
   ?restrict_to:Hac_bitset.Fileset.t ->
+  ?under:string ->
   Index.t ->
   reader ->
   attr:(?within:Hac_bitset.Fileset.t -> string -> string -> Hac_bitset.Fileset.t) ->

@@ -6,6 +6,25 @@ let big = max_int / 2
    comparison. *)
 let saturating_add a b = if a >= big - b then big else a + b
 
+let saturating_mul a b =
+  let a = min big (max 0 a) and b = min big (max 1 b) in
+  if a = 0 then 0 else if a > big / b then big else a * b
+
+(* Relative cost of verifying one candidate of each term kind: a directory
+   reference is a set lookup, words and attributes a token-set probe, a
+   phrase a token-stream scan, a regex a full content match, an approximate
+   term an edit-distance check against every token.  Multiplying a measured
+   candidate count by this weight turns "how many documents" into "how much
+   verification work", which is the quantity AND ordering should minimize. *)
+let verify_weight = function
+  | Ast.Dirref _ -> 1
+  | Ast.Word _ | Ast.Attr _ -> 2
+  | Ast.Phrase _ -> 3
+  | Ast.Regex _ -> 8
+  | Ast.Approx _ -> 16
+
+let calibrated ~measured t = saturating_mul (measured t) (verify_weight t)
+
 let rec subtree_cost ~cost = function
   | Ast.Term t -> min big (max 0 (cost t))
   | Ast.And (a, b) -> min (subtree_cost ~cost a) (subtree_cost ~cost b)

@@ -24,6 +24,19 @@ val optimize :
     ordering would have evaluated first ([naive]), and the chain length
     ([terms]) — a profiling hook, never affecting the plan. *)
 
+val verify_weight : Ast.term -> int
+(** Relative cost of verifying one candidate of the term's kind (a dirref is
+    a set lookup = 1; words and attributes probe a token set = 2; phrases
+    scan the token stream = 3; regexes match whole contents = 8; approximate
+    terms edit-distance every token = 16). *)
+
+val calibrated : measured:(Ast.term -> int) -> Ast.term -> int
+(** The calibrated cost model: a measured candidate count (e.g.
+    {!Index.term_cost}'s per-container cardinalities) times the term kind's
+    {!verify_weight}, saturating at [max_int/2].  Feeding this to
+    {!optimize} ranks conjuncts by estimated verification work rather than
+    by raw candidate count. *)
+
 val subtree_cost : cost:(Ast.term -> int) -> Ast.t -> int
 (** The estimate used for ordering: a term's own cost; [min] over [AND]
     operands (one selective operand bounds the chain); sum over [OR];

@@ -293,10 +293,27 @@ let space_report s buf =
   out buf "HAC structure bytes  : %d (semdirs %d, uidmap %d, depgraph %d)\n"
     (Hac.hac_overhead_bytes sp) sp.Hac.semdir_bytes sp.Hac.uidmap_bytes sp.Hac.depgraph_bytes;
   out buf "fs metadata bytes    : %d\n" sp.Hac.fs_metadata_bytes;
+  let cs = Hac.index_report s.t in
+  out buf "postings (CAS %s)    : %d bytes, %d terms, %d partitions, %d labels\n"
+    (if Hac.cas_enabled s.t then "on" else "off")
+    cs.Hac_index.Cas.bytes cs.Hac_index.Cas.terms cs.Hac_index.Cas.partitions
+    cs.Hac_index.Cas.labels;
+  out buf "containers           : %d arrays, %d bitmaps, %d runs\n" cs.Hac_index.Cas.arrays
+    cs.Hac_index.Cas.bitmaps cs.Hac_index.Cas.run_containers;
+  (* The ratio prices the alternative the compression replaces: one flat
+     doc-id-universe bitmap per term (the paper's N/8-byte result bitmaps,
+     applied to postings). *)
+  let ratio =
+    if cs.Hac_index.Cas.bytes = 0 then 1.0
+    else float_of_int cs.Hac_index.Cas.uncompressed_bytes /. float_of_int cs.Hac_index.Cas.bytes
+  in
+  out buf "vs flat bitmaps      : %d bytes uncompressed (%.1fx compression)\n"
+    cs.Hac_index.Cas.uncompressed_bytes ratio;
   let rc = Hac.result_cache_stats s.t in
   out buf "scope generation     : %d\n" (Hac.scope_generation s.t);
-  out buf "result cache         : %d hits, %d misses, %d entries\n" rc.Hac_core.Rescache.hits
-    rc.Hac_core.Rescache.misses rc.Hac_core.Rescache.entries;
+  out buf "result cache         : %d hits, %d misses, %d entries, %d bytes\n"
+    rc.Hac_core.Rescache.hits rc.Hac_core.Rescache.misses rc.Hac_core.Rescache.entries
+    rc.Hac_core.Rescache.bytes;
   out buf "current user         : %d\n" (Fs.current_user (Hac.fs s.t))
 
 module Trace = Hac_obs.Trace

@@ -78,13 +78,21 @@ let test_candidates_block1 () =
   check_list "absent" [] (Fileset.elements (Index.candidate_docs idx "zebra"))
 
 let test_candidates_coarse_blocks () =
-  (* With all four docs in one block, any indexed word returns the whole
-     live block — the Glimpse trade-off. *)
+  (* The CAS path answers doc-granular candidates even with coarse blocks... *)
   let idx = make_index ~block_size:4 () in
+  check_list "cas precise" (ids idx [ "/a.txt"; "/c.txt" ])
+    (Fileset.elements (Index.candidate_docs idx "quick"));
+  (* ...while the Glimpse fallback returns the whole live block — the
+     classic space/precision trade-off... *)
+  Index.set_use_cas idx false;
   check_int "coarse superset" 4 (Fileset.cardinal (Index.candidate_docs idx "quick"));
-  (* ...but verification restores precision. *)
+  (* ...and verification restores precision on either path. *)
   let verified = Search.search_word idx (reader_of docs) "quick" in
-  check_list "verified" (ids idx [ "/a.txt"; "/c.txt" ]) (Fileset.elements verified)
+  check_list "verified" (ids idx [ "/a.txt"; "/c.txt" ]) (Fileset.elements verified);
+  Index.set_use_cas idx true;
+  let verified_cas = Search.search_word idx (reader_of docs) "quick" in
+  check_list "verified via cas" (ids idx [ "/a.txt"; "/c.txt" ])
+    (Fileset.elements verified_cas)
 
 let test_candidates_exclude_dead () =
   let idx = make_index ~block_size:4 () in

@@ -277,6 +277,39 @@ let test_planner_cost_saturates () =
     "negative estimates treated as zero" true
     (Planner.subtree_cost ~cost:(fun _ -> -5) (parse "aa OR bb") = 0)
 
+let test_planner_verify_weights () =
+  (* Weights order by per-candidate verification work: set lookup < token
+     probe < stream scan < full regex match < edit-distance sweep. *)
+  let wt q = Planner.verify_weight (match parse q with Ast.Term t -> t | _ -> assert false) in
+  Alcotest.(check int) "dirref" 1 (wt "{/a}");
+  Alcotest.(check int) "word" 2 (wt "aa");
+  Alcotest.(check int) "attr" 2 (wt "type:mail");
+  Alcotest.(check int) "phrase" 3 (wt "\"aa bb\"");
+  Alcotest.(check int) "regex" 8 (wt "/ab+c/");
+  Alcotest.(check bool) "approx heaviest" true (wt "~fuzzy" > wt "/ab+c/")
+
+let test_planner_calibrated () =
+  let big = max_int / 2 in
+  let term q = match parse q with Ast.Term t -> t | _ -> assert false in
+  let measured _ = 10 in
+  (* Calibration multiplies a measured candidate count by the kind weight,
+     so a 10-candidate regex outranks (costs more than) a 30-candidate
+     word: 10*8 > 30*2. *)
+  Alcotest.(check int) "word x2" 20 (Planner.calibrated ~measured (term "aa"));
+  Alcotest.(check int) "regex x8" 80 (Planner.calibrated ~measured (term "/ab+c/"));
+  Alcotest.(check bool)
+    "ranking can flip on kind" true
+    (Planner.calibrated ~measured (term "/ab+c/")
+    > Planner.calibrated ~measured:(fun _ -> 30) (term "aa"));
+  (* Saturation: a universe-sized measurement times the heaviest weight
+     must clamp, not wrap. *)
+  Alcotest.(check int)
+    "saturates at big" big
+    (Planner.calibrated ~measured:(fun _ -> max_int) (term "~fuzzy"));
+  Alcotest.(check int)
+    "negative measurements clamp to zero" 0
+    (Planner.calibrated ~measured:(fun _ -> -3) (term "aa"))
+
 let prop_planner_preserves_semantics =
   QCheck.Test.make ~name:"optimize preserves evaluation" ~count:500
     (QCheck.pair arb_ast (QCheck.small_list (QCheck.int_bound 30)))
@@ -325,6 +358,8 @@ let () =
           Alcotest.test_case "reorders conjunctions" `Quick test_planner_reorders;
           Alcotest.test_case "subtree cost" `Quick test_planner_subtree_cost;
           Alcotest.test_case "cost saturates" `Quick test_planner_cost_saturates;
+          Alcotest.test_case "verify weights" `Quick test_planner_verify_weights;
+          Alcotest.test_case "calibrated model" `Quick test_planner_calibrated;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
