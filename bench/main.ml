@@ -56,6 +56,13 @@ let index_json_path =
   | _ :: _ :: _ :: _ :: p :: _ -> p
   | _ -> "BENCH_index.json"
 
+(* The serving layer's throughput and degraded-tail study; a sixth .json
+   argv overrides. *)
+let serve_json_path =
+  match List.filter (fun a -> Filename.check_suffix a ".json") (Array.to_list Sys.argv) with
+  | _ :: _ :: _ :: _ :: _ :: p :: _ -> p
+  | _ -> "BENCH_serve.json"
+
 let banner title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -1383,6 +1390,259 @@ let index_section () =
     && payload.[0] = '{'
     && payload.[String.length payload - 2] = '}')
 
+(* --------------------------------------------------------------------- *)
+(* Serving layer: group-commit throughput and the degraded-mode tail     *)
+(* --------------------------------------------------------------------- *)
+
+let serve_section () =
+  let module Clock = Hac_fault.Clock in
+  let module Store = Hac_fault.Store in
+  let module Msg = Hac_serve.Msg in
+  let module Server = Hac_serve.Server in
+  let module Admission = Hac_serve.Admission in
+  let module Spec = Hac_serve.Spec in
+  let module Serveload = Hac_workload.Serveload in
+  banner "Serving layer: group commit vs inline settling, degraded tail";
+  Printf.printf
+    "  A multi-session server batches writes into group commits — one\n\
+    \  settle and one durability barrier per batch — and serves reads\n\
+    \  from the published snapshot.  Baseline is the same Zipf op trace\n\
+    \  applied inline by a single client with a settle after every\n\
+    \  mutation.  The faulted run swallows the device's fsync barriers\n\
+    \  mid-trace: the server must shed writes with retry hints, serve\n\
+    \  reads stale, recover when the device heals, and keep the latency\n\
+    \  tail bounded by the admission SLO.  Writes %s.\n\n"
+    serve_json_path;
+  let seed = 77 in
+  let sessions, per_session = if smoke then (3, 12) else if quick then (4, 60) else (6, 200) in
+  let reps = if smoke then 1 else 3 in
+  let build_rig ?(disk = false) () =
+    let fs = Fs.create () in
+    let store =
+      if disk then begin
+        let s = Store.create ~seed () in
+        Fs.attach_disk fs s;
+        Some s
+      end
+      else None
+    in
+    let corpus = Corpus.make ~seed () in
+    let files = Corpus.build_tree corpus fs ~root:"/ws" Corpus.small_tree in
+    ignore (Corpus.plant fs ~paths:files ~word:"servedoc" ~count:6);
+    Fs.mkdir_p fs "/srv";
+    let hac = Hac.of_fs fs in
+    Hac.smkdir hac "/ws/q-serve" "servedoc";
+    Hac.settle hac;
+    (hac, corpus, Array.of_list files, store)
+  in
+  (* One flattened round-robin interleave of the per-session streams: the
+     op order every run (inline, served, faulted) replays identically. *)
+  let trace corpus files =
+    let profile = { Serveload.default with ops_per_session = per_session } in
+    let streams =
+      Array.init sessions (fun i ->
+          ref
+            (List.map Msg.of_workload
+               (Serveload.session_ops profile ~corpus ~seed ~session:i ~files
+                  ~semdirs:[| "/ws/q-serve" |] ~fresh_root:"/srv")))
+    in
+    let out = ref [] in
+    while Array.exists (fun r -> !r <> []) streams do
+      Array.iteri
+        (fun i r ->
+          match !r with
+          | [] -> ()
+          | op :: rest ->
+              r := rest;
+              out := (i, op) :: !out)
+        streams
+    done;
+    List.rev !out
+  in
+  let median l = List.nth (List.sort compare l) (List.length l / 2) in
+  (* Inline baseline: one client applying ops directly, every mutation
+     settled (and its barrier paid) before the next op — the only way a
+     single inline client stays durable. *)
+  let inline_wall ops =
+    median
+      (List.init reps (fun _ ->
+           let hac, _, _, _ = build_rig () in
+           Gc.major ();
+           Timer.time_only (fun () ->
+               List.iter
+                 (fun (_, op) ->
+                   match op with
+                   | Msg.W w -> ( try Server.apply_write hac w with _ -> ())
+                   | Msg.R r -> ignore (Spec.eval_read hac r))
+                 ops)))
+  in
+  let server_run ops =
+    let hac, _, _, _ = build_rig () in
+    (* One domain: reads evaluate inline, so the comparison isolates the
+       group-commit effect (settle amortization) from pool scheduling. *)
+    let config =
+      {
+        Server.default_config with
+        domains = 1;
+        max_batch = 16;
+        admission = { Admission.default with queue_bound = 1 lsl 14; slo_s = 1e9; seed };
+      }
+    in
+    let server = Server.create ~config hac in
+    let clock = Hac.clock hac in
+    let v0 = Clock.now clock in
+    Gc.major ();
+    let wall =
+      Timer.time_only (fun () ->
+          List.iter
+            (fun (i, op) ->
+              ignore (Server.submit server ~session:(Printf.sprintf "s%d" i) op);
+              if Server.queue_depth server >= config.max_batch then Server.pump server)
+            ops;
+          Server.drain server)
+    in
+    let virtual_s = Clock.now clock -. v0 in
+    let st = Server.stats server in
+    Server.stop server;
+    (wall, virtual_s, st)
+  in
+  let _, corpus0, files0, _ = build_rig () in
+  let ops = trace corpus0 files0 in
+  let n_ops = List.length ops in
+  let inline_s = inline_wall ops in
+  let runs = List.init reps (fun _ -> server_run ops) in
+  let server_s = median (List.map (fun (w, _, _) -> w) runs) in
+  let server_virtual_s, sstats =
+    match List.hd runs with _, v, st -> (v, st)
+  in
+  (* The modelled device: settles in this engine are in-memory and nearly
+     free, so wall clock cannot show what group commit buys on a device
+     where the settle's durability barrier dominates.  The virtual clock
+     does: the server charges read/write/settle costs per batch; an inline
+     client pays the settle (and its barrier) after every mutation. *)
+  let cost = Server.default_config in
+  let inline_virtual_s =
+    List.fold_left
+      (fun acc (_, op) ->
+        acc
+        +.
+        match op with
+        | Msg.W _ -> cost.Server.write_cost_s +. cost.Server.settle_cost_s
+        | Msg.R _ -> cost.Server.read_cost_s)
+      0.0 ops
+  in
+  let inline_tput = float_of_int n_ops /. inline_virtual_s in
+  let server_tput = float_of_int n_ops /. server_virtual_s in
+  let speedup = server_tput /. inline_tput in
+  (* The faulted run: mid-trace the device stops honouring barriers. *)
+  let slo = 30.0 in
+  let hac_f, corpus_f, files_f, store_f = build_rig ~disk:true () in
+  let store_f = Option.get store_f in
+  let fconfig =
+    {
+      Server.default_config with
+      domains = 2;
+      max_batch = 8;
+      fsync_retries = 1;
+      admission = { Admission.default with queue_bound = 64; slo_s = slo; seed };
+    }
+  in
+  let fserver = Server.create ~config:fconfig hac_f in
+  let fclock = Hac.clock hac_f in
+  let fops = trace corpus_f files_f in
+  let fn = List.length fops in
+  let window_at = fn / 4 in
+  let drops = if smoke then 12 else 40 in
+  let ftickets = ref [] in
+  List.iteri
+    (fun k (i, op) ->
+      if k = window_at then Store.drop_fsyncs store_f drops;
+      ftickets := Server.submit fserver ~session:(Printf.sprintf "s%d" i) op :: !ftickets;
+      if k mod 2 = 0 then Server.pump fserver;
+      Clock.advance fclock 0.1)
+    fops;
+  Server.drain fserver;
+  Server.stop fserver;
+  let ftickets = List.rev !ftickets in
+  let fstats = Server.stats fserver in
+  let unresolved =
+    List.length (List.filter (fun (tk : Msg.ticket) -> tk.Msg.outcome = None) ftickets)
+  in
+  let degraded_sheds =
+    List.length
+      (List.filter
+         (fun (tk : Msg.ticket) ->
+           match tk.Msg.outcome with
+           | Some (Msg.Rejected { reason = Msg.Degraded_writes; retry_after_s }) ->
+               retry_after_s >= 0.0
+           | _ -> false)
+         ftickets)
+  in
+  let latencies =
+    List.filter_map
+      (fun (tk : Msg.ticket) ->
+        match tk.Msg.outcome with
+        | Some (Msg.Replied { latency_s; _ }) -> Some latency_s
+        | _ -> None)
+      ftickets
+  in
+  let p99 = if latencies = [] then 0.0 else percentile latencies 0.99 in
+  let p50 = if latencies = [] then 0.0 else percentile latencies 0.5 in
+  let p99_bound = slo +. 5.0 in
+  Printf.printf "  trace: %d sessions x %d ops (%d total)\n\n" sessions per_session n_ops;
+  Printf.printf "  %-40s %14s %12s %10s\n" "configuration" "modelled (s)" "ops/s" "wall (ms)";
+  Printf.printf "  %-40s %14.2f %12.0f %10.2f\n" "inline client, settle per mutation"
+    inline_virtual_s inline_tput (inline_s *. 1000.);
+  Printf.printf "  %-40s %14.2f %12.0f %10.2f\n"
+    (Printf.sprintf "server, group commit (batch %d)" 16)
+    server_virtual_s server_tput (server_s *. 1000.);
+  Printf.printf "\n  group-commit speedup: %.1fx (%d batches for %d commits)\n" speedup
+    sstats.Server.batches sstats.Server.commits;
+  Printf.printf
+    "  faulted: %d submitted, %d shed (%d degraded-write), %d stale reads, virtual \
+     p50/p99 %.2f/%.2f s\n"
+    fstats.Server.submitted fstats.Server.shed degraded_sheds fstats.Server.stale_reads p50
+    p99;
+  shape "group commit beats inline settling on the modelled device"
+    (server_tput > inline_tput);
+  shape "server commits acknowledged" (sstats.Server.acked > 0 && sstats.Server.acked = sstats.Server.commits);
+  shape "faulted run resolved every ticket explicitly" (unresolved = 0);
+  shape "degraded mode shed writes with retry hints" (degraded_sheds > 0);
+  shape "stale reads served during the stall" (fstats.Server.stale_reads > 0);
+  shape "degraded p99 bounded by the admission SLO" (p99 <= p99_bound);
+  let b = Buffer.create 512 in
+  Printf.bprintf b "{\n";
+  Printf.bprintf b
+    "  \"config\": { \"sessions\": %d, \"ops_per_session\": %d, \"total_ops\": %d, \
+     \"reps\": %d, \"mode\": \"%s\" },\n"
+    sessions per_session n_ops reps
+    (if smoke then "smoke" else if quick then "quick" else "full");
+  Printf.bprintf b
+    "  \"inline\": { \"modelled_s\": %.3f, \"ops_per_s\": %.1f, \"wall_s\": %.6f },\n"
+    inline_virtual_s inline_tput inline_s;
+  Printf.bprintf b
+    "  \"server\": { \"modelled_s\": %.3f, \"ops_per_s\": %.1f, \"wall_s\": %.6f, \
+     \"batches\": %d, \"commits\": %d, \"acked\": %d, \"shed\": %d },\n"
+    server_virtual_s server_tput server_s sstats.Server.batches sstats.Server.commits
+    sstats.Server.acked sstats.Server.shed;
+  Printf.bprintf b "  \"group_commit_speedup\": %.2f,\n" speedup;
+  Printf.bprintf b
+    "  \"faulted\": { \"submitted\": %d, \"completed\": %d, \"shed\": %d, \
+     \"degraded_write_sheds\": %d, \"stale_reads\": %d, \"p50_latency_s\": %.3f, \
+     \"p99_latency_s\": %.3f, \"p99_bound_s\": %.3f, \"unresolved\": %d }\n"
+    fstats.Server.submitted fstats.Server.completed fstats.Server.shed degraded_sheds
+    fstats.Server.stale_reads p50 p99 p99_bound unresolved;
+  Printf.bprintf b "}\n";
+  let payload = Buffer.contents b in
+  let oc = open_out serve_json_path in
+  output_string oc payload;
+  close_out oc;
+  shape
+    (Printf.sprintf "serving study written to %s" serve_json_path)
+    (String.length payload > 2
+    && payload.[0] = '{'
+    && payload.[String.length payload - 2] = '}')
+
 (* ----------------------------- *)
 
 let () =
@@ -1394,6 +1654,7 @@ let () =
     parallel_section ();
     recovery_section ();
     index_section ();
+    serve_section ();
     Printf.printf "\ndone.\n"
   end
   else begin
@@ -1414,6 +1675,7 @@ let () =
     parallel_section ();
     recovery_section ();
     index_section ();
+    serve_section ();
     micro_benchmarks ();
     Printf.printf "\ndone.\n"
   end

@@ -544,6 +544,10 @@ let reindex_full ?domains (ctx : Ctx.t) ?under () =
 
 let dirty_count (ctx : Ctx.t) = Hashtbl.length ctx.dirty
 
+let set_auto_sync (ctx : Ctx.t) on = ctx.auto_sync <- on
+
+let auto_sync_enabled (ctx : Ctx.t) = ctx.auto_sync
+
 let set_pass_caches (ctx : Ctx.t) on = ctx.pass_caches <- on
 
 let pass_caches_enabled (ctx : Ctx.t) = ctx.pass_caches

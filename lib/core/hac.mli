@@ -166,6 +166,15 @@ val reindex_full : ?domains:int -> t -> ?under:string -> unit -> int
 val dirty_count : t -> int
 (** Files whose index entry is currently stale. *)
 
+val set_auto_sync : t -> bool -> unit
+(** Enable/disable settling after every mutation.  A server batching writes
+    into group commits turns this off so [tick] stops settling inline, calls
+    {!settle} once per batch, and restores the previous setting when it
+    stops. *)
+
+val auto_sync_enabled : t -> bool
+(** Current setting of {!set_auto_sync}. *)
+
 val set_pass_caches : t -> bool -> unit
 (** Enable/disable the shared per-pass evaluation caches (term-result memo
     and document token cache).  On by default; disabling them is an ablation

@@ -15,6 +15,7 @@ type outcome = {
   oracle_points : int;
   recovery_points : int;
   compaction_points : int;
+  truncated_batch_points : int;
   dropped_fsyncs : int;
   violations : violation list;
 }
@@ -99,7 +100,30 @@ let steps t =
     ("tail file", fun () -> Hac.write_file t "/docs/e.txt" "beta finale");
   ]
 
-let record ~seed ?(sabotage = fun _ _ -> ()) ~on_boundary () =
+(* A batched writer's workload — the serving layer's write path.  The
+   "group commit" step applies several mutations with per-mutation settles
+   disabled, so the step's single settle is the only completion barrier
+   the whole batch gets.  Kept separate from [steps] so the batch
+   truncation scan stays cheap. *)
+let batch_steps t =
+  [
+    ("seed corpus", fun () ->
+        Hac.mkdir t "/docs";
+        Hac.write_file t "/docs/a.txt" "alpha notes";
+        Hac.smkdir t "/alpha" "alpha");
+    ("group commit", fun () ->
+        Hac.set_auto_sync t false;
+        Fun.protect
+          ~finally:(fun () -> Hac.set_auto_sync t true)
+          (fun () ->
+            Hac.write_file t "/docs/g1.txt" "alpha group first";
+            Hac.write_file t "/docs/g2.txt" "alpha group second";
+            Hac.rename t ~src:"/docs/g1.txt" ~dst:"/docs/g_first.txt";
+            Hac.write_file t "/docs/g3.txt" "beta group third"));
+    ("tail", fun () -> Hac.write_file t "/docs/z.txt" "alpha finale");
+  ]
+
+let record ~seed ?(sabotage = fun _ _ -> ()) ?(steps_of = steps) ~on_boundary () =
   let fs = Fs.create () in
   let store = Store.create ~seed () in
   Fs.attach_disk fs store;
@@ -120,7 +144,7 @@ let record ~seed ?(sabotage = fun _ _ -> ()) ~on_boundary () =
       let b = { label; at = Store.op_count store; state } in
       on_boundary store b;
       bounds := b :: !bounds)
-    (steps t);
+    (steps_of t);
   Fs.detach_disk fs;
   Hac.shutdown ~graceful:false t;
   { store; all_ops = Store.ops store; bounds = List.rev !bounds; legal }
@@ -321,6 +345,68 @@ let run ?(seed = 1) ?(double_stride = 7) () =
          (Sim.replay (Store.ops ~upto:(Store.durable_count rec_drop.store) rec_drop.store)));
     d
   in
+  (* Crash inside a group commit: a batched writer applies several
+     mutations with per-mutation settles disabled, so one settle — one
+     completion barrier — covers the whole batch.  A crash anywhere inside
+     the batch leaves partially applied writes with no acknowledging
+     settle; every truncation (and a torn variant of the first lost op)
+     must still recover to an acknowledged (path, query) world, and the
+     full batch must recover to exactly its acknowledged state.  A second
+     run has the device swallow the batch's barrier and everything after:
+     settle acknowledged a batch the disk never completed, and the durable
+     prefix — ending before the batch — must recover clean. *)
+  let truncated_batch =
+    let rec_batch =
+      record ~seed ~steps_of:batch_steps ~on_boundary:(fun _ _ -> ()) ()
+    in
+    let batch_b =
+      match List.find_opt (fun b -> b.label = "group commit") rec_batch.bounds with
+      | Some b -> b
+      | None -> invalid_arg "batch workload lost its group step"
+    in
+    let prev_at =
+      List.fold_left
+        (fun acc b -> if b.at < batch_b.at then max acc b.at else acc)
+        0 rec_batch.bounds
+    in
+    let n = ref 0 in
+    for k = prev_at to batch_b.at do
+      let prefix = Store.ops ~upto:k rec_batch.store in
+      let point = Printf.sprintf "batch op %d/%d clean" k batch_b.at in
+      incr n;
+      (match
+         check ~legal:rec_batch.legal ~add ~double:(k = batch_b.at) point
+           (Sim.replay prefix)
+       with
+      | Some (_, st) when k = batch_b.at ->
+          if st <> batch_b.state then
+            add point ("acknowledged batch state not recovered: " ^ diff_states batch_b.state st)
+      | Some _ | None -> ());
+      if k < batch_b.at then begin
+        let op = List.nth rec_batch.all_ops k in
+        match Store.torn op ~keep:(Store.tear_point rec_batch.store op) with
+        | None -> ()
+        | Some d ->
+            incr n;
+            let point = Printf.sprintf "batch op %d/%d torn" k batch_b.at in
+            ignore (check ~legal:rec_batch.legal ~add point (Sim.replay (prefix @ [ d ])))
+      end
+    done;
+    let rec_lying =
+      record ~seed ~steps_of:batch_steps
+        ~sabotage:(fun label store ->
+          if label = "group commit" then Store.drop_fsyncs store 100)
+        ~on_boundary:(fun _ _ -> ())
+        ()
+    in
+    if Store.dropped_fsync_count rec_lying.store = 0 then
+      add "batch dropped-fsync run" "fault injection armed but no fsync was dropped";
+    incr n;
+    ignore
+      (check ~legal:rec_lying.legal ~add ~double:true "batch dropped barrier"
+         (Sim.replay (Store.ops ~upto:(Store.durable_count rec_lying.store) rec_lying.store)));
+    !n
+  in
   {
     seed;
     ops = ops_n;
@@ -329,6 +415,7 @@ let run ?(seed = 1) ?(double_stride = 7) () =
     oracle_points = !oracle_points;
     recovery_points;
     compaction_points = !compaction_points;
+    truncated_batch_points = truncated_batch;
     dropped_fsyncs = dropped;
     violations = List.rev !violations;
   }
@@ -338,9 +425,9 @@ let summary o =
   Buffer.add_string b
     (Printf.sprintf
        "crash harness: seed %d, %d ops, %d crash states (%d oracle boundaries, %d in \
-        compaction, %d during recovery, %d dropped fsyncs)\n"
+        compaction, %d during recovery, %d in a group commit, %d dropped fsyncs)\n"
        o.seed o.ops o.points o.oracle_points o.compaction_points o.recovery_points
-       o.dropped_fsyncs);
+       o.truncated_batch_points o.dropped_fsyncs);
   if o.violations = [] then Buffer.add_string b "no invariant violations\n"
   else
     List.iter

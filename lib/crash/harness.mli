@@ -4,9 +4,10 @@
     simulated device ({!Hac_fault.Store}), then reconstructs the disk state
     a crash would leave at {e every} operation boundary — plus torn,
     bit-flipped and interrupted variants of the first lost op, crash points
-    inside recovery itself, crash points inside compaction, and a run whose
-    device drops fsyncs — and recovers each state, checking the recovery
-    invariants (see [docs/recovery.md]):
+    inside recovery itself, crash points inside compaction, crash points
+    inside a group commit (a batch of mutations truncated before its single
+    completion barrier), and a run whose device drops fsyncs — and recovers
+    each state, checking the recovery invariants (see [docs/recovery.md]):
 
     + recovery never raises;
     + the recovered state is a settle fixpoint — the links of every
@@ -30,6 +31,10 @@ type outcome = {
   oracle_points : int;  (** Crash states compared against the oracle. *)
   recovery_points : int;  (** Crash states inside recovery itself. *)
   compaction_points : int;  (** Crash states inside the compaction step. *)
+  truncated_batch_points : int;
+      (** Crash states inside a group commit — a batch of mutations with
+          per-mutation settles disabled, crashed before (or torn at, or
+          denied) its single completion barrier. *)
   dropped_fsyncs : int;  (** Fsync barriers swallowed in the lying-device run. *)
   violations : violation list;  (** Empty on a healthy implementation. *)
 }

@@ -23,6 +23,21 @@ let size t = t.size
 
 let default_domains () = min 4 (max 1 (Domain.recommended_domain_count ()))
 
+exception Task of { index : int; exn : exn; trace : Printexc.raw_backtrace }
+
+let () =
+  Printexc.register_printer (function
+    | Task { index; exn; _ } ->
+        Some (Printf.sprintf "Pool.Task(task %d: %s)" index (Printexc.to_string exn))
+    | _ -> None)
+
+(* Re-raise a captured task failure with its origin attached: the task (or
+   slot) index says *which* unit of work failed — without it a chaos-harness
+   failure in a 200-task map is anonymous — and the captured backtrace is
+   restored so the trace points at the task body, not at the barrier. *)
+let reraise_task (index, exn, trace) =
+  Printexc.raise_with_backtrace (Task { index; exn; trace }) trace
+
 let rec worker t ~slot seen_epoch =
   (* Invariant: [t.lock] is held on entry. *)
   if t.shutdown then Mutex.unlock t.lock
@@ -77,15 +92,18 @@ let shutdown t =
   end
 
 (* Run [f slot] on every slot [0 .. size-1] concurrently; the calling domain
-   takes slot 0.  Returns when all slots have finished.  The first exception
-   raised by any slot is re-raised here (the others complete regardless). *)
+   takes slot 0.  Returns when all slots have finished.  The first failure is
+   re-raised after the barrier as {!Task} carrying the slot index and the
+   original backtrace (the other slots complete regardless). *)
 let run t f =
-  if t.size = 1 then f 0
+  if t.size = 1 then (try f 0 with e -> reraise_task (0, e, Printexc.get_raw_backtrace ()))
   else begin
     let err = Atomic.make None in
     let guarded slot =
       try f slot
-      with e -> ignore (Atomic.compare_and_set err None (Some e))
+      with e ->
+        let trace = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set err None (Some (slot, e, trace)))
     in
     Mutex.lock t.lock;
     t.job <- Some guarded;
@@ -100,25 +118,41 @@ let run t f =
     done;
     t.job <- None;
     Mutex.unlock t.lock;
-    match Atomic.get err with Some e -> raise e | None -> ()
+    match Atomic.get err with Some e -> reraise_task e | None -> ()
   end
 
 (* [map t f xs]: apply [f] to every element, work-stolen off a shared
    counter so uneven task costs balance across domains.  Results keep their
-   input order.  With a 1-sized pool this is just [Array.map]. *)
+   input order.  With a 1-sized pool this is just [Array.map].  A failing
+   element stops its slot; the first failure (by race, not by index) is
+   re-raised as {!Task} with the *element* index attached, so a chaos-harness
+   crash names the request that caused it rather than an anonymous slot. *)
 let map t f xs =
   let n = Array.length xs in
   if n = 0 then [||]
-  else if t.size = 1 then Array.map f xs
+  else if t.size = 1 then begin
+    let i = ref 0 in
+    try Array.map (fun x -> let y = f x in incr i; y) xs
+    with e -> reraise_task (!i, e, Printexc.get_raw_backtrace ())
+  end
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
+    let err = Atomic.make None in
     run t (fun _slot ->
         let continue = ref true in
         while !continue do
           let i = Atomic.fetch_and_add next 1 in
-          if i >= n then continue := false else results.(i) <- Some (f xs.(i))
+          if i >= n then continue := false
+          else
+            match f xs.(i) with
+            | v -> results.(i) <- Some v
+            | exception e ->
+                let trace = Printexc.get_raw_backtrace () in
+                ignore (Atomic.compare_and_set err None (Some (i, e, trace)));
+                continue := false
         done);
+    (match Atomic.get err with Some e -> reraise_task e | None -> ());
     Array.map (function Some v -> v | None -> assert false) results
   end
 

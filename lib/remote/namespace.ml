@@ -131,10 +131,14 @@ let with_policy ?(policy = default_policy) ?metrics ~clock ns =
                  policy.call_budget)
         | v -> v
       in
+      (* Slack is recorded for every attempt, not just successes: a
+         timed-out attempt contributes its (negative) slack, so the
+         histogram reflects how close the budget actually runs rather than
+         skewing toward the calls that made it. *)
+      Hac_obs.Metrics.observe h_slack
+        (policy.call_budget -. (Hac_fault.Clock.now clock -. started));
       match verdict with
       | Ok v ->
-          Hac_obs.Metrics.observe h_slack
-            (policy.call_budget -. (Hac_fault.Clock.now clock -. started));
           Hac_fault.Breaker.record_success breaker;
           v
       | Error reason ->

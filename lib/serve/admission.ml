@@ -1,0 +1,69 @@
+(* Admission control: the front door of the server.
+
+   Every decision is made before any work happens, so a shed op is
+   guaranteed untouched state — retrying it is always safe.  The checks
+   run cheapest-first:
+
+   1. session suspended?   the client's own breaker is open — retry after
+                           its probe interval;
+   2. degraded writes?     the server is in degraded mode (settles over
+                           budget, a mount's breaker open, or durability
+                           stalled) — reads still flow (served stale),
+                           writes are shed with exponential retry-after;
+   3. queue full?          the bounded queue is at capacity — shed rather
+                           than queue without bound;
+   4. SLO unmeetable?      the estimated wait already blows the op's
+                           deadline — reject now instead of admitting work
+                           we know will expire.
+
+   Retry-after hints grow with the session's consecutive-shed streak via
+   the shared deterministic-jitter backoff, so a polite client backs off
+   exactly like a retried remote call would. *)
+
+type config = {
+  queue_bound : int;  (** Max queued tickets before load-shedding. *)
+  slo_s : float;  (** Default per-op deadline (submit + slo). *)
+  session_breaker : Hac_fault.Breaker.config;
+  backoff : Hac_fault.Backoff.t;  (** Shapes retry-after hints. *)
+  seed : int;  (** Jitter seed for the hints. *)
+}
+
+let default =
+  {
+    queue_bound = 64;
+    slo_s = 30.0;
+    session_breaker =
+      { Hac_fault.Breaker.failure_threshold = 8; probe_interval = 10.0; success_to_close = 1 };
+    backoff = { Hac_fault.Backoff.default with base = 0.5; max_delay = 30.0 };
+    seed = 0;
+  }
+
+type decision = Admit | Shed of Msg.shed_reason * float
+
+let retry_after config (session : Session.t) =
+  Hac_fault.Backoff.delay ~seed:(config.seed lxor Hashtbl.hash session.id) config.backoff
+    ~attempt:(min session.shed_streak 16)
+
+let decide config ~(session : Session.t) ~now ~queue_depth ~est_wait_s ~deadline_s ~degraded
+    ~is_write =
+  if not (Hac_fault.Breaker.allow session.breaker ~now) then
+    Shed (Msg.Session_suspended, config.session_breaker.probe_interval)
+  else if is_write && degraded then Shed (Msg.Degraded_writes, retry_after config session)
+  else if queue_depth >= config.queue_bound then Shed (Msg.Queue_full, retry_after config session)
+  else if now +. est_wait_s > deadline_s then
+    Shed (Msg.Slo_unmeetable, retry_after config session)
+  else Admit
+
+(* Bookkeeping both outcomes feed back into the session so the next
+   decision sees the history: sheds extend the breaker's failure streak
+   (enough of them suspends the session), admissions reset it. *)
+let record_shed (session : Session.t) ~now ~reason =
+  session.shed <- session.shed + 1;
+  session.shed_streak <- session.shed_streak + 1;
+  session.last_reject <- Some (Msg.reason_name reason);
+  Hac_fault.Breaker.record_failure session.breaker ~now
+
+let record_admit (session : Session.t) =
+  session.admitted <- session.admitted + 1;
+  session.shed_streak <- 0;
+  Hac_fault.Breaker.record_success session.breaker

@@ -1,0 +1,39 @@
+(** Admission control — decided before any work, so a shed op is
+    guaranteed untouched state and retrying is always safe.
+
+    Check order: session breaker, degraded-mode write shedding, queue
+    bound, SLO feasibility.  Retry-after hints grow with the session's
+    consecutive-shed streak through the shared deterministic-jitter
+    backoff. *)
+
+type config = {
+  queue_bound : int;  (** Max queued tickets before load-shedding. *)
+  slo_s : float;  (** Default per-op deadline (submit time + slo). *)
+  session_breaker : Hac_fault.Breaker.config;  (** Per-session guard. *)
+  backoff : Hac_fault.Backoff.t;  (** Shapes retry-after hints. *)
+  seed : int;  (** Jitter seed. *)
+}
+
+val default : config
+(** Queue bound 64, 30 s SLO, suspend after 8 consecutive sheds. *)
+
+type decision = Admit | Shed of Msg.shed_reason * float  (** reason, retry-after. *)
+
+val decide :
+  config ->
+  session:Session.t ->
+  now:float ->
+  queue_depth:int ->
+  est_wait_s:float ->
+  deadline_s:float ->
+  degraded:bool ->
+  is_write:bool ->
+  decision
+
+val record_shed : Session.t -> now:float -> reason:Msg.shed_reason -> unit
+(** Feed a shed back into the session: extends the breaker failure streak
+    (enough consecutive sheds suspends the session) and the shed streak
+    that lengthens retry-after hints. *)
+
+val record_admit : Session.t -> unit
+(** Feed an admission back: resets the streaks. *)

@@ -1,0 +1,91 @@
+(* The serving layer's wire vocabulary: requests, replies, tickets.
+
+   A client submits an [op] and gets back a [ticket]; the server resolves
+   the ticket exactly once — either [Replied] (the op ran; the reply may
+   still be a [Nack]) or [Rejected] (admission shed it; the op was *not*
+   applied and carries a retry-after hint).  That trichotomy is the
+   robustness contract the chaos harness enforces: every submission ends in
+   exactly one of these states, never a hang or a silent drop. *)
+
+type read =
+  | Read of string  (** File contents. *)
+  | Readdir of string  (** Directory entries. *)
+  | Links of string  (** Materialized link set of a semantic directory. *)
+
+type write =
+  | Mkdir of string
+  | Write of string * string
+  | Append of string * string
+  | Unlink of string
+  | Smkdir of string * string  (** path, query *)
+
+type op = R of read | W of write
+
+let is_write = function R _ -> false | W _ -> true
+
+let path_of_read = function Read p | Readdir p | Links p -> p
+
+let describe = function
+  | R (Read p) -> "read " ^ p
+  | R (Readdir p) -> "readdir " ^ p
+  | R (Links p) -> "links " ^ p
+  | W (Mkdir p) -> "mkdir " ^ p
+  | W (Write (p, _)) -> "write " ^ p
+  | W (Append (p, _)) -> "append " ^ p
+  | W (Unlink p) -> "unlink " ^ p
+  | W (Smkdir (p, q)) -> Printf.sprintf "smkdir %s '%s'" p q
+
+type linkrow = {
+  l_name : string;
+  l_target : string;  (** Canonical target key (path or uri). *)
+  l_cls : string;  (** ["permanent"] or ["transient"]. *)
+  l_stale : bool;  (** Re-served last-good remote entry. *)
+}
+
+type reply =
+  | Data of string
+  | Entries of string list
+  | Linkset of linkrow list
+  | Done  (** Write applied and durable. *)
+  | Nack of string
+      (** The op ran but could not be satisfied.  For a write: it may have
+          been applied, but durability was never confirmed — the client
+          must treat it as unknown, not as absent. *)
+
+type shed_reason =
+  | Queue_full
+  | Slo_unmeetable
+  | Session_suspended
+  | Degraded_writes
+  | Deadline_expired
+  | Server_stopped
+
+let reason_name = function
+  | Queue_full -> "queue-full"
+  | Slo_unmeetable -> "slo-unmeetable"
+  | Session_suspended -> "session-suspended"
+  | Degraded_writes -> "degraded-writes"
+  | Deadline_expired -> "deadline-expired"
+  | Server_stopped -> "server-stopped"
+
+type outcome =
+  | Replied of { reply : reply; seq : int; stale : bool; latency_s : float }
+  | Rejected of { reason : shed_reason; retry_after_s : float }
+
+type ticket = {
+  op : op;
+  session : string;
+  submitted_s : float;
+  deadline_s : float;
+  mutable outcome : outcome option;
+}
+
+let of_workload : Hac_workload.Serveload.op -> op = function
+  | Hac_workload.Serveload.Read p -> R (Read p)
+  | Hac_workload.Serveload.Readdir p -> R (Readdir p)
+  | Hac_workload.Serveload.Links p -> R (Links p)
+  | Hac_workload.Serveload.Mkdir p -> W (Mkdir p)
+  | Hac_workload.Serveload.Write (p, c) -> W (Write (p, c))
+  | Hac_workload.Serveload.Append (p, c) -> W (Append (p, c))
+  | Hac_workload.Serveload.Unlink p -> W (Unlink p)
+  | Hac_workload.Serveload.Smkdir (p, q) -> W (Smkdir (p, q))

@@ -1,0 +1,73 @@
+(** Requests, replies and tickets of the serving layer.
+
+    The robustness contract: every submitted op resolves to exactly one
+    {!outcome} — [Replied] (the op ran; the reply may be a [Nack]) or
+    [Rejected] (admission shed it; the op was {e not} applied, retry is
+    safe).  Never a hang, never a silent drop. *)
+
+type read =
+  | Read of string  (** File contents. *)
+  | Readdir of string  (** Directory entries. *)
+  | Links of string  (** Materialized link set of a semantic directory. *)
+
+type write =
+  | Mkdir of string
+  | Write of string * string
+  | Append of string * string
+  | Unlink of string
+  | Smkdir of string * string  (** path, query *)
+
+type op = R of read | W of write
+
+val is_write : op -> bool
+val path_of_read : read -> string
+
+val describe : op -> string
+(** One-line rendering for logs and failure messages. *)
+
+type linkrow = {
+  l_name : string;
+  l_target : string;  (** Canonical target key (path or uri). *)
+  l_cls : string;  (** ["permanent"] or ["transient"]. *)
+  l_stale : bool;  (** Re-served last-good remote entry. *)
+}
+
+type reply =
+  | Data of string
+  | Entries of string list
+  | Linkset of linkrow list
+  | Done  (** Write applied and durable. *)
+  | Nack of string
+      (** The op ran but could not be satisfied.  For a write the
+          application may have happened without durability confirmation —
+          the client must treat the write's fate as unknown. *)
+
+type shed_reason =
+  | Queue_full  (** Admission queue at its bound. *)
+  | Slo_unmeetable  (** Estimated wait already blows the deadline. *)
+  | Session_suspended  (** The session's own breaker is open. *)
+  | Degraded_writes  (** Server degraded: writes shed, reads served stale. *)
+  | Deadline_expired  (** Admitted, but expired in queue before running. *)
+  | Server_stopped
+
+val reason_name : shed_reason -> string
+
+type outcome =
+  | Replied of {
+      reply : reply;
+      seq : int;  (** Committed-write prefix the reply reflects. *)
+      stale : bool;  (** Snapshot lagged the commit frontier. *)
+      latency_s : float;  (** Virtual submit-to-resolve latency. *)
+    }
+  | Rejected of { reason : shed_reason; retry_after_s : float }
+
+type ticket = {
+  op : op;
+  session : string;
+  submitted_s : float;
+  deadline_s : float;
+  mutable outcome : outcome option;  (** Set exactly once by the server. *)
+}
+
+val of_workload : Hac_workload.Serveload.op -> op
+(** Embed a trace-driven workload op. *)

@@ -1,0 +1,42 @@
+(* Per-client session state: identity, a private circuit breaker, and
+   counters.
+
+   The breaker is the session's admission guard: every shed records a
+   failure, every admitted op a success, so a client that keeps hammering
+   a loaded server trips its own breaker and is suspended for the probe
+   interval instead of occupying the admission path — per-session backoff
+   enforced server-side. *)
+
+type t = {
+  id : string;
+  breaker : Hac_fault.Breaker.t;
+  mutable shed_streak : int;  (** Consecutive sheds, drives retry-after. *)
+  mutable submitted : int;
+  mutable admitted : int;
+  mutable shed : int;
+  mutable completed : int;  (** Replied, including [Nack]s. *)
+  mutable failed : int;  (** [Nack] replies. *)
+  mutable last_reject : string option;
+}
+
+let create ?(breaker = Hac_fault.Breaker.default_config) id =
+  {
+    id;
+    breaker = Hac_fault.Breaker.create ~config:breaker ();
+    shed_streak = 0;
+    submitted = 0;
+    admitted = 0;
+    shed = 0;
+    completed = 0;
+    failed = 0;
+    last_reject = None;
+  }
+
+let breaker_state t = Hac_fault.Breaker.state t.breaker
+
+let render t =
+  Printf.sprintf "%-10s %-9s  sub %4d  adm %4d  shed %4d  done %4d  nack %3d%s"
+    t.id
+    (Hac_fault.Breaker.state_name (breaker_state t))
+    t.submitted t.admitted t.shed t.completed t.failed
+    (match t.last_reject with None -> "" | Some r -> "  last-reject " ^ r)

@@ -1,0 +1,25 @@
+(** Per-client session state.
+
+    Each session carries a private circuit breaker used by admission:
+    sheds record failures, admissions record successes, so a client that
+    hammers a loaded server is suspended (breaker open) for the probe
+    interval — server-side per-session backoff. *)
+
+type t = {
+  id : string;
+  breaker : Hac_fault.Breaker.t;
+  mutable shed_streak : int;  (** Consecutive sheds; drives retry-after. *)
+  mutable submitted : int;
+  mutable admitted : int;
+  mutable shed : int;
+  mutable completed : int;  (** Replied, including [Nack]s. *)
+  mutable failed : int;  (** [Nack] replies. *)
+  mutable last_reject : string option;
+}
+
+val create : ?breaker:Hac_fault.Breaker.config -> string -> t
+
+val breaker_state : t -> Hac_fault.Breaker.state
+
+val render : t -> string
+(** One status line for the shell's [sessions] table. *)

@@ -1,0 +1,33 @@
+(** Immutable copy-on-write snapshots of the served namespace.
+
+    Captured at settle boundaries, so a reader never observes torn scope
+    state: every read against one snapshot reflects the same
+    committed-write prefix ({!seq}).  Reads are pure persistent-map
+    lookups — safe from any pool domain, no locks, no VFS access. *)
+
+type t
+
+val seq : t -> int
+(** Committed writes reflected in this view. *)
+
+val published_s : t -> float
+(** Virtual time the snapshot was published. *)
+
+val file_count : t -> int
+val dir_count : t -> int
+
+val capture : Hac_core.Hac.t -> seq:int -> now:float -> t
+(** Full capture of the current (settled) state: file contents, directory
+    listings (the [/.hac] metadata area excluded) and semantic-directory
+    link sets with stale flags. *)
+
+val advance : t -> Hac_core.Hac.t -> seq:int -> now:float -> touched:string list -> t
+(** Publish the post-batch view: refreshes the [touched] paths and their
+    parent directories, rebuilds every semantic directory's entries and
+    link set (a settle may rewrite them anywhere), and structurally shares
+    the rest with the previous snapshot. *)
+
+val read : t -> Msg.read -> Msg.reply
+(** Evaluate a read against the snapshot.  Anything unresolvable — missing
+    path, wrong kind, non-semantic directory for [Links] — is the
+    normalized [Nack "unreadable"], matching the sequential spec. *)

@@ -1,0 +1,34 @@
+(** The serial executable spec — an Ernst-style sequential twin.
+
+    Replays the server's commit log, prefix by prefix, through a fresh
+    sequential engine and re-evaluates every observed read at its
+    snapshot's prefix.  A difference is a snapshot-consistency violation:
+    the server answered a read with a state no serial execution of the
+    committed writes could produce. *)
+
+type observation = {
+  ob_read : Msg.read;
+  ob_seq : int;  (** Committed prefix the server claims the reply reflects. *)
+  ob_reply : Msg.reply;
+}
+
+val observe : Msg.ticket -> observation option
+(** The observation a resolved read ticket contributes ([None] for
+    writes, rejections and unresolved tickets). *)
+
+val eval_read : Hac_core.Hac.t -> Msg.read -> Msg.reply
+(** Evaluate a read on the twin with the snapshot's exact semantics
+    (regular files only, listings without [/.hac], normalized [Nack]s). *)
+
+val check :
+  build:(unit -> Hac_core.Hac.t) ->
+  writes:Msg.write list ->
+  observations:observation list ->
+  string list
+(** [check ~build ~writes ~observations] replays [writes] (the commit log,
+    in order) through [build ()] — a fresh engine with the same initial
+    corpus and semantic directories but no mounts, faults or store — and
+    checks each observation at its prefix.  Returns violation
+    descriptions; [[]] means every read was prefix-consistent.  Remote
+    link rows are dropped before comparison (the twin mounts nothing);
+    keep remote-facing reads out of [observations]. *)

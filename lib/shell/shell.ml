@@ -15,6 +15,9 @@ type session = {
   (* Fault injectors of the demo namespaces, by ns_id.  They share the
      instance's virtual clock, so they die with it on [restore]. *)
   faults : (string, Fault.t) Hashtbl.t;
+  (* Pre-rendered per-session table of the last [serve] run, for
+     [sessions] to print. *)
+  mutable serve_report : string option;
 }
 
 let help_text =
@@ -52,6 +55,9 @@ let help_text =
   checkpoint                          commit an atomic checkpoint of the journal chain
   compact                             drop journal history a checkpoint supersedes
   crashtest [SEED]                    run the exhaustive crash-point recovery harness
+  serve [SESSIONS] [OPS]              serving-layer demo: concurrent sessions,
+                                      snapshot reads, group-commit writes
+  sessions                            per-session table of the last serve run
   mount-status                        health of every mounted namespace
   fault NS fail N|outage|latency S|corrupt|flaky P
                                       inject a failure plan into a demo namespace
@@ -104,9 +110,9 @@ let load_demo t =
 let make ?(demo = false) () =
   let t = Hac.create ~auto_sync:true ~transducer () in
   if demo then load_demo t;
-  { t; wd = "/"; faults = Hashtbl.create 4 }
+  { t; wd = "/"; faults = Hashtbl.create 4; serve_report = None }
 
-let of_hac t = { t; wd = "/"; faults = Hashtbl.create 4 }
+let of_hac t = { t; wd = "/"; faults = Hashtbl.create 4; serve_report = None }
 
 (* Demo namespaces mount behind the full resilience stack: a fault injector
    (driven by the [fault] command) under the retry/breaker policy, all on
@@ -353,6 +359,93 @@ let cmd_trace s buf args =
         (Trace.total tr) (Trace.dropped tr)
   | _ -> out buf "trace [on|off|dump|json|clear]\n"
 
+(* serve [SESSIONS] [OPS]: a self-contained serving-layer simulation over
+   the current instance.  Seeds a dedicated subtree (a few corpus files
+   and one semantic directory), drives SESSIONS deterministic client
+   streams through a multi-session server wrapping this instance
+   (snapshot-isolated reads, group-commit writes, admission control),
+   prints the aggregate stats and stores the per-session table for the
+   [sessions] command. *)
+let cmd_serve s buf args =
+  let module Server = Hac_serve.Server in
+  let module Admission = Hac_serve.Admission in
+  let module Msg = Hac_serve.Msg in
+  let module Sess = Hac_serve.Session in
+  let module Serveload = Hac_workload.Serveload in
+  let module Corpus = Hac_workload.Corpus in
+  let num d v = match int_of_string_opt v with Some n -> n | None -> d in
+  let sessions_n, ops_n =
+    match args with
+    | a :: b :: _ -> (num 3 a, num 12 b)
+    | [ a ] -> (num 3 a, 12)
+    | [] -> (3, 12)
+  in
+  let sessions_n = max 1 (min 16 sessions_n) in
+  let ops_n = max 1 (min 200 ops_n) in
+  let root =
+    let rec pick k =
+      let p = Printf.sprintf "/serve%d" k in
+      if Fs.exists (Hac.fs s.t) p then pick (k + 1) else p
+    in
+    pick 0
+  in
+  Hac.mkdir s.t root;
+  Hac.mkdir s.t (root ^ "/docs");
+  let seeded =
+    List.mapi
+      (fun i w ->
+        let p = Printf.sprintf "%s/docs/doc%d.txt" root i in
+        Hac.write_file s.t p (w ^ " corpus document for the serving demo\n");
+        p)
+      [ "servealpha"; "servebeta"; "servealpha servebeta" ]
+  in
+  Hac.smkdir s.t (root ^ "/q-alpha") "servealpha";
+  let config =
+    {
+      Hac_serve.Server.default_config with
+      max_batch = 8;
+      admission = { Admission.default with queue_bound = 64; slo_s = 60.0; seed = 11 };
+    }
+  in
+  let server = Server.create ~config s.t in
+  let corpus = Corpus.make ~seed:11 () in
+  let profile = { Serveload.default with ops_per_session = ops_n } in
+  let streams =
+    Array.init sessions_n (fun i ->
+        ref
+          (List.map Msg.of_workload
+             (Serveload.session_ops profile ~corpus ~seed:11 ~session:i
+                ~files:(Array.of_list seeded)
+                ~semdirs:[| root ^ "/q-alpha" |]
+                ~fresh_root:root)))
+  in
+  let k = ref 0 in
+  while Array.exists (fun r -> !r <> []) streams do
+    Array.iteri
+      (fun i r ->
+        match !r with
+        | [] -> ()
+        | op :: rest ->
+            r := rest;
+            incr k;
+            ignore (Server.submit server ~session:(Printf.sprintf "s%d" i) op);
+            if !k mod 4 = 0 then Server.pump server)
+      streams
+  done;
+  Server.drain server;
+  let st = Server.stats server in
+  let table =
+    String.concat "\n" (List.map Sess.render (Server.sessions server)) ^ "\n"
+  in
+  s.serve_report <- Some table;
+  Server.stop server;
+  out buf
+    "served %d ops from %d sessions under %s:\n\
+    \  admitted %d, shed %d, commits %d in %d batches, acked %d, stale reads %d\n"
+    st.Server.submitted sessions_n root st.Server.admitted st.Server.shed
+    st.Server.commits st.Server.batches st.Server.acked st.Server.stale_reads;
+  out buf "per-session table stored (print it with: sessions)\n"
+
 let rec run s buf line =
   let parts =
     String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
@@ -469,6 +562,11 @@ let rec run s buf line =
                (Hac.journal_epoch s.t)
          | "compact", _ ->
              out buf "compaction removed %d superseded metadata file(s)\n" (Hac.compact s.t)
+         | "serve", rest -> cmd_serve s buf rest
+         | "sessions", _ -> (
+             match s.serve_report with
+             | Some table -> Buffer.add_string buf table
+             | None -> out buf "no serve run yet (try: serve 3 12)\n")
          | "crashtest", rest ->
              let seed =
                match rest with

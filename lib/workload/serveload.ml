@@ -1,0 +1,104 @@
+(* Trace-driven serving workload: a deterministic per-session op stream.
+
+   Each session gets its own splitmix64 generator derived from (seed,
+   session), so the stream a session submits is independent of how the
+   server interleaves sessions — the chaos harness can replay any client's
+   trace bit-for-bit no matter what the scheduler did.  Reads follow a Zipf
+   distribution over the shared corpus (a hot head and a long tail, the
+   shape real query traffic has); writes land under a per-session fresh
+   root so concurrent sessions never race on a path. *)
+
+type op =
+  | Read of string
+  | Readdir of string
+  | Links of string
+  | Mkdir of string
+  | Write of string * string
+  | Append of string * string
+  | Unlink of string
+  | Smkdir of string * string
+
+let is_write = function
+  | Read _ | Readdir _ | Links _ -> false
+  | Mkdir _ | Write _ | Append _ | Unlink _ | Smkdir _ -> true
+
+let describe = function
+  | Read p -> "read " ^ p
+  | Readdir p -> "readdir " ^ p
+  | Links p -> "links " ^ p
+  | Mkdir p -> "mkdir " ^ p
+  | Write (p, _) -> "write " ^ p
+  | Append (p, _) -> "append " ^ p
+  | Unlink p -> "unlink " ^ p
+  | Smkdir (p, q) -> Printf.sprintf "smkdir %s %s" p q
+
+type profile = {
+  ops_per_session : int;
+  read_fraction : float;
+  links_fraction : float;
+  zipf_skew : float;
+  write_words : int;
+}
+
+let default =
+  {
+    ops_per_session = 40;
+    read_fraction = 0.7;
+    links_fraction = 0.4;
+    zipf_skew = 1.05;
+    write_words = 24;
+  }
+
+(* A short document built from Zipf-ranked vocabulary words drawn off the
+   *session* generator — [Corpus.document] would consume the shared corpus
+   PRNG and make one session's content depend on another's schedule. *)
+let doc profile corpus g =
+  let b = Buffer.create (profile.write_words * 8) in
+  for i = 1 to profile.write_words do
+    Buffer.add_string b (Corpus.vocab_word corpus (Prng.zipf g ~n:4000 ~skew:profile.zipf_skew));
+    if i mod 10 = 0 then Buffer.add_char b '\n' else Buffer.add_char b ' '
+  done;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let session_ops profile ~corpus ~seed ~session ~files ~semdirs ~fresh_root =
+  if Array.length files = 0 then invalid_arg "Serveload.session_ops: no files";
+  let g = Prng.make ~seed:((seed * 0x9e3779b1) lxor (session * 0x85ebca77) lxor 0x5e17) in
+  let home = Printf.sprintf "%s/s%d" fresh_root session in
+  let own = ref [] and own_n = ref 0 and created = ref 0 in
+  let zipf_of arr = arr.(Prng.zipf g ~n:(Array.length arr) ~skew:profile.zipf_skew) in
+  let read_op () =
+    if Array.length semdirs > 0 && Prng.float g < profile.links_fraction then
+      let sd = zipf_of semdirs in
+      if Prng.float g < 0.5 then Links sd else Readdir sd
+    else if Prng.float g < 0.15 then Readdir (Filename.dirname (zipf_of files))
+    else Read (zipf_of files)
+  in
+  let write_op () =
+    let r = Prng.float g in
+    if r < 0.55 || !own_n = 0 then begin
+      incr created;
+      let p = Printf.sprintf "%s/f%d.txt" home !created in
+      own := p :: !own;
+      incr own_n;
+      Write (p, doc profile corpus g)
+    end
+    else if r < 0.75 then Append (List.nth !own (Prng.int g !own_n), doc profile corpus g)
+    else if r < 0.9 then begin
+      let victim = List.nth !own (Prng.int g !own_n) in
+      own := List.filter (fun p -> p <> victim) !own;
+      decr own_n;
+      Unlink victim
+    end
+    else begin
+      incr created;
+      Smkdir
+        ( Printf.sprintf "%s/q%d" home !created,
+          Corpus.vocab_word corpus (Prng.int g 64) )
+    end
+  in
+  let rest =
+    List.init (max 0 (profile.ops_per_session - 1)) (fun _ ->
+        if Prng.float g < profile.read_fraction then read_op () else write_op ())
+  in
+  Mkdir home :: rest

@@ -1,0 +1,48 @@
+(** Trace-driven serving workload: deterministic per-session op streams.
+
+    Each session's stream derives from [(seed, session)] alone, so traces
+    are replayable regardless of how a server interleaves sessions.  Reads
+    are Zipf-distributed over the shared corpus (hot head, long tail);
+    writes stay under a per-session fresh root so sessions never contend on
+    a path. *)
+
+type op =
+  | Read of string  (** Read a file's contents. *)
+  | Readdir of string  (** List a directory. *)
+  | Links of string  (** Materialized link set of a semantic directory. *)
+  | Mkdir of string
+  | Write of string * string  (** path, contents *)
+  | Append of string * string
+  | Unlink of string
+  | Smkdir of string * string  (** path, query *)
+
+val is_write : op -> bool
+
+val describe : op -> string
+(** One-line rendering for logs and failure messages. *)
+
+type profile = {
+  ops_per_session : int;  (** Stream length (including the leading mkdir). *)
+  read_fraction : float;  (** Probability an op is a read. *)
+  links_fraction : float;  (** Among reads: probability of a semdir op. *)
+  zipf_skew : float;  (** Skew for file/semdir popularity. *)
+  write_words : int;  (** Approximate words per written document. *)
+}
+
+val default : profile
+(** 40 ops, 70% reads, 40% of reads against semantic dirs. *)
+
+val session_ops :
+  profile ->
+  corpus:Corpus.t ->
+  seed:int ->
+  session:int ->
+  files:string array ->
+  semdirs:string array ->
+  fresh_root:string ->
+  op list
+(** The session's op stream.  The first op is always [Mkdir] of the
+    session's home ([fresh_root]/s[session]); subsequent writes stay under
+    it.  Only pure rank lookups touch [corpus] — its PRNG is never
+    consumed, so streams are independent of call order.  Raises
+    [Invalid_argument] when [files] is empty. *)

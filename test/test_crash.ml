@@ -69,6 +69,7 @@ let test_harness_no_violations () =
   check_bool "oracle boundaries checked" true (o.Harness.oracle_points >= 10);
   check_bool "crash-during-compaction covered" true (o.Harness.compaction_points > 0);
   check_bool "crash-during-recovery covered" true (o.Harness.recovery_points > 50);
+  check_bool "crash-inside-group-commit covered" true (o.Harness.truncated_batch_points > 3);
   check_bool "dropped fsyncs exercised" true (o.Harness.dropped_fsyncs > 0)
 
 (* -- checkpointed remount bounds ------------------------------------------- *)

@@ -208,10 +208,22 @@ let test_pool_exception () =
   Pool.with_pool ~domains:3 (fun p ->
       match Pool.map p (fun x -> if x = 7 then failwith "boom" else x) (Array.init 16 Fun.id) with
       | _ -> Alcotest.fail "expected the worker exception to re-raise"
-      | exception Failure m -> Alcotest.(check string) "propagated" "boom" m);
+      | exception Pool.Task { index; exn = Failure m; _ } ->
+          Alcotest.(check string) "propagated" "boom" m;
+          Alcotest.(check int) "failing element attributed" 7 index
+      | exception e -> Alcotest.fail ("unexpected exception " ^ Printexc.to_string e));
+  (* Width 1 attributes identically — the error surface must not depend on
+     the domain budget. *)
+  Pool.with_pool ~domains:1 (fun p ->
+      match Pool.map p (fun x -> if x = 5 then failwith "boom" else x) (Array.init 16 Fun.id) with
+      | _ -> Alcotest.fail "expected the inline exception to re-raise"
+      | exception Pool.Task { index; exn = Failure m; _ } ->
+          Alcotest.(check string) "propagated inline" "boom" m;
+          Alcotest.(check int) "inline element attributed" 5 index);
   (* The pool survives a failing region and runs the next one. *)
   Pool.with_pool ~domains:3 (fun p ->
-      (try ignore (Pool.map p (fun _ -> failwith "first") [| 1; 2; 3 |]) with Failure _ -> ());
+      (try ignore (Pool.map p (fun _ -> failwith "first") [| 1; 2; 3 |])
+       with Pool.Task _ -> ());
       let ys = Pool.map p (fun x -> x * x) [| 1; 2; 3 |] in
       Alcotest.(check (array int)) "next region fine" [| 1; 4; 9 |] ys)
 

@@ -1,0 +1,504 @@
+(* Chaos harness for the concurrent serving layer.
+
+   N client sessions drive deterministic trace workloads through the
+   server while the fault injector degrades a mounted namespace (latency,
+   then outage), the simulated device swallows fsyncs, and the virtual
+   clock expires deadlines.  The contract under all of it:
+
+   - every submitted op resolves to exactly one outcome — a reply or an
+     explicit rejection with a retry-after hint; never a hang or a silent
+     drop;
+   - every acknowledged write was durable when acknowledged (the device's
+     frontier covered the op log at ack time);
+   - every read is prefix-consistent: replaying the commit log through a
+     fresh sequential engine (the Ernst-style serial spec) reproduces
+     each read at its snapshot's prefix;
+   - crash states cut at arbitrary durable prefixes of the op log recover
+     into a working instance.
+
+   The FAULT_SEED environment variable (set by the serve-suite alias,
+   which runs this binary under three fixed seeds) varies the injector
+   weather, the device's damage offsets and the workload interleaving.
+   Every assertion must hold under any seed. *)
+
+module Fs = Hac_vfs.Fs
+module Hac = Hac_core.Hac
+module Recover = Hac_core.Recover
+module Clock = Hac_fault.Clock
+module Fault = Hac_fault.Fault
+module Store = Hac_fault.Store
+module Breaker = Hac_fault.Breaker
+module Namespace = Hac_remote.Namespace
+module Sim = Hac_crash.Sim
+module Corpus = Hac_workload.Corpus
+module Prng = Hac_workload.Prng
+module Serveload = Hac_workload.Serveload
+module Msg = Hac_serve.Msg
+module Snapshot = Hac_serve.Snapshot
+module Session = Hac_serve.Session
+module Admission = Hac_serve.Admission
+module Server = Hac_serve.Server
+module Spec = Hac_serve.Spec
+
+let seed =
+  match Sys.getenv_opt "FAULT_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 1)
+  | None -> 1
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* -- the rig ---------------------------------------------------------------- *)
+
+let markers = [| "markeralpha"; "markerbeta"; "markergamma"; "markerdelta" |]
+
+let semdir_specs =
+  [
+    ("/ws/q-alpha", "markeralpha");
+    ("/ws/q-beta", "markerbeta");
+    ("/ws/q-gamma", "markergamma");
+    ("/ws/q-delta", "markerdelta");
+  ]
+
+let remote_docs =
+  [
+    ("north.txt", "stat://rns/north", "remdoc north wind\n");
+    ("south.txt", "stat://rns/south", "remdoc south wind\n");
+  ]
+
+type rig = {
+  hac : Hac.t;
+  corpus : Corpus.t;
+  files : string array;
+  semdirs : string array;
+  store : Store.t option;
+  inj : Fault.t option;
+}
+
+(* Everything the twin must share with the served instance derives from
+   the seed alone: corpus tree, planted markers, semantic directories.
+   The store and the faulty mount exist only on the served side. *)
+let build ?(store = false) ?(mount = false) ~seed () =
+  let fs = Fs.create () in
+  let st =
+    if store then begin
+      let s = Store.create ~seed () in
+      Fs.attach_disk fs s;
+      Some s
+    end
+    else None
+  in
+  let corpus = Corpus.make ~seed () in
+  let files = Corpus.build_tree corpus fs ~root:"/ws" Corpus.small_tree in
+  Array.iteri
+    (fun i w -> ignore (Corpus.plant fs ~paths:files ~word:w ~count:(4 + (2 * i))))
+    markers;
+  Fs.mkdir_p fs "/srv";
+  let hac = Hac.of_fs fs in
+  List.iter (fun (p, q) -> Hac.smkdir hac p q) semdir_specs;
+  let inj =
+    if mount then begin
+      let clock = Hac.clock hac in
+      let inj = Fault.create ~seed ~clock () in
+      let policy = { Namespace.default_policy with call_budget = 1.0; max_retries = 1 } in
+      let ns =
+        Namespace.with_policy ~policy ~metrics:(Hac.metrics hac) ~clock
+          (Namespace.with_faults inj (Namespace.static ~ns_id:"rns" remote_docs))
+      in
+      Hac.mkdir hac "/remote";
+      Hac.smount hac "/remote" ns;
+      Hac.smkdir hac "/rq" "remdoc";
+      Some inj
+    end
+    else None
+  in
+  Hac.settle hac;
+  {
+    hac;
+    corpus;
+    files = Array.of_list files;
+    semdirs = Array.of_list (List.map fst semdir_specs);
+    store = st;
+    inj;
+  }
+
+let chaos_config =
+  {
+    Server.default_config with
+    domains = 2;
+    max_batch = 12;
+    admission = { Admission.default with queue_bound = 32; slo_s = 20.0; seed };
+    settle_budget_s = 1.5;
+    fsync_retries = 2;
+  }
+
+(* Paths outside the twin: the remote-facing semantic directory and the
+   mount point.  Reads of them are served (stale when the namespace is
+   down) but stay out of the serial-spec observation set. *)
+let remote_facing p =
+  let pre q = String.length p >= String.length q && String.sub p 0 (String.length q) = q in
+  pre "/rq" || pre "/remote"
+
+(* -- chaos driver ----------------------------------------------------------- *)
+
+type chaos_outcome = {
+  tickets : Msg.ticket list;
+  ack_durable_violations : int;  (** Acks released while not durable. *)
+}
+
+let run_chaos ~mount ~seed =
+  let rig = build ~store:true ~mount ~seed () in
+  let clock = Hac.clock rig.hac in
+  let server = Server.create ~config:chaos_config rig.hac in
+  let profile = { Serveload.default with ops_per_session = 30 } in
+  let n_sessions = 6 in
+  let streams =
+    Array.init n_sessions (fun i ->
+        ref
+          (List.map Msg.of_workload
+             (Serveload.session_ops profile ~corpus:rig.corpus ~seed ~session:i
+                ~files:rig.files ~semdirs:rig.semdirs ~fresh_root:"/srv")))
+  in
+  let tickets = ref [] in
+  let submit name op = tickets := Server.submit server ~session:name op :: !tickets in
+  let g = Prng.make ~seed:(seed lxor 0xC0FFEE) in
+  let tick = ref 0 in
+  let acked_before = ref 0 in
+  let ack_durable_violations = ref 0 in
+  let pump_and_check () =
+    Server.pump server;
+    (* The headline durability invariant, checked at the moment it must
+       hold: new acks imply the frontier covered the whole op log. *)
+    let acked = (Server.stats server).Server.acked in
+    (match rig.store with
+    | Some st ->
+        if acked > !acked_before && Store.durable_count st <> Store.op_count st then
+          incr ack_durable_violations
+    | None -> ());
+    acked_before := acked
+  in
+  while Array.exists (fun r -> !r <> []) streams do
+    incr tick;
+    (match rig.inj with
+    | Some inj ->
+        if !tick = 30 then Fault.set_plans inj [ Fault.Latency 3.0 ];
+        if !tick = 60 then Fault.set_plans inj [ Fault.Outage ];
+        if !tick = 90 then begin
+          Fault.clear inj;
+          (* Let the breaker's probe interval pass so recovery can begin. *)
+          Clock.advance clock (Breaker.default_config.Breaker.probe_interval +. 1.0)
+        end
+    | None -> ());
+    (match rig.store with
+    | Some st ->
+        if !tick = 45 || !tick = 100 then Store.drop_fsyncs st 3
+    | None -> ());
+    for _ = 0 to Prng.int g 2 do
+      let nonempty = ref [] in
+      Array.iteri (fun i r -> if !r <> [] then nonempty := (i, r) :: !nonempty) streams;
+      match !nonempty with
+      | [] -> ()
+      | l ->
+          let i, r = List.nth l (Prng.int g (List.length l)) in
+          (match !r with
+          | [] -> ()
+          | op :: rest ->
+              r := rest;
+              submit (Printf.sprintf "s%d" i) op)
+    done;
+    if mount && !tick mod 10 = 0 then submit "rq-watch" (Msg.R (Msg.Links "/rq"));
+    if !tick mod 3 = 0 then pump_and_check ();
+    Clock.advance clock 0.05
+  done;
+  (match rig.inj with Some inj -> Fault.clear inj | None -> ());
+  Server.drain server;
+  Server.stop server;
+  (server, rig, { tickets = List.rev !tickets; ack_durable_violations = !ack_durable_violations })
+
+let assert_all_resolved outcome =
+  List.iter
+    (fun (tk : Msg.ticket) ->
+      match tk.outcome with
+      | None -> Alcotest.fail ("unresolved ticket: " ^ Msg.describe tk.op)
+      | Some (Msg.Rejected { retry_after_s; _ }) ->
+          check_bool "retry-after non-negative" true (retry_after_s >= 0.0)
+      | Some (Msg.Replied _) -> ())
+    outcome.tickets
+
+let assert_spec server rig outcome =
+  let observations =
+    List.filter_map Spec.observe outcome.tickets
+    |> List.filter (fun (ob : Spec.observation) ->
+           not (remote_facing (Msg.path_of_read ob.Spec.ob_read)))
+  in
+  check_bool "spec has observations" true (observations <> []);
+  let violations =
+    Spec.check
+      ~build:(fun () -> (build ~seed ()).hac)
+      ~writes:(Server.committed_writes server) ~observations
+  in
+  ignore rig;
+  Alcotest.(check (list string)) "zero snapshot-consistency violations" [] violations
+
+let assert_crash_recovery rig =
+  match rig.store with
+  | None -> ()
+  | Some st ->
+      (* Faults were cleared before the drain, whose last settle ends in a
+         durability barrier: the whole log must be durable again. *)
+      check_int "drain restored full durability" (Store.op_count st) (Store.durable_count st);
+      let total = Store.op_count st in
+      let cuts =
+        List.sort_uniq compare
+          [ Store.durable_count st; total / 3; total / 2; 2 * total / 3; total ]
+        |> List.filter (fun c -> c > 0 && c <= total)
+      in
+      List.iter
+        (fun cut ->
+          let fs' = Sim.replay (Store.ops ~upto:cut st) in
+          let h2 = Hac.of_fs fs' in
+          let restored = Recover.reload h2 in
+          check_bool
+            (Printf.sprintf "crash at op %d recovers" cut)
+            true (restored >= 0);
+          (* Recovery must leave a settleable instance: a settle (and a
+             second, idempotent one) completes without raising. *)
+          Hac.settle h2;
+          Hac.settle h2)
+        cuts
+
+(* -- chaos tests ------------------------------------------------------------ *)
+
+let test_chaos_local () =
+  let server, rig, outcome = run_chaos ~mount:false ~seed in
+  assert_all_resolved outcome;
+  let st = Server.stats server in
+  check_bool "commits happened" true (st.Server.commits > 0);
+  check_bool "acks released" true (st.Server.acked > 0);
+  check_bool "load was shed" true (st.Server.shed > 0);
+  check_bool "stale reads served" true (st.Server.stale_reads > 0);
+  check_int "acks only when durable" 0 outcome.ack_durable_violations;
+  assert_spec server rig outcome;
+  assert_crash_recovery rig
+
+let test_chaos_mounted () =
+  let server, rig, outcome = run_chaos ~mount:true ~seed in
+  assert_all_resolved outcome;
+  let st = Server.stats server in
+  check_bool "commits happened" true (st.Server.commits > 0);
+  check_bool "acks released" true (st.Server.acked > 0);
+  check_bool "load was shed" true (st.Server.shed > 0);
+  check_int "acks only when durable" 0 outcome.ack_durable_violations;
+  (* The mounted namespace failed for a stretch of the run: degradation
+     must have served remote-facing entries stale rather than erroring. *)
+  let rq_replies =
+    List.filter_map
+      (fun (tk : Msg.ticket) ->
+        match (tk.op, tk.outcome) with
+        | Msg.R (Msg.Links "/rq"), Some (Msg.Replied { reply = Msg.Linkset rows; _ }) ->
+            Some rows
+        | _ -> None)
+      outcome.tickets
+  in
+  check_bool "remote-facing reads answered" true (rq_replies <> []);
+  assert_spec server rig outcome;
+  assert_crash_recovery rig
+
+(* -- focused units ---------------------------------------------------------- *)
+
+let test_snapshot_isolation () =
+  let rig = build ~seed () in
+  let server = Server.create rig.hac in
+  (* A write is invisible to reads in the same batch: they run against
+     the pre-batch snapshot. *)
+  let w = Server.submit server ~session:"a" (Msg.W (Msg.Write ("/srv/x.txt", "hello\n"))) in
+  let r1 = Server.submit server ~session:"b" (Msg.R (Msg.Read "/srv/x.txt")) in
+  Server.pump server;
+  (match r1.outcome with
+  | Some (Msg.Replied { reply = Msg.Nack _; seq = 0; _ }) -> ()
+  | _ -> Alcotest.fail "same-batch read must see the pre-batch snapshot");
+  (match w.outcome with
+  | Some (Msg.Replied { reply = Msg.Done; seq = 1; _ }) -> ()
+  | _ -> Alcotest.fail "write must ack after the batch settles");
+  (* The next batch's snapshot reflects the commit. *)
+  let r2 = Server.submit server ~session:"b" (Msg.R (Msg.Read "/srv/x.txt")) in
+  Server.pump server;
+  (match r2.outcome with
+  | Some (Msg.Replied { reply = Msg.Data "hello\n"; seq = 1; stale = false; _ }) -> ()
+  | _ -> Alcotest.fail "next-batch read must see the committed write");
+  Server.stop server
+
+let test_semantic_reads_through_server () =
+  let rig = build ~seed () in
+  let server = Server.create rig.hac in
+  let links = Server.submit server ~session:"a" (Msg.R (Msg.Links "/ws/q-alpha")) in
+  Server.pump server;
+  (match links.outcome with
+  | Some (Msg.Replied { reply = Msg.Linkset rows; _ }) ->
+      check_int "planted files all linked" 4 (List.length rows)
+  | _ -> Alcotest.fail "links read must resolve");
+  (* A new semantic directory created through the server materializes in
+     the next snapshot. *)
+  let mk = Server.submit server ~session:"a" (Msg.W (Msg.Smkdir ("/srv/q", "markerbeta"))) in
+  Server.pump server;
+  (match mk.outcome with
+  | Some (Msg.Replied { reply = Msg.Done; _ }) -> ()
+  | _ -> Alcotest.fail "smkdir must ack");
+  let links2 = Server.submit server ~session:"a" (Msg.R (Msg.Links "/srv/q")) in
+  Server.pump server;
+  (match links2.outcome with
+  | Some (Msg.Replied { reply = Msg.Linkset rows; _ }) ->
+      (* Scope of /srv/q is its parent's subtree — no /ws files in it. *)
+      check_int "fresh semdir evaluated in scope" 0 (List.length rows)
+  | _ -> Alcotest.fail "links of the new semdir must resolve");
+  Server.stop server
+
+let test_queue_bound_sheds () =
+  let rig = build ~seed () in
+  let config =
+    {
+      Server.default_config with
+      admission = { Admission.default with queue_bound = 4; seed };
+      max_batch = 4;
+    }
+  in
+  let server = Server.create ~config rig.hac in
+  let results =
+    List.init 10 (fun i ->
+        Server.submit server
+          ~session:(Printf.sprintf "s%d" i)
+          (Msg.R (Msg.Read rig.files.(0))))
+  in
+  let shed =
+    List.filter
+      (fun (tk : Msg.ticket) ->
+        match tk.outcome with
+        | Some (Msg.Rejected { reason = Msg.Queue_full; retry_after_s }) ->
+            check_bool "retry hint positive" true (retry_after_s > 0.0);
+            true
+        | _ -> false)
+      results
+  in
+  check_int "everything past the bound shed" 6 (List.length shed);
+  Server.drain server;
+  List.iter
+    (fun (tk : Msg.ticket) -> check_bool "resolved" true (tk.outcome <> None))
+    results;
+  Server.stop server
+
+let test_session_suspension () =
+  let rig = build ~seed () in
+  let config =
+    {
+      Server.default_config with
+      admission =
+        {
+          Admission.default with
+          queue_bound = 1;
+          seed;
+          session_breaker =
+            { Hac_fault.Breaker.failure_threshold = 3; probe_interval = 50.0; success_to_close = 1 };
+        };
+    }
+  in
+  let server = Server.create ~config rig.hac in
+  (* One queued op fills the queue; the same session hammering after that
+     accumulates sheds until its breaker suspends it. *)
+  ignore (Server.submit server ~session:"noisy" (Msg.R (Msg.Read rig.files.(0))));
+  let rec hammer n acc =
+    if n = 0 then List.rev acc
+    else
+      let tk = Server.submit server ~session:"noisy" (Msg.R (Msg.Read rig.files.(0))) in
+      hammer (n - 1) (tk :: acc)
+  in
+  let rejected = hammer 6 [] in
+  let reasons =
+    List.filter_map
+      (fun (tk : Msg.ticket) ->
+        match tk.outcome with
+        | Some (Msg.Rejected { reason; _ }) -> Some reason
+        | _ -> None)
+      rejected
+  in
+  check_int "all hammered ops rejected" 6 (List.length reasons);
+  check_bool "suspension kicked in" true (List.mem Msg.Session_suspended reasons);
+  check_bool "session breaker open" true
+    (Session.breaker_state (Server.session server "noisy") = Breaker.Open);
+  Server.stop server
+
+let test_degraded_sheds_writes_serves_reads () =
+  let rig = build ~store:true ~seed () in
+  let config = { chaos_config with fsync_retries = 0 } in
+  let server = Server.create ~config rig.hac in
+  let st = Option.get rig.store in
+  (* First batch commits a write cleanly. *)
+  ignore (Server.submit server ~session:"a" (Msg.W (Msg.Write ("/srv/a.txt", "one\n"))));
+  Server.pump server;
+  (* Device stops honouring barriers: the next write commits but cannot
+     ack; the server degrades. *)
+  Store.drop_fsyncs st 1000;
+  let w = Server.submit server ~session:"a" (Msg.W (Msg.Write ("/srv/b.txt", "two\n"))) in
+  Server.pump server;
+  check_bool "degraded after stall" true (Server.is_degraded server);
+  check_bool "write held, not acked" true (w.outcome = None);
+  (* Degraded: writes shed with retry-after, reads still served — stale. *)
+  let w2 = Server.submit server ~session:"a" (Msg.W (Msg.Write ("/srv/c.txt", "three\n"))) in
+  (match w2.outcome with
+  | Some (Msg.Rejected { reason = Msg.Degraded_writes; _ }) -> ()
+  | _ -> Alcotest.fail "degraded server must shed writes at admission");
+  let r = Server.submit server ~session:"b" (Msg.R (Msg.Read "/srv/a.txt")) in
+  Server.pump server;
+  (match r.outcome with
+  | Some (Msg.Replied { reply = Msg.Data "one\n"; stale = true; _ }) -> ()
+  | _ -> Alcotest.fail "degraded server must serve stale reads");
+  (* The drain resolves the held write explicitly — no hangs, ever. *)
+  Server.drain server;
+  (match w.outcome with
+  | Some (Msg.Replied { reply = Msg.Nack _; _ }) -> ()
+  | _ -> Alcotest.fail "held write must resolve as explicit Nack");
+  Server.stop server
+
+(* -- deadline-slack accounting regression (satellite) ----------------------- *)
+
+let test_policy_slack_recorded_on_failures () =
+  let clock = Clock.create () in
+  let inj = Fault.create ~seed ~clock () in
+  let reg = Hac_obs.Metrics.create () in
+  let policy = { Namespace.default_policy with max_retries = 1 } in
+  let ns =
+    Namespace.with_policy ~policy ~metrics:reg ~clock
+      (Namespace.with_faults inj
+         (Namespace.static ~ns_id:"slackns" [ ("a.txt", "stat://slackns/a", "alpha\n") ]))
+  in
+  ignore (ns.Namespace.search "alpha");
+  Fault.set_plans inj [ Fault.Fail_times 2 ];
+  (try ignore (ns.Namespace.search "alpha") with Namespace.Unavailable _ -> ());
+  match Hac_obs.Metrics.find reg "ns.slackns.deadline_slack_s" with
+  | Some (Hac_obs.Metrics.Histogram_value s) ->
+      (* 1 clean attempt + 2 failed attempts: the histogram must reflect
+         every attempt, not just the successes. *)
+      check_int "failed attempts observed too" 3 s.Hac_obs.Metrics.count
+  | _ -> Alcotest.fail "deadline_slack_s histogram missing"
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "server",
+        [
+          Alcotest.test_case "snapshot isolation" `Quick test_snapshot_isolation;
+          Alcotest.test_case "semantic reads" `Quick test_semantic_reads_through_server;
+          Alcotest.test_case "queue bound sheds" `Quick test_queue_bound_sheds;
+          Alcotest.test_case "session suspension" `Quick test_session_suspension;
+          Alcotest.test_case "degraded mode" `Quick test_degraded_sheds_writes_serves_reads;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "local storm" `Quick test_chaos_local;
+          Alcotest.test_case "mounted storm" `Quick test_chaos_mounted;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "slack recorded on failures" `Quick
+            test_policy_slack_recorded_on_failures;
+        ] );
+    ]
