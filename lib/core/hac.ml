@@ -888,6 +888,8 @@ let metrics (ctx : Ctx.t) = ctx.instr.Instr.metrics
 
 let tracer (ctx : Ctx.t) = ctx.instr.Instr.tracer
 
+let flight (ctx : Ctx.t) = ctx.instr.Instr.flight
+
 let instr (ctx : Ctx.t) = ctx.instr
 
 (* -- accounting --------------------------------------------------------------- *)

@@ -369,6 +369,13 @@ val tracer : t -> Hac_obs.Trace.t
     Every finished span also feeds a [span.<name>.cpu_s] histogram in
     {!metrics}. *)
 
+val flight : t -> Hac_obs.Flight.t
+(** The instance's flight recorder: an always-on bounded ring of recent
+    spans, metric deltas and subsystem transitions, dumped to
+    [flight-NNNN.dump] on breach (crash-recovery damage, spec violation,
+    SLO breach).  Automatic dumps are off until a directory is set with
+    [Hac_obs.Flight.set_auto_dump]. *)
+
 val instr : t -> Instr.t
 (** The pre-resolved instrument handles (advanced use: extending the
     core's own instrumentation). *)

@@ -1,9 +1,11 @@
 module Metrics = Hac_obs.Metrics
 module Trace = Hac_obs.Trace
+module Flight = Hac_obs.Flight
 
 type t = {
   metrics : Metrics.t;
   tracer : Trace.t;
+  flight : Flight.t;
   (* Handles resolved once at instance creation so hot paths never touch
      the registry's hashtable. *)
   journal_appends : Metrics.counter;
@@ -55,19 +57,24 @@ type t = {
 
 let create ~now () =
   let m = Metrics.create () in
+  let flight = Flight.create ~capacity:1024 ~metrics:m ~now () in
   let tracer =
-    (* Every finished span feeds a per-stage CPU-time histogram, which is
-       what the bench reports as the settle latency breakdown. *)
+    (* Every finished span feeds a per-stage CPU-time histogram — what the
+       bench reports as the settle latency breakdown — and the flight
+       recorder's ring of recent spans. *)
     Trace.create ~now
       ~on_close:(fun sp ->
         Metrics.observe
           (Metrics.histogram m ("span." ^ sp.Trace.name ^ ".cpu_s"))
-          (Trace.cpu_duration sp))
+          (Trace.cpu_duration sp);
+        Flight.span flight ~name:sp.Trace.name ~vstart:sp.Trace.vstart
+          ~vstop:sp.Trace.vstop ~failed:sp.Trace.failed)
       ()
   in
   {
     metrics = m;
     tracer;
+    flight;
     journal_appends = Metrics.counter m "journal.appends";
     journal_replay_applied = Metrics.counter m "journal.replay.applied";
     journal_replay_corrupt = Metrics.counter m "journal.replay.corrupt";

@@ -12,6 +12,10 @@
 type t = {
   metrics : Hac_obs.Metrics.t;
   tracer : Hac_obs.Trace.t;
+  flight : Hac_obs.Flight.t;
+      (** Always-on flight recorder: recent spans, metric deltas and
+          subsystem transitions, dumped on breach (see
+          [docs/observability.md]). *)
   journal_appends : Hac_obs.Metrics.counter;
   journal_replay_applied : Hac_obs.Metrics.counter;
   journal_replay_corrupt : Hac_obs.Metrics.counter;

@@ -40,7 +40,21 @@ let record_replay_metrics t (chain : Journal.chain) (r : Journal.replay) =
     i.Instr.recover_records_skipped;
   Hac_obs.Metrics.set i.Instr.recover_segments_replayed
     (float_of_int (List.length chain.Journal.segments));
-  Hac_obs.Metrics.set i.Instr.recover_checkpoint_age (float_of_int r.Journal.seg_applied)
+  Hac_obs.Metrics.set i.Instr.recover_checkpoint_age (float_of_int r.Journal.seg_applied);
+  (* The flight recorder keeps the replay outcome; damaged records are a
+     breach — the recent history is frozen to a dump (when auto-dump is
+     configured) so the run-up to the corruption survives the restart. *)
+  let fl = i.Instr.flight in
+  Hac_obs.Flight.metric fl ~name:"journal.replay.applied"
+    ~value:(float_of_int r.Journal.applied);
+  let damaged = r.Journal.corrupt + r.Journal.malformed in
+  if damaged > 0 then begin
+    Hac_obs.Flight.transition fl ~subsystem:"recover" ~from_:"clean" ~to_:"damaged"
+      ~reason:
+        (Printf.sprintf "replay skipped %d records (%d corrupt, %d malformed)" damaged
+           r.Journal.corrupt r.Journal.malformed);
+    ignore (Hac_obs.Flight.breach fl ~reason:"crash recovery skipped journal records")
+  end
 
 let journal_report t =
   let chain, r = chain_replay t in

@@ -236,7 +236,7 @@ let recovery_crash_points ~seed ~legal ~add (base_label, base_ops) =
   done;
   n + 1
 
-let run ?(seed = 1) ?(double_stride = 7) () =
+let run ?(seed = 1) ?(double_stride = 7) ?flight_dir () =
   let violations = ref [] in
   let add point what = violations := { point; what } :: !violations in
   (* The oracle run: every settle acknowledges durability, so at each step
@@ -407,6 +407,25 @@ let run ?(seed = 1) ?(double_stride = 7) () =
          (Sim.replay (Store.ops ~upto:(Store.durable_count rec_lying.store) rec_lying.store)));
     !n
   in
+  (* Freeze the violations into a flight dump: the harness spins up many
+     short-lived engines, so their per-instance recorders are gone by the
+     time a violation is reported — a dedicated recorder (indexed by
+     violation order, not wall time) keeps the evidence in one artifact
+     that CI can upload. *)
+  (match (flight_dir, !violations) with
+  | Some dir, (_ :: _ as vs) ->
+      let k = ref 0.0 in
+      let fl = Hac_obs.Flight.create ~capacity:(List.length vs + 1) ~now:(fun () -> !k) () in
+      Hac_obs.Flight.set_auto_dump fl (Some dir);
+      List.iter
+        (fun v ->
+          k := !k +. 1.0;
+          Hac_obs.Flight.transition fl ~subsystem:"crash" ~from_:"recovered"
+            ~to_:"violated"
+            ~reason:(v.point ^ ": " ^ v.what))
+        (List.rev vs);
+      ignore (Hac_obs.Flight.breach fl ~reason:"crash harness recovery violations")
+  | _ -> ());
   {
     seed;
     ops = ops_n;

@@ -39,11 +39,13 @@ type outcome = {
   violations : violation list;  (** Empty on a healthy implementation. *)
 }
 
-val run : ?seed:int -> ?double_stride:int -> unit -> outcome
+val run : ?seed:int -> ?double_stride:int -> ?flight_dir:string -> unit -> outcome
 (** Run the whole matrix.  [seed] (default 1) drives the deterministic
     tear/flip offsets; [double_stride] (default 7) is how often the
     double-recovery idempotency check runs (every n-th point — it doubles
-    the cost of a point). *)
+    the cost of a point).  With [flight_dir], any violations are also
+    frozen into a [flight-NNNN.dump] under that directory (what CI
+    uploads when the suite fails). *)
 
 val summary : outcome -> string
 (** Multi-line human-readable rendering (what the shell's [crashtest]

@@ -1,0 +1,70 @@
+(* Request-scoped trace context.
+
+   A [Ctx.t] travels with one request (a serving-layer ticket, a profiled
+   shell command) from admission to final ack.  It carries a 63-bit trace
+   id and an ordered per-stage time breakdown: [record_until ctx stage now]
+   charges the interval since the previous mark to [stage] and advances the
+   mark, so the recorded stages telescope — their sum equals the span from
+   the context's birth to the last mark, with no gaps and no double
+   counting.  Stages repeat (a ticket can wait on fsync across several
+   pumps); repeated charges accumulate under the first occurrence, keeping
+   the breakdown stable and small.
+
+   The id generator is splitmix64 over an explicit state so ids are
+   deterministic for a fixed seed yet unique across rings, resets and
+   successive runs — the flight recorder and trace ring both draw from it. *)
+
+type gen = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let gen ~seed = { state = Int64.logxor golden (Int64.of_int seed) }
+
+let fresh g =
+  g.state <- Int64.add g.state golden;
+  let z = g.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  (* [Int64.to_int] truncates to the native 63-bit int, where the mixed
+     value's bit 62 would land on the sign; mask it off so ids are always
+     non-negative. *)
+  Int64.to_int z land max_int
+
+type t = {
+  id : int;
+  born_s : float;
+  mutable mark_s : float;
+  mutable stages : (string * float) list; (* insertion order; <= a handful *)
+}
+
+let make ~id ~now = { id; born_s = now; mark_s = now; stages = [] }
+
+let id t = t.id
+let born_s t = t.born_s
+let id_hex t = Printf.sprintf "%016Lx" (Int64.of_int t.id)
+
+let add t name d =
+  if List.mem_assoc name t.stages then
+    t.stages <- List.map (fun (n, v) -> if n = name then (n, v +. d) else (n, v)) t.stages
+  else t.stages <- t.stages @ [ (name, d) ]
+
+let record_until t name now =
+  add t name (now -. t.mark_s);
+  t.mark_s <- now
+
+let stages t = t.stages
+let find t name = List.assoc_opt name t.stages
+let total t = List.fold_left (fun acc (_, d) -> acc +. d) 0.0 t.stages
+
+let render t =
+  let b = Buffer.create 96 in
+  Buffer.add_string b ("trace=" ^ id_hex t);
+  List.iter
+    (fun (name, d) -> Buffer.add_string b (Printf.sprintf " %s=%.6fs" name d))
+    t.stages;
+  Buffer.contents b

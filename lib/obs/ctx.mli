@@ -1,0 +1,39 @@
+(** Request-scoped trace context: a 63-bit trace id plus an ordered
+    per-stage time breakdown that telescopes — the stages sum exactly to
+    the interval from the context's birth to its last mark. *)
+
+type gen
+(** Deterministic splitmix64 id source.  Ids from one generator never
+    repeat in practice (2^63 period) and differ across seeds, so traces
+    from successive runs or multiple rings don't collide. *)
+
+val gen : seed:int -> gen
+val fresh : gen -> int
+(** A new non-negative 63-bit id. *)
+
+type t
+
+val make : id:int -> now:float -> t
+(** A fresh context born at [now]; the first [record_until] charges from
+    this instant. *)
+
+val id : t -> int
+val id_hex : t -> string
+(** The trace id as 16 lowercase hex digits. *)
+
+val born_s : t -> float
+
+val record_until : t -> string -> float -> unit
+(** [record_until t stage now] charges the time since the previous mark
+    to [stage] (accumulating if the stage repeats) and moves the mark to
+    [now].  Recorded stages therefore always sum to [last mark - born]. *)
+
+val stages : t -> (string * float) list
+(** Stage breakdown in first-occurrence order. *)
+
+val find : t -> string -> float option
+val total : t -> float
+(** Sum of all recorded stages. *)
+
+val render : t -> string
+(** One line: [trace=<hex> stage=<seconds> ...]. *)

@@ -1,0 +1,92 @@
+(* Registry exporters: Prometheus-style text exposition and JSONL
+   snapshots.  Both render the whole registry via [Metrics.dump], so a
+   single scrape or snapshot is a consistent point-in-time view.
+
+   Prometheus names only allow [a-zA-Z0-9_:]; the registry's dotted
+   names are sanitized (every other character becomes '_') and prefixed
+   with "hac_".  Histograms are exposed in summary form — the registry's
+   log2 buckets give calibrated p50/p90/p99 already, and a summary keeps
+   the exposition compact — with one HELP/TYPE header per family. *)
+
+let prefix = "hac_"
+
+let sanitize name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+        || c = '_' || c = ':'
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  let s = Bytes.to_string b in
+  let s = prefix ^ s in
+  (* A metric name must not start a family with a digit; the prefix
+     already guarantees a letter first. *)
+  s
+
+(* %.17g survives a round-trip; trim the common integral case for
+   readability. *)
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let render_prom metrics =
+  let b = Buffer.create 1024 in
+  let seen = Hashtbl.create 64 in
+  let header family kind help =
+    if not (Hashtbl.mem seen family) then (
+      Hashtbl.add seen family ();
+      Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" family help);
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" family kind))
+  in
+  List.iter
+    (fun (name, dumped) ->
+      let family = sanitize name in
+      let help = "hac instrument " ^ name in
+      match (dumped : Metrics.dumped) with
+      | Metrics.Counter_value n ->
+          header family "counter" help;
+          Buffer.add_string b (Printf.sprintf "%s %d\n" family n)
+      | Metrics.Gauge_value v ->
+          header family "gauge" help;
+          Buffer.add_string b (Printf.sprintf "%s %s\n" family (prom_float v))
+      | Metrics.Histogram_value s ->
+          header family "summary" help;
+          Buffer.add_string b
+            (Printf.sprintf "%s{quantile=\"0.5\"} %s\n" family (prom_float s.Metrics.p50));
+          Buffer.add_string b
+            (Printf.sprintf "%s{quantile=\"0.9\"} %s\n" family (prom_float s.Metrics.p90));
+          Buffer.add_string b
+            (Printf.sprintf "%s{quantile=\"0.99\"} %s\n" family (prom_float s.Metrics.p99));
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum %s\n" family (prom_float s.Metrics.sum));
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" family s.Metrics.count))
+    (Metrics.dump metrics);
+  Buffer.contents b
+
+let to_jsonl metrics =
+  let b = Buffer.create 1024 in
+  let str s = "\"" ^ Metrics.json_escape s ^ "\"" in
+  List.iter
+    (fun (name, dumped) ->
+      (match (dumped : Metrics.dumped) with
+      | Metrics.Counter_value n ->
+          Buffer.add_string b
+            (Printf.sprintf "{\"name\":%s,\"kind\":\"counter\",\"value\":%d}" (str name) n)
+      | Metrics.Gauge_value v ->
+          Buffer.add_string b
+            (Printf.sprintf "{\"name\":%s,\"kind\":\"gauge\",\"value\":%s}" (str name)
+               (prom_float v))
+      | Metrics.Histogram_value s ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"name\":%s,\"kind\":\"histogram\",\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s}"
+               (str name) s.Metrics.count (prom_float s.Metrics.sum)
+               (prom_float s.Metrics.vmin) (prom_float s.Metrics.vmax)
+               (prom_float s.Metrics.p50) (prom_float s.Metrics.p90)
+               (prom_float s.Metrics.p99)));
+      Buffer.add_char b '\n')
+    (Metrics.dump metrics);
+  Buffer.contents b

@@ -1,0 +1,13 @@
+(** Whole-registry exporters. *)
+
+val sanitize : string -> string
+(** Map a registry name to a valid Prometheus family name: characters
+    outside [a-zA-Z0-9_:] become '_', with a "hac_" prefix. *)
+
+val render_prom : Metrics.t -> string
+(** Prometheus text exposition: counters and gauges verbatim, histograms
+    in summary form (quantile 0.5/0.9/0.99 + _sum/_count), exactly one
+    HELP and TYPE line per family. *)
+
+val to_jsonl : Metrics.t -> string
+(** One JSON object per instrument per line. *)

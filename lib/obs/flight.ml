@@ -1,0 +1,262 @@
+(* Flight recorder: an always-on bounded ring of recent observability
+   events — finished spans, metric deltas, and subsystem state
+   transitions (admission sheds, breaker trips, degraded-mode flips, SLO
+   alerts, recovery damage).  Recording is cheap and allocation-light so
+   it can stay on in production paths; the payoff comes at a breach,
+   when [breach] freezes the recent history into a self-describing
+   binary [flight-NNNN.dump] that the reader half of this module (and
+   the shell's [flight] command) can decode later, on another machine.
+
+   Binary format (all integers big-endian):
+     "HACF" magic, one version byte,
+     f64 dump timestamp, u16+bytes dump reason,
+     u32 entry count, then per entry:
+       u8 tag, f64 timestamp, tag-specific payload
+         1 = Span       name, f64 vstart, f64 vstop, u8 failed
+         2 = Metric     name, f64 value
+         3 = Transition subsystem, from, to, reason
+     where every string is u16 length + bytes (truncated to 65535). *)
+
+type event =
+  | Span of { name : string; vstart : float; vstop : float; failed : bool }
+  | Metric of { name : string; value : float }
+  | Transition of { subsystem : string; from_ : string; to_ : string; reason : string }
+
+type entry = { at : float; ev : event }
+
+type t = {
+  now : unit -> float;
+  capacity : int;
+  ring : entry option array;
+  mutable head : int; (* next write position *)
+  mutable stored : int;
+  mutable dropped : int;
+  mutable total : int;
+  mutable dumps : int;
+  mutable auto_dir : string option;
+  c_events : Metrics.counter option;
+  c_dumps : Metrics.counter option;
+}
+
+let create ?(capacity = 512) ?metrics ~now () =
+  let capacity = max 1 capacity in
+  {
+    now;
+    capacity;
+    ring = Array.make capacity None;
+    head = 0;
+    stored = 0;
+    dropped = 0;
+    total = 0;
+    dumps = 0;
+    auto_dir = None;
+    c_events = Option.map (fun m -> Metrics.counter m "flight.events") metrics;
+    c_dumps = Option.map (fun m -> Metrics.counter m "flight.dumps") metrics;
+  }
+
+let record t ev =
+  if t.ring.(t.head) <> None then t.dropped <- t.dropped + 1;
+  t.ring.(t.head) <- Some { at = t.now (); ev };
+  t.head <- (t.head + 1) mod t.capacity;
+  if t.stored < t.capacity then t.stored <- t.stored + 1;
+  t.total <- t.total + 1;
+  Option.iter (fun c -> Metrics.incr c) t.c_events
+
+let span t ~name ~vstart ~vstop ~failed = record t (Span { name; vstart; vstop; failed })
+let metric t ~name ~value = record t (Metric { name; value })
+
+let transition t ~subsystem ~from_ ~to_ ~reason =
+  record t (Transition { subsystem; from_; to_; reason })
+
+let entries t =
+  (* Oldest first: the ring wraps at [head]. *)
+  let out = ref [] in
+  for i = t.capacity - 1 downto 0 do
+    match t.ring.((t.head + i) mod t.capacity) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  !out
+
+let stored t = t.stored
+let dropped t = t.dropped
+let total t = t.total
+let dumps t = t.dumps
+let capacity t = t.capacity
+let set_auto_dump t dir = t.auto_dir <- dir
+let auto_dump t = t.auto_dir
+
+(* --- encoding --- *)
+
+let magic = "HACF"
+let version = '\001'
+
+let add_str b s =
+  let s = if String.length s > 0xffff then String.sub s 0 0xffff else s in
+  Buffer.add_uint16_be b (String.length s);
+  Buffer.add_string b s
+
+let add_f64 b f = Buffer.add_int64_be b (Int64.bits_of_float f)
+
+let encode ?(reason = "") t =
+  let es = entries t in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  Buffer.add_char b version;
+  add_f64 b (t.now ());
+  add_str b reason;
+  Buffer.add_int32_be b (Int32.of_int (List.length es));
+  List.iter
+    (fun { at; ev } ->
+      (match ev with
+      | Span s ->
+          Buffer.add_uint8 b 1;
+          add_f64 b at;
+          add_str b s.name;
+          add_f64 b s.vstart;
+          add_f64 b s.vstop;
+          Buffer.add_uint8 b (if s.failed then 1 else 0)
+      | Metric m ->
+          Buffer.add_uint8 b 2;
+          add_f64 b at;
+          add_str b m.name;
+          add_f64 b m.value
+      | Transition tr ->
+          Buffer.add_uint8 b 3;
+          add_f64 b at;
+          add_str b tr.subsystem;
+          add_str b tr.from_;
+          add_str b tr.to_;
+          add_str b tr.reason))
+    es;
+  Buffer.contents b
+
+type dump = { reason : string; dumped_at : float; events : entry list }
+
+exception Bad of string
+
+let decode s =
+  let pos = ref 0 in
+  let need n what =
+    if !pos + n > String.length s then raise (Bad ("truncated " ^ what))
+  in
+  let u8 () =
+    need 1 "byte";
+    let v = Char.code s.[!pos] in
+    incr pos;
+    v
+  in
+  let u16 () =
+    need 2 "u16";
+    let v = String.get_uint16_be s !pos in
+    pos := !pos + 2;
+    v
+  in
+  let u32 () =
+    need 4 "u32";
+    let v = Int32.to_int (String.get_int32_be s !pos) in
+    pos := !pos + 4;
+    v
+  in
+  let f64 () =
+    need 8 "f64";
+    let v = Int64.float_of_bits (String.get_int64_be s !pos) in
+    pos := !pos + 8;
+    v
+  in
+  let str () =
+    let n = u16 () in
+    need n "string";
+    let v = String.sub s !pos n in
+    pos := !pos + n;
+    v
+  in
+  try
+    need 5 "header";
+    if String.sub s 0 4 <> magic then raise (Bad "bad magic");
+    if s.[4] <> version then raise (Bad "unsupported version");
+    pos := 5;
+    let dumped_at = f64 () in
+    let reason = str () in
+    let count = u32 () in
+    if count < 0 || count > 1_000_000 then raise (Bad "implausible entry count");
+    let events = ref [] in
+    for _ = 1 to count do
+      let tag = u8 () in
+      let at = f64 () in
+      let ev =
+        match tag with
+        | 1 ->
+            let name = str () in
+            let vstart = f64 () in
+            let vstop = f64 () in
+            let failed = u8 () <> 0 in
+            Span { name; vstart; vstop; failed }
+        | 2 ->
+            let name = str () in
+            let value = f64 () in
+            Metric { name; value }
+        | 3 ->
+            let subsystem = str () in
+            let from_ = str () in
+            let to_ = str () in
+            let reason = str () in
+            Transition { subsystem; from_; to_; reason }
+        | n -> raise (Bad (Printf.sprintf "unknown event tag %d" n))
+      in
+      events := { at; ev } :: !events
+    done;
+    Ok { reason; dumped_at; events = List.rev !events }
+  with
+  | Bad m -> Error m
+  | Invalid_argument _ -> Error "truncated dump"
+
+let dump_to t ~reason path =
+  let data = encode ~reason t in
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data);
+  t.dumps <- t.dumps + 1;
+  Option.iter (fun c -> Metrics.incr c) t.c_dumps
+
+let breach t ~reason =
+  match t.auto_dir with
+  | None -> None
+  | Some dir ->
+      let path =
+        Filename.concat dir (Printf.sprintf "flight-%04d.dump" (t.dumps + 1))
+      in
+      (try
+         dump_to t ~reason path;
+         Some path
+       with Sys_error _ -> None)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  match read_file path with
+  | exception Sys_error m -> Error m
+  | data -> decode data
+
+let render_event = function
+  | Span s ->
+      Printf.sprintf "span %s v=[%.6f..%.6f]%s" s.name s.vstart s.vstop
+        (if s.failed then " FAILED" else "")
+  | Metric m -> Printf.sprintf "metric %s = %g" m.name m.value
+  | Transition tr ->
+      Printf.sprintf "transition %s: %s -> %s (%s)" tr.subsystem tr.from_ tr.to_
+        tr.reason
+
+let render es =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun { at; ev } -> Buffer.add_string b (Printf.sprintf "%12.6f  %s\n" at (render_event ev)))
+    es;
+  Buffer.contents b
+
+let render_dump d =
+  Printf.sprintf "flight dump: reason=%S at=%.6f events=%d\n%s" d.reason d.dumped_at
+    (List.length d.events) (render d.events)

@@ -1,0 +1,63 @@
+(** Flight recorder: an always-on bounded ring of recent spans, metric
+    deltas and subsystem transitions, frozen to a binary
+    [flight-NNNN.dump] when something goes wrong (crash-recovery damage,
+    spec violation, SLO breach) so the run-up to the failure survives. *)
+
+type event =
+  | Span of { name : string; vstart : float; vstop : float; failed : bool }
+  | Metric of { name : string; value : float }
+  | Transition of { subsystem : string; from_ : string; to_ : string; reason : string }
+
+type entry = { at : float; ev : event }
+
+type t
+
+val create : ?capacity:int -> ?metrics:Metrics.t -> now:(unit -> float) -> unit -> t
+(** Bounded ring (default 512 entries); oldest entries are evicted.
+    When [metrics] is given, [flight.events] / [flight.dumps] counters
+    track activity. *)
+
+val record : t -> event -> unit
+val span : t -> name:string -> vstart:float -> vstop:float -> failed:bool -> unit
+val metric : t -> name:string -> value:float -> unit
+
+val transition :
+  t -> subsystem:string -> from_:string -> to_:string -> reason:string -> unit
+
+val entries : t -> entry list
+(** Buffered entries, oldest first. *)
+
+val stored : t -> int
+val dropped : t -> int
+(** Entries evicted to make room since creation. *)
+
+val total : t -> int
+val dumps : t -> int
+val capacity : t -> int
+
+val set_auto_dump : t -> string option -> unit
+(** Directory that [breach] writes dumps into; [None] (the default)
+    disables automatic dumps so fault-heavy tests don't litter files. *)
+
+val auto_dump : t -> string option
+
+val encode : ?reason:string -> t -> string
+(** Self-describing binary image of the current ring. *)
+
+type dump = { reason : string; dumped_at : float; events : entry list }
+
+val decode : string -> (dump, string) result
+
+val dump_to : t -> reason:string -> string -> unit
+(** Write the ring to an explicit path (raises [Sys_error] on I/O
+    failure) and count the dump. *)
+
+val breach : t -> reason:string -> string option
+(** Dump to [flight-NNNN.dump] under the auto-dump directory, if one is
+    set; returns the path written. *)
+
+val load : string -> (dump, string) result
+(** Read and decode a dump file. *)
+
+val render : entry list -> string
+val render_dump : dump -> string

@@ -1,0 +1,161 @@
+(* SLO monitor: declarative per-op latency/error objectives evaluated
+   with multi-window burn rates on the virtual clock.
+
+   An objective says "fraction [goal] of [op] requests must succeed
+   within [latency_s]".  Every resolved request is classified good or
+   bad; the burn rate over a window is
+
+     bad_fraction(window) / (1 - goal)
+
+   i.e. 1.0 means the error budget is being consumed exactly as fast as
+   it accrues.  Following the standard multi-window discipline, an alert
+   fires only when the burn rate reaches the threshold on BOTH a fast
+   window (responsive, 5-minute-equivalent) and a slow window (resistant
+   to blips, 1-hour-equivalent) — [>=] on both, so the exact boundary
+   fires.  The alert clears as soon as either window drops back below
+   the threshold.
+
+   Gauges [slo.<op>.burn_fast]/[.burn_slow]/[.breached] and the counter
+   [slo.<op>.alerts] expose the state; the serving layer additionally
+   folds [breached] into its degraded causes as cause "slo". *)
+
+type objective = { op : string; latency_s : float; goal : float }
+
+type config = {
+  fast_window_s : float;
+  slow_window_s : float;
+  burn_threshold : float;
+}
+
+let default_config =
+  { fast_window_s = 300.0; slow_window_s = 3600.0; burn_threshold = 1.0 }
+
+let default_objectives =
+  [
+    { op = "read"; latency_s = 2.0; goal = 0.9 };
+    { op = "write"; latency_s = 10.0; goal = 0.9 };
+  ]
+
+type alert = { a_op : string; at : float; fast_burn : float; slow_burn : float }
+
+type tracked = {
+  obj : objective;
+  mutable events : (float * bool) list; (* (at, bad), newest first *)
+  mutable active : bool;
+  g_fast : Metrics.gauge option;
+  g_slow : Metrics.gauge option;
+  g_breached : Metrics.gauge option;
+  c_alerts : Metrics.counter option;
+  c_bad : Metrics.counter option;
+}
+
+type t = {
+  config : config;
+  now : unit -> float;
+  tracked : tracked list;
+  on_alert : (alert -> unit) option;
+}
+
+let create ?(config = default_config) ?metrics ?on_alert ~now objectives =
+  let track obj =
+    let inst make name = Option.map (fun m -> make m name) metrics in
+    {
+      obj;
+      events = [];
+      active = false;
+      g_fast = inst Metrics.gauge (Printf.sprintf "slo.%s.burn_fast" obj.op);
+      g_slow = inst Metrics.gauge (Printf.sprintf "slo.%s.burn_slow" obj.op);
+      g_breached = inst Metrics.gauge (Printf.sprintf "slo.%s.breached" obj.op);
+      c_alerts = inst Metrics.counter (Printf.sprintf "slo.%s.alerts" obj.op);
+      c_bad = inst Metrics.counter (Printf.sprintf "slo.%s.bad" obj.op);
+    }
+  in
+  { config; now; tracked = List.map track objectives; on_alert }
+
+let objectives t = List.map (fun tr -> tr.obj) t.tracked
+let objective t op = List.find_opt (fun o -> o.op = op) (objectives t)
+
+let prune t tr =
+  let horizon = t.now () -. t.config.slow_window_s in
+  (* Newest first: keep the prefix that is still inside the slow window. *)
+  let rec keep = function
+    | (at, b) :: tl when at >= horizon -> (at, b) :: keep tl
+    | _ -> []
+  in
+  tr.events <- keep tr.events
+
+let observe t ~op ~latency_s ~ok =
+  match List.find_opt (fun tr -> tr.obj.op = op) t.tracked with
+  | None -> ()
+  | Some tr ->
+      let bad = (not ok) || latency_s > tr.obj.latency_s in
+      tr.events <- (t.now (), bad) :: tr.events;
+      if bad then Option.iter (fun c -> Metrics.incr c) tr.c_bad;
+      prune t tr
+
+let burn_over t tr window =
+  let horizon = t.now () -. window in
+  let total = ref 0 and bad = ref 0 in
+  List.iter
+    (fun (at, b) ->
+      if at >= horizon then (
+        incr total;
+        if b then incr bad))
+    tr.events;
+  if !total = 0 then 0.0
+  else
+    let budget = 1.0 -. tr.obj.goal in
+    if budget <= 0.0 then if !bad > 0 then infinity else 0.0
+    else float_of_int !bad /. float_of_int !total /. budget
+
+let burn t ~op =
+  List.find_opt (fun tr -> tr.obj.op = op) t.tracked
+  |> Option.map (fun tr ->
+         (burn_over t tr t.config.fast_window_s, burn_over t tr t.config.slow_window_s))
+
+let evaluate t =
+  let fired = ref [] in
+  List.iter
+    (fun tr ->
+      prune t tr;
+      let fast = burn_over t tr t.config.fast_window_s in
+      let slow = burn_over t tr t.config.slow_window_s in
+      let breached = fast >= t.config.burn_threshold && slow >= t.config.burn_threshold in
+      Option.iter (fun g -> Metrics.set g fast) tr.g_fast;
+      Option.iter (fun g -> Metrics.set g slow) tr.g_slow;
+      Option.iter (fun g -> Metrics.set g (if breached then 1.0 else 0.0)) tr.g_breached;
+      if breached && not tr.active then (
+        let a = { a_op = tr.obj.op; at = t.now (); fast_burn = fast; slow_burn = slow } in
+        Option.iter (fun c -> Metrics.incr c) tr.c_alerts;
+        Option.iter (fun f -> f a) t.on_alert;
+        fired := a :: !fired);
+      tr.active <- breached)
+    t.tracked;
+  List.rev !fired
+
+let breached t = List.exists (fun tr -> tr.active) t.tracked
+
+let breached_ops t =
+  List.filter_map (fun tr -> if tr.active then Some tr.obj.op else None) t.tracked
+
+let meets t ~op ~latency_s =
+  match objective t op with None -> true | Some o -> latency_s <= o.latency_s
+
+let describe_alert a =
+  Printf.sprintf "op=%s fast-burn=%.2f slow-burn=%.2f" a.a_op a.fast_burn a.slow_burn
+
+let render t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "windows: fast=%.0fs slow=%.0fs threshold=%.2f\n"
+       t.config.fast_window_s t.config.slow_window_s t.config.burn_threshold);
+  List.iter
+    (fun tr ->
+      let fast = burn_over t tr t.config.fast_window_s in
+      let slow = burn_over t tr t.config.slow_window_s in
+      Buffer.add_string b
+        (Printf.sprintf "%-8s target=%.2fs goal=%.2f  burn fast=%.2f slow=%.2f  %s\n"
+           tr.obj.op tr.obj.latency_s tr.obj.goal fast slow
+           (if tr.active then "ALERT" else "ok")))
+    t.tracked;
+  Buffer.contents b

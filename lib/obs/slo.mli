@@ -1,0 +1,61 @@
+(** SLO monitor: per-op latency/error objectives with multi-window
+    burn-rate alerting on the virtual clock (see docs/slo.md). *)
+
+type objective = {
+  op : string;  (** request class, e.g. "read" or "write" *)
+  latency_s : float;  (** per-request latency target *)
+  goal : float;  (** fraction that must succeed within the target *)
+}
+
+type config = {
+  fast_window_s : float;
+  slow_window_s : float;
+  burn_threshold : float;  (** alert when both windows burn at >= this *)
+}
+
+val default_config : config
+(** fast 300 s, slow 3600 s, threshold 1.0. *)
+
+val default_objectives : objective list
+(** reads: 90% under 2 s; writes: 90% under 10 s. *)
+
+type alert = { a_op : string; at : float; fast_burn : float; slow_burn : float }
+
+type t
+
+val create :
+  ?config:config ->
+  ?metrics:Metrics.t ->
+  ?on_alert:(alert -> unit) ->
+  now:(unit -> float) ->
+  objective list ->
+  t
+(** With [metrics], maintains [slo.<op>.burn_fast]/[.burn_slow]/
+    [.breached] gauges and [slo.<op>.alerts]/[.bad] counters. *)
+
+val objectives : t -> objective list
+val objective : t -> string -> objective option
+
+val observe : t -> op:string -> latency_s:float -> ok:bool -> unit
+(** Classify one resolved request: bad when it failed or exceeded the
+    objective's latency target.  Unknown ops are ignored. *)
+
+val evaluate : t -> alert list
+(** Recompute both windows for every objective, update the gauges, and
+    return the alerts that fired on this evaluation (rising edge only).
+    An alert fires when the burn rate is [>= burn_threshold] on both
+    windows, and clears when either window drops below it. *)
+
+val breached : t -> bool
+(** True while any objective's alert is active (as of last [evaluate]). *)
+
+val breached_ops : t -> string list
+
+val burn : t -> op:string -> (float * float) option
+(** Current (fast, slow) burn rates for an op. *)
+
+val meets : t -> op:string -> latency_s:float -> bool
+(** Whether a single latency meets the op's target (true if no objective). *)
+
+val describe_alert : alert -> string
+val render : t -> string

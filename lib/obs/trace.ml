@@ -2,7 +2,13 @@
    fault clock in this repo, so traces are deterministic under tests) and a
    [cpu] clock ([Sys.time] by default) for real profiling durations.  A
    global sequence number orders spans strictly even when neither clock
-   advances between events.  Finished spans land in a bounded ring. *)
+   advances between events.  Finished spans land in a bounded ring.
+
+   Span ids come from a seeded splitmix64 stream ([Ctx.gen]), not a
+   per-ring counter: ids stay unique across [clear] and across multiple
+   rings, so flight-recorder dumps from successive runs don't collide.
+   Each tracer defaults to a distinct seed (a process-wide instance
+   counter), and [create ?seed] pins the stream for reproducibility. *)
 
 type span = {
   id : int;
@@ -28,14 +34,23 @@ type t = {
   mutable stored : int; (* live entries, <= capacity *)
   mutable dropped : int;
   mutable total : int; (* spans ever finished *)
-  mutable next_id : int;
+  ids : Ctx.gen;
   mutable next_seq : int;
   mutable active : span list; (* innermost first *)
   mutable live : bool;
 }
 
-let create ?(capacity = 512) ?(cpu = Sys.time) ?on_close ~now () =
+let instances = ref 0
+
+let create ?(capacity = 512) ?(cpu = Sys.time) ?on_close ?seed ~now () =
   let capacity = max 1 capacity in
+  let seed =
+    match seed with
+    | Some s -> s
+    | None ->
+        incr instances;
+        0x5EED + (!instances * 0x1003F)
+  in
   {
     now;
     cpu;
@@ -46,7 +61,7 @@ let create ?(capacity = 512) ?(cpu = Sys.time) ?on_close ~now () =
     stored = 0;
     dropped = 0;
     total = 0;
-    next_id = 0;
+    ids = Ctx.gen ~seed;
     next_seq = 0;
     active = [];
     live = false;
@@ -82,7 +97,7 @@ let with_span t ?(attrs = []) ~name f =
   else begin
     let sp =
       {
-        id = t.next_id;
+        id = Ctx.fresh t.ids;
         parent = (match t.active with [] -> None | s :: _ -> Some s.id);
         depth = List.length t.active;
         name;
@@ -95,7 +110,6 @@ let with_span t ?(attrs = []) ~name f =
         failed = false;
       }
     in
-    t.next_id <- t.next_id + 1;
     t.next_seq <- t.next_seq + 1;
     t.active <- sp :: t.active;
     match f () with
@@ -114,6 +128,42 @@ let set_attr t k v =
   | sp :: _ -> sp.attrs <- (k, v) :: List.remove_assoc k sp.attrs
 
 let set_attr_int t k v = set_attr t k (string_of_int v)
+
+let current t = match t.active with [] -> None | sp :: _ -> Some sp.id
+
+let emit t ?parent ?(attrs = []) ?(failed = false) ~name ~vstart ~vstop ~cpu_s () =
+  (* Record an externally measured, already-finished span — e.g. per-read
+     work timed on a pool domain, parent-linked to the caller's wave span
+     after the barrier so the pool itself never touches the tracer. *)
+  if not t.live then None
+  else begin
+    let depth =
+      match parent with
+      | Some p -> (
+          match List.find_opt (fun s -> s.id = p) t.active with
+          | Some s -> s.depth + 1
+          | None -> 0)
+      | None -> 0
+    in
+    let sp =
+      {
+        id = Ctx.fresh t.ids;
+        parent;
+        depth;
+        name;
+        attrs;
+        seq = t.next_seq;
+        vstart;
+        vstop;
+        cstart = 0.0;
+        cstop = cpu_s;
+        failed;
+      }
+    in
+    t.next_seq <- t.next_seq + 1;
+    push t sp;
+    Some sp.id
+  end
 
 let finished t =
   (* Oldest first: the ring holds the last [stored] spans ending just
@@ -209,8 +259,8 @@ let render_forest spans =
 
 let render t = render_forest (finished t)
 
-let render_last t =
-  (* Subtree of the most recent root span. *)
+let last_subtree t =
+  (* Subtree of the most recent root span, oldest first. *)
   let spans = finished t in
   let ids = Hashtbl.create 16 in
   List.iter (fun sp -> Hashtbl.replace ids sp.id sp) spans;
@@ -220,7 +270,7 @@ let render_last t =
     | None -> sp
   in
   match List.rev spans with
-  | [] -> ""
+  | [] -> []
   | last :: _ ->
       let r = root last in
       let rec in_subtree sp =
@@ -230,4 +280,6 @@ let render_last t =
         | Some p -> ( match Hashtbl.find_opt ids p with Some up -> in_subtree up | None -> false)
         | None -> false
       in
-      render_forest (List.filter in_subtree spans)
+      List.filter in_subtree spans
+
+let render_last t = render_forest (last_subtree t)

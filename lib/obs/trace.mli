@@ -5,7 +5,11 @@
     reproducible under tests and fault injection.  A second CPU clock
     ([Sys.time] by default) records real durations for profiling, and a
     global sequence number gives a strict order even when neither clock
-    advances.  Finished spans are kept in a bounded ring buffer. *)
+    advances.  Finished spans are kept in a bounded ring buffer.
+
+    Span ids are seeded 64-bit values ([Ctx.gen] streams), unique across
+    [clear] and across multiple rings — dumps from successive runs can be
+    merged without id collisions. *)
 
 type span = {
   id : int;
@@ -27,12 +31,15 @@ val create :
   ?capacity:int ->
   ?cpu:(unit -> float) ->
   ?on_close:(span -> unit) ->
+  ?seed:int ->
   now:(unit -> float) ->
   unit ->
   t
 (** [capacity] bounds the finished-span ring (default 512).  [on_close]
     fires for every finished span — used to feed per-span histograms into a
-    metrics registry.  Tracing starts {e disabled}. *)
+    metrics registry.  [seed] pins the span-id stream; by default each
+    tracer draws a distinct seed so ids never collide across rings.
+    Tracing starts {e disabled}. *)
 
 val set_enabled : t -> bool -> unit
 
@@ -48,6 +55,25 @@ val set_attr : t -> string -> string -> unit
     open (e.g. tracing disabled). *)
 
 val set_attr_int : t -> string -> int -> unit
+
+val current : t -> int option
+(** Id of the innermost active span, if any — the parent to use when
+    linking externally measured work (see [emit]). *)
+
+val emit :
+  t ->
+  ?parent:int ->
+  ?attrs:(string * string) list ->
+  ?failed:bool ->
+  name:string ->
+  vstart:float ->
+  vstop:float ->
+  cpu_s:float ->
+  unit ->
+  int option
+(** Record an already-finished span measured elsewhere (e.g. on a pool
+    domain), optionally parent-linked.  Returns its id, or [None] when
+    tracing is disabled. *)
 
 val finished : t -> span list
 (** Finished spans still in the ring, oldest first. *)
@@ -69,6 +95,10 @@ val to_jsonl : t -> string
 
 val render : t -> string
 (** Indented forest of all spans in the ring. *)
+
+val last_subtree : t -> span list
+(** The spans of the most recently finished root span's subtree, oldest
+    first; [[]] when the ring is empty. *)
 
 val render_last : t -> string
 (** Indented subtree of the most recently finished root span. *)

@@ -156,6 +156,57 @@ let map t f xs =
     Array.map (function Some v -> v | None -> assert false) results
   end
 
+(* [map_timed] is [map] that also reports how long each element took on
+   its worker, measured with [Sys.time] on the executing domain.  This is
+   the pool's whole contribution to request tracing: the caller (who owns
+   the tracer and the virtual clock — the pool touches neither) stitches
+   the durations into parent-linked spans after the barrier. *)
+let map_timed t f xs =
+  let n = Array.length xs in
+  if n = 0 then ([||], [||])
+  else if t.size = 1 then begin
+    let times = Array.make n 0.0 in
+    let i = ref 0 in
+    let ys =
+      try
+        Array.map
+          (fun x ->
+            let c0 = Sys.time () in
+            let y = f x in
+            times.(!i) <- Sys.time () -. c0;
+            incr i;
+            y)
+          xs
+      with e -> reraise_task (!i, e, Printexc.get_raw_backtrace ())
+    in
+    (ys, times)
+  end
+  else begin
+    let results = Array.make n None in
+    let times = Array.make n 0.0 in
+    let next = Atomic.make 0 in
+    let err = Atomic.make None in
+    run t (fun _slot ->
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue := false
+          else begin
+            let c0 = Sys.time () in
+            match f xs.(i) with
+            | v ->
+                times.(i) <- Sys.time () -. c0;
+                results.(i) <- Some v
+            | exception e ->
+                let trace = Printexc.get_raw_backtrace () in
+                ignore (Atomic.compare_and_set err None (Some (i, e, trace)));
+                continue := false
+          end
+        done);
+    (match Atomic.get err with Some e -> reraise_task e | None -> ());
+    (Array.map (function Some v -> v | None -> assert false) results, times)
+  end
+
 let with_pool ?domains f =
   let t = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

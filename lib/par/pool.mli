@@ -42,6 +42,13 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
     width-1 pool raises identically, so error surfaces do not depend on the
     domain budget. *)
 
+val map_timed : t -> ('a -> 'b) -> 'a array -> 'b array * float array
+(** {!map} that additionally returns each element's CPU duration
+    ([Sys.time]) as measured on the domain that executed it — the
+    context handoff for request tracing.  The pool never touches the
+    tracer, metrics or the virtual clock; callers turn these durations
+    into parent-linked spans after the barrier. *)
+
 val shutdown : t -> unit
 (** Join all workers.  Idempotent; the pool must not be used afterwards. *)
 

@@ -40,6 +40,31 @@ let default =
 
 type decision = Admit | Shed of Msg.shed_reason * float
 
+(* Why the server is (or would be) in degraded mode.  The serving layer
+   recomputes the cause list every pump; [Slo_burn] arrives from the SLO
+   monitor's multi-window burn-rate evaluation, making overload response
+   principled rather than breaker-only. *)
+type degraded_cause =
+  | Settle_error of string
+  | Settle_over_budget of { took_s : float; budget_s : float }
+  | Mount_breaker
+  | Durability_stalled
+  | Slo_burn of string
+
+let cause_name = function
+  | Settle_error _ | Settle_over_budget _ -> "settle"
+  | Mount_breaker -> "mount"
+  | Durability_stalled -> "durability"
+  | Slo_burn _ -> "slo"
+
+let describe_cause = function
+  | Settle_error e -> "settle failed: " ^ e
+  | Settle_over_budget { took_s; budget_s } ->
+      Printf.sprintf "settle %.2fs over %.2fs budget" took_s budget_s
+  | Mount_breaker -> "mounted namespace breaker open"
+  | Durability_stalled -> "durability stalled (fsync not honoured)"
+  | Slo_burn detail -> "slo burn-rate alert: " ^ detail
+
 let retry_after config (session : Session.t) =
   Hac_fault.Backoff.delay ~seed:(config.seed lxor Hashtbl.hash session.id) config.backoff
     ~attempt:(min session.shed_streak 16)

@@ -19,6 +19,21 @@ val default : config
 
 type decision = Admit | Shed of Msg.shed_reason * float  (** reason, retry-after. *)
 
+(** Why the server is in degraded mode.  Recomputed every pump by the
+    server; the names ([cause_name]) are the stable vocabulary used in
+    metrics, flight-recorder transitions and tests. *)
+type degraded_cause =
+  | Settle_error of string
+  | Settle_over_budget of { took_s : float; budget_s : float }
+  | Mount_breaker
+  | Durability_stalled
+  | Slo_burn of string  (** Multi-window burn-rate alert detail. *)
+
+val cause_name : degraded_cause -> string
+(** ["settle"], ["mount"], ["durability"] or ["slo"]. *)
+
+val describe_cause : degraded_cause -> string
+
 val decide :
   config ->
   session:Session.t ->

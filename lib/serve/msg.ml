@@ -23,6 +23,8 @@ type op = R of read | W of write
 
 let is_write = function R _ -> false | W _ -> true
 
+let op_class op = if is_write op then "write" else "read"
+
 let path_of_read = function Read p | Readdir p | Links p -> p
 
 let describe = function
@@ -77,6 +79,7 @@ type ticket = {
   session : string;
   submitted_s : float;
   deadline_s : float;
+  trace : Hac_obs.Ctx.t;
   mutable outcome : outcome option;
 }
 

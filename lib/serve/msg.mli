@@ -20,6 +20,10 @@ type write =
 type op = R of read | W of write
 
 val is_write : op -> bool
+
+val op_class : op -> string
+(** ["read"] or ["write"] — the request class SLO objectives key on. *)
+
 val path_of_read : read -> string
 
 val describe : op -> string
@@ -66,6 +70,11 @@ type ticket = {
   session : string;
   submitted_s : float;
   deadline_s : float;
+  trace : Hac_obs.Ctx.t;
+      (** Request-scoped trace context: a 63-bit trace id plus the
+          per-stage breakdown (admission/queue/eval/settle/fsync) the
+          server records as the ticket moves; for a resolved ticket the
+          stages sum to the reported latency. *)
   mutable outcome : outcome option;  (** Set exactly once by the server. *)
 }
 

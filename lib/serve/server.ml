@@ -34,6 +34,10 @@ module Fs = Hac_vfs.Fs
 module Hac = Hac_core.Hac
 module Clock = Hac_fault.Clock
 module Metrics = Hac_obs.Metrics
+module Trace = Hac_obs.Trace
+module Ctx = Hac_obs.Ctx
+module Flight = Hac_obs.Flight
+module Slo = Hac_obs.Slo
 module Pool = Hac_par.Pool
 
 type config = {
@@ -45,6 +49,7 @@ type config = {
   settle_cost_s : float;  (** Base virtual cost of a settle. *)
   settle_budget_s : float;  (** Settles beyond this trip degraded mode. *)
   fsync_retries : int;  (** Re-fsync attempts when durability stalls. *)
+  slo_objectives : Slo.objective list;  (** Per-op latency/error objectives. *)
 }
 
 let default_config =
@@ -57,6 +62,7 @@ let default_config =
     settle_cost_s = 0.05;
     settle_budget_s = 2.0;
     fsync_retries = 2;
+    slo_objectives = Slo.default_objectives;
   }
 
 type stats = {
@@ -103,10 +109,14 @@ type t = {
   mutable committed_n : int;
   mutable degraded : bool;
   mutable degraded_reason : string;
+  mutable causes : Admission.degraded_cause list;
   mutable last_settle_s : float;
   mutable last_settle_error : string option;
   mutable stopped : bool;
   prior_auto_sync : bool;
+  ids : Ctx.gen;  (** Trace-id stream for tickets. *)
+  slo : Slo.t;
+  flight : Flight.t;
   mutable s : stats;
   i : instruments;
 }
@@ -169,10 +179,17 @@ let create ?(config = default_config) hac =
     committed_n = 0;
     degraded = false;
     degraded_reason = "";
+    causes = [];
     last_settle_s = 0.0;
     last_settle_error = None;
     stopped = false;
     prior_auto_sync;
+    ids = Ctx.gen ~seed:(config.admission.seed lxor 0x7AC3);
+    slo =
+      Slo.create ~metrics:(Hac.metrics hac)
+        ~now:(fun () -> Clock.now clock)
+        config.slo_objectives;
+    flight = Hac.flight hac;
     s = zero_stats;
     i = make_instruments (Hac.metrics hac);
   }
@@ -194,6 +211,9 @@ let snapshot t = t.snap
 let committed_writes t = List.rev t.commits
 let is_degraded t = t.degraded
 let degraded_reason t = t.degraded_reason
+let degraded_causes t = List.map Admission.cause_name t.causes
+let slo t = t.slo
+let flight t = t.flight
 let queue_depth t = Queue.length t.queue
 
 let op_cost t op = if Msg.is_write op then t.config.write_cost_s else t.config.read_cost_s
@@ -207,6 +227,14 @@ let resolve t (ticket : Msg.ticket) outcome =
   | Msg.Replied { reply; latency_s; stale; _ } ->
       session.completed <- session.completed + 1;
       Metrics.observe t.i.h_latency latency_s;
+      (* Only executed requests feed the SLO monitor: counting deliberate
+         sheds as errors would make degraded mode self-sustaining (shed →
+         bad → burn → degraded → shed). *)
+      let op_class = Msg.op_class ticket.op in
+      let ok = match reply with Msg.Nack _ -> false | _ -> true in
+      Slo.observe t.slo ~op:op_class ~latency_s ~ok;
+      if not (ok && Slo.meets t.slo ~op:op_class ~latency_s) then
+        session.over_slo <- session.over_slo + 1;
       t.s <- { t.s with completed = t.s.completed + 1 };
       if stale then begin
         Metrics.incr t.i.c_stale;
@@ -225,11 +253,21 @@ let submit t ~session:sid op =
   session.submitted <- session.submitted + 1;
   t.s <- { t.s with submitted = t.s.submitted + 1 };
   let deadline_s = now +. t.config.admission.slo_s in
-  let ticket = { Msg.op; session = sid; submitted_s = now; deadline_s; outcome = None } in
+  let ticket =
+    {
+      Msg.op;
+      session = sid;
+      submitted_s = now;
+      deadline_s;
+      trace = Ctx.make ~id:(Ctx.fresh t.ids) ~now;
+      outcome = None;
+    }
+  in
   if t.stopped then begin
     Admission.record_shed session ~now ~reason:Msg.Server_stopped;
     t.s <- { t.s with shed = t.s.shed + 1 };
     Metrics.incr t.i.c_shed;
+    Ctx.record_until ticket.trace "admission" now;
     ticket.outcome <- Some (Msg.Rejected { reason = Msg.Server_stopped; retry_after_s = 0.0 });
     ticket
   end
@@ -247,12 +285,16 @@ let submit t ~session:sid op =
         Admission.record_shed session ~now ~reason;
         t.s <- { t.s with shed = t.s.shed + 1 };
         Metrics.incr t.i.c_shed;
+        Ctx.record_until ticket.trace "admission" now;
+        Flight.transition t.flight ~subsystem:"admission" ~from_:"admit" ~to_:"shed"
+          ~reason:(Printf.sprintf "%s session=%s" (Msg.reason_name reason) sid);
         ticket.outcome <- Some (Msg.Rejected { reason; retry_after_s });
         ticket
     | Admission.Admit ->
         Admission.record_admit session;
         t.s <- { t.s with admitted = t.s.admitted + 1 };
         Metrics.incr t.i.c_admit;
+        Ctx.record_until ticket.trace "admission" now;
         Queue.add ticket t.queue;
         t.queued_cost_s <- t.queued_cost_s +. op_cost t op;
         Metrics.set t.i.g_queue (float_of_int (Queue.length t.queue));
@@ -297,23 +339,48 @@ let durable t =
   | None -> true
   | Some store -> Hac_fault.Store.durable_count store = Hac_fault.Store.op_count store
 
-(* Degraded mode is a condition, not an event: recomputed from its three
-   inputs so each clears independently when its cause goes away — a slow
-   settle stops degrading once a settle fits the budget again, a mount
-   recovers when its breaker closes, a stall when a barrier is honoured. *)
+(* Degraded mode is a condition, not an event: recomputed from its inputs
+   so each cause clears independently when it goes away — a slow settle
+   stops degrading once a settle fits the budget again, a mount recovers
+   when its breaker closes, a stall when a barrier is honoured, an SLO
+   burn when the burn rate drops back below threshold on either window.
+   Each evaluation also drives the flight recorder: a rising SLO alert is
+   a breach (the ring is frozen to a dump when auto-dump is configured),
+   and every degraded flip is a recorded transition. *)
 let refresh_degraded t =
-  let reasons =
+  let new_alerts = Slo.evaluate t.slo in
+  List.iter
+    (fun a ->
+      Flight.transition t.flight ~subsystem:"slo" ~from_:"ok" ~to_:"alert"
+        ~reason:(Slo.describe_alert a);
+      ignore (Flight.breach t.flight ~reason:("slo breach: " ^ Slo.describe_alert a)))
+    new_alerts;
+  let causes =
     (match t.last_settle_error with
-    | Some e -> [ "settle failed: " ^ e ]
+    | Some e -> [ Admission.Settle_error e ]
     | None ->
         if t.last_settle_s > t.config.settle_budget_s then
-          [ Printf.sprintf "settle %.2fs over %.2fs budget" t.last_settle_s t.config.settle_budget_s ]
+          [
+            Admission.Settle_over_budget
+              { took_s = t.last_settle_s; budget_s = t.config.settle_budget_s };
+          ]
         else [])
-    @ (if mount_breaker_open t then [ "mounted namespace breaker open" ] else [])
-    @ if durable t then [] else [ "durability stalled (fsync not honoured)" ]
+    @ (if mount_breaker_open t then [ Admission.Mount_breaker ] else [])
+    @ (if durable t then [] else [ Admission.Durability_stalled ])
+    @
+    match Slo.breached_ops t.slo with
+    | [] -> []
+    | ops -> [ Admission.Slo_burn (String.concat "," ops) ]
   in
-  t.degraded <- reasons <> [];
-  t.degraded_reason <- String.concat "; " reasons;
+  let was = t.degraded in
+  t.causes <- causes;
+  t.degraded <- causes <> [];
+  t.degraded_reason <- String.concat "; " (List.map Admission.describe_cause causes);
+  if t.degraded <> was then
+    Flight.transition t.flight ~subsystem:"server"
+      ~from_:(if was then "degraded" else "ok")
+      ~to_:(if t.degraded then "degraded" else "ok")
+      ~reason:(if t.degraded then t.degraded_reason else "recovered");
   Metrics.set t.i.g_degraded (if t.degraded then 1.0 else 0.0)
 
 let serve_reads t tickets =
@@ -327,30 +394,60 @@ let serve_reads t tickets =
         tickets
     in
     (* Pure lookups against one immutable snapshot: any domain may run
-       them; replies come back in order.  The pool must not touch metrics
-       or the clock — both are charged here, on the caller. *)
-    let replies =
-      match t.pool with
-      | Some pool -> Pool.map pool (Snapshot.read snap) reads
-      | None -> Array.map (Snapshot.read snap) reads
-    in
-    let width = match t.pool with Some p -> Pool.size p | None -> 1 in
-    let waves = (n + width - 1) / width in
-    Clock.advance t.clock (float_of_int waves *. t.config.read_cost_s);
-    let now = Clock.now t.clock in
-    let stale = Snapshot.seq snap < t.committed_n in
-    Array.iteri
-      (fun k (tk : Msg.ticket) ->
-        Metrics.observe t.i.h_read t.config.read_cost_s;
-        resolve t tk
-          (Msg.Replied
-             {
-               reply = replies.(k);
-               seq = Snapshot.seq snap;
-               stale;
-               latency_s = now -. tk.submitted_s;
-             }))
-      tickets
+       them; replies come back in order.  The pool must not touch metrics,
+       the tracer or the clock — it only reports per-element CPU durations
+       ([map_timed]); spans, metrics and virtual time are all charged
+       here, on the caller. *)
+    let tr = Hac.tracer t.hac in
+    Trace.with_span tr ~name:"serve.read_wave" (fun () ->
+        let vstart = Clock.now t.clock in
+        let replies, cpu =
+          match t.pool with
+          | Some pool -> Pool.map_timed pool (Snapshot.read snap) reads
+          | None ->
+              let times = Array.make n 0.0 in
+              let rs =
+                Array.mapi
+                  (fun k r ->
+                    let c0 = Sys.time () in
+                    let v = Snapshot.read snap r in
+                    times.(k) <- Sys.time () -. c0;
+                    v)
+                  reads
+              in
+              (rs, times)
+        in
+        let width = match t.pool with Some p -> Pool.size p | None -> 1 in
+        let waves = (n + width - 1) / width in
+        Clock.advance t.clock (float_of_int waves *. t.config.read_cost_s);
+        let now = Clock.now t.clock in
+        (* Cross-domain parent linking: each read's span carries the CPU
+           time measured on whichever domain ran it, parent-linked to this
+           wave's span and tagged with the request's trace id. *)
+        if Trace.enabled tr then begin
+          let parent = Trace.current tr in
+          Array.iteri
+            (fun k (tk : Msg.ticket) ->
+              ignore
+                (Trace.emit tr ?parent
+                   ~attrs:[ ("trace", Ctx.id_hex tk.trace) ]
+                   ~name:"serve.read" ~vstart ~vstop:now ~cpu_s:cpu.(k) ()))
+            tickets
+        end;
+        let stale = Snapshot.seq snap < t.committed_n in
+        Array.iteri
+          (fun k (tk : Msg.ticket) ->
+            Metrics.observe t.i.h_read t.config.read_cost_s;
+            Ctx.record_until tk.trace "eval" now;
+            resolve t tk
+              (Msg.Replied
+                 {
+                   reply = replies.(k);
+                   seq = Snapshot.seq snap;
+                   stale;
+                   latency_s = now -. tk.submitted_s;
+                 }))
+          tickets)
   end
 
 let apply_writes t tickets =
@@ -361,6 +458,7 @@ let apply_writes t tickets =
       Metrics.observe t.i.h_write t.config.write_cost_s;
       match apply_write t.hac w with
       | () ->
+          Ctx.record_until tk.trace "eval" (Clock.now t.clock);
           t.commits <- w :: t.commits;
           t.committed_n <- t.committed_n + 1;
           Metrics.incr t.i.c_commits;
@@ -369,13 +467,15 @@ let apply_writes t tickets =
       | exception e -> (
           match write_error e with
           | Some m ->
+              let now = Clock.now t.clock in
+              Ctx.record_until tk.trace "eval" now;
               resolve t tk
                 (Msg.Replied
                    {
                      reply = Msg.Nack m;
                      seq = t.committed_n;
                      stale = false;
-                     latency_s = Clock.now t.clock -. tk.submitted_s;
+                     latency_s = now -. tk.submitted_s;
                    })
           | None -> raise e))
     tickets
@@ -391,6 +491,16 @@ let settle_batch t =
   let dur = Clock.now t.clock -. before in
   t.last_settle_s <- dur;
   Metrics.observe t.i.h_settle dur;
+  (* Stage accounting for everything awaiting durability: a write settled
+     for the first time charges this interval to "settle"; one already
+     settled in an earlier batch has been waiting on the durability
+     barrier, so its wait accrues under "fsync". *)
+  let now = Clock.now t.clock in
+  List.iter
+    (fun (tk : Msg.ticket) ->
+      let stage = if Ctx.find tk.trace "settle" = None then "settle" else "fsync" in
+      Ctx.record_until tk.trace stage now)
+    t.unacked;
   match outcome with
   | Ok () -> t.last_settle_error <- None
   | Error e -> t.last_settle_error <- Some (Printexc.to_string e)
@@ -423,6 +533,7 @@ let confirm t ~touched =
       (fun (tk : Msg.ticket) ->
         Metrics.incr t.i.c_acked;
         t.s <- { t.s with acked = t.s.acked + 1 };
+        Ctx.record_until tk.trace "fsync" now;
         resolve t tk
           (Msg.Replied
              { reply = Msg.Done; seq = t.committed_n; stale = false; latency_s = now -. tk.submitted_s }))
@@ -437,8 +548,11 @@ let confirm t ~touched =
       List.partition (fun (tk : Msg.ticket) -> now > tk.deadline_s) t.unacked
     in
     t.unacked <- waiting;
+    (* Held tickets keep accruing durability wait under "fsync". *)
+    List.iter (fun (tk : Msg.ticket) -> Ctx.record_until tk.trace "fsync" now) waiting;
     List.iter
       (fun (tk : Msg.ticket) ->
+        Ctx.record_until tk.trace "fsync" now;
         resolve t tk
           (Msg.Replied
              {
@@ -467,6 +581,8 @@ let pump t =
     t.s <- { t.s with batches = t.s.batches + 1 };
     Metrics.observe t.i.h_batch (float_of_int (List.length batch));
     let now = Clock.now t.clock in
+    (* Everything popped spent the interval since admission queued. *)
+    List.iter (fun (tk : Msg.ticket) -> Ctx.record_until tk.trace "queue" now) batch;
     (* Deadline may have passed while queued: explicit rejection, and the
        session's streak grows — an expired op was real shed load. *)
     let live, expired = List.partition (fun (tk : Msg.ticket) -> now <= tk.deadline_s) batch in
@@ -515,6 +631,7 @@ let drain ?(max_pumps = 64) t =
   t.queued_cost_s <- 0.0;
   List.iter
     (fun (tk : Msg.ticket) ->
+      Ctx.record_until tk.trace "fsync" now;
       resolve t tk
         (Msg.Replied
            {

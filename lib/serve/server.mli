@@ -24,6 +24,9 @@ type config = {
   settle_cost_s : float;  (** Base virtual cost of a settle. *)
   settle_budget_s : float;  (** Settles beyond this trip degraded mode. *)
   fsync_retries : int;  (** Barrier retries when durability stalls. *)
+  slo_objectives : Hac_obs.Slo.objective list;
+      (** Per-op latency/error objectives; a multi-window burn-rate
+          breach joins the degraded causes as cause ["slo"]. *)
 }
 
 val default_config : config
@@ -88,4 +91,19 @@ val committed_writes : t -> Msg.write list
 
 val is_degraded : t -> bool
 val degraded_reason : t -> string
+
+val degraded_causes : t -> string list
+(** Stable cause names behind {!is_degraded}: ["settle"], ["mount"],
+    ["durability"], ["slo"] (see {!Admission.cause_name}). *)
+
+val slo : t -> Hac_obs.Slo.t
+(** The server's SLO monitor.  Fed by every [Replied] ticket (rejections
+    are excluded — counting deliberate sheds as errors would make
+    degraded mode self-sustaining); evaluated each pump. *)
+
+val flight : t -> Hac_obs.Flight.t
+(** The engine's flight recorder ({!Hac_core.Hac.flight}): admission
+    sheds, degraded flips and SLO alerts are recorded as transitions, and
+    a rising SLO alert triggers an automatic dump when enabled. *)
+
 val queue_depth : t -> int

@@ -16,6 +16,7 @@ type t = {
   mutable shed : int;
   mutable completed : int;  (** Replied, including [Nack]s. *)
   mutable failed : int;  (** [Nack] replies. *)
+  mutable over_slo : int;  (** Replies that missed their SLO target. *)
   mutable last_reject : string option;
 }
 
@@ -29,14 +30,15 @@ let create ?(breaker = Hac_fault.Breaker.default_config) id =
     shed = 0;
     completed = 0;
     failed = 0;
+    over_slo = 0;
     last_reject = None;
   }
 
 let breaker_state t = Hac_fault.Breaker.state t.breaker
 
 let render t =
-  Printf.sprintf "%-10s %-9s  sub %4d  adm %4d  shed %4d  done %4d  nack %3d%s"
+  Printf.sprintf "%-10s %-9s  sub %4d  adm %4d  shed %4d  done %4d  nack %3d  slo! %3d%s"
     t.id
     (Hac_fault.Breaker.state_name (breaker_state t))
-    t.submitted t.admitted t.shed t.completed t.failed
+    t.submitted t.admitted t.shed t.completed t.failed t.over_slo
     (match t.last_reject with None -> "" | Some r -> "  last-reject " ^ r)

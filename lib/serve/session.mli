@@ -14,6 +14,7 @@ type t = {
   mutable shed : int;
   mutable completed : int;  (** Replied, including [Nack]s. *)
   mutable failed : int;  (** [Nack] replies. *)
+  mutable over_slo : int;  (** Replies that missed their SLO target. *)
   mutable last_reject : string option;
 }
 

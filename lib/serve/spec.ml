@@ -102,8 +102,10 @@ let reply_equal a b =
    the fresh twin (same initial corpus and semantic directories as the
    server's engine, no mounts, no store); [writes] is the commit log in
    commit order.  Returns violation descriptions, empty when every read
-   is prefix-consistent. *)
-let check ~build ~writes ~observations =
+   is prefix-consistent.  With [flight], each violation is recorded as a
+   transition and the run-up is frozen to a dump (a spec violation is a
+   breach — the recent history is exactly what debugging needs). *)
+let check ?flight ~build ~writes ~observations () =
   let obs = List.sort (fun a b -> compare a.ob_seq b.ob_seq) observations in
   let writes = Array.of_list writes in
   let twin = build () in
@@ -135,4 +137,16 @@ let check ~build ~writes ~observations =
               ob.ob_seq (render_reply got) (render_reply expected)
           :: !violations)
     obs;
-  List.rev !violations
+  let violations = List.rev !violations in
+  (match flight with
+  | Some fl when violations <> [] ->
+      List.iter
+        (fun v ->
+          Hac_obs.Flight.transition fl ~subsystem:"spec" ~from_:"consistent"
+            ~to_:"violated" ~reason:v)
+        violations;
+      ignore
+        (Hac_obs.Flight.breach fl
+           ~reason:(Printf.sprintf "%d spec violations" (List.length violations)))
+  | _ -> ());
+  violations

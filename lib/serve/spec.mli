@@ -21,14 +21,17 @@ val eval_read : Hac_core.Hac.t -> Msg.read -> Msg.reply
     (regular files only, listings without [/.hac], normalized [Nack]s). *)
 
 val check :
+  ?flight:Hac_obs.Flight.t ->
   build:(unit -> Hac_core.Hac.t) ->
   writes:Msg.write list ->
   observations:observation list ->
+  unit ->
   string list
-(** [check ~build ~writes ~observations] replays [writes] (the commit log,
+(** [check ~build ~writes ~observations ()] replays [writes] (the commit log,
     in order) through [build ()] — a fresh engine with the same initial
     corpus and semantic directories but no mounts, faults or store — and
     checks each observation at its prefix.  Returns violation
     descriptions; [[]] means every read was prefix-consistent.  Remote
     link rows are dropped before comparison (the twin mounts nothing);
-    keep remote-facing reads out of [observations]. *)
+    keep remote-facing reads out of [observations].  With [flight],
+    violations are recorded as transitions and trigger a breach dump. *)

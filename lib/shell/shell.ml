@@ -18,6 +18,9 @@ type session = {
   (* Pre-rendered per-session table of the last [serve] run, for
      [sessions] to print. *)
   mutable serve_report : string option;
+  (* Pre-rendered SLO burn-rate report of the last [serve] run, for
+     [slo] to print. *)
+  mutable slo_report : string option;
 }
 
 let help_text =
@@ -67,8 +70,12 @@ let help_text =
   sdirs                               list semantic directories
   stats                               space and consistency counters
   trace [on|off|dump|json|clear]      span tracing (virtual-clock timestamps)
-  metrics [-json]                     dump the metrics registry
-  profile CMD...                      run any command in a root span, print its tree
+  flight [show|dump FILE|read FILE|auto DIR|auto off]
+                                      flight-recorder ring: status, entries, dumps
+  slo                                 SLO burn-rate report of the last serve run
+  metrics [-json|-jsonl|-prom]        dump the metrics registry
+  profile CMD...                      run any command in a root span: tree,
+                                      per-stage totals, SLO verdict
   help | quit
 
 Query syntax: words, "phrases", ~approx, /regex/, attr:value (from:, subject:,
@@ -110,9 +117,10 @@ let load_demo t =
 let make ?(demo = false) () =
   let t = Hac.create ~auto_sync:true ~transducer () in
   if demo then load_demo t;
-  { t; wd = "/"; faults = Hashtbl.create 4; serve_report = None }
+  { t; wd = "/"; faults = Hashtbl.create 4; serve_report = None; slo_report = None }
 
-let of_hac t = { t; wd = "/"; faults = Hashtbl.create 4; serve_report = None }
+let of_hac t =
+  { t; wd = "/"; faults = Hashtbl.create 4; serve_report = None; slo_report = None }
 
 (* Demo namespaces mount behind the full resilience stack: a fault injector
    (driven by the [fault] command) under the retry/breaker policy, all on
@@ -324,6 +332,8 @@ let space_report s buf =
 
 module Trace = Hac_obs.Trace
 module Metrics = Hac_obs.Metrics
+module Flight = Hac_obs.Flight
+module Slo = Hac_obs.Slo
 
 (* Mount-time integrity warnings: recovery is best-effort by design, so any
    record or directory it had to drop must be surfaced, not silently eaten. *)
@@ -358,6 +368,32 @@ let cmd_trace s buf args =
         (List.length (Trace.finished tr))
         (Trace.total tr) (Trace.dropped tr)
   | _ -> out buf "trace [on|off|dump|json|clear]\n"
+
+let cmd_flight s buf args =
+  let fl = Hac.flight s.t in
+  match args with
+  | [] ->
+      out buf "flight ring: %d/%d buffered, %d recorded, %d evicted, %d dump(s) written\n"
+        (Flight.stored fl) (Flight.capacity fl) (Flight.total fl) (Flight.dropped fl)
+        (Flight.dumps fl);
+      out buf "auto-dump: %s\n"
+        (match Flight.auto_dump fl with Some d -> d | None -> "off")
+  | [ "show" ] -> Buffer.add_string buf (Flight.render (Flight.entries fl))
+  | [ "dump"; path ] -> (
+      match Flight.dump_to fl ~reason:"shell flight dump" path with
+      | () -> out buf "wrote %s\n" path
+      | exception Sys_error msg -> out buf "flight dump: %s\n" msg)
+  | [ "read"; path ] -> (
+      match Flight.load path with
+      | Ok d -> Buffer.add_string buf (Flight.render_dump d)
+      | Error e -> out buf "flight read: %s: %s\n" path e)
+  | [ "auto"; "off" ] ->
+      Flight.set_auto_dump fl None;
+      out buf "auto-dump off\n"
+  | [ "auto"; dir ] ->
+      Flight.set_auto_dump fl (Some dir);
+      out buf "auto-dump to %s\n" dir
+  | _ -> out buf "flight [show|dump FILE|read FILE|auto DIR|auto off]\n"
 
 (* serve [SESSIONS] [OPS]: a self-contained serving-layer simulation over
    the current instance.  Seeds a dedicated subtree (a few corpus files
@@ -438,6 +474,13 @@ let cmd_serve s buf args =
     String.concat "\n" (List.map Sess.render (Server.sessions server)) ^ "\n"
   in
   s.serve_report <- Some table;
+  s.slo_report <-
+    Some
+      (let causes = Server.degraded_causes server in
+       Slo.render (Server.slo server)
+       ^
+       if causes = [] then ""
+       else "degraded causes: " ^ String.concat ", " causes ^ "\n");
   Server.stop server;
   out buf
     "served %d ops from %d sessions under %s:\n\
@@ -596,9 +639,24 @@ let rec run s buf line =
          | "fault", rest -> cmd_fault s buf rest
          | "stats", _ -> space_report s buf
          | "trace", rest -> cmd_trace s buf rest
+         | "flight", rest -> cmd_flight s buf rest
+         | "slo", _ -> (
+             match s.slo_report with
+             | Some report -> Buffer.add_string buf report
+             | None ->
+                 out buf "no serve run yet (try: serve 3 12); default objectives:\n";
+                 List.iter
+                   (fun (o : Slo.objective) ->
+                     out buf "  %-6s %3.0f%% under %.1fs\n" o.Slo.op (o.Slo.goal *. 100.)
+                       o.Slo.latency_s)
+                   Slo.default_objectives)
          | "metrics", [] -> Buffer.add_string buf (Metrics.render (Hac.metrics s.t))
          | "metrics", [ "-json" ] ->
              Buffer.add_string buf (Metrics.to_json (Hac.metrics s.t))
+         | "metrics", [ "-prom" ] ->
+             Buffer.add_string buf (Hac_obs.Export.render_prom (Hac.metrics s.t))
+         | "metrics", [ "-jsonl" ] ->
+             Buffer.add_string buf (Hac_obs.Export.to_jsonl (Hac.metrics s.t))
          | "profile", rest when rest <> [] ->
              (* Wrap the inner command in a root span with tracing forced
                 on, then print that subtree; the previous tracing setting
@@ -615,7 +673,51 @@ let rec run s buf line =
              | exception e ->
                  finish ();
                  raise e);
-             Buffer.add_string buf (Trace.render_last (Hac.tracer s.t))
+             let tr = Hac.tracer s.t in
+             Buffer.add_string buf (Trace.render_last tr);
+             (match Trace.last_subtree tr with
+             | [] -> ()
+             | spans ->
+                 (* Aggregate the subtree per span name: how often each
+                    stage ran and where the time went. *)
+                 let agg = Hashtbl.create 8 in
+                 let order = ref [] in
+                 List.iter
+                   (fun sp ->
+                     let name = sp.Trace.name in
+                     let c, v, cpu =
+                       match Hashtbl.find_opt agg name with
+                       | Some x -> x
+                       | None ->
+                           order := name :: !order;
+                           (0, 0.0, 0.0)
+                     in
+                     Hashtbl.replace agg name
+                       (c + 1, v +. Trace.v_duration sp, cpu +. Trace.cpu_duration sp))
+                   spans;
+                 out buf "\n  stage                        count     v (ms)   cpu (ms)\n";
+                 List.iter
+                   (fun name ->
+                     let c, v, cpu = Hashtbl.find agg name in
+                     out buf "  %-28s %5d %10.3f %10.3f\n" name c (v *. 1000.)
+                       (cpu *. 1000.))
+                   (List.rev !order);
+                 (* Verdict against the interactive (read) objective: the
+                    root span closes last, so it is the newest in the ring. *)
+                 match List.rev spans with
+                 | [] -> ()
+                 | root :: _ ->
+                     let v = Trace.v_duration root in
+                     let target =
+                       match
+                         List.find_opt (fun o -> o.Slo.op = "read") Slo.default_objectives
+                       with
+                       | Some o -> o.Slo.latency_s
+                       | None -> 2.0
+                     in
+                     out buf "  slo verdict: %s (v=%.3fs vs read target %.2fs)\n"
+                       (if v <= target then "ok" else "breach")
+                       v target)
          | _, _ -> out buf "unknown or malformed command (try: help)\n"
        with
       | Errno.Error (code, subject) -> out buf "error: %s: %s\n" subject (Errno.message code)

@@ -63,7 +63,9 @@ let test_torn_write_is_a_prefix () =
 (* -- the harness: every crash point recovers ------------------------------- *)
 
 let test_harness_no_violations () =
-  let o = Harness.run ~seed () in
+  (* [flight_dir "."]: a violation leaves a flight dump next to the test
+     binary for CI to upload as an artifact. *)
+  let o = Harness.run ~seed ~flight_dir:"." () in
   if o.Harness.violations <> [] then Alcotest.fail (Harness.summary o);
   check_bool "a real matrix was enumerated" true (o.Harness.points > 100);
   check_bool "oracle boundaries checked" true (o.Harness.oracle_points >= 10);

@@ -7,6 +7,10 @@
 
 module Metrics = Hac_obs.Metrics
 module Trace = Hac_obs.Trace
+module Ctx = Hac_obs.Ctx
+module Flight = Hac_obs.Flight
+module Slo = Hac_obs.Slo
+module Export = Hac_obs.Export
 module Clock = Hac_fault.Clock
 module Breaker = Hac_fault.Breaker
 module Fault = Hac_fault.Fault
@@ -312,6 +316,286 @@ let test_rescache_thin_reader () =
     (counter_value m "rescache.hits" + counter_value m "rescache.misses"
    + counter_value m "rescache.drops")
 
+(* -- request trace context -------------------------------------------------- *)
+
+let test_ctx_telescoping () =
+  let g = Ctx.gen ~seed:7 in
+  let c = Ctx.make ~id:(Ctx.fresh g) ~now:10.0 in
+  Ctx.record_until c "admission" 10.25;
+  Ctx.record_until c "queue" 10.75;
+  Ctx.record_until c "eval" 11.0;
+  (* A repeated stage accumulates under its first occurrence. *)
+  Ctx.record_until c "queue" 11.5;
+  Alcotest.(check (list string))
+    "first-occurrence order"
+    [ "admission"; "queue"; "eval" ]
+    (List.map fst (Ctx.stages c));
+  Alcotest.(check (float 1e-9)) "repeat accumulates" 1.0 (Option.get (Ctx.find c "queue"));
+  Alcotest.(check (float 1e-9)) "stages telescope to the full interval" 1.5 (Ctx.total c);
+  check_int "hex id is 16 digits" 16 (String.length (Ctx.id_hex c))
+
+let test_ctx_ids_unique_across_rings () =
+  (* The satellite guarantee: seeded 64-bit ids, no collisions within a
+     stream, across differently seeded streams, across [clear], or across
+     multiple tracer rings. *)
+  let seen = Hashtbl.create 4096 in
+  let g1 = Ctx.gen ~seed:1 and g2 = Ctx.gen ~seed:2 in
+  for _ = 1 to 1000 do
+    let a = Ctx.fresh g1 and b = Ctx.fresh g2 in
+    check_bool "ids non-negative" true (a >= 0 && b >= 0);
+    check_bool "no id collision" false (Hashtbl.mem seen a || Hashtbl.mem seen b);
+    Hashtbl.replace seen a ();
+    Hashtbl.replace seen b ()
+  done;
+  let clock = Clock.create () in
+  let now () = Clock.now clock in
+  let t1 = Trace.create ~now () and t2 = Trace.create ~now () in
+  Trace.set_enabled t1 true;
+  Trace.set_enabled t2 true;
+  let id_of tr =
+    Trace.with_span tr ~name:"s" (fun () -> ());
+    match Trace.finished tr with
+    | sp :: _ -> sp.Trace.id
+    | [] -> Alcotest.fail "no finished span"
+  in
+  let a = id_of t1 in
+  Trace.clear t1;
+  let b = id_of t1 in
+  let c = id_of t2 in
+  check_bool "span ids unique across clear" true (a <> b);
+  check_bool "span ids unique across rings" true (a <> c && b <> c)
+
+(* -- SLO burn-rate monitor --------------------------------------------------- *)
+
+let test_slo_burn_boundary () =
+  let clock = Clock.create () in
+  let m = Metrics.create () in
+  let slo =
+    Slo.create ~metrics:m
+      ~now:(fun () -> Clock.now clock)
+      [ { Slo.op = "read"; latency_s = 1.0; goal = 0.9 } ]
+  in
+  (* 1 bad of 10 consumes the 10% budget exactly: burn = 1.0 on both
+     windows, and the >= threshold fires at the closed boundary. *)
+  for _ = 1 to 9 do
+    Slo.observe slo ~op:"read" ~latency_s:0.2 ~ok:true
+  done;
+  Slo.observe slo ~op:"read" ~latency_s:5.0 ~ok:true;
+  (match Slo.evaluate slo with
+  | [ a ] ->
+      Alcotest.(check string) "alert names the op" "read" a.Slo.a_op;
+      Alcotest.(check (float 1e-9)) "burn at exactly 1.0" 1.0 a.Slo.fast_burn
+  | l -> Alcotest.failf "expected exactly one alert, got %d" (List.length l));
+  check_bool "breached while active" true (Slo.breached slo);
+  Alcotest.(check (list string)) "breached op listed" [ "read" ] (Slo.breached_ops slo);
+  check_int "alert counter" 1 (counter_value m "slo.read.alerts");
+  Alcotest.(check (float 0.0)) "breached gauge" 1.0 (gauge_value m "slo.read.breached");
+  (* Rising edge only: re-evaluating the same state is silent. *)
+  check_int "no re-fire without a new edge" 0 (List.length (Slo.evaluate slo));
+  (* One more good sample tips the fraction below the budget: 1/11 < 10%. *)
+  Slo.observe slo ~op:"read" ~latency_s:0.2 ~ok:true;
+  check_int "below the boundary does not fire" 0 (List.length (Slo.evaluate slo));
+  check_bool "alert cleared" false (Slo.breached slo)
+
+let test_slo_below_boundary_does_not_fire () =
+  let clock = Clock.create () in
+  let slo =
+    Slo.create
+      ~now:(fun () -> Clock.now clock)
+      [ { Slo.op = "read"; latency_s = 1.0; goal = 0.9 } ]
+  in
+  for _ = 1 to 10 do
+    Slo.observe slo ~op:"read" ~latency_s:0.2 ~ok:true
+  done;
+  Slo.observe slo ~op:"read" ~latency_s:5.0 ~ok:true;
+  check_int "1 bad of 11 stays under the budget" 0 (List.length (Slo.evaluate slo))
+
+let test_slo_windows_and_recovery () =
+  let clock = Clock.create () in
+  let m = Metrics.create () in
+  let alerts = ref [] in
+  let slo =
+    Slo.create ~metrics:m
+      ~on_alert:(fun a -> alerts := a :: !alerts)
+      ~now:(fun () -> Clock.now clock)
+      [ { Slo.op = "write"; latency_s = 1.0; goal = 0.5 } ]
+  in
+  (* Errors are bad even under the latency target. *)
+  for _ = 1 to 4 do
+    Slo.observe slo ~op:"write" ~latency_s:0.1 ~ok:false
+  done;
+  check_int "alert fired" 1 (List.length (Slo.evaluate slo));
+  check_int "on_alert callback fired" 1 (List.length !alerts);
+  (* Past the fast window the burst ages out of it: the alert clears even
+     though the slow window still remembers the burn. *)
+  Clock.advance clock 301.0;
+  Slo.observe slo ~op:"write" ~latency_s:0.1 ~ok:true;
+  check_int "no rising edge while clearing" 0 (List.length (Slo.evaluate slo));
+  check_bool "cleared once the fast window is clean" false (Slo.breached slo);
+  (match Slo.burn slo ~op:"write" with
+  | Some (fast, slow) ->
+      check_bool "fast window forgot the burst" true (fast < 1.0);
+      check_bool "slow window still remembers" true (slow >= 1.0)
+  | None -> Alcotest.fail "tracked op must report burn rates");
+  (* A fresh burst re-fires: the rising edge is counted again. *)
+  for _ = 1 to 4 do
+    Slo.observe slo ~op:"write" ~latency_s:0.1 ~ok:false
+  done;
+  check_int "re-fired" 1 (List.length (Slo.evaluate slo));
+  check_int "alerts counter accumulates" 2 (counter_value m "slo.write.alerts")
+
+(* -- flight recorder --------------------------------------------------------- *)
+
+let test_flight_ring_roundtrip () =
+  let clock = Clock.create () in
+  let m = Metrics.create () in
+  let fl = Flight.create ~capacity:4 ~metrics:m ~now:(fun () -> Clock.now clock) () in
+  for i = 1 to 3 do
+    Clock.advance clock 1.0;
+    Flight.metric fl ~name:(Printf.sprintf "m%d" i) ~value:(float_of_int i)
+  done;
+  Flight.span fl ~name:"settle" ~vstart:1.0 ~vstop:2.5 ~failed:false;
+  Flight.transition fl ~subsystem:"server" ~from_:"ok" ~to_:"degraded" ~reason:"slo burn";
+  Flight.metric fl ~name:"m4" ~value:4.0;
+  check_int "ring bounded" 4 (Flight.stored fl);
+  check_int "evictions counted" 2 (Flight.dropped fl);
+  check_int "everything counted" 6 (Flight.total fl);
+  check_int "events counter" 6 (counter_value m "flight.events");
+  let names =
+    List.map
+      (fun (e : Flight.entry) ->
+        match e.Flight.ev with
+        | Flight.Metric { name; _ } -> name
+        | Flight.Span { name; _ } -> name
+        | Flight.Transition { subsystem; _ } -> subsystem)
+      (Flight.entries fl)
+  in
+  Alcotest.(check (list string))
+    "oldest evicted, oldest-first order" [ "m3"; "settle"; "server"; "m4" ] names;
+  let img = Flight.encode ~reason:"unit test" fl in
+  (match Flight.decode img with
+  | Ok d ->
+      Alcotest.(check string) "reason survives" "unit test" d.Flight.reason;
+      check_bool "entries survive the round trip" true (d.Flight.events = Flight.entries fl)
+  | Error e -> Alcotest.fail ("decode: " ^ e));
+  (match Flight.decode "not a flight dump" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must not decode");
+  match Flight.decode (String.sub img 0 (String.length img - 3)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated image must not decode"
+
+let tmp_dir prefix =
+  let f = Filename.temp_file prefix "" in
+  Sys.remove f;
+  Sys.mkdir f 0o700;
+  f
+
+let rm_rf dir =
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let test_flight_breach_dumps () =
+  let clock = Clock.create () in
+  let fl = Flight.create ~now:(fun () -> Clock.now clock) () in
+  Flight.metric fl ~name:"x" ~value:1.0;
+  check_bool "no auto-dump dir, no file" true (Flight.breach fl ~reason:"r" = None);
+  let dir = tmp_dir "hacflight" in
+  Flight.set_auto_dump fl (Some dir);
+  (match Flight.breach fl ~reason:"slo breach: read" with
+  | Some path -> (
+      check_bool "dump file exists" true (Sys.file_exists path);
+      match Flight.load path with
+      | Ok d ->
+          Alcotest.(check string) "reason preserved" "slo breach: read" d.Flight.reason;
+          check_int "ring content dumped" 1 (List.length d.Flight.events)
+      | Error e -> Alcotest.fail ("load: " ^ e))
+  | None -> Alcotest.fail "breach with an auto-dump dir must write");
+  (match Flight.breach fl ~reason:"again" with
+  | Some _ -> check_int "two distinct dumps on disk" 2 (Array.length (Sys.readdir dir))
+  | None -> Alcotest.fail "second breach must write");
+  check_int "dumps counted" 2 (Flight.dumps fl);
+  rm_rf dir
+
+(* -- exporters ---------------------------------------------------------------- *)
+
+let has_sub hay sub =
+  let n = String.length sub and l = String.length hay in
+  let rec go i = i + n <= l && (String.sub hay i n = sub || go (i + 1)) in
+  go 0
+
+let test_prom_exposition () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:3 (Metrics.counter m "serve.ops-total");
+  Metrics.set (Metrics.gauge m "slo.read.burn_fast") 1.25;
+  let h = Metrics.histogram m "span.settle.cpu_s" in
+  Metrics.observe h 0.001;
+  Metrics.observe h 0.004;
+  let text = Export.render_prom m in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' text) in
+  let name_ok n =
+    n <> ""
+    && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+    && String.for_all
+         (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+         n
+  in
+  let types = Hashtbl.create 8 and helps = Hashtbl.create 8 in
+  List.iter
+    (fun line ->
+      if String.length line > 7 && String.sub line 0 7 = "# TYPE " then (
+        match String.split_on_char ' ' line with
+        | [ _; _; fam; kind ] ->
+            check_bool ("family name valid: " ^ fam) true (name_ok fam);
+            check_bool ("known kind: " ^ kind) true
+              (List.mem kind [ "counter"; "gauge"; "summary" ]);
+            check_bool ("one TYPE per family: " ^ fam) false (Hashtbl.mem types fam);
+            Hashtbl.replace types fam kind
+        | _ -> Alcotest.fail ("malformed TYPE line: " ^ line))
+      else if String.length line > 7 && String.sub line 0 7 = "# HELP " then (
+        match String.split_on_char ' ' line with
+        | _ :: _ :: fam :: _ ->
+            check_bool ("one HELP per family: " ^ fam) false (Hashtbl.mem helps fam);
+            Hashtbl.replace helps fam ()
+        | _ -> Alcotest.fail ("malformed HELP line: " ^ line))
+      else if line.[0] <> '#' then (
+        let name =
+          match String.index_opt line '{' with
+          | Some i -> String.sub line 0 i
+          | None -> (
+              match String.index_opt line ' ' with
+              | Some i -> String.sub line 0 i
+              | None -> line)
+        in
+        check_bool ("sample name valid: " ^ name) true (name_ok name);
+        check_bool ("hac_ prefixed: " ^ name) true
+          (String.length name > 4 && String.sub name 0 4 = "hac_")))
+    lines;
+  check_int "every family typed" (Hashtbl.length helps) (Hashtbl.length types);
+  check_bool "counter sample" true (has_sub text "hac_serve_ops_total 3");
+  check_bool "gauge sample" true (has_sub text "hac_slo_read_burn_fast 1.25");
+  check_bool "summary quantiles" true
+    (has_sub text "hac_span_settle_cpu_s{quantile=\"0.99\"}");
+  check_bool "summary count" true (has_sub text "hac_span_settle_cpu_s_count 2");
+  Alcotest.(check string) "sanitize keeps colons, replaces the rest" "hac_a_b_c:d"
+    (Export.sanitize "a-b.c:d")
+
+let test_jsonl_export () =
+  let m = Metrics.create () in
+  Metrics.incr (Metrics.counter m "a");
+  Metrics.set (Metrics.gauge m "b") 0.5;
+  Metrics.observe (Metrics.histogram m "c") 0.25;
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Export.to_jsonl m))
+  in
+  check_int "one line per instrument" 3 (List.length lines);
+  List.iter
+    (fun l ->
+      check_bool "one object per line" true
+        (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}');
+      check_bool "kind tagged" true (has_sub l "\"kind\":"))
+    lines
+
 (* -- json export ----------------------------------------------------------- *)
 
 let test_json_export () =
@@ -349,6 +633,30 @@ let () =
           Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
           Alcotest.test_case "on_close feeds histograms" `Quick
             test_on_close_feeds_histograms;
+        ] );
+      ( "ctx",
+        [
+          Alcotest.test_case "telescoping stage breakdown" `Quick test_ctx_telescoping;
+          Alcotest.test_case "ids unique across rings" `Quick
+            test_ctx_ids_unique_across_rings;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "fires at the exact boundary" `Quick test_slo_burn_boundary;
+          Alcotest.test_case "below the boundary is quiet" `Quick
+            test_slo_below_boundary_does_not_fire;
+          Alcotest.test_case "windows and recovery" `Quick test_slo_windows_and_recovery;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring eviction and round trip" `Quick
+            test_flight_ring_roundtrip;
+          Alcotest.test_case "breach dumps" `Quick test_flight_breach_dumps;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "prometheus exposition" `Quick test_prom_exposition;
+          Alcotest.test_case "jsonl snapshot" `Quick test_jsonl_export;
         ] );
       ( "wiring",
         [

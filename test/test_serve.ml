@@ -39,6 +39,9 @@ module Session = Hac_serve.Session
 module Admission = Hac_serve.Admission
 module Server = Hac_serve.Server
 module Spec = Hac_serve.Spec
+module Ctx = Hac_obs.Ctx
+module Flight = Hac_obs.Flight
+module Slo = Hac_obs.Slo
 
 let seed =
   match Sys.getenv_opt "FAULT_SEED" with
@@ -225,6 +228,39 @@ let assert_all_resolved outcome =
       | Some (Msg.Replied _) -> ())
     outcome.tickets
 
+(* The tentpole guarantee: every ticket carries a distinct trace id, and a
+   replied ticket's per-stage breakdown telescopes to exactly its reported
+   latency — admission to final ack, no gaps, no double counting. *)
+let known_stages = [ "admission"; "queue"; "eval"; "settle"; "fsync" ]
+
+let assert_trace_breakdowns outcome =
+  let ids = Hashtbl.create 256 in
+  List.iter
+    (fun (tk : Msg.ticket) ->
+      let id = Ctx.id tk.trace in
+      check_bool "trace id positive" true (id > 0);
+      check_bool ("trace id unique: " ^ Ctx.id_hex tk.trace) false (Hashtbl.mem ids id);
+      Hashtbl.replace ids id ();
+      List.iter
+        (fun (name, d) ->
+          check_bool ("known stage: " ^ name) true (List.mem name known_stages);
+          check_bool ("stage non-negative: " ^ name) true (d >= -1e-9))
+        (Ctx.stages tk.trace);
+      match tk.outcome with
+      | Some (Msg.Replied { latency_s; _ }) ->
+          check_bool "replied ticket has a breakdown" true (Ctx.stages tk.trace <> []);
+          let total = Ctx.total tk.trace in
+          check_bool
+            (Printf.sprintf "stages (%.6f) sum to latency (%.6f) for %s" total latency_s
+               (Msg.describe tk.op))
+            true
+            (Float.abs (total -. latency_s) <= 1e-6)
+      | Some (Msg.Rejected _) ->
+          check_bool "rejected ticket charged admission" true
+            (Ctx.find tk.trace "admission" <> None)
+      | None -> ())
+    outcome.tickets
+
 let assert_spec server rig outcome =
   let observations =
     List.filter_map Spec.observe outcome.tickets
@@ -234,8 +270,9 @@ let assert_spec server rig outcome =
   check_bool "spec has observations" true (observations <> []);
   let violations =
     Spec.check
+      ~flight:(Server.flight server)
       ~build:(fun () -> (build ~seed ()).hac)
-      ~writes:(Server.committed_writes server) ~observations
+      ~writes:(Server.committed_writes server) ~observations ()
   in
   ignore rig;
   Alcotest.(check (list string)) "zero snapshot-consistency violations" [] violations
@@ -272,6 +309,7 @@ let assert_crash_recovery rig =
 let test_chaos_local () =
   let server, rig, outcome = run_chaos ~mount:false ~seed in
   assert_all_resolved outcome;
+  assert_trace_breakdowns outcome;
   let st = Server.stats server in
   check_bool "commits happened" true (st.Server.commits > 0);
   check_bool "acks released" true (st.Server.acked > 0);
@@ -284,6 +322,7 @@ let test_chaos_local () =
 let test_chaos_mounted () =
   let server, rig, outcome = run_chaos ~mount:true ~seed in
   assert_all_resolved outcome;
+  assert_trace_breakdowns outcome;
   let st = Server.stats server in
   check_bool "commits happened" true (st.Server.commits > 0);
   check_bool "acks released" true (st.Server.acked > 0);
@@ -458,6 +497,75 @@ let test_degraded_sheds_writes_serves_reads () =
   | _ -> Alcotest.fail "held write must resolve as explicit Nack");
   Server.stop server
 
+let test_slo_breach_degrades_and_dumps_flight () =
+  (* A stalled environment (the virtual clock jumps while writes sit in
+     queue) blows a tight write objective: the burn-rate alert must fire,
+     degrade the server with cause "slo", and freeze a readable flight
+     dump. *)
+  let rig = build ~seed () in
+  let clock = Hac.clock rig.hac in
+  let config =
+    {
+      Server.default_config with
+      slo_objectives = [ { Slo.op = "write"; latency_s = 0.5; goal = 0.9 } ];
+    }
+  in
+  let server = Server.create ~config rig.hac in
+  let dir =
+    let f = Filename.temp_file "hacslo" "" in
+    Sys.remove f;
+    Sys.mkdir f 0o700;
+    f
+  in
+  Flight.set_auto_dump (Server.flight server) (Some dir);
+  let writes =
+    List.init 4 (fun i ->
+        Server.submit server
+          ~session:(Printf.sprintf "w%d" i)
+          (Msg.W (Msg.Write (Printf.sprintf "/srv/slo%d.txt" i, "x\n"))))
+  in
+  Clock.advance clock 2.0;
+  Server.pump server;
+  List.iter
+    (fun (tk : Msg.ticket) ->
+      match tk.outcome with
+      | Some (Msg.Replied { latency_s; _ }) ->
+          check_bool "the stall shows in the latency" true (latency_s > 0.5)
+      | _ -> Alcotest.fail "stalled write must still resolve")
+    writes;
+  check_bool "burn-rate alert counted" true
+    (match Hac_obs.Metrics.find (Hac.metrics rig.hac) "slo.write.alerts" with
+    | Some (Hac_obs.Metrics.Counter_value n) -> n >= 1
+    | _ -> false);
+  check_bool "server degraded" true (Server.is_degraded server);
+  check_bool "degradation attributed to the slo cause" true
+    (List.mem "slo" (Server.degraded_causes server));
+  (* The breach froze the flight ring; the dump must read back. *)
+  let dumps =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f -> String.length f >= 7 && String.sub f 0 7 = "flight-")
+  in
+  check_bool "flight dump written" true (dumps <> []);
+  (match Flight.load (Filename.concat dir (List.hd dumps)) with
+  | Ok d ->
+      check_bool "dump names the slo breach" true
+        (let r = d.Flight.reason in
+         let n = String.length "slo breach" in
+         String.length r >= n && String.sub r 0 n = "slo breach");
+      check_bool "dump carries the run-up" true (d.Flight.events <> [])
+  | Error e -> Alcotest.fail ("flight dump unreadable: " ^ e));
+  (* Once the burst ages out of the fast window the server recovers. *)
+  Clock.advance clock 301.0;
+  let ok = Server.submit server ~session:"r" (Msg.R (Msg.Read rig.files.(0))) in
+  Server.pump server;
+  check_bool "read resolved during/after degradation" true (ok.outcome <> None);
+  check_bool "slo cause cleared once the window is clean" false
+    (List.mem "slo" (Server.degraded_causes server));
+  Server.drain server;
+  Server.stop server;
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
 (* -- deadline-slack accounting regression (satellite) ----------------------- *)
 
 let test_policy_slack_recorded_on_failures () =
@@ -490,6 +598,8 @@ let () =
           Alcotest.test_case "queue bound sheds" `Quick test_queue_bound_sheds;
           Alcotest.test_case "session suspension" `Quick test_session_suspension;
           Alcotest.test_case "degraded mode" `Quick test_degraded_sheds_writes_serves_reads;
+          Alcotest.test_case "slo breach degrades and dumps flight" `Quick
+            test_slo_breach_degrades_and_dumps_flight;
         ] );
       ( "chaos",
         [
