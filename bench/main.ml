@@ -63,6 +63,13 @@ let serve_json_path =
   | _ :: _ :: _ :: _ :: _ :: p :: _ -> p
   | _ -> "BENCH_serve.json"
 
+(* The storage tier's cold-mount and cache-residency study; a seventh .json
+   argv overrides. *)
+let store_json_path =
+  match List.filter (fun a -> Filename.check_suffix a ".json") (Array.to_list Sys.argv) with
+  | _ :: _ :: _ :: _ :: _ :: _ :: p :: _ -> p
+  | _ -> "BENCH_store.json"
+
 let banner title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -1729,6 +1736,159 @@ let serve_section () =
 
 (* ----------------------------- *)
 
+(* --------------------------------------------------------------------- *)
+(* Storage tier: checkpointed cold mount vs full journal replay, and the *)
+(* block cache's byte bound under a corpus larger than its budget        *)
+(* --------------------------------------------------------------------- *)
+
+(* A device with [records] journal records of churn history around a small
+   constant live state.  [checkpointed] also enables the tier and commits
+   the fast-mount image (checkpoint + compact), so a remount replays only
+   the consolidated log; without it a remount replays the whole history. *)
+let store_image ~records ~checkpointed =
+  let t = Hac.create ~stem:false () in
+  let fs = Hac.fs t in
+  Fs.mkdir_p fs "/data";
+  for i = 0 to 49 do
+    Hac.write_file t
+      (Printf.sprintf "/data/f%02d.txt" i)
+      (Printf.sprintf "alpha document %d with steady words" i)
+  done;
+  Hac.smkdir t "/sem" "alpha";
+  Hac.settle t;
+  if checkpointed then Hac.enable_store t;
+  for _ = 1 to records / 2 do
+    Hac.mkdir t "/churn";
+    Hac.rmdir t "/churn"
+  done;
+  Hac.settle t;
+  if checkpointed then begin
+    ignore (Hac.checkpoint t);
+    ignore (Hac.compact t)
+  end;
+  (* A small post-checkpoint delta, so the fast path really settles one. *)
+  Hac.write_file t "/data/tail.txt" "alpha tail";
+  Hac.settle t;
+  Hac.shutdown ~graceful:true t;
+  Image.dump fs
+
+let store_section () =
+  banner "Storage tier: O(delta) cold mount and the bounded block cache";
+  Printf.printf
+    "  A checkpointed device carries the directory-reconstruction image,\n\
+    \  the document table and immutable postings segments; Recover.mount\n\
+    \  rebuilds namespace and term directory from those in O(live entries)\n\
+    \  and demand-faults postings, instead of replaying the journal.\n\
+    \  Writes %s.\n\n"
+    store_json_path;
+  let sizes =
+    if smoke then [ 40; 120 ]
+    else if quick then [ 400; 1600 ]
+    else [ 1000; 10000; 100000 ]
+  in
+  let reps = if smoke then 3 else 5 in
+  let mount_points =
+    List.map
+      (fun records ->
+        let fast_img = store_image ~records ~checkpointed:true in
+        let full_img = store_image ~records ~checkpointed:false in
+        let load img =
+          match Image.load img with Ok fs -> fs | Error e -> failwith e
+        in
+        let mode = ref `Full in
+        let fast_once () =
+          let t, m = Recover.mount ~stem:false (load fast_img) in
+          mode := m;
+          Hac.shutdown ~graceful:false t
+        in
+        let full_once () =
+          let t = Hac.of_fs ~stem:false (load full_img) in
+          let (_ : Recover.reload_report) = Recover.reload_report t in
+          Hac.shutdown ~graceful:false t
+        in
+        let fast = List.init reps (fun _ -> Timer.time_only fast_once) in
+        let full = List.init reps (fun _ -> Timer.time_only full_once) in
+        (records, !mode, percentile fast 0.5, percentile full 0.5))
+      sizes
+  in
+  Printf.printf "  %-10s %-6s %14s %14s %10s\n" "records" "mode" "fast p50 (ms)"
+    "full p50 (ms)" "speedup";
+  List.iter
+    (fun (records, mode, fast, full) ->
+      Printf.printf "  %-10d %-6s %14.3f %14.3f %9.1fx\n" records
+        (match mode with `Fast -> "fast" | `Full -> "FULL")
+        (fast *. 1000.) (full *. 1000.)
+        (full /. fast))
+    mount_points;
+  let all_fast = List.for_all (fun (_, m, _, _) -> m = `Fast) mount_points in
+  shape "every checkpointed cold mount takes the fast path" all_fast;
+  let last l = List.nth l (List.length l - 1) in
+  let _, _, fast_max, full_max = last mount_points in
+  if not (smoke || quick) then
+    shape "fast mount >= 5x full replay at max history" (full_max >= 5. *. fast_max);
+  (* The cache bound: settle a corpus 4x the byte budget through the tier;
+     the resident gauge must never have exceeded the budget. *)
+  let budget = if smoke then 2048 else 64 * 1024 in
+  let body i = Printf.sprintf "file %05d carries %s padding words" i (String.make 120 'p') in
+  let n_docs = (4 * budget / String.length (body 0)) + 4 in
+  let t = Hac.create ~stem:false () in
+  Fs.mkdir_p (Hac.fs t) "/corpus";
+  Hac.enable_store ~budget t;
+  for i = 1 to n_docs do
+    Hac.write_file t (Printf.sprintf "/corpus/f%05d.txt" i) (body i)
+  done;
+  Hac.settle t;
+  for i = 1 to n_docs do
+    ignore (Hac.read_file t (Printf.sprintf "/corpus/f%05d.txt" i) : string)
+  done;
+  let gauge name =
+    match Metrics.find (Hac.metrics t) name with
+    | Some (Metrics.Gauge_value v) -> int_of_float v
+    | _ -> -1
+  in
+  let peak = gauge "store.cache.peak_bytes" in
+  let resident = gauge "store.cache.bytes" in
+  let corpus_bytes = n_docs * String.length (body 0) in
+  Printf.printf "\n  cache budget %d B, corpus %d B (%d docs): peak %d B, resident %d B\n"
+    budget corpus_bytes n_docs peak resident;
+  let within = peak >= 0 && peak <= budget && resident >= 0 && resident <= budget in
+  shape "peak resident cache bytes within budget over 4x corpus" within;
+  Hac.shutdown ~graceful:false t;
+  let b = Buffer.create 512 in
+  Printf.bprintf b "{\n";
+  Printf.bprintf b "  \"config\": { \"reps\": %d, \"live_files\": 50, \"mode\": \"%s\" },\n"
+    reps
+    (if smoke then "smoke" else if quick then "quick" else "full");
+  Printf.bprintf b "  \"mounts\": [\n";
+  List.iteri
+    (fun i (records, mode, fast, full) ->
+      Printf.bprintf b
+        "    { \"journal_records\": %d, \"fast_path\": %b, \"fast_mount_p50_s\": %.6f, \
+         \"full_replay_p50_s\": %.6f, \"mount_speedup\": %.3f }%s\n"
+        records
+        (mode = `Fast)
+        fast full (full /. fast)
+        (if i = List.length mount_points - 1 then "" else ","))
+    mount_points;
+  Printf.bprintf b "  ],\n";
+  Printf.bprintf b "  \"all_mounts_fast\": %b,\n" all_fast;
+  if not (smoke || quick) then
+    Printf.bprintf b "  \"speedup_ge_5_at_max_speedup\": %b,\n" (full_max >= 5. *. fast_max);
+  Printf.bprintf b "  \"cache_budget_bytes\": %d,\n" budget;
+  Printf.bprintf b "  \"cache_corpus_docs\": %d,\n" n_docs;
+  Printf.bprintf b "  \"cache_peak_bytes\": %d,\n" peak;
+  Printf.bprintf b "  \"cache_peak_within_budget\": %b\n" within;
+  Printf.bprintf b "}\n";
+  let payload = Buffer.contents b in
+  let oc = open_out store_json_path in
+  output_string oc payload;
+  close_out oc;
+  shape
+    (Printf.sprintf "storage-tier curve written to %s" store_json_path)
+    (String.length payload > 2
+    && payload.[0] = '{'
+    && payload.[String.length payload - 2] = '}')
+
 let () =
   if json_only then begin
     (* Machine-readable mode: only the sections that write (and self-check)
@@ -1739,6 +1899,7 @@ let () =
     recovery_section ();
     index_section ();
     serve_section ();
+    store_section ();
     Printf.printf "\ndone.\n"
   end
   else begin
@@ -1760,6 +1921,7 @@ let () =
     recovery_section ();
     index_section ();
     serve_section ();
+    store_section ();
     micro_benchmarks ();
     Printf.printf "\ndone.\n"
   end

@@ -25,6 +25,7 @@ type t = {
   mutable pass_caches : bool;
   mutable durability : [ `Always | `Batch ];
   mutable journal_epoch : int;
+  mutable store : Hac_store.Store.t option;
   instr : Instr.t;
 }
 
@@ -59,6 +60,7 @@ let create ?(block_size = 8) ?(stem = true) ?transducer ?(auto_sync = false) ?re
       pass_caches = true;
       durability = `Batch;
       journal_epoch = -1;
+      store = None;
       instr;
     }
   in
@@ -73,8 +75,26 @@ let force_full_sync t =
   t.needs_full_sync <- true;
   bump_generation t
 
-let reader t path =
+let fs_read t path =
   try Some (Hac_vfs.Fs.read_file t.fs path) with Hac_vfs.Errno.Error _ -> None
+
+(* Verification reads go through the block store's cache when the tier is
+   on.  Two guards keep that equivalent to reading the file itself: a dirty
+   path (changed since the last settle) must come from the tree — its block
+   holds the pre-change content — and the caller's read permission is
+   checked up front, since the block store is maintained by the superuser
+   and must not leak bodies the current user cannot open.  A block that
+   fails its seal (torn, rotted, swept) falls back to the tree. *)
+let reader t path =
+  match t.store with
+  | Some store when not (Hashtbl.mem t.dirty path) -> (
+      match Hac_index.Index.doc_of_path t.index path with
+      | Some id when Hac_vfs.Fs.access t.fs path 4 -> (
+          match Hac_store.Store.read_doc store id with
+          | Some content -> Some content
+          | None -> fs_read t path)
+      | _ -> fs_read t path)
+  | _ -> fs_read t path
 
 let semdir_of_uid t uid = Hashtbl.find_opt t.semdirs uid
 

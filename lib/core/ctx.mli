@@ -69,6 +69,11 @@ type t = {
   mutable journal_epoch : int;
       (** Epoch of the segment journal appends go to; [-1] until first
           resolved from the on-disk chain (see {!Journal.current_epoch}). *)
+  mutable store : Hac_store.Store.t option;
+      (** The durable storage tier, when enabled ({!Hac.enable_store}):
+          content block store behind a byte-bounded cache, on-disk postings
+          segments, and the fast-mount image.  [None] (the default) keeps
+          every structure memory-resident as before. *)
   instr : Instr.t;
       (** This instance's observability surface: metrics registry, tracer
           (virtual-clock timestamps) and pre-resolved instrument handles. *)
@@ -86,7 +91,11 @@ val create :
     {!Hac.of_fs} does that). *)
 
 val reader : t -> string -> string option
-(** Content reader over the local file system (None on any error). *)
+(** Content reader for verification ([None] on any error, including a read
+    the current user is not permitted).  With the storage tier on, clean
+    (non-dirty) indexed paths are served from the block store through its
+    cache; dirty paths, unknown paths and damaged blocks read the file
+    itself. *)
 
 val semdir_of_uid : t -> int -> Semdir.t option
 (** Semantic state of a directory, if it has a query. *)

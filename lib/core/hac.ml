@@ -27,8 +27,6 @@ let index (ctx : Ctx.t) = ctx.index
 
 let semdir_of_parent (ctx : Ctx.t) path = Ctx.semdir_of_path ctx (Vpath.dirname path)
 
-let mark_dirty (ctx : Ctx.t) path = Hashtbl.replace ctx.dirty path ()
-
 (* The epoch of the segment this instance appends to, resolved lazily from
    the on-disk chain (a fresh tree starts at 0 = dirs.log; a tree carrying
    checkpoints starts past the newest one). *)
@@ -48,6 +46,18 @@ let journal_append (ctx : Ctx.t) body =
       let path = journal_path ctx in
       Fs.append_file ctx.fs path (Journal.seal body ^ "\n");
       if ctx.durability = `Always then Fs.fsync ctx.fs path)
+
+(* Dirtying a path journals its first transition since the last settle
+   ([F <path>]), so recovery knows the exact set of paths whose index entry
+   may be stale: a fast mount re-reads only these instead of rescanning the
+   whole tree.  Re-dirtying an already-dirty path appends nothing and a
+   settle empties the set, so each epoch carries O(changed paths) F
+   records. *)
+let mark_dirty (ctx : Ctx.t) path =
+  if not (Hashtbl.mem ctx.dirty path) then begin
+    Hashtbl.replace ctx.dirty path ();
+    journal_append ctx ("F " ^ path)
+  end
 
 (* A settle's domain budget becomes a pool only when it actually buys
    parallelism; [None] keeps the engine on the exact sequential code path. *)
@@ -237,7 +247,13 @@ let on_event (ctx : Ctx.t) ev =
             | None -> ())
         | { Fs.st_kind = Event.File; _ } ->
             Index.rename_path ctx.index ~old_path:src ~new_path:dst;
-            rename_dirty ctx ~src ~dst
+            rename_dirty ctx ~src ~dst;
+            (* Directory records never mention files, so across a remount
+               the rename would be invisible to the journal; F records for
+               both ends make a fast mount forget the vanished source and
+               re-read the destination. *)
+            journal_append ctx ("F " ^ src);
+            journal_append ctx ("F " ^ dst)
         | { Fs.st_kind = Event.Link; _ } ->
             (match semdir_of_parent ctx src with
             | Some sd -> record_link_removal ctx sd src
@@ -275,6 +291,97 @@ let of_fs ?block_size ?stem ?transducer ?auto_sync ?reindex_every fs =
         | Event.Link -> ());
   setup ctx
 
+(* O(delta) mount: rebuild the namespace and index skeleton from the
+   checkpoint's reconstruction images — the journal's uid map for
+   directories, the store's document table for files — instead of
+   re-reading and re-tokenizing every document.  The walk below touches
+   only metadata; postings stay on disk, demand-faulted per term through
+   the index's cold provider.  Anything the images cannot vouch for —
+   damaged tail records, post-checkpoint namespace surgery (M/X records),
+   a missing or epoch-stale document table, a store lineage mismatch —
+   aborts with [Error], and the caller falls back to the full
+   {!of_fs} + {!Recover.reload_report} oracle. *)
+let fast_adopt ?block_size ?stem ?transducer ?auto_sync ?reindex_every ?budget fs :
+    (t * (int * string) list, string) result =
+  let chain = Journal.read_chain fs in
+  match chain.Journal.checkpoint with
+  | None -> Error "no readable checkpoint"
+  | Some (epoch, _) -> (
+      let r = Journal.replay_chain chain in
+      if r.Journal.corrupt > 0 || r.Journal.malformed > 0 then
+        Error "journal tail carries damaged records"
+      else if r.Journal.seg_moved > 0 then
+        Error "post-checkpoint rename or removal (M/X) in the tail"
+      else
+        match Hac_store.Store.read_docs fs with
+        | None -> Error "document table missing or damaged"
+        | Some docs when docs.Hac_store.Store.epoch <> epoch ->
+            Error "document table does not match the checkpoint epoch"
+        | Some docs -> (
+            let ctx =
+              Ctx.create ?block_size ?stem ?transducer ?auto_sync ?reindex_every fs
+            in
+            match
+              Hac_store.Store.attach ?budget ~metrics:ctx.instr.Instr.metrics
+                ~lineage:docs.Hac_store.Store.lineage fs
+            with
+            | Error e -> Error e
+            | Ok store ->
+                Uidmap.reserve ctx.uids (Journal.max_uid fs);
+                let by_path = Hashtbl.create 256 in
+                Hashtbl.iter
+                  (fun uid p -> Hashtbl.replace by_path p uid)
+                  r.Journal.map;
+                let doc_rows = Hashtbl.create 1024 in
+                List.iter
+                  (fun (id, key, p) -> Hashtbl.replace doc_rows p (id, key))
+                  docs.Hac_store.Store.rows;
+                Index.reserve_doc_ids ctx.index docs.Hac_store.Store.next;
+                Fs.walk fs Vpath.root (fun path st ->
+                    if not (Vpath.is_prefix ~prefix:Sync.meta_root path) then
+                      match st.Fs.st_kind with
+                      | Event.Dir -> (
+                          (* Keep the journaled uid so recovered structure
+                             files and queries resolve; a directory the
+                             journal has never heard of (its D record was
+                             not yet durable) registers fresh, as the full
+                             oracle would. *)
+                          match Hashtbl.find_opt by_path path with
+                          | Some uid -> Uidmap.adopt ctx.uids uid path
+                          | None -> ignore (Uidmap.register ctx.uids path))
+                      | Event.File -> (
+                          match Hashtbl.find_opt doc_rows path with
+                          | Some (id, key) ->
+                              Index.adopt_document ctx.index ~id ~path;
+                              Option.iter
+                                (Hac_store.Store.adopt_doc_key store id)
+                                key
+                          | None ->
+                              (* Unknown to the table: created since the
+                                 checkpoint — index it on first settle. *)
+                              Hashtbl.replace ctx.dirty path ())
+                      | Event.Link -> ());
+                (* The journaled dirty delta (F records): re-read exactly
+                   the paths touched since the last settle.  A source that
+                   vanished (delete, rename away) was simply never adopted
+                   above — nothing to forget. *)
+                Hashtbl.iter
+                  (fun p () ->
+                    match Fs.lstat fs p with
+                    | { Fs.st_kind = Event.File; _ } ->
+                        Hashtbl.replace ctx.dirty p ()
+                    | _ -> ()
+                    | exception Hac_vfs.Errno.Error _ -> ())
+                  r.Journal.files;
+                Index.set_cold ctx.index
+                  ~lookup:(fun key ->
+                    Hac_store.Store.cold_lookup store key ~universe:(fun () ->
+                        Index.universe ctx.index))
+                  ~cost:(Hac_store.Store.cold_cost store)
+                  ~words:(fun () -> Hac_store.Store.cold_words store);
+                ctx.store <- Some store;
+                Ok (setup ctx, Journal.semantic_entries r)))
+
 let shutdown ?(graceful = true) (ctx : Ctx.t) =
   if ctx.alive then begin
     if graceful then settle ctx;
@@ -286,6 +393,36 @@ let set_durability (ctx : Ctx.t) d = ctx.durability <- d
 let durability (ctx : Ctx.t) = ctx.durability
 
 let journal_epoch (ctx : Ctx.t) = ensure_epoch ctx
+
+(* -- the durable storage tier ----------------------------------------------
+
+   Off by default: every structure stays memory-resident exactly as before,
+   and nothing under [/.hac/store] exists.  Enabling the tier backs every
+   live document with a content-addressed block (verification reads then go
+   through the byte-bounded cache, see {!Ctx.reader}), and makes each
+   checkpoint additionally persist the postings segments and the document
+   table that the O(delta) fast mount rebuilds from. *)
+
+let enable_store ?budget (ctx : Ctx.t) =
+  if ctx.store = None then
+    Ctx.with_maintenance ctx (fun () ->
+        let store =
+          Hac_store.Store.create ?budget ~metrics:ctx.instr.Instr.metrics ctx.fs
+        in
+        (* Seed eagerly: tier on means every live doc is block-backed, so a
+           reader never has to decide per-doc whether the store is
+           authoritative. *)
+        Index.iter_live ctx.index (fun id path ->
+            match
+              try Some (Fs.read_file ctx.fs path) with Hac_vfs.Errno.Error _ -> None
+            with
+            | Some content -> Hac_store.Store.put_doc store id content
+            | None -> ());
+        ctx.store <- Some store)
+
+let store_enabled (ctx : Ctx.t) = ctx.store <> None
+
+let store (ctx : Ctx.t) = ctx.store
 
 (* -- plain fs wrappers ----------------------------------------------------- *)
 
@@ -735,6 +872,12 @@ let do_checkpoint (ctx : Ctx.t) =
             (fun uid _ ->
               Buffer.add_string b (Journal.seal (Printf.sprintf "S %d" uid) ^ "\n"))
             ctx.semdirs;
+          (* Paths still dirty at checkpoint time carry over: without them a
+             remount from this checkpoint alone would believe the index
+             entries are fresh. *)
+          Hashtbl.iter
+            (fun p () -> Buffer.add_string b (Journal.seal ("F " ^ p) ^ "\n"))
+            ctx.dirty;
           let img = Fs.create () in
           Fs.write_file img "/dirs.log" (Buffer.contents b);
           Hashtbl.iter
@@ -748,6 +891,33 @@ let do_checkpoint (ctx : Ctx.t) =
             ctx.semdirs;
           let sealed = Journal.seal_blob (Hac_vfs.Image.dump img) in
           if not (Fs.is_dir ctx.fs Sync.meta_root) then Fs.mkdir_p ctx.fs Sync.meta_root;
+          (* With the tier on, the checkpoint also commits the fast-mount
+             image: the resident postings as an immutable segment, then the
+             document table stamped with this epoch.  Both are published
+             before the checkpoint's commit rename — the simulated disk
+             persists in order, so a durable checkpoint implies a durable
+             table; a crash in between leaves an epoch mismatch that sends
+             the next mount to the full oracle.  The segment dump replaces
+             the whole set only when no cold provider is installed (the
+             resident index then covers every live doc); after a fast mount
+             the residents are just the delta, appended as a new segment for
+             the compactor to fold in. *)
+          (match ctx.store with
+          | None -> ()
+          | Some store ->
+              let entries = ref [] in
+              Index.iter_cas_terms ctx.index (fun key ids ->
+                  entries := (key, Fileset.elements ids) :: !entries);
+              let entries = List.sort compare !entries in
+              let replace = not (Index.has_cold ctx.index) in
+              if entries <> [] || replace then
+                ignore (Hac_store.Store.dump_segment store ~replace entries : string);
+              let rows = ref [] in
+              Index.iter_live ctx.index (fun id path ->
+                  rows := (id, Hac_store.Store.doc_key store id, path) :: !rows);
+              Hac_store.Store.write_docs store ~epoch
+                ~next:(Index.next_doc_id ctx.index)
+                (List.rev !rows));
           Fs.write_file ctx.fs Journal.checkpoint_tmp sealed;
           Fs.fsync ctx.fs Journal.checkpoint_tmp;
           Fs.rename ctx.fs ~src:Journal.checkpoint_tmp ~dst:(Journal.checkpoint_path epoch);
@@ -802,6 +972,15 @@ let compact (ctx : Ctx.t) =
                     rm (Sync.meta_root ^ "/" ^ name)
                 | Some _ | None -> ())
               (Fs.readdir ctx.fs Sync.meta_root));
+      (* The storage tier compacts alongside: fold the postings segments
+         into one (size-tiered merge, publishing a fresh segment and
+         manifest before the olds are unlinked) and sweep unreferenced
+         blocks and abandoned scratch. *)
+      (match ctx.store with
+      | None -> ()
+      | Some store ->
+          ignore (Hac_store.Store.merge store : bool);
+          removed := !removed + Hac_store.Store.sweep store);
       if !removed > 0 then Hac_obs.Metrics.incr ctx.instr.Instr.journal_compactions;
       !removed)
 

@@ -45,6 +45,30 @@ val of_fs :
 (** Adopt an existing file system: registers every directory in the global
     uid map and indexes every regular file. *)
 
+val fast_adopt :
+  ?block_size:int ->
+  ?stem:bool ->
+  ?transducer:Hac_index.Transducer.t ->
+  ?auto_sync:bool ->
+  ?reindex_every:int ->
+  ?budget:int ->
+  Hac_vfs.Fs.t ->
+  (t * (int * string) list, string) result
+(** O(delta) adoption of a tree a previous store-enabled life checkpointed:
+    rebuilds the namespace from the journal's uid map and the index
+    skeleton from the store's document table, touching only metadata —
+    file bodies are never read or re-tokenized, and postings stay on disk,
+    demand-faulted per term ({!Hac_index.Index.set_cold}).  Paths the
+    journal flagged dirty ([F] records) are queued for re-read on the
+    first settle.  Returns the instance (with the storage tier attached)
+    and the chain's semantic [(uid, path)] entries, whose structure files
+    the caller should restore ({!Recover.mount} drives this and falls back
+    to {!of_fs} + {!Recover.reload_report} on [Error]).  Refuses —
+    [Error reason] — when there is no readable checkpoint, the tail
+    carries damaged or namespace-surgery records, or the document table or
+    store manifest is missing, damaged, or from another epoch/lineage.
+    [budget] bounds the block cache as in {!enable_store}. *)
+
 val shutdown : ?graceful:bool -> t -> unit
 (** Stop this instance: it no longer observes the file system (simulating
     the user-level library going away).  With [graceful] (default) pending
@@ -269,6 +293,27 @@ val compact : t -> int
 
 val journal_epoch : t -> int
 (** Epoch of the segment journal appends currently go to. *)
+
+(** {1 The durable storage tier}
+
+    Off by default (every structure memory-resident, exactly the classic
+    behaviour).  Enabled, the tier backs every live document with a
+    content-addressed block under [/.hac/store] — verification reads are
+    served through a byte-bounded LRU cache — and each checkpoint
+    additionally persists the postings as immutable segments plus the
+    document table that {!fast_adopt} rebuilds from. *)
+
+val enable_store : ?budget:int -> t -> unit
+(** Turn the tier on (idempotent): creates the block store, opens a fresh
+    segment lineage, and eagerly seeds a block for every currently-live
+    document.  [budget] bounds the block cache in payload bytes (default
+    4 MiB). *)
+
+val store_enabled : t -> bool
+(** Whether the storage tier is on. *)
+
+val store : t -> Hac_store.Store.t option
+(** The tier itself, for introspection (cache and segment accounting). *)
 
 val checkpoint_metadata : t -> unit
 (** Re-key the on-"disk" metadata area around this instance's uids by

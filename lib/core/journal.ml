@@ -19,6 +19,7 @@ let parse = Seal.parse
      M <uid> <path>     directory (and hence its subtree) moved here
      S <uid>            directory became semantic
      X <uid>            directory removed
+     F <path>           file content changed since the last settle
    Replaying yields the uid -> path map plus the set of uids that were
    semantic, as of the last intact record.  Corrupt and malformed lines are
    counted and skipped — every intact record still applies. *)
@@ -26,20 +27,26 @@ let parse = Seal.parse
 type replay = {
   map : (int, string) Hashtbl.t;
   sem : (int, unit) Hashtbl.t;
+  files : (string, unit) Hashtbl.t;
   mutable applied : int;
   mutable corrupt : int;
   mutable malformed : int;
   mutable seg_applied : int;
+  mutable moved : int;
+  mutable seg_moved : int;
 }
 
 let replay_create () =
   {
     map = Hashtbl.create 64;
     sem = Hashtbl.create 16;
+    files = Hashtbl.create 16;
     applied = 0;
     corrupt = 0;
     malformed = 0;
     seg_applied = 0;
+    moved = 0;
+    seg_moved = 0;
   }
 
 let replay_text r text =
@@ -70,8 +77,12 @@ let replay_text r text =
         match int_of_string_opt uid with
         | Some uid ->
             r.applied <- r.applied + 1;
+            r.moved <- r.moved + 1;
             apply_move uid (String.concat " " rest)
         | None -> r.malformed <- r.malformed + 1)
+    | "F" :: rest when rest <> [] ->
+        r.applied <- r.applied + 1;
+        Hashtbl.replace r.files (String.concat " " rest) ()
     | [ "S"; uid ] -> (
         match int_of_string_opt uid with
         | Some uid ->
@@ -82,6 +93,7 @@ let replay_text r text =
         match int_of_string_opt uid with
         | Some uid ->
             r.applied <- r.applied + 1;
+            r.moved <- r.moved + 1;
             Hashtbl.remove r.map uid;
             Hashtbl.remove r.sem uid
         | None -> r.malformed <- r.malformed + 1)
@@ -133,20 +145,37 @@ let checkpoint_tmp = meta_root ^ "/ckpt.tmp"
 
 type file_class = Segment of int | Checkpoint of int | Other
 
+(* Epoch numbers are zero-padded to six digits but not bounded by them:
+   epoch 10^6 writes [seg-1000000.log], one character longer.  Parse the
+   digit run between prefix and suffix whatever its width — and compare
+   epochs numerically, never file names lexicographically (where
+   [seg-1000000.log] would sort {e before} [seg-999999.log] and a scan
+   keyed on names would replay the chain out of order). *)
+let parse_epoch name ~prefix ~suffix =
+  let pl = String.length prefix
+  and sl = String.length suffix
+  and nl = String.length name in
+  if
+    nl > pl + sl
+    && String.sub name 0 pl = prefix
+    && String.sub name (nl - sl) sl = suffix
+  then
+    let mid = String.sub name pl (nl - pl - sl) in
+    if String.for_all (fun c -> c >= '0' && c <= '9') mid then
+      int_of_string_opt mid (* None on int overflow *)
+    else None
+  else None
+
 let classify name =
-  let num off len = int_of_string_opt (String.sub name off len) in
   if name = "dirs.log" then Segment 0
-  else if
-    String.length name = 14
-    && String.sub name 0 4 = "seg-"
-    && String.sub name 10 4 = ".log"
-  then match num 4 6 with Some e when e > 0 -> Segment e | _ -> Other
-  else if
-    String.length name = 15
-    && String.sub name 0 5 = "ckpt-"
-    && String.sub name 11 4 = ".img"
-  then match num 5 6 with Some e when e >= 0 -> Checkpoint e | _ -> Other
-  else Other
+  else
+    match parse_epoch name ~prefix:"seg-" ~suffix:".log" with
+    | Some e when e > 0 -> Segment e
+    | Some _ -> Other
+    | None -> (
+        match parse_epoch name ~prefix:"ckpt-" ~suffix:".img" with
+        | Some e -> Checkpoint e
+        | None -> Other)
 
 let sd_uid_of_name name =
   (* "sd-<uid>.<suffix>" — per-directory structure files. *)
@@ -228,9 +257,10 @@ let replay_chain chain =
       match read_opt img "/dirs.log" with
       | Some text -> replay_text r text
       | None -> ()));
-  let base = r.applied in
+  let base = r.applied and base_moved = r.moved in
   List.iter (fun (_, text) -> replay_text r text) chain.segments;
   r.seg_applied <- r.applied - base;
+  r.seg_moved <- r.moved - base_moved;
   r
 
 (* Highest uid any on-disk metadata mentions — consolidated or not, live
@@ -245,7 +275,8 @@ let max_uid fs =
            match parse line with
            | Valid body -> (
                match String.split_on_char ' ' (String.trim body) with
-               | _ :: uid :: _ -> ( match int_of_string_opt uid with Some u -> see u | None -> ())
+               | ("D" | "M" | "S" | "X") :: uid :: _ -> (
+                   match int_of_string_opt uid with Some u -> see u | None -> ())
                | _ -> ())
            | Corrupt _ | Blank -> ())
   in

@@ -35,17 +35,25 @@ val parse : string -> line
 
     Record grammar (one sealed line each): [D <uid> <path>] directory
     created, [M <uid> <path>] directory moved here (subtree follows),
-    [S <uid>] directory became semantic, [X <uid>] directory removed. *)
+    [S <uid>] directory became semantic, [X <uid>] directory removed,
+    [F <path>] file content changed since the last settle (the dirty
+    delta a fast mount must re-read instead of rescanning the tree). *)
 
 type replay = {
   map : (int, string) Hashtbl.t;  (** uid → current path. *)
   sem : (int, unit) Hashtbl.t;  (** uids flagged semantic. *)
+  files : (string, unit) Hashtbl.t;  (** Paths named by [F] records. *)
   mutable applied : int;  (** Intact records applied. *)
   mutable corrupt : int;  (** Lines failing their checksum. *)
   mutable malformed : int;  (** Sealed lines whose body didn't parse. *)
   mutable seg_applied : int;
       (** Of [applied], how many came from post-checkpoint segments (the
           delta a checkpoint did not cover) — filled by {!replay_chain}. *)
+  mutable moved : int;  (** [M]/[X] records applied (namespace surgery). *)
+  mutable seg_moved : int;
+      (** Of [moved], how many came from post-checkpoint segments — when
+          non-zero, checkpoint-resident paths may be stale and a fast
+          mount must fall back to the full oracle. *)
 }
 
 val replay_create : unit -> replay
@@ -77,7 +85,9 @@ val checkpoint_tmp : string
 type file_class = Segment of int | Checkpoint of int | Other
 
 val classify : string -> file_class
-(** What role a file name under {!meta_root} plays in the chain. *)
+(** What role a file name under {!meta_root} plays in the chain.  Epoch
+    numbers of any width parse ([seg-1000000.log] is [Segment 1000000],
+    not [Other]); ordering is by parsed epoch, never by file name. *)
 
 val sd_uid_of_name : string -> int option
 (** The uid of a per-directory structure file name ([sd-<uid>.<suffix>]). *)

@@ -35,9 +35,11 @@ let record_replay_metrics t (chain : Journal.chain) (r : Journal.replay) =
   Hac_obs.Metrics.incr ~by:r.Journal.applied i.Instr.journal_replay_applied;
   Hac_obs.Metrics.incr ~by:r.Journal.corrupt i.Instr.journal_replay_corrupt;
   Hac_obs.Metrics.incr ~by:r.Journal.malformed i.Instr.journal_replay_malformed;
-  Hac_obs.Metrics.incr
-    ~by:(r.Journal.corrupt + r.Journal.malformed)
-    i.Instr.recover_records_skipped;
+  (* [recover.records_skipped] is deliberately NOT incremented here: this
+     function runs once per {e replay}, and a recovery may replay the chain
+     more than once (a diagnostic {!journal_report} probe before the
+     reload, or a checkpoint-copy fallback after a torn live structure).
+     The recovery entry points count each damaged record exactly once. *)
   Hac_obs.Metrics.set i.Instr.recover_segments_replayed
     (float_of_int (List.length chain.Journal.segments));
   Hac_obs.Metrics.set i.Instr.recover_checkpoint_age (float_of_int r.Journal.seg_applied);
@@ -108,11 +110,12 @@ let structures_of fs ~root uid =
         in
         Some (query, permanent, prohibited)
 
-let reload_report t =
-  Hac_obs.Trace.with_span (Hac.tracer t) ~name:"recover.reload" (fun () ->
-  let chain, r = chain_replay t in
-  record_replay_metrics t chain r;
-  let journal = report_of_replay r in
+(* Restore the given semantic [(uid, path)] entries' structures.  Snapshot
+   every candidate's structures first: restoring persists fresh metadata,
+   which must never be re-read as recovered input.  Live files are
+   preferred (they carry post-checkpoint settles); the checkpoint's copies
+   back them up when the live file was torn, rotted or lost. *)
+let restore_entries t (chain : Journal.chain) entries =
   let fs = Hac.fs t in
   let live_root = Journal.meta_root ^ "/" in
   let blob_structures uid =
@@ -120,23 +123,6 @@ let reload_report t =
     | None -> None
     | Some (_, img) -> structures_of img ~root:"/" uid
   in
-  (* Which uids were semantic?  Chains written by this code flag them with
-     S records; a legacy chain (no S record anywhere) falls back to the old
-     inference — a structure file exists for the uid. *)
-  let legacy = Hashtbl.length r.Journal.sem = 0 in
-  let entries =
-    if not legacy then Journal.semantic_entries r
-    else
-      Hashtbl.fold
-        (fun uid path acc ->
-          if structures_of fs ~root:live_root uid <> None then (uid, path) :: acc else acc)
-        r.Journal.map []
-      |> List.sort compare
-  in
-  (* Snapshot every candidate's structures first: restoring persists fresh
-     metadata, which must never be re-read as recovered input.  Live files
-     are preferred (they carry post-checkpoint settles); the checkpoint's
-     copies back them up when the live file was torn, rotted or lost. *)
   let plan =
     List.filter_map
       (fun (uid, path) ->
@@ -164,16 +150,83 @@ let reload_report t =
         incr skipped)
     plan;
   Hac_obs.Metrics.incr ~by:!skipped (Hac.instr t).Instr.recover_dirs_skipped;
+  (!restored, !skipped)
+
+let reload_report t =
+  Hac_obs.Trace.with_span (Hac.tracer t) ~name:"recover.reload" (fun () ->
+  let chain, r = chain_replay t in
+  record_replay_metrics t chain r;
+  (* Once per recovery, whatever mix of probes, replays and checkpoint-copy
+     fallbacks it took to get here: each damaged record is one skip. *)
+  Hac_obs.Metrics.incr
+    ~by:(r.Journal.corrupt + r.Journal.malformed)
+    (Hac.instr t).Instr.recover_records_skipped;
+  let journal = report_of_replay r in
+  let fs = Hac.fs t in
+  let live_root = Journal.meta_root ^ "/" in
+  (* Which uids were semantic?  Chains written by this code flag them with
+     S records; a legacy chain (no S record anywhere) falls back to the old
+     inference — a structure file exists for the uid. *)
+  let legacy = Hashtbl.length r.Journal.sem = 0 in
+  let entries =
+    if not legacy then Journal.semantic_entries r
+    else
+      Hashtbl.fold
+        (fun uid path acc ->
+          if structures_of fs ~root:live_root uid <> None then (uid, path) :: acc else acc)
+        r.Journal.map []
+      |> List.sort compare
+  in
+  let restored, skipped = restore_entries t chain entries in
   Hac.sync_all t;
   (* The old instance's identifiers are dead; re-key the metadata area
      (atomically — a crash mid-recovery leaves the old chain intact). *)
   Hac.checkpoint_metadata t;
   {
-    restored = !restored;
-    skipped = !skipped;
+    restored;
+    skipped;
     journal;
     segments_replayed = List.length chain.Journal.segments;
     checkpoint_epoch = Option.map fst chain.Journal.checkpoint;
   })
 
 let reload t = (reload_report t).restored
+
+(* -- mounting a tree ------------------------------------------------------- *)
+
+(* The O(delta) mount: try {!Hac.fast_adopt} — namespace and index skeleton
+   from the checkpoint's reconstruction images, postings demand-faulted
+   from the store's segments — and fall back to the full oracle
+   ({!Hac.of_fs} + {!reload_report}, which re-reads and re-tokenizes every
+   document) whenever the images cannot vouch for the tree.  Either way
+   the instance comes back with the storage tier enabled. *)
+let mount ?block_size ?stem ?transducer ?auto_sync ?reindex_every ?budget fs =
+  let t0 = Sys.time () in
+  let finish t mode =
+    (match Hac.store t with
+    | Some store ->
+        let si = Hac_store.Store.instr store in
+        Hac_obs.Metrics.set si.Hac_store.Store.mount_reconstruct_ms
+          ((Sys.time () -. t0) *. 1000.);
+        if mode = `Full then Hac_obs.Metrics.incr si.Hac_store.Store.mount_fallbacks
+    | None -> ());
+    (t, mode)
+  in
+  match
+    Hac.fast_adopt ?block_size ?stem ?transducer ?auto_sync ?reindex_every ?budget fs
+  with
+  | Ok (t, entries) ->
+      let chain, r = chain_replay t in
+      record_replay_metrics t chain r;
+      (* fast_adopt refused any chain with damaged records, so there are
+         no skips to count on this path. *)
+      ignore (restore_entries t chain entries : int * int);
+      (* Process the journaled dirty delta now: the instance returns with
+         index and query results consistent with the tree. *)
+      Hac.settle t;
+      finish t `Fast
+  | Error _reason ->
+      let t = Hac.of_fs ?block_size ?stem ?transducer ?auto_sync ?reindex_every fs in
+      let (_ : reload_report) = reload_report t in
+      Hac.enable_store ?budget t;
+      finish t `Full

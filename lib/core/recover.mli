@@ -50,7 +50,32 @@ val reload_report : Hac.t -> reload_report
 
 val journal_report : Hac.t -> journal_report
 (** Verify the directory journal chain (checkpoint base plus every newer
-    segment) without restoring anything. *)
+    segment) without restoring anything.  A probe: it does not count toward
+    [recover.records_skipped] — only an actual recovery
+    ({!reload_report} / {!mount}) does, once per damaged record, however
+    many times the chain ends up replayed. *)
+
+val mount :
+  ?block_size:int ->
+  ?stem:bool ->
+  ?transducer:Hac_index.Transducer.t ->
+  ?auto_sync:bool ->
+  ?reindex_every:int ->
+  ?budget:int ->
+  Hac_vfs.Fs.t ->
+  Hac.t * [ `Fast | `Full ]
+(** Bring a tree back up with the storage tier enabled.  [`Fast] is the
+    O(delta) path ({!Hac.fast_adopt}): namespace and index skeleton rebuilt
+    from the checkpoint's reconstruction images, semantic structures
+    restored (live files preferred, checkpoint copies as fallback), then
+    one settle over the journaled dirty delta — no document is re-read
+    beyond that delta, postings load lazily from the store's segments.
+    [`Full] is the fallback oracle — {!Hac.of_fs} + {!reload_report}, then
+    {!Hac.enable_store} on a fresh lineage — taken whenever the images
+    cannot vouch for the tree (no readable checkpoint, damaged tail
+    records, post-checkpoint renames, missing/stale document table or
+    manifest).  Sets [store.mount.reconstruct_ms] and counts
+    [store.mount.fallbacks]. *)
 
 val replay_journal : string -> (int, string) Hashtbl.t
 (** Replay raw journal text to the uid → path map it describes, skipping

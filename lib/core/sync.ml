@@ -908,7 +908,9 @@ let reindex_with_delta (ctx : Ctx.t) ?under () =
   let removed = ref Fileset.empty in
   let forget path =
     (match Index.doc_of_path ctx.index path with
-    | Some id -> removed := Fileset.add !removed id
+    | Some id ->
+        removed := Fileset.add !removed id;
+        Option.iter (fun s -> Hac_store.Store.forget_doc s id) ctx.store
     | None -> ());
     Index.remove_path ctx.index path
   in
@@ -918,7 +920,17 @@ let reindex_with_delta (ctx : Ctx.t) ?under () =
       if Fs.is_file ctx.fs path then
         match read_interposed path with
         | content ->
-            touched := Fileset.add !touched (Index.update_document ctx.index ~path ~content)
+            let id = Index.update_document ctx.index ~path ~content in
+            touched := Fileset.add !touched id;
+            (* The settled body becomes the block store's copy — from here
+               until the path dirties again, verification reads serve from
+               the cache instead of the tree.  Maintenance mode: the block
+               put's own mkdir/write/rename must not echo back into the
+               event stream as user activity (and into the journal). *)
+            Option.iter
+              (fun s ->
+                Ctx.with_maintenance ctx (fun () -> Hac_store.Store.put_doc s id content))
+              ctx.store
         | exception Hac_vfs.Errno.Error (Hac_vfs.Errno.EACCES, _) ->
             (* The current user may not read it, so it cannot be indexed
                under their credentials (security borrowed from the OS). *)

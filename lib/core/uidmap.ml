@@ -27,6 +27,19 @@ let register t path =
       Hashtbl.replace t.by_uid uid path;
       uid
 
+let adopt t uid path =
+  if uid < 0 then invalid_arg "Uidmap.adopt: negative uid";
+  let path = Vpath.normalize path in
+  (match Hashtbl.find_opt t.by_path path with
+  | Some old when old <> uid -> Hashtbl.remove t.by_uid old
+  | _ -> ());
+  (match Hashtbl.find_opt t.by_uid uid with
+  | Some old_path when old_path <> path -> Hashtbl.remove t.by_path old_path
+  | _ -> ());
+  Hashtbl.replace t.by_path path uid;
+  Hashtbl.replace t.by_uid uid path;
+  reserve t uid
+
 let uid_of_path t path = Hashtbl.find_opt t.by_path (Vpath.normalize path)
 
 let path_of_uid t uid = Hashtbl.find_opt t.by_uid uid

@@ -23,6 +23,13 @@ val reserve : t -> int -> unit
     new instance's uids never alias a previous life's (stale structure
     files keyed by old uids must stay unreadable, not be misread). *)
 
+val adopt : t -> int -> string -> unit
+(** [adopt t uid path] binds the directory to a {e given} uid — the
+    fast-mount path, replaying the journal's uid→path map so recovered
+    structure files and queries keep resolving.  Displaces any stale binding
+    of either side and reserves past [uid].  Raises [Invalid_argument] on a
+    negative uid. *)
+
 val uid_of_path : t -> string -> int option
 (** Lookup by (normalized) path. *)
 

@@ -453,3 +453,184 @@ let summary o =
       (fun v -> Buffer.add_string b (Printf.sprintf "VIOLATION at %s: %s\n" v.point v.what))
       o.violations;
   Buffer.contents b
+
+(* -- the storage-tier sweep -------------------------------------------------
+
+   Same machinery, pointed at the durable storage tier: a workload that
+   enables the tier mid-run (block puts, a checkpoint committing the
+   postings segment and document table, a compaction sweeping scratch),
+   crashed at every op boundary plus torn/flipped variants.  Every crash
+   state is recovered twice — through the full oracle ({!check}, exactly as
+   the base sweep) and through {!Hac_core.Recover.mount}, whose fast path
+   rebuilds from the reconstruction images and must fall back whenever the
+   images cannot vouch for the bytes.  At settle boundaries the two
+   recoveries must agree exactly; in between, each must independently
+   satisfy every invariant.  A second phase grows a second postings
+   segment (a fast mount installs the cold provider, so the next
+   checkpoint appends a delta) and crashes inside the compaction that
+   merges them — the segment-merge commit points. *)
+
+type store_outcome = {
+  st_seed : int;
+  st_ops : int;
+  st_points : int;  (** Crash states swept (each recovered both ways). *)
+  st_boundary_points : int;  (** Points where mount and oracle were compared. *)
+  st_merge_points : int;  (** Crash states inside the segment merge phase. *)
+  st_fast_mounts : int;
+  st_full_mounts : int;
+  st_violations : violation list;
+}
+
+(* Budget of 64 payload bytes: the bodies below are ~16 bytes each, so the
+   cache holds only a few blocks and the sweep exercises eviction too. *)
+let store_steps t =
+  [
+    ("seed files", fun () ->
+        Hac.mkdir t "/docs";
+        Hac.write_file t "/docs/a.txt" "alpha notes here";
+        Hac.write_file t "/docs/b.txt" "beta draft notes");
+    ("enable store", fun () -> Hac.enable_store ~budget:64 t);
+    ("smkdir alpha", fun () -> Hac.smkdir t "/alpha" "alpha");
+    ("grow corpus", fun () -> Hac.write_file t "/docs/c.txt" "alpha beta mixed");
+    ("checkpoint", fun () -> ignore (Hac.checkpoint t));
+    ("post-checkpoint file", fun () -> Hac.write_file t "/docs/d.txt" "alpha again");
+    ("overwrite", fun () -> Hac.write_file t "/docs/a.txt" "alpha revised now");
+    ("rename file", fun () -> Hac.rename t ~src:"/docs/b.txt" ~dst:"/docs/bb.txt");
+    ("compact", fun () -> ignore (Hac.compact t));
+    ("tail file", fun () -> Hac.write_file t "/docs/e.txt" "beta finale");
+  ]
+
+let check_mount ~legal ~add point fs =
+  match Recover.mount ~budget:64 fs with
+  | exception e ->
+      add point (Printf.sprintf "mount raised %s" (Printexc.to_string e));
+      None
+  | t, mode ->
+      let st = state_of t in
+      Hac.sync_all t;
+      let st' = state_of t in
+      if st <> st' then
+        add point ("mounted state is not a settle fixpoint: " ^ diff_states st st');
+      List.iter
+        (fun d ->
+          if not (Hashtbl.mem legal (d.path, d.query)) then
+            add point
+              (Printf.sprintf "mounted (%s, %s) was never an acknowledged state" d.path
+                 d.query))
+        st;
+      Hac.shutdown ~graceful:false t;
+      Some (mode, st)
+
+let store_merge_crash_points ~seed ~add (rec_main : recording) =
+  let base_ops = rec_main.all_ops in
+  let legal = Hashtbl.copy rec_main.legal in
+  let fs0 = Sim.replay base_ops in
+  let store2 = Store.create ~seed () in
+  Fs.attach_disk fs0 store2;
+  let t, mode = Recover.mount ~budget:64 fs0 in
+  if mode <> `Fast then
+    add "merge base" "expected a fast mount of the recorded final state";
+  Hac.write_file t "/docs/m.txt" "alpha merge fodder";
+  ignore (Hac.checkpoint t);
+  List.iter (fun d -> Hashtbl.replace legal (d.path, d.query) ()) (state_of t);
+  (match Hac.store t with
+  | Some s when Hac_store.Store.segment_count s >= 2 -> ()
+  | Some _ -> add "merge base" "expected a second (delta) segment before compaction"
+  | None -> add "merge base" "mounted instance lost its storage tier");
+  ignore (Hac.compact t);
+  (match Hac.store t with
+  | Some s when Hac_store.Store.segment_count s = 1 -> ()
+  | _ -> add "merge base" "compaction did not merge the segments");
+  Fs.detach_disk fs0;
+  Hac.shutdown ~graceful:false t;
+  let ops = Store.ops store2 in
+  let n = List.length ops in
+  for j = 0 to n do
+    let point = Printf.sprintf "merge + op %d/%d" j n in
+    ignore
+      (check ~legal ~add point (Sim.replay ~into:(Sim.replay base_ops) (take j ops)));
+    ignore
+      (check_mount ~legal ~add point
+         (Sim.replay ~into:(Sim.replay base_ops) (take j ops)))
+  done;
+  n + 1
+
+let run_store ?(seed = 1) () =
+  let violations = ref [] in
+  let add point what = violations := { point; what } :: !violations in
+  let rec_main = record ~seed ~steps_of:store_steps ~on_boundary:(fun _ _ -> ()) () in
+  let ops_n = List.length rec_main.all_ops in
+  let label_of k =
+    match List.find_opt (fun b -> k <= b.at) rec_main.bounds with
+    | Some b -> b.label
+    | None -> "tail"
+  in
+  let points = ref 0 and boundary_pts = ref 0 in
+  let fast = ref 0 and full = ref 0 in
+  for k = 0 to ops_n do
+    let prefix = Store.ops ~upto:k rec_main.store in
+    let point = Printf.sprintf "store op %d/%d (%s) clean" k ops_n (label_of k) in
+    incr points;
+    (* Recovery mutates the disk, so each side gets its own replica of the
+       same crash bytes. *)
+    let oracle = check ~legal:rec_main.legal ~add point (Sim.replay prefix) in
+    (match check_mount ~legal:rec_main.legal ~add point (Sim.replay prefix) with
+    | None -> ()
+    | Some (mode, st_m) -> (
+        (if mode = `Fast then incr fast else incr full);
+        match (List.find_opt (fun b -> b.at = k) rec_main.bounds, oracle) with
+        | Some b, Some (_, st_o) ->
+            incr boundary_pts;
+            if st_m <> st_o then
+              add point ("mount diverged from the oracle: " ^ diff_states st_o st_m);
+            if st_m <> b.state then
+              add point ("acknowledged state not mounted: " ^ diff_states b.state st_m)
+        | _ -> ()));
+    if k < ops_n then begin
+      let op = List.nth rec_main.all_ops k in
+      List.iter
+        (fun (vlabel, damaged) ->
+          match damaged with
+          | None -> ()
+          | Some d ->
+              incr points;
+              let point =
+                Printf.sprintf "store op %d/%d (%s) %s" k ops_n (label_of k) vlabel
+              in
+              ignore
+                (check ~legal:rec_main.legal ~add point (Sim.replay (prefix @ [ d ])));
+              ignore
+                (check_mount ~legal:rec_main.legal ~add point
+                   (Sim.replay (prefix @ [ d ]))))
+        [
+          ("torn", Store.torn op ~keep:(Store.tear_point rec_main.store op));
+          ("flipped", Store.flipped op ~at:(Store.flip_point rec_main.store op));
+        ]
+    end
+  done;
+  let merge_points = store_merge_crash_points ~seed ~add rec_main in
+  {
+    st_seed = seed;
+    st_ops = ops_n;
+    st_points = !points;
+    st_boundary_points = !boundary_pts;
+    st_merge_points = merge_points;
+    st_fast_mounts = !fast;
+    st_full_mounts = !full;
+    st_violations = List.rev !violations;
+  }
+
+let summary_store o =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "store crash sweep: seed %d, %d ops, %d crash states each recovered twice (%d \
+        boundary comparisons, %d merge points, mounts: %d fast / %d full)\n"
+       o.st_seed o.st_ops o.st_points o.st_boundary_points o.st_merge_points
+       o.st_fast_mounts o.st_full_mounts);
+  if o.st_violations = [] then Buffer.add_string b "no invariant violations\n"
+  else
+    List.iter
+      (fun v -> Buffer.add_string b (Printf.sprintf "VIOLATION at %s: %s\n" v.point v.what))
+      o.st_violations;
+  Buffer.contents b

@@ -50,3 +50,32 @@ val run : ?seed:int -> ?double_stride:int -> ?flight_dir:string -> unit -> outco
 val summary : outcome -> string
 (** Multi-line human-readable rendering (what the shell's [crashtest]
     prints). *)
+
+type store_outcome = {
+  st_seed : int;
+  st_ops : int;
+  st_points : int;
+      (** Crash states swept; each is recovered twice — through the full
+          oracle and through {!Hac_core.Recover.mount}. *)
+  st_boundary_points : int;
+      (** Settle boundaries where the mounted state was compared, exactly,
+          against both the oracle's recovery and the acknowledged state. *)
+  st_merge_points : int;
+      (** Crash states inside the segment-merge (compaction) phase. *)
+  st_fast_mounts : int;  (** Clean points the O(delta) fast path handled. *)
+  st_full_mounts : int;  (** Clean points that fell back to the oracle. *)
+  st_violations : violation list;
+}
+
+val run_store : ?seed:int -> unit -> store_outcome
+(** The storage-tier sweep: a workload that enables the tier mid-run
+    (block puts, a checkpoint committing postings segment + document
+    table, a compaction), crashed at every op boundary plus torn and
+    bit-flipped variants; every crash state recovered through both the
+    oracle and {!Hac_core.Recover.mount}, which must agree at settle
+    boundaries and independently satisfy every invariant elsewhere.  A
+    second phase grows a delta segment via a fast mount and crashes at
+    every point inside the merge that folds the segments together. *)
+
+val summary_store : store_outcome -> string
+(** Human-readable rendering of a store sweep. *)

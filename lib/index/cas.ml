@@ -333,6 +333,17 @@ let word_cost ?under t w = cost ?under t (word_key w)
 
 let attr_cost ?under t k v = cost ?under t (attr_key k v)
 
+(* Every term's live posting set (all partitions unioned, dead documents
+   masked) — what a segment dump persists.  Forces snapshots, like stats. *)
+let iter_terms t f =
+  locked t (fun () ->
+      let live = Fileset.Builder.snapshot t.alive in
+      Hashtbl.iter
+        (fun key e ->
+          let s = Fileset.inter (union_all e) live in
+          if Fileset.cardinal s > 0 then f key s)
+        t.terms)
+
 (* -- accounting -------------------------------------------------------------- *)
 
 type stats = {

@@ -39,6 +39,17 @@ val post_word : t -> int -> string -> unit
 val post_attr : t -> int -> string -> string -> unit
 (** Attribute/value posting, same contract as {!post_word}. *)
 
+val word_key : string -> string
+val attr_key : string -> string -> string
+(** The flat encodings of a (stemmed) word / lowercased attribute pair as a
+    single term key (["w:…"] / ["a:…"]) — the key space {!iter_terms}
+    enumerates and on-disk postings segments are addressed by. *)
+
+val iter_terms : t -> (string -> Hac_bitset.Fileset.t -> unit) -> unit
+(** Every term key with its live posting set (all partitions unioned, dead
+    documents masked out).  Forces partition snapshots — a dump-time cost,
+    like {!stats}. *)
+
 val word_candidates : ?under:string -> t -> string -> Hac_bitset.Fileset.t
 (** Live documents that may contain the word.  With [?under] (a normalized
     absolute directory) only the partitions whose label can hold documents

@@ -5,6 +5,17 @@ type doc_id = int
 
 type doc = { mutable path : string; mutable alive : bool }
 
+(* A cold-postings provider: term lookups over on-disk postings segments a
+   fast mount did not load into memory.  Keys are the {!Cas} flat term
+   encodings.  Every set it returns is unioned in as extra candidates —
+   masked by the live universe and trimmed by verification, so a stale or
+   over-broad provider can cost work but never correctness. *)
+type cold = {
+  lookup : string -> Fileset.t;
+  cost : string -> int;
+  words : unit -> string list;  (* stemmed words with cold postings *)
+}
+
 type t = {
   block_size : int;
   stem : bool;
@@ -18,6 +29,7 @@ type t = {
   by_dir : (string, Fileset.Builder.t) Hashtbl.t; (* ancestor dir -> live docs beneath it *)
   cas : Cas.t; (* content-and-structure postings, doc-granular *)
   mutable use_cas : bool; (* query-path knob: CAS vs block expansion *)
+  mutable cold : cold option; (* on-disk postings behind the resident ones *)
 }
 
 let create ?(block_size = 8) ?(stem = true) ?transducer () =
@@ -35,11 +47,18 @@ let create ?(block_size = 8) ?(stem = true) ?transducer () =
     by_dir = Hashtbl.create 256;
     cas = Cas.create ();
     use_cas = true;
+    cold = None;
   }
 
 let set_use_cas t flag = t.use_cas <- flag
 
 let use_cas t = t.use_cas
+
+let set_cold t ~lookup ~cost ~words = t.cold <- Some { lookup; cost; words }
+
+let clear_cold t = t.cold <- None
+
+let has_cold t = t.cold <> None
 
 let block_size t = t.block_size
 
@@ -141,6 +160,33 @@ let update_document t ~path ~content =
 
 let add_document = update_document
 
+(* Fast-mount adoption: register a document at a {e given} identifier with
+   no content — its postings live in cold segments keyed by that id, so the
+   id must survive the remount exactly.  Content arrives later only if the
+   file changes (a normal {!update_document} through the dirty path). *)
+let adopt_document t ~id ~path =
+  if id < 0 then invalid_arg "Index.adopt_document: negative id";
+  ensure_docs t id;
+  t.docs.(id) <- { path; alive = true };
+  Hashtbl.replace t.by_path path id;
+  dir_enroll t path id;
+  Cas.note_doc t.cas id ~path;
+  if id >= t.next_id then t.next_id <- id + 1
+
+let next_doc_id t = t.next_id
+
+(* Dead documents' ids still appear in cold segments; allocating past the
+   previous life's frontier keeps a fresh id from aliasing a dead one's
+   postings. *)
+let reserve_doc_ids t n = if n > t.next_id then t.next_id <- n
+
+let iter_live t f =
+  for id = 0 to t.next_id - 1 do
+    if t.docs.(id).alive then f id t.docs.(id).path
+  done
+
+let iter_cas_terms t f = Cas.iter_terms t.cas f
+
 let remove_path t path =
   match Hashtbl.find_opt t.by_path path with
   | None -> ()
@@ -220,15 +266,30 @@ let expand ?within t blocks =
    the scope set anyway.  With [use_cas] off (the ablation/differential
    baseline) terms fall back to Glimpse block expansion and [?under] is
    ignored. *)
+(* Cold candidates for one encoded term key: the provider's set masked by
+   the live universe (dead documents' segment postings must not leak). *)
+let cold_docs t key =
+  match t.cold with
+  | None -> Fileset.empty
+  | Some c ->
+      let s = c.lookup key in
+      if Fileset.cardinal s = 0 then s else Fileset.inter s (universe t)
+
+let cold_cost t key = match t.cold with None -> 0 | Some c -> c.cost key
+
 let candidate_docs ?within ?under t w =
-  if t.use_cas then begin
-    let c = Cas.word_candidates ?under t.cas (key t w) in
-    match within with None -> c | Some wset -> Fileset.inter c wset
-  end
-  else
-    match Hashtbl.find_opt t.postings (key t w) with
-    | None -> Fileset.empty
-    | Some blocks -> expand ?within t blocks
+  let w = key t w in
+  let base =
+    if t.use_cas then Cas.word_candidates ?under t.cas w
+    else
+      match Hashtbl.find_opt t.postings w with
+      | None -> Fileset.empty
+      | Some blocks -> expand ?within t blocks
+  in
+  let c =
+    if t.cold = None then base else Fileset.union base (cold_docs t (Cas.word_key w))
+  in
+  match within with None -> c | Some wset -> Fileset.inter c wset
 
 let candidate_docs_approx ?within t ~word ~errors =
   let word = key t word in
@@ -236,12 +297,34 @@ let candidate_docs_approx ?within t ~word ~errors =
   Hashtbl.iter
     (fun w bm -> if Agrep.word_matches ~pattern:word ~errors w then Bitset.union_into blocks bm)
     t.postings;
-  expand ?within t blocks
+  let base = expand ?within t blocks in
+  match t.cold with
+  | None -> base
+  | Some cold ->
+      (* Adopted documents' vocabulary lives only in segment directories;
+         sweep it for near-matches too or approximate queries would go
+         blind to everything a fast mount did not reindex. *)
+      let c =
+        List.fold_left
+          (fun acc w ->
+            if Agrep.word_matches ~pattern:word ~errors w then
+              Fileset.union acc (cold_docs t (Cas.word_key w))
+            else acc)
+          base (cold.words ())
+      in
+      (match within with None -> c | Some wset -> Fileset.inter c wset)
 
 let vocabulary t =
-  Hashtbl.fold (fun w _ acc -> w :: acc) t.postings [] |> List.sort compare
+  let resident = Hashtbl.fold (fun w _ acc -> w :: acc) t.postings [] in
+  let all =
+    match t.cold with None -> resident | Some cold -> cold.words () @ resident
+  in
+  List.sort_uniq compare all
 
-let vocabulary_size t = Hashtbl.length t.postings
+let vocabulary_size t =
+  match t.cold with
+  | None -> Hashtbl.length t.postings
+  | Some _ -> List.length (vocabulary t)
 
 (* Snapshot of the by_dir builder: cached between mutations, so repeated
    scope computations over a settled tree cost a hashtable lookup. *)
@@ -252,14 +335,18 @@ let doc_ids_under t dir =
 
 let attr_docs ?within ?under t key value =
   let key = String.lowercase_ascii key and value = String.lowercase_ascii value in
-  if t.use_cas then begin
-    let c = Cas.attr_candidates ?under t.cas key value in
-    match within with None -> c | Some wset -> Fileset.inter c wset
-  end
-  else
-    match Hashtbl.find_opt t.attr_postings (key, value) with
-    | None -> Fileset.empty
-    | Some blocks -> expand ?within t blocks
+  let base =
+    if t.use_cas then Cas.attr_candidates ?under t.cas key value
+    else
+      match Hashtbl.find_opt t.attr_postings (key, value) with
+      | None -> Fileset.empty
+      | Some blocks -> expand ?within t blocks
+  in
+  let c =
+    if t.cold = None then base
+    else Fileset.union base (cold_docs t (Cas.attr_key key value))
+  in
+  match within with None -> c | Some wset -> Fileset.inter c wset
 
 (* Candidate-cardinality upper bound from posting-block population alone —
    no block expansion, so safe to call once per query term per resync. *)
@@ -275,19 +362,30 @@ let blocks_cost t = function
    block upper bound.  Called from worker domains during parallel passes —
    must not touch metrics or other main-domain-only state. *)
 let term_cost ?under t w =
-  if t.use_cas then Cas.word_cost ?under t.cas (key t w)
-  else blocks_cost t (Hashtbl.find_opt t.postings (key t w))
+  let w = key t w in
+  let resident =
+    if t.use_cas then Cas.word_cost ?under t.cas w
+    else blocks_cost t (Hashtbl.find_opt t.postings w)
+  in
+  resident + cold_cost t (Cas.word_key w)
 
 let attr_cost ?under t key value =
   let key = String.lowercase_ascii key and value = String.lowercase_ascii value in
-  if t.use_cas then Cas.attr_cost ?under t.cas key value
-  else blocks_cost t (Hashtbl.find_opt t.attr_postings (key, value))
+  let resident =
+    if t.use_cas then Cas.attr_cost ?under t.cas key value
+    else blocks_cost t (Hashtbl.find_opt t.attr_postings (key, value))
+  in
+  resident + cold_cost t (Cas.attr_key key value)
 
 let attributes t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.attr_postings [] |> List.sort compare
 
 let rebuild t reader =
   t.lazy_ops <- 0;
+  (* The rebuild reads every live document, so afterwards the resident
+     postings cover everything the cold segments did (for live documents);
+     dropping the provider here is what ultimately retires segment files. *)
+  t.cold <- None;
   Hashtbl.reset t.postings;
   Hashtbl.reset t.attr_postings;
   Cas.reset t.cas;

@@ -47,6 +47,45 @@ val remove_path : t -> string -> unit
 (** Forget the document at the path; its identifier is never reused.  No-op
     when absent. *)
 
+val adopt_document : t -> id:doc_id -> path:string -> unit
+(** Register a live document at a {e given} identifier with no content — the
+    fast-mount path, where postings live in cold on-disk segments keyed by
+    that id.  Raises [Invalid_argument] on a negative id; advances the id
+    allocator past [id]. *)
+
+val next_doc_id : t -> doc_id
+(** The next identifier {!add_document} would assign (= the id-space size,
+    dead slots included). *)
+
+val reserve_doc_ids : t -> int -> unit
+(** Ensure future identifiers start at or above [n] — dead documents' ids
+    still appear in cold segments, and a fresh id must never alias one. *)
+
+val iter_live : t -> (doc_id -> string -> unit) -> unit
+(** Every live document with its path, ascending by id. *)
+
+val iter_cas_terms : t -> (string -> Hac_bitset.Fileset.t -> unit) -> unit
+(** Every CAS term key with its live posting set (see {!Cas.iter_terms}) —
+    what a postings-segment dump persists. *)
+
+val set_cold :
+  t ->
+  lookup:(string -> Hac_bitset.Fileset.t) ->
+  cost:(string -> int) ->
+  words:(unit -> string list) ->
+  unit
+(** Install a cold-postings provider: term lookups over on-disk segments not
+    loaded into memory, keyed by the {!Cas} flat term encodings.  Its sets
+    are unioned into every candidate answer (masked by the live universe and
+    trimmed by verification — an over-broad provider costs work, never
+    correctness), its costs added to {!term_cost}/{!attr_cost}, and its
+    [words] swept by approximate queries. *)
+
+val clear_cold : t -> unit
+(** Remove the cold provider ({!rebuild} also does). *)
+
+val has_cold : t -> bool
+
 val rename_path : t -> old_path:string -> new_path:string -> unit
 (** Move a document to a new path, keeping its identifier.  No-op when
     [old_path] is not indexed. *)

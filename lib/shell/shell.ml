@@ -57,6 +57,8 @@ let help_text =
                                       (-v adds journal integrity accounting)
   checkpoint                          commit an atomic checkpoint of the journal chain
   compact                             drop journal history a checkpoint supersedes
+  store [BUDGET]                      enable the durable storage tier (block store,
+                                      on-disk postings, fast-mount checkpoints)
   crashtest [SEED]                    run the exhaustive crash-point recovery harness
   serve [SESSIONS] [OPS]              serving-layer demo: concurrent sessions,
                                       snapshot reads, group-commit writes
@@ -328,6 +330,15 @@ let space_report s buf =
   out buf "result cache         : %d hits, %d misses, %d entries, %d bytes\n"
     rc.Hac_core.Rescache.hits rc.Hac_core.Rescache.misses rc.Hac_core.Rescache.entries
     rc.Hac_core.Rescache.bytes;
+  (match Hac.store s.t with
+  | None -> out buf "storage tier         : off\n"
+  | Some store ->
+      let c = Hac_store.Store.cache store in
+      out buf "storage tier         : on (lineage %d)\n" (Hac_store.Store.lineage store);
+      out buf "block cache          : %d hits, %d misses, %d/%d bytes (peak %d)\n"
+        (Hac_store.Cache.hits c) (Hac_store.Cache.misses c) (Hac_store.Cache.bytes c)
+        (Hac_store.Cache.budget c) (Hac_store.Cache.peak_bytes c);
+      out buf "postings segments    : %d on disk\n" (Hac_store.Store.segment_count store));
   out buf "current user         : %d\n" (Fs.current_user (Hac.fs s.t))
 
 module Trace = Hac_obs.Trace
@@ -605,6 +616,26 @@ let rec run s buf line =
                (Hac.journal_epoch s.t)
          | "compact", _ ->
              out buf "compaction removed %d superseded metadata file(s)\n" (Hac.compact s.t)
+         | "store", rest -> (
+             if Hac.store_enabled s.t then
+               out buf "storage tier already enabled (see stats)\n"
+             else
+               let budget =
+                 match rest with
+                 | [] -> Some Hac_store.Store.default_budget
+                 | n :: _ -> (
+                     match int_of_string_opt n with
+                     | Some b when b > 0 -> Some b
+                     | Some _ | None -> None)
+               in
+               match budget with
+               | None -> out buf "store: expected a positive cache budget in bytes\n"
+               | Some b ->
+                   Hac.enable_store ~budget:b s.t;
+                   out buf
+                     "storage tier enabled: %d-byte block cache; checkpoint commits \
+                      the fast-mount image\n"
+                     b)
          | "serve", rest -> cmd_serve s buf rest
          | "sessions", _ -> (
              match s.serve_report with

@@ -1,0 +1,73 @@
+(* The content block store: sealed, content-addressed file bodies under
+   the hashed fan-out layout.
+
+   Publication follows the journal chain's discipline — write the sealed
+   payload to a scratch name, fsync, rename into place, fsync — so on the
+   simulated device a crash leaves either no block, a torn scratch file
+   (swept later), or the complete sealed block.  A torn or bit-rotted
+   block fails {!Seal.unseal_file} and reads as absent; the caller falls
+   back to the authoritative file-system copy, so block damage degrades
+   performance, never correctness. *)
+
+module Fs = Hac_vfs.Fs
+module Vpath = Hac_vfs.Vpath
+
+let put fs content =
+  let key = Layout.key_of_content content in
+  let path = Layout.block_path key in
+  if not (Fs.is_file fs path) then begin
+    let tmp = Layout.tmp_path ("blk-" ^ key) in
+    Fs.mkdir_p fs (Vpath.dirname path);
+    Fs.write_file fs tmp (Seal.seal_blob content);
+    Fs.fsync fs tmp;
+    Fs.rename fs ~src:tmp ~dst:path;
+    Fs.fsync fs path
+  end;
+  key
+
+let get fs key =
+  match Fs.read_file fs (Layout.block_path key) with
+  | data -> Seal.unseal_file data
+  | exception Hac_vfs.Errno.Error _ -> None
+
+(* Every block key on disk, by walking the two fan-out levels. *)
+let iter_keys fs f =
+  let root = Layout.blocks_root in
+  if Fs.is_dir fs root then
+    List.iter
+      (fun l1 ->
+        let d1 = root ^ "/" ^ l1 in
+        if Fs.is_dir fs d1 then
+          List.iter
+            (fun l2 ->
+              let d2 = d1 ^ "/" ^ l2 in
+              if Fs.is_dir fs d2 then List.iter (fun key -> f key) (Fs.readdir fs d2))
+            (Fs.readdir fs d1))
+      (Fs.readdir fs root)
+
+(* Remove blocks no longer referenced by any live document (and prune the
+   fan-out directories they leave empty).  Returns files removed. *)
+let sweep fs ~live =
+  let removed = ref 0 in
+  let doomed = ref [] in
+  iter_keys fs (fun key -> if not (live key) then doomed := key :: !doomed);
+  List.iter
+    (fun key ->
+      let path = Layout.block_path key in
+      match Fs.unlink fs path with
+      | () ->
+          incr removed;
+          let rec prune dir =
+            if
+              dir <> Layout.blocks_root
+              && Fs.is_dir fs dir
+              && Fs.readdir fs dir = []
+            then begin
+              Fs.rmdir fs dir;
+              prune (Vpath.dirname dir)
+            end
+          in
+          prune (Vpath.dirname path)
+      | exception Hac_vfs.Errno.Error _ -> ())
+    !doomed;
+  !removed

@@ -1,0 +1,115 @@
+(* Byte-bounded LRU cache of block payloads.
+
+   File bodies are demand-loaded through this cache, so a corpus larger
+   than RAM never has every body resident: the cache holds at most
+   [budget] payload bytes, evicting least-recently-used entries as new
+   ones arrive.  A value larger than the whole budget is served but never
+   cached (admitting it would evict everything for a single entry).
+
+   Accounting is payload bytes — the quantity the [store.cache.bytes]
+   gauge reports and the bench's residency bound asserts. *)
+
+type entry = {
+  key : string;
+  value : string;
+  mutable prev : entry option;  (* towards most-recent *)
+  mutable next : entry option;  (* towards least-recent *)
+}
+
+type t = {
+  budget : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable head : entry option;  (* most recently used *)
+  mutable tail : entry option;  (* least recently used *)
+  mutable bytes : int;
+  mutable peak : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~budget =
+  {
+    budget = max 0 budget;
+    tbl = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    bytes = 0;
+    peak = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let budget t = t.budget
+let bytes t = t.bytes
+let peak_bytes t = t.peak
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let entries t = Hashtbl.length t.tbl
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.next <- t.head;
+  e.prev <- None;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some e ->
+      unlink t e;
+      Hashtbl.remove t.tbl e.key;
+      t.bytes <- t.bytes - String.length e.value;
+      t.evictions <- t.evictions + 1
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      unlink t e;
+      push_front t e;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let insert t key value =
+  let len = String.length value in
+  if len <= t.budget then begin
+    (match Hashtbl.find_opt t.tbl key with
+    | Some old ->
+        unlink t old;
+        Hashtbl.remove t.tbl key;
+        t.bytes <- t.bytes - String.length old.value
+    | None -> ());
+    while t.bytes + len > t.budget do
+      evict_lru t
+    done;
+    let e = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.tbl key e;
+    push_front t e;
+    t.bytes <- t.bytes + len;
+    if t.bytes > t.peak then t.peak <- t.bytes
+  end
+
+let drop t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> ()
+  | Some e ->
+      unlink t e;
+      Hashtbl.remove t.tbl key;
+      t.bytes <- t.bytes - String.length e.value
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None;
+  t.bytes <- 0

@@ -1,0 +1,39 @@
+(* The on-"disk" geography of the storage tier.
+
+   Everything the tier persists lives under [/.hac/store], beside (not
+   inside) the journal chain, so the store area can exist only when the
+   tier is enabled without perturbing a store-less instance's metadata
+   bytes.  Content blocks use a hashed fan-out layout — [aa/bb/<key>],
+   two hex levels of 256 entries each — so no directory ever accumulates
+   more than 256 entries below ~16M blocks (and the full 16-hex-digit key
+   space bounds it at any corpus size we can hold). *)
+
+let root = "/.hac/store"
+let blocks_root = root ^ "/blocks"
+let segs_root = root ^ "/segs"
+let manifest_path = root ^ "/segs.tbl"
+
+(* FNV-1a, 64-bit: the content-address of a block.  32 bits would start
+   colliding around 10^5 documents (birthday bound); 64 bits is safe past
+   10^9.  A collision maps two distinct contents to one block file — the
+   reader's seal check cannot catch that, so the key width is the defence. *)
+let fnv64 s =
+  let prime = 0x100000001b3L and basis = 0xcbf29ce484222325L in
+  let h = ref basis in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let key_of_content content = Printf.sprintf "%016Lx" (fnv64 content)
+
+let block_path key =
+  Printf.sprintf "%s/%s/%s/%s" blocks_root (String.sub key 0 2) (String.sub key 2 2) key
+
+(* Scratch names for the write-tmp/fsync/rename publication discipline.
+   They live directly under the store root so an interrupted publication
+   leaves its debris where the compactor's sweep looks. *)
+let tmp_path name = root ^ "/tmp-" ^ name
+
+let segment_name ~lineage ~serial = Printf.sprintf "postings-%d-%d.seg" lineage serial
+let segment_path name = segs_root ^ "/" ^ name

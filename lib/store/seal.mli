@@ -1,0 +1,35 @@
+(** Checksummed framing for persisted metadata.
+
+    Two granularities, both FNV-1a/32 checksummed: {!seal}/{!parse} frame a
+    single journal line ("body #hhhhhhhh"), {!seal_blob}/{!open_blob} frame
+    a whole file payload behind a one-line header.  {!Journal} uses both for
+    the directory log and checkpoint images; {!Sync} seals the per-directory
+    structure files so recovery can tell a torn or bit-rotted structure from
+    a real one (all-or-nothing, never a silently truncated query). *)
+
+val checksum : string -> int
+(** FNV-1a of the string, truncated to 32 bits. *)
+
+val seal : string -> string
+(** [seal body] is the journal line ["body #hhhhhhhh"]. *)
+
+type line = Valid of string | Corrupt of string | Blank
+
+val parse : string -> line
+(** Classify one journal line: [Valid body] when the checksum matches,
+    [Blank] for whitespace, [Corrupt] otherwise (torn, rotted, tampered). *)
+
+val blob_magic : string
+(** ["HACCKPT1"] — first token of a sealed payload header. *)
+
+val seal_blob : string -> string
+(** Wrap a payload as ["HACCKPT1 <len> <crc>\n<payload>"]. *)
+
+val open_blob : string -> (string, string) result
+(** Verify and strip the header; [Error reason] when the header is missing
+    or malformed, the payload is short, or the checksum disagrees. *)
+
+val unseal_file : string -> string option
+(** Payload of a sealed file; anything else — including a torn prefix of a
+    sealed file, whose first bytes could otherwise masquerade as a tiny
+    raw payload — is [None]. *)

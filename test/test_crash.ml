@@ -132,6 +132,49 @@ let test_compaction_truncates_history () =
   check_bool "alpha recovered from truncated chain" true (Hac.is_semantic t2 "/alpha");
   check_bool "post-compaction dirs present" true (Hac.is_dir t2 "/one" && Hac.is_dir t2 "/two")
 
+(* A diagnostic probe before recovery must not inflate the damage count:
+   [recover.records_skipped] is incremented once per damaged record per
+   actual recovery, however many times the chain gets replayed — here a
+   [journal_report] probe, then a [reload_report] whose torn live
+   structure also forces the checkpoint-copy fallback. *)
+let test_records_skipped_counted_once () =
+  let t = Hac.create () in
+  Hac.mkdir t "/docs";
+  Hac.write_file t "/docs/a.txt" "alpha";
+  Hac.smkdir t "/alpha" "alpha";
+  Hac.settle t;
+  ignore (Hac.checkpoint t);
+  let fs2 =
+    match Image.load (Image.dump (Hac.fs t)) with
+    | Ok fs -> fs
+    | Error e -> Alcotest.fail ("image round trip: " ^ e)
+  in
+  (* Two torn journal records in the open segment... *)
+  let seg = Journal.segment_path (Journal.current_epoch fs2) in
+  Fs.append_file fs2 seg "torn record one\ntorn record two\n";
+  (* ...and a torn live structure file, so restore falls back to the
+     checkpoint's copy. *)
+  List.iter
+    (fun n ->
+      if String.length n > 3 && String.sub n 0 3 = "sd-" then begin
+        let p = "/.hac/" ^ n in
+        let c = Fs.read_file fs2 p in
+        Fs.write_file fs2 p (String.sub c 0 (String.length c / 2))
+      end)
+    (Fs.readdir fs2 "/.hac");
+  let t2 = Hac.of_fs fs2 in
+  let probe = Recover.journal_report t2 in
+  check_int "probe sees the torn records" 2 probe.Recover.corrupt;
+  check_int "a probe counts nothing"
+    0
+    (Hac_obs.Metrics.count (Hac.instr t2).Instr.recover_records_skipped);
+  let rep = Recover.reload_report t2 in
+  check_int "recovery still sees them" 2 rep.Recover.journal.Recover.corrupt;
+  check_bool "checkpoint-copy fallback restored the directory" true
+    (Hac.is_semantic t2 "/alpha");
+  check_int "counted once per record, not once per replay" 2
+    (Hac_obs.Metrics.count (Hac.instr t2).Instr.recover_records_skipped)
+
 (* -- durability knob -------------------------------------------------------- *)
 
 let test_settle_acknowledges_only_durable_state () =
@@ -185,6 +228,8 @@ let () =
             test_recovery_replays_only_post_checkpoint_segments;
           Alcotest.test_case "compaction truncates history" `Quick
             test_compaction_truncates_history;
+          Alcotest.test_case "skipped records counted once" `Quick
+            test_records_skipped_counted_once;
         ] );
       ( "durability",
         [

@@ -328,6 +328,34 @@ let test_journal_seal_roundtrip () =
       | Journal.Corrupt _ | Journal.Blank -> Alcotest.fail ("not valid: " ^ body))
     [ "D 3 /a"; "D 4 /with space/dir"; "X 9"; "M 2 /x#y"; "weird # body #abc" ]
 
+(* Chain enumeration orders by parsed epoch, never by file name: the
+   fixed-width zero padding runs out at seg-999999, and lexicographic
+   order would put seg-1000000 *before* it — replaying a million-record
+   history out of order. *)
+let test_chain_enumeration_is_numeric () =
+  Alcotest.(check bool)
+    "seg-1000000.log parses" true
+    (Journal.classify "seg-1000000.log" = Journal.Segment 1000000);
+  Alcotest.(check bool)
+    "ckpt-1000000.img parses" true
+    (Journal.classify "ckpt-1000000.img" = Journal.Checkpoint 1000000);
+  Alcotest.(check bool)
+    "width overflow is not Other" true
+    (Journal.classify "seg-23000000.log" = Journal.Segment 23000000);
+  let fs = Fs.create () in
+  Fs.mkdir_p fs "/.hac";
+  List.iter
+    (fun e -> Fs.write_file fs (Journal.segment_path e) "")
+    [ 1000000; 999999; 999998 ];
+  let segs, _ = Journal.scan fs in
+  Alcotest.(check (list int))
+    "epochs ascend numerically across the width boundary"
+    [ 999998; 999999; 1000000 ]
+    (List.map fst segs);
+  Alcotest.(check int)
+    "appends land on the numerically highest segment" 1000000
+    (Journal.current_epoch fs)
+
 let test_journal_rejects_tampering () =
   let sealed = Journal.seal "D 3 /docs" in
   let tampered = "D 4" ^ String.sub sealed 3 (String.length sealed - 3) in
@@ -495,6 +523,7 @@ let () =
         [
           Alcotest.test_case "seal roundtrip" `Quick test_journal_seal_roundtrip;
           Alcotest.test_case "rejects tampering" `Quick test_journal_rejects_tampering;
+          Alcotest.test_case "numeric chain order" `Quick test_chain_enumeration_is_numeric;
           Alcotest.test_case "torn tail skipped" `Quick test_reload_skips_torn_tail;
           Alcotest.test_case "garbage survived" `Quick test_reload_survives_garbage;
           Alcotest.test_case "paths with spaces" `Quick test_replay_handles_paths_with_spaces;

@@ -1,0 +1,396 @@
+(* The storage tier's correctness claim is transparency: with the
+   disk-backed tier on (blocks served from the hashed fan-out store,
+   postings answered through cold on-disk segments, mounts taking the
+   checkpointed fast path), every externally observable result — links,
+   prohibitions, persisted journal bytes outside [/.hac/store] — must be
+   byte-identical to the same run with the tier off.  Differential twins
+   check that claim under pinned seeds; units pin the cache budget bound,
+   the fan-out layout, segment-damage fallback, fast-vs-full mount parity
+   and the crash-point sweep over the tier's commit boundaries. *)
+
+module Hac = Hac_core.Hac
+module Recover = Hac_core.Recover
+module Journal = Hac_core.Journal
+module Link = Hac_core.Link
+module Fs = Hac_vfs.Fs
+module Store = Hac_store.Store
+module Cache = Hac_store.Cache
+module Layout = Hac_store.Layout
+module Harness = Hac_crash.Harness
+
+let seed =
+  match Sys.getenv_opt "FAULT_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 1)
+  | None -> 1
+
+(* -- Differential twin: store on vs store off ------------------------------ *)
+
+let files =
+  [| "/d0/a.txt"; "/d0/b.txt"; "/nest/d1/c.txt"; "/nest/d1/d.txt"; "/nest/d2/e.txt" |]
+
+let words = [| "red"; "green"; "blue"; "cyan" |]
+let sem_dirs = [| "/s0"; "/nest/s1"; "/nest/s2" |]
+
+let queries =
+  [| "red"; "green OR blue"; "blue AND NOT cyan"; "{/s0} AND green"; "red AND blue" |]
+
+type op =
+  | Write of int * int
+  | Delete of int
+  | Move of int * int
+  | Smkdir of int * int
+  | Schquery of int * int
+  | Checkpoint
+  | Compact
+
+let pp_op = function
+  | Write (f, w) -> Printf.sprintf "Write(%d,%d)" f w
+  | Delete f -> Printf.sprintf "Delete(%d)" f
+  | Move (a, b) -> Printf.sprintf "Move(%d,%d)" a b
+  | Smkdir (d, q) -> Printf.sprintf "Smkdir(%d,%d)" d q
+  | Schquery (d, q) -> Printf.sprintf "Schquery(%d,%d)" d q
+  | Checkpoint -> "Checkpoint"
+  | Compact -> "Compact"
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map2 (fun f w -> Write (f, w)) (int_bound 4) (int_bound 3));
+        (2, map (fun f -> Delete f) (int_bound 4));
+        (3, map2 (fun a b -> Move (a, b)) (int_bound 4) (int_bound 4));
+        (3, map2 (fun d q -> Smkdir (d, q)) (int_bound 2) (int_bound 4));
+        (2, map2 (fun d q -> Schquery (d, q)) (int_bound 2) (int_bound 4));
+        (1, return Checkpoint);
+        (1, return Compact);
+      ])
+
+let apply t op =
+  let ignore_errors f = try f () with Hac_vfs.Errno.Error _ | Hac.Hac_error _ -> () in
+  match op with
+  | Write (f, w) ->
+      ignore_errors (fun () ->
+          Hac.write_file t files.(f) (Printf.sprintf "some %s text\n" words.(w)))
+  | Delete f -> ignore_errors (fun () -> Hac.unlink t files.(f))
+  | Move (a, b) -> ignore_errors (fun () -> Hac.rename t ~src:files.(a) ~dst:files.(b))
+  | Smkdir (d, q) -> ignore_errors (fun () -> Hac.smkdir t sem_dirs.(d) queries.(q))
+  | Schquery (d, q) -> ignore_errors (fun () -> Hac.schquery t sem_dirs.(d) queries.(q))
+  | Checkpoint -> ignore (Hac.checkpoint t : int)
+  | Compact -> ignore (Hac.compact t : int)
+
+let observe t =
+  Hac.semantic_dirs t
+  |> List.map (fun dir ->
+         let links =
+           Hac.links t dir
+           |> List.map (fun l ->
+                  Printf.sprintf "%s>%s%s" l.Link.name
+                    (Link.target_key l.Link.target)
+                    (if l.Link.cls = Link.Permanent then "!" else ""))
+           |> List.sort compare
+         in
+         let proh = List.sort compare (Hac.prohibited t dir) in
+         Printf.sprintf "%s: [%s] proh[%s]" dir (String.concat "," links)
+           (String.concat "," proh))
+  |> String.concat "\n"
+
+(* Everything under /.hac except the tier's own [store/] subtree, which
+   only exists on the store-on twin by construction. *)
+let persisted t =
+  let fs = Hac.fs t in
+  match Fs.readdir fs "/.hac" with
+  | exception Hac_vfs.Errno.Error _ -> ""
+  | names ->
+      List.filter (fun n -> n <> "store") names
+      |> List.sort compare
+      |> List.map (fun n ->
+             let p = "/.hac/" ^ n in
+             if Fs.is_file fs p then Printf.sprintf "%s:%s" n (Fs.read_file fs p) else n)
+      |> String.concat "\n"
+
+let fresh () =
+  let t = Hac.create ~stem:false () in
+  List.iter (Hac.mkdir_p t) [ "/d0"; "/nest/d1"; "/nest/d2" ];
+  t
+
+let rec batches = function
+  | [] -> []
+  | ops ->
+      let rec take n = function
+        | x :: rest when n > 0 ->
+            let h, t = take (n - 1) rest in
+            (x :: h, t)
+        | rest -> ([], rest)
+      in
+      let batch, rest = take 3 ops in
+      batch :: batches rest
+
+(* Twin run: A reads content blocks and cold postings through the tier, B
+   runs bare; observable state and the persisted metadata outside the
+   tier's directory must be byte-identical after every settle. *)
+let twin_run ~fail ops =
+  let a = fresh () and b = fresh () in
+  (* A small budget so the run actually exercises eviction and the
+     oversized-value skip, not just a cache that swallows everything. *)
+  Hac.enable_store ~budget:256 a;
+  List.iteri
+    (fun i batch ->
+      List.iter
+        (fun op ->
+          apply a op;
+          apply b op)
+        batch;
+      Hac.settle a;
+      Hac.settle b;
+      if observe a <> observe b then
+        fail
+          (Printf.sprintf "observable divergence (batch %d):\n%s\nvs\n%s" i (observe a)
+             (observe b));
+      if persisted a <> persisted b then
+        fail
+          (Printf.sprintf "persisted divergence (batch %d):\n%s\nvs\n%s" i (persisted a)
+             (persisted b)))
+    (batches ops);
+  (a, b)
+
+let seeded_twins () =
+  List.iter
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let ops =
+        QCheck.Gen.generate1 ~rand QCheck.Gen.(list_size (int_range 30 60) gen_op)
+      in
+      ignore (pp_op : op -> string);
+      let a, b = twin_run ops ~fail:Alcotest.fail in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: final state" seed)
+        (observe b) (observe a))
+    [ 1; 42; 1999 ]
+
+(* -- Layout units ---------------------------------------------------------- *)
+
+let test_layout_fanout () =
+  let key = Layout.key_of_content "some red text\n" in
+  Alcotest.(check int) "key is 16 hex chars" 16 (String.length key);
+  Alcotest.(check string)
+    "key is deterministic" key
+    (Layout.key_of_content "some red text\n");
+  Alcotest.(check bool)
+    "distinct content, distinct key" false
+    (key = Layout.key_of_content "some blue text\n");
+  let p = Layout.block_path key in
+  let expect =
+    Printf.sprintf "%s/%s/%s/%s" Layout.blocks_root (String.sub key 0 2)
+      (String.sub key 2 2) key
+  in
+  Alcotest.(check string) "two-level fan-out path" expect p
+
+(* -- Cache units ----------------------------------------------------------- *)
+
+let test_cache_lru () =
+  let c = Cache.create ~budget:10 in
+  Cache.insert c "a" "xxxx";
+  Cache.insert c "b" "yyyy";
+  Alcotest.(check int) "two resident" 2 (Cache.entries c);
+  (* Touch [a] so [b] is the LRU victim when [c] arrives. *)
+  Alcotest.(check bool) "hit a" true (Cache.find c "a" <> None);
+  Cache.insert c "c" "zzzz";
+  Alcotest.(check bool) "b evicted" true (Cache.find c "b" = None);
+  Alcotest.(check bool) "a survives" true (Cache.find c "a" <> None);
+  Alcotest.(check bool) "budget bound holds" true (Cache.bytes c <= Cache.budget c);
+  Alcotest.(check int) "one eviction counted" 1 (Cache.evictions c)
+
+let test_cache_oversized_skip () =
+  let c = Cache.create ~budget:8 in
+  Cache.insert c "big" (String.make 64 'x');
+  Alcotest.(check int) "oversized value never admitted" 0 (Cache.entries c);
+  Alcotest.(check int) "no bytes charged" 0 (Cache.bytes c);
+  Cache.insert c "fit" "ok";
+  Alcotest.(check bool) "small value still admitted" true (Cache.find c "fit" <> None)
+
+let test_cache_peak_tracks_high_water () =
+  let c = Cache.create ~budget:16 in
+  Cache.insert c "a" (String.make 12 'a');
+  Cache.insert c "b" (String.make 12 'b');
+  Alcotest.(check bool) "peak >= largest resident set" true (Cache.peak_bytes c >= 12);
+  Alcotest.(check bool) "peak never exceeds budget" true
+    (Cache.peak_bytes c <= Cache.budget c)
+
+(* The acceptance bound at unit scale: settle a corpus 4x larger than the
+   cache budget; the gauge must stay under budget the whole way. *)
+let test_cache_bounded_settle () =
+  let t = fresh () in
+  let budget = 1024 in
+  Hac.enable_store ~budget t;
+  let body i = Printf.sprintf "file %04d holds %s words\n" i (String.make 96 'w') in
+  let n = (4 * budget / String.length (body 0)) + 4 in
+  for i = 1 to n do
+    Hac.write_file t (Printf.sprintf "/d0/f%04d.txt" i) (body i)
+  done;
+  Hac.settle t;
+  for i = 1 to n do
+    ignore (Hac.read_file t (Printf.sprintf "/d0/f%04d.txt" i) : string)
+  done;
+  match Hac.store t with
+  | None -> Alcotest.fail "store vanished"
+  | Some store ->
+      let c = Store.cache store in
+      Alcotest.(check bool)
+        (Printf.sprintf "resident %d <= budget %d" (Cache.bytes c) budget)
+        true
+        (Cache.bytes c <= budget);
+      Alcotest.(check bool)
+        (Printf.sprintf "peak %d <= budget %d" (Cache.peak_bytes c) budget)
+        true
+        (Cache.peak_bytes c <= budget)
+
+(* -- Mount paths ----------------------------------------------------------- *)
+
+(* A deterministic corpus builder both mount tests share: same script on
+   a fresh device yields byte-identical trees. *)
+let build_corpus fs =
+  let t = Hac.of_fs ~stem:false fs in
+  List.iter (Hac.mkdir_p t) [ "/d0"; "/nest/d1"; "/nest/d2" ];
+  Hac.enable_store ~budget:4096 t;
+  Array.iteri
+    (fun i f -> Hac.write_file t f (Printf.sprintf "some %s text\n" words.(i mod 4)))
+    files;
+  Hac.smkdir t "/s0" "red";
+  Hac.smkdir t "/nest/s1" "green OR blue";
+  Hac.settle t;
+  ignore (Hac.checkpoint t : int);
+  t
+
+let test_fast_mount_matches_full () =
+  let fs = Fs.create () in
+  let t0 = build_corpus fs in
+  (* Post-checkpoint delta: an overwrite, a new file, a file rename. *)
+  Hac.write_file t0 "/d0/a.txt" "now cyan here\n";
+  Hac.write_file t0 "/nest/d2/late.txt" "a late blue entry\n";
+  Hac.rename t0 ~src:"/d0/b.txt" ~dst:"/d0/bb.txt";
+  Hac.settle t0;
+  let expected = observe t0 in
+  Hac.shutdown ~graceful:false t0;
+  let t, mode = Recover.mount ~stem:false ~budget:4096 fs in
+  Alcotest.(check bool) "clean chain takes the fast path" true (mode = `Fast);
+  Alcotest.(check string) "fast mount reproduces the acknowledged state" expected
+    (observe t);
+  (match Hac.store t with
+  | None -> Alcotest.fail "fast mount did not attach the store"
+  | Some store ->
+      Alcotest.(check bool) "postings segments survived" true
+        (Store.has_segments store));
+  (* Idempotence: mounting the remounted device again is still fast and
+     still lands on the same state. *)
+  Hac.shutdown ~graceful:false t;
+  let t2, mode2 = Recover.mount ~stem:false ~budget:4096 fs in
+  Alcotest.(check bool) "remount is fast again" true (mode2 = `Fast);
+  Alcotest.(check string) "remount state is stable" expected (observe t2)
+
+let test_mount_falls_back_on_damage () =
+  (* Damaged document table: the fast precondition fails, the mount must
+     land on the full-replay oracle and still reproduce the state. *)
+  let fs = Fs.create () in
+  let t0 = build_corpus fs in
+  let expected = observe t0 in
+  Hac.shutdown ~graceful:false t0;
+  Fs.write_file fs "/.hac/store/docs.tbl" "garbage\n";
+  let t, mode = Recover.mount ~stem:false ~budget:4096 fs in
+  Alcotest.(check bool) "damaged docs.tbl forces full replay" true (mode = `Full);
+  Alcotest.(check string) "full fallback reproduces the state" expected (observe t);
+  Hac.shutdown ~graceful:false t;
+  (* Torn journal tail: corrupt records refuse the fast path too. *)
+  let fs2 = Fs.create () in
+  let t1 = build_corpus fs2 in
+  let expected2 = observe t1 in
+  Hac.shutdown ~graceful:false t1;
+  let seg = Journal.segment_path (Journal.current_epoch fs2) in
+  Fs.append_file fs2 seg "torn nonsense not a sealed record\n";
+  let t3, mode3 = Recover.mount ~stem:false ~budget:4096 fs2 in
+  Alcotest.(check bool) "corrupt tail forces full replay" true (mode3 = `Full);
+  Alcotest.(check string) "state survives the torn tail" expected2 (observe t3)
+
+(* -- Segment damage: cold lookups degrade to the verified universe --------- *)
+
+let test_segment_damage_degrades_safely () =
+  let fs = Fs.create () in
+  let t0 = build_corpus fs in
+  Hac.shutdown ~graceful:false t0;
+  let t, mode = Recover.mount ~stem:false ~budget:4096 fs in
+  Alcotest.(check bool) "precondition: fast mount" true (mode = `Fast);
+  (* Scribble over every postings segment AFTER the directory loaded —
+     in place, through the inode, exactly like media rot — so slice reads
+     fault and the term lookup degrades to the universe. *)
+  (match Fs.readdir fs Layout.segs_root with
+  | exception Hac_vfs.Errno.Error _ -> Alcotest.fail "no segments directory"
+  | names ->
+      List.iter
+        (fun n ->
+          if Filename.check_suffix n ".seg" then begin
+            let path = Layout.segs_root ^ "/" ^ n in
+            let ino = (Fs.lstat fs path).Fs.st_ino in
+            let len = Fs.size_ino fs ino in
+            ignore (Fs.pwrite_ino fs ino ~path ~pos:0 (String.make len '\255') : int)
+          end)
+        names);
+  (* A fresh query evaluated through the damaged cold path must still
+     produce exactly the verified answer a bare instance computes. *)
+  Hac.smkdir t "/probe" "cyan";
+  Hac.settle t;
+  let fs2 = Fs.create () in
+  let oracle = build_corpus fs2 in
+  Hac.smkdir oracle "/probe" "cyan";
+  Hac.settle oracle;
+  let links u =
+    Hac.links u "/probe"
+    |> List.map (fun l -> Link.target_key l.Link.target)
+    |> List.sort compare
+  in
+  Alcotest.(check (list string))
+    "damaged segments answer through verification" (links oracle) (links t);
+  match Hac.store t with
+  | None -> Alcotest.fail "store missing"
+  | Some store ->
+      let i = Store.instr store in
+      Alcotest.(check bool) "damage was observed and counted" true
+        (Hac_obs.Metrics.count i.Store.seg_damaged > 0)
+
+(* -- Crash-point sweep over the tier's commit boundaries ------------------- *)
+
+let test_store_crash_sweep () =
+  let o = Harness.run_store ~seed () in
+  if o.Harness.st_violations <> [] then
+    Alcotest.fail (Harness.summary_store o);
+  Alcotest.(check bool) "swept a real matrix" true (o.Harness.st_points > 50);
+  Alcotest.(check bool) "merge commit points covered" true (o.Harness.st_merge_points > 0);
+  Alcotest.(check bool) "fast path actually exercised" true (o.Harness.st_fast_mounts > 0);
+  Alcotest.(check bool) "boundary states compared" true (o.Harness.st_boundary_points > 0)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "layout",
+        [ Alcotest.test_case "hashed fan-out" `Quick test_layout_fanout ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru eviction order" `Quick test_cache_lru;
+          Alcotest.test_case "oversized skip" `Quick test_cache_oversized_skip;
+          Alcotest.test_case "peak high-water" `Quick test_cache_peak_tracks_high_water;
+          Alcotest.test_case "bounded settle" `Quick test_cache_bounded_settle;
+        ] );
+      ( "twin",
+        [ Alcotest.test_case "store on/off equivalence" `Quick seeded_twins ] );
+      ( "mount",
+        [
+          Alcotest.test_case "fast path parity" `Quick test_fast_mount_matches_full;
+          Alcotest.test_case "damage falls back" `Quick test_mount_falls_back_on_damage;
+        ] );
+      ( "degrade",
+        [
+          Alcotest.test_case "segment damage verified away" `Quick
+            test_segment_damage_degrades_safely;
+        ] );
+      ( "crash",
+        [ Alcotest.test_case "store sweep no violations" `Quick test_store_crash_sweep ]
+      );
+    ]
